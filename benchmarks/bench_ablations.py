@@ -1,0 +1,111 @@
+"""Ablation benchmarks: the design choices DESIGN.md calls out.
+
+Each ablation varies one mechanism of the machine and records the EBW
+effect, regenerating the paper's design arguments:
+
+* arbitration priority (the Section 3 g' vs g'' comparison);
+* tie-break rule (random - hypothesis (h) - vs FCFS);
+* buffer depth (the paper fixes 1; deeper buffers are the natural
+  extension);
+* request distribution (hypothesis (e) uniform vs hot-spot).
+"""
+
+from __future__ import annotations
+
+from repro.bus import MultiplexedBusSystem, simulate
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority, TieBreak
+from repro.des.rng import StreamFactory
+from repro.workloads.generators import HotSpotTargets
+
+BASE = SystemConfig(8, 8, 8, priority=Priority.PROCESSORS)
+
+
+def test_ablation_priority(benchmark, bench_cycles):
+    """g' vs g'': priority to processors must win (Section 3)."""
+
+    def run_pair():
+        g_prime = simulate(BASE, cycles=bench_cycles, seed=5).ebw
+        g_second = simulate(
+            SystemConfig(8, 8, 8, priority=Priority.MEMORIES),
+            cycles=bench_cycles,
+            seed=5,
+        ).ebw
+        return g_prime, g_second
+
+    g_prime, g_second = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert g_prime >= g_second * 0.98
+
+
+def test_ablation_tie_break(benchmark, bench_cycles):
+    """Random vs FCFS intra-class arbitration: a second-order effect."""
+
+    def run_pair():
+        random_tb = simulate(BASE, cycles=bench_cycles, seed=5).ebw
+        fcfs = simulate(
+            SystemConfig(8, 8, 8, tie_break=TieBreak.FCFS),
+            cycles=bench_cycles,
+            seed=5,
+        ).ebw
+        return random_tb, fcfs
+
+    random_tb, fcfs = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    # The tie-break rule must not change EBW by more than a few percent.
+    assert abs(random_tb - fcfs) / random_tb < 0.05
+
+
+def test_ablation_buffer_depth(benchmark, bench_cycles):
+    """Depth 0 (unbuffered) vs 1 (the paper) vs 4 (extension)."""
+
+    def run_sweep():
+        values = {}
+        values[0] = simulate(BASE, cycles=bench_cycles, seed=5).ebw
+        for depth in (1, 2, 4):
+            values[depth] = simulate(
+                BASE.with_buffers(depth), cycles=bench_cycles, seed=5
+            ).ebw
+        return values
+
+    values = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    # Depth 1 captures most of the buffering gain (Section 6's design).
+    assert values[1] >= values[0]
+    assert values[4] >= values[1] * 0.98
+    gain_first = values[1] - values[0]
+    gain_rest = values[4] - values[1]
+    assert gain_first >= gain_rest
+
+
+def test_ablation_hot_spot(benchmark, bench_cycles):
+    """Violating hypothesis (e): hot-spot traffic degrades EBW."""
+
+    def run_pair():
+        uniform = simulate(BASE, cycles=bench_cycles, seed=5).ebw
+        streams = StreamFactory(5)
+        hot = MultiplexedBusSystem(
+            BASE,
+            seed=5,
+            targets=HotSpotTargets(
+                BASE.memories, streams.get("hot"), hot_fraction=0.5
+            ),
+        ).run(bench_cycles).ebw
+        return uniform, hot
+
+    uniform, hot = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert hot < uniform
+
+
+def test_ablation_service_distribution(benchmark, bench_cycles):
+    """Constant vs geometric access times (Section 6 comparison)."""
+
+    def run_pair():
+        config = BASE.with_buffers()
+        constant = MultiplexedBusSystem(config, seed=5).run(bench_cycles).ebw
+        geometric = (
+            MultiplexedBusSystem(config, seed=5, geometric_access_times=True)
+            .run(bench_cycles)
+            .ebw
+        )
+        return constant, geometric
+
+    constant, geometric = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    assert geometric < constant

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 2 (EBW vs r, both priorities)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure2 import check_claims, run as run_figure2
+
+
+def test_figure2_curves(benchmark, bench_cycles):
+    """Six simulated curves plus three crossbar reference lines."""
+    result = benchmark.pedantic(
+        run_figure2,
+        kwargs={"cycles": bench_cycles, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    checks = check_claims(result)
+    assert checks.processors_beat_memories
+    assert checks.ebw_above_crossbar_at_large_r

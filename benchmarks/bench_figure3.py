@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Figure 3 (processor utilisation vs p)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import run as run_figure3
+
+
+def test_figure3_curves(benchmark, bench_cycles):
+    """Four r-curves over ten p-values, unbuffered n=8, m=16."""
+    result = benchmark.pedantic(
+        run_figure3,
+        kwargs={"cycles": bench_cycles, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    # Shape checks: utilisation in (0, 1] and decreasing in p for the
+    # smallest r (where the bus saturates at heavy load).
+    for (row, column), value in result.measured.items():
+        assert 0.0 < value <= 1.1  # small window-edge overshoot at bench strength
+    r4 = [result.measured[("r=4", f"p={p:g}")] for p in (0.2, 0.6, 1.0)]
+    assert r4[0] >= r4[-1]

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Figure 5 (buffering effect on EBW)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure5 import check_claims, run as run_figure5
+
+
+def test_figure5_curves(benchmark, bench_cycles):
+    """Buffered and unbuffered sweeps plus crossbar references."""
+    result = benchmark.pedantic(
+        run_figure5,
+        kwargs={"cycles": bench_cycles, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    checks = check_claims(result)
+    assert checks.buffered_dominates_unbuffered
+    assert checks.buffered_exceeds_crossbar_somewhere

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 6 (buffered utilisation vs p)."""
+
+from __future__ import annotations
+
+from repro.experiments.figure3 import run as run_figure3
+from repro.experiments.figure6 import run as run_figure6
+
+
+def test_figure6_curves(benchmark, bench_cycles):
+    """Four buffered r-curves over ten p-values, n=8, m=16."""
+    result = benchmark.pedantic(
+        run_figure6,
+        kwargs={"cycles": bench_cycles, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    for (row, column), value in result.measured.items():
+        assert 0.0 < value <= 1.1  # small window-edge overshoot at bench strength
+
+
+def test_figure6_dominates_figure3(bench_cycles):
+    """Cross-figure claim: buffering never hurts utilisation (p = 1)."""
+    buffered = run_figure6(cycles=bench_cycles, seed=7)
+    unbuffered = run_figure3(cycles=bench_cycles, seed=7)
+    for r in (8, 12, 16):
+        assert (
+            buffered.measured[(f"r={r}", "p=1")]
+            >= unbuffered.measured[(f"r={r}", "p=1")] * 0.97
+        )

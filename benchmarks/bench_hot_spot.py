@@ -1,0 +1,21 @@
+"""Benchmark: the hot-spot extension experiment."""
+
+from __future__ import annotations
+
+from repro.experiments.hot_spot import degradation_at, run as run_hot_spot
+
+
+def test_hot_spot_grid(benchmark, bench_cycles):
+    """Six systems x five hot-spot fractions."""
+    result = benchmark.pedantic(
+        run_hot_spot,
+        kwargs={"cycles": bench_cycles, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    # Concentrating half the traffic on one module must cost EBW, and
+    # buffering must soften the loss.
+    unbuffered = degradation_at(result, "8x8 r=8 unbuffered", 0.5)
+    buffered = degradation_at(result, "8x8 r=8 buffered", 0.5)
+    assert unbuffered > 0.2
+    assert buffered < unbuffered

@@ -1,0 +1,89 @@
+"""Microbenchmarks of the computational kernels.
+
+These measure the cost of the building blocks (simulator cycle loop,
+chain construction, stationary solve, event engine) so performance
+regressions are visible independently of the experiment wrappers.
+"""
+
+from __future__ import annotations
+
+from repro.bus import MultiplexedBusSystem
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.des.engine import Engine
+from repro.markov.occupancy import OccupancyChain
+from repro.models.processor_priority import ProcessorPriorityChain
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import buffered_bus_network
+
+
+def test_kernel_simulator_cycles(benchmark):
+    """Raw cycle throughput of the 8x16 machine."""
+    config = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS)
+    system = MultiplexedBusSystem(config, seed=1)
+
+    def run_block():
+        for _ in range(2_000):
+            system.step()
+        return system.cycle
+
+    benchmark(run_block)
+
+
+def test_kernel_buffered_simulator_cycles(benchmark):
+    """Raw cycle throughput with buffered modules."""
+    config = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS, buffered=True)
+    system = MultiplexedBusSystem(config, seed=1)
+
+    def run_block():
+        for _ in range(2_000):
+            system.step()
+        return system.cycle
+
+    benchmark(run_block)
+
+
+def test_kernel_occupancy_chain_build_and_solve(benchmark):
+    """Build + solve the 16x16 occupancy chain (231 states)."""
+
+    def build():
+        chain = OccupancyChain(16, 16, service_width=9)
+        return chain.expected_completions()
+
+    value = benchmark(build)
+    assert 0.0 < value <= 9.0
+
+
+def test_kernel_reduced_chain_build_and_solve(benchmark):
+    """Build + solve the Section 4 chain for n=8, m=16, r=12."""
+
+    def build():
+        chain = ProcessorPriorityChain(8, 16, 12)
+        return chain.ebw()
+
+    value = benchmark(build)
+    assert 0.0 < value <= 7.0
+
+
+def test_kernel_mva_solve(benchmark):
+    """MVA on the 16-memory central-server model, n=16."""
+    network = buffered_bus_network(
+        SystemConfig(16, 16, 8, priority=Priority.PROCESSORS, buffered=True)
+    )
+    solution = benchmark(solve_mva, network)
+    assert solution.throughput > 0
+
+
+def test_kernel_event_engine(benchmark):
+    """Schedule and drain 10k events through the heap scheduler."""
+
+    def run_events():
+        engine = Engine()
+        count = 10_000
+        for i in range(count):
+            engine.schedule(float(i % 97), lambda: None)
+        engine.run()
+        return engine.processed
+
+    processed = benchmark(run_events)
+    assert processed == 10_000

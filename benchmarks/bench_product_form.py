@@ -1,0 +1,23 @@
+"""Benchmark: regenerate the Section 6 product-form comparison."""
+
+from __future__ import annotations
+
+from repro.experiments.product_form import (
+    max_delay_discrepancy,
+    max_ebw_pessimism,
+    run as run_product_form,
+)
+
+
+def test_product_form_grid(benchmark, bench_cycles):
+    """Machine vs geometric-machine vs MVA over the Section 6 grid."""
+    result = benchmark.pedantic(
+        run_product_form,
+        kwargs={"cycles": bench_cycles, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    # Direction: exponential side pessimistic; magnitude: the paper's
+    # ">25%" reproduces on the queueing-delay metric.
+    assert max_ebw_pessimism(result) > 0.10 * 100 / 100  # > 0.1%
+    assert max_delay_discrepancy(result) > 25.0

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 1 (exact chain, priority to memories)."""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run as run_table1
+
+
+def test_table1_grid(benchmark):
+    """Full 4x4 grid of exact-chain evaluations."""
+    result = benchmark(run_table1)
+    # The artefact must stay digit-exact while we measure its cost.
+    assert result.worst_absolute_error() < 1e-3

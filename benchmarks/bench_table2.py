@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Table 2 (combinational model)."""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import run as run_table2
+
+
+def test_table2_grid(benchmark):
+    """Full 4x4 grid of combinational-model evaluations."""
+    result = benchmark(run_table2)
+    assert result.worst_absolute_error() < 1.1e-3
+
+
+def test_table2_symmetric_variant(benchmark):
+    """The symmetrised variant the paper suggests in Section 5."""
+    result = benchmark(run_table2, symmetric=True)
+    # Symmetrised output has no printed reference; sanity-check range.
+    for (row, column), value in result.measured.items():
+        assert 1.0 < value < 5.5

@@ -1,0 +1,28 @@
+"""Benchmarks: regenerate Table 3 (priority to processors).
+
+Table 3(a) is the simulation grid (42 cells); the benchmark runs it at
+reduced cycle counts.  Table 3(b) is the reduced Markov chain, evaluated
+at full fidelity (it is deterministic and fast).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table3 import run_model, run_simulation
+
+
+def test_table3a_simulation_grid(benchmark, bench_cycles):
+    """All 42 simulated cells of Table 3(a) at benchmark strength."""
+    result = benchmark.pedantic(
+        run_simulation,
+        kwargs={"cycles": bench_cycles, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    # Even at reduced strength the grid tracks the paper's simulation.
+    assert result.worst_relative_error() < 0.10
+
+
+def test_table3b_model_grid(benchmark):
+    """All 42 reduced-chain cells of Table 3(b)."""
+    result = benchmark(run_model)
+    assert result.worst_absolute_error() < 0.30

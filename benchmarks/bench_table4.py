@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 4 (buffered system, 70 cells)."""
+
+from __future__ import annotations
+
+from repro.experiments.table4 import run as run_table4
+
+
+def test_table4_buffered_grid(benchmark, bench_cycles):
+    """All 70 buffered-simulation cells at benchmark strength."""
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs={"cycles": bench_cycles, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    assert result.worst_relative_error() < 0.10

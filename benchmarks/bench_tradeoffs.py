@@ -1,0 +1,62 @@
+"""Benchmark: the Section 7 design-space searches."""
+
+from __future__ import annotations
+
+from repro.analysis.tradeoffs import (
+    crossbar_target,
+    find_crossbar_equivalent,
+    saturation_limit,
+)
+
+
+def test_tradeoff_crossbar_equivalent_search(benchmark, bench_cycles):
+    """Scan m in {10..16} for the 8x8-crossbar-equivalent at r=8."""
+
+    def search():
+        return find_crossbar_equivalent(
+            processors=8,
+            crossbar_size=8,
+            memory_options=[10, 12, 14, 16],
+            memory_cycle_ratio=8,
+            tolerance=0.01,
+            cycles=bench_cycles,
+            seed=3,
+        )
+
+    result = benchmark.pedantic(search, rounds=1, iterations=1)
+    assert result.found
+    # Section 7: m = 14 attains the 8x8 crossbar at r = 8 (within 1%).
+    assert result.config.memories <= 16
+
+
+def test_tradeoff_buffered_saturation_search(benchmark, bench_cycles):
+    """Largest r keeping the buffered 8x8 bus saturated."""
+
+    def search():
+        return saturation_limit(
+            processors=8,
+            memories=8,
+            r_options=[2, 4, 6, 8],
+            cycles=bench_cycles,
+            seed=3,
+        )
+
+    limit = benchmark.pedantic(search, rounds=1, iterations=1)
+    # Section 7: saturation holds until r approaches min(n, m) = 8.
+    assert limit in (4, 6, 8)
+
+
+def test_tradeoff_crossbar_targets(benchmark):
+    """Exact crossbar targets for the sizes the paper quotes."""
+
+    def targets():
+        return (
+            crossbar_target(8, 8),
+            crossbar_target(16, 16),
+            crossbar_target(8, 16),
+        )
+
+    t8, t16, t8x16 = benchmark(targets)
+    assert 4.9 < t8 < 5.0
+    assert 9.5 < t16 < 9.7
+    assert 6.2 < t8x16 < 6.4

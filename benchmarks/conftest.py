@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper artefact has one benchmark that regenerates it at reduced
+statistical strength (fewer simulated cycles than the headline
+experiment run, same code path).  ``pytest benchmarks/ --benchmark-only``
+therefore provides both a performance regression net and a quick
+end-to-end smoke of every table and figure.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+# Simulation length used by benchmark-grade experiment runs.  The
+# headline numbers in EXPERIMENTS.md use the experiments' defaults
+# (100k cycles); benchmarks trade precision for runtime.
+BENCH_CYCLES = 8_000
+
+
+@pytest.fixture
+def bench_cycles() -> int:
+    """Reduced simulation length for benchmark runs."""
+    return BENCH_CYCLES

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Design-space study: replacing an 8x8 crossbar with a multiplexed bus.
+
+Regenerates the Section 7 trade-off narrative: a designer who wants
+crossbar-class bandwidth without n*m crosspoints scans the (m, r) plane
+of the single-bus system, with and without memory buffers, and reads off
+the cheapest equivalent designs.  Also reproduces the multiple-bus
+comparison ("four buses are needed").
+
+Run:  python examples/design_space.py
+"""
+
+from repro import Priority, SystemConfig, simulate
+from repro.analysis.tradeoffs import crossbar_target, find_crossbar_equivalent
+from repro.models import minimum_buses_matching_rate
+
+CYCLES = 60_000
+PROCESSORS = 8
+CROSSBAR_SIZE = 8
+
+
+def scan_memory_counts() -> None:
+    target = crossbar_target(CROSSBAR_SIZE, CROSSBAR_SIZE)
+    print(f"8x8 crossbar target EBW: {target:.3f}")
+    print()
+    print("m    r=4      r=8      r=12   (unbuffered single-bus EBW)")
+    for m in (8, 10, 12, 14, 16):
+        row = [f"{m:<4}"]
+        for r in (4, 8, 12):
+            config = SystemConfig(
+                PROCESSORS, m, r, priority=Priority.PROCESSORS
+            )
+            ebw = simulate(config, cycles=CYCLES, seed=9).ebw
+            marker = "*" if ebw >= target else " "
+            row.append(f"{ebw:6.3f}{marker} ")
+        print("  ".join(row))
+    print("(* = reaches the crossbar target)")
+
+
+def cheapest_equivalent() -> None:
+    print()
+    result = find_crossbar_equivalent(
+        processors=PROCESSORS,
+        crossbar_size=CROSSBAR_SIZE,
+        memory_options=[10, 12, 14, 16],
+        memory_cycle_ratio=8,
+        cycles=CYCLES,
+        seed=9,
+    )
+    if result.found:
+        print(
+            f"cheapest unbuffered equivalent at r=8: m={result.config.memories} "
+            f"(EBW {result.achieved_ebw:.3f} vs target {result.target_ebw:.3f})"
+        )
+    degraded = find_crossbar_equivalent(
+        processors=PROCESSORS,
+        crossbar_size=CROSSBAR_SIZE,
+        memory_options=[10],
+        memory_cycle_ratio=8,
+        tolerance=0.05,
+        cycles=CYCLES,
+        seed=9,
+    )
+    if degraded.found:
+        print(
+            "with 5% tolerance (the paper's note): m=10 suffices "
+            f"(EBW {degraded.achieved_ebw:.3f})"
+        )
+
+
+def buffered_design() -> None:
+    print()
+    target = crossbar_target(16, 16)
+    config = SystemConfig(
+        16, 16, 18, priority=Priority.PROCESSORS, buffered=True
+    )
+    ebw = simulate(config, cycles=CYCLES, seed=9).ebw
+    print(
+        "Section 7: 'a buffered single-bus system with r=18 performs like "
+        "a 16x16 crossbar'"
+    )
+    print(f"  buffered 16x16, r=18 : EBW {ebw:.3f}")
+    print(f"  16x16 crossbar       : EBW {target:.3f}")
+
+
+def multiple_bus_comparison() -> None:
+    print()
+    crossbar_rate = crossbar_target(CROSSBAR_SIZE, CROSSBAR_SIZE) / 10.0
+    buses = minimum_buses_matching_rate(
+        processors=PROCESSORS,
+        modules=10,
+        memory_cycle_ratio=8,
+        target_requests_per_bus_cycle=crossbar_rate,
+    )
+    print(
+        "multiple-bus network (ref [5]) matching the same target with "
+        f"m=10: {buses} buses needed (the paper's Section 7 figure: four)"
+    )
+
+
+def sensitivity_at_design_point() -> None:
+    print()
+    print("sensitivity around the chosen design (m=14, r=8):")
+    from repro.analysis import sensitivity_analysis
+
+    base = SystemConfig(PROCESSORS, 14, 8, priority=Priority.PROCESSORS)
+    report = sensitivity_analysis(base, cycles=CYCLES, seed=9)
+    print(report.summary())
+
+
+def main() -> None:
+    scan_memory_counts()
+    cheapest_equivalent()
+    buffered_design()
+    multiple_bus_comparison()
+    sensitivity_at_design_point()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one multiplexed single-bus system and read the report.
+
+This is the five-minute tour of the library: configure the machine of the
+paper's Figure 1, simulate it cycle-accurately, compare with the Section 4
+analytical model and with a crossbar of the same size.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Priority, SystemConfig, simulate
+from repro.models import crossbar_exact_ebw, processor_priority_ebw
+
+
+def main() -> None:
+    # The paper's favourite running example: 8 processors, 16 memory
+    # modules, memory cycle 8 bus cycles, priority to processors (g').
+    config = SystemConfig(
+        processors=8,
+        memories=16,
+        memory_cycle_ratio=8,
+        priority=Priority.PROCESSORS,
+    )
+
+    print("== cycle-accurate simulation ==")
+    result = simulate(config, cycles=100_000, seed=1)
+    print(result.summary())
+
+    print()
+    print("== Section 4 reduced Markov chain (same system) ==")
+    model = processor_priority_ebw(config)
+    print(model.summary())
+    gap = abs(model.ebw - result.ebw) / result.ebw
+    print(f"model vs simulation gap: {100 * gap:.1f}%")
+
+    print()
+    print("== crossbar of the same size (basic cycle (r+2)t) ==")
+    crossbar = crossbar_exact_ebw(config)
+    print(f"crossbar EBW            : {crossbar.ebw:.3f}")
+    print(
+        "single-bus / crossbar   : "
+        f"{result.ebw / crossbar.ebw:.2f}x "
+        f"(with {config.processors + config.memories} connections instead of "
+        f"{config.processors * config.memories})"
+    )
+
+    print()
+    print("== the same machine with Section 6 memory buffers ==")
+    buffered = simulate(config.with_buffers(), cycles=100_000, seed=1)
+    print(f"buffered EBW            : {buffered.ebw:.3f}")
+    print(f"unbuffered EBW          : {result.ebw:.3f}")
+    print(f"buffering gain          : {100 * (buffered.ebw / result.ebw - 1):.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro - reproduction of "Analysis and Simulation of Multiplexed
+Single-Bus Networks With and Without Buffering" (ISCA 1985).
+
+Public API tour
+---------------
+* :class:`SystemConfig` describes a system (n, m, r, p, priority,
+  buffering);
+* :func:`simulate` runs the cycle-accurate machine simulator;
+* :mod:`repro.models` evaluates the paper's analytical models;
+* :mod:`repro.queueing` solves the Section 6 product-form comparison;
+* :mod:`repro.experiments` regenerates every table and figure
+  (``python -m repro.experiments all``).
+
+Quick start::
+
+    from repro import SystemConfig, Priority, simulate
+    config = SystemConfig(processors=8, memories=16, memory_cycle_ratio=8,
+                          priority=Priority.PROCESSORS)
+    print(simulate(config, cycles=100_000, seed=1).summary())
+"""
+
+from repro.bus import MultiplexedBusSystem, simulate
+from repro.core import (
+    ConfigurationError,
+    ExperimentError,
+    ModelError,
+    ModelResult,
+    Priority,
+    ReproError,
+    SimulationError,
+    SimulationResult,
+    SystemConfig,
+    TieBreak,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "Priority",
+    "TieBreak",
+    "simulate",
+    "MultiplexedBusSystem",
+    "ModelResult",
+    "SimulationResult",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ModelError",
+    "ExperimentError",
+    "__version__",
+]

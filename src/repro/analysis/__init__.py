@@ -1,0 +1,49 @@
+"""Design-space analysis: sweeps, trade-off searches, warm-up analysis."""
+
+from repro.analysis.sweeps import (
+    Sweep,
+    SweepPoint,
+    crossbar_reference,
+    sweep_m,
+    sweep_p,
+    sweep_r,
+)
+from repro.analysis.sensitivity import (
+    FactorEffect,
+    SensitivityReport,
+    sensitivity_analysis,
+)
+from repro.analysis.transient import (
+    averaged_replications,
+    ebw_time_series,
+    suggest_warmup,
+    welch_moving_average,
+)
+from repro.analysis.tradeoffs import (
+    EquivalenceSearchResult,
+    crossbar_target,
+    find_crossbar_equivalent,
+    minimum_r_beating_crossbar,
+    saturation_limit,
+)
+
+__all__ = [
+    "Sweep",
+    "SweepPoint",
+    "sweep_r",
+    "sweep_p",
+    "sweep_m",
+    "crossbar_reference",
+    "EquivalenceSearchResult",
+    "crossbar_target",
+    "find_crossbar_equivalent",
+    "minimum_r_beating_crossbar",
+    "saturation_limit",
+    "ebw_time_series",
+    "averaged_replications",
+    "welch_moving_average",
+    "suggest_warmup",
+    "FactorEffect",
+    "SensitivityReport",
+    "sensitivity_analysis",
+]

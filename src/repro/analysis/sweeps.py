@@ -1,0 +1,138 @@
+"""Parameter-sweep helpers shared by experiments, examples and benches.
+
+Every figure of the paper is a sweep over one axis (``r`` or ``p``) with
+the other parameters fixed; these helpers centralise the loop so all
+callers simulate with identical settings and seeds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+from repro.bus import simulate
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One simulated point of a sweep."""
+
+    config: SystemConfig
+    ebw: float
+    processor_utilization: float
+    bus_utilization: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Sweep:
+    """A labelled series of sweep points (one curve of a figure)."""
+
+    label: str
+    axis: str
+    points: tuple[SweepPoint, ...]
+
+    def axis_values(self) -> tuple[float, ...]:
+        """The x-coordinates of the curve."""
+        return tuple(_axis_value(point.config, self.axis) for point in self.points)
+
+    def ebw_values(self) -> tuple[float, ...]:
+        """The EBW y-coordinates of the curve."""
+        return tuple(point.ebw for point in self.points)
+
+    def processor_utilization_values(self) -> tuple[float, ...]:
+        """The ``EBW/(n p)`` y-coordinates (Figures 3 and 6)."""
+        return tuple(point.processor_utilization for point in self.points)
+
+
+def _axis_value(config: SystemConfig, axis: str) -> float:
+    if axis == "r":
+        return float(config.memory_cycle_ratio)
+    if axis == "p":
+        return config.request_probability
+    if axis == "m":
+        return float(config.memories)
+    raise ConfigurationError(f"unknown sweep axis {axis!r}")
+
+
+def sweep_r(
+    base: SystemConfig,
+    r_values: Iterable[int],
+    label: str,
+    cycles: int = 50_000,
+    seed: int = 0,
+) -> Sweep:
+    """Simulate ``base`` for each memory-cycle ratio in ``r_values``."""
+    points = []
+    for r in r_values:
+        config = dataclasses.replace(base, memory_cycle_ratio=r)
+        result = simulate(config, cycles=cycles, seed=seed)
+        points.append(
+            SweepPoint(
+                config=config,
+                ebw=result.ebw,
+                processor_utilization=result.processor_utilization,
+                bus_utilization=result.bus_utilization,
+            )
+        )
+    return Sweep(label=label, axis="r", points=tuple(points))
+
+
+def sweep_p(
+    base: SystemConfig,
+    p_values: Iterable[float],
+    label: str,
+    cycles: int = 50_000,
+    seed: int = 0,
+) -> Sweep:
+    """Simulate ``base`` for each request probability in ``p_values``."""
+    points = []
+    for p in p_values:
+        config = dataclasses.replace(base, request_probability=p)
+        result = simulate(config, cycles=cycles, seed=seed)
+        points.append(
+            SweepPoint(
+                config=config,
+                ebw=result.ebw,
+                processor_utilization=result.processor_utilization,
+                bus_utilization=result.bus_utilization,
+            )
+        )
+    return Sweep(label=label, axis="p", points=tuple(points))
+
+
+def sweep_m(
+    base: SystemConfig,
+    m_values: Iterable[int],
+    label: str,
+    cycles: int = 50_000,
+    seed: int = 0,
+) -> Sweep:
+    """Simulate ``base`` for each module count in ``m_values``."""
+    points = []
+    for m in m_values:
+        config = dataclasses.replace(base, memories=m)
+        result = simulate(config, cycles=cycles, seed=seed)
+        points.append(
+            SweepPoint(
+                config=config,
+                ebw=result.ebw,
+                processor_utilization=result.processor_utilization,
+                bus_utilization=result.bus_utilization,
+            )
+        )
+    return Sweep(label=label, axis="m", points=tuple(points))
+
+
+def crossbar_reference(
+    processors: int, memories: Sequence[int]
+) -> dict[int, float]:
+    """Exact crossbar EBW for each module count (figure reference lines)."""
+    from repro.models.crossbar import crossbar_exact_ebw
+
+    result = {}
+    for m in memories:
+        config = SystemConfig(processors, m, 1)
+        result[m] = crossbar_exact_ebw(config).ebw
+    return result

@@ -1,0 +1,152 @@
+"""Section 7 design-space studies.
+
+The paper's conclusions state several concrete trade-offs:
+
+* the 8x8 crossbar EBW is attained by the (unbuffered) single-bus system
+  with ``m = 14`` and ``r = 8``, and only 5% is lost with ``m = 10``;
+* a buffered single-bus system with ``r = 18`` performs like a 16x16
+  crossbar;
+* with ``p >= 0.4``, ``r = 8`` suffices to exceed the crossbar in an
+  8x16 system; with ``p = 0.3``, ``r = 12`` does;
+* the buffered system operates in saturation until ``r`` approaches
+  ``min(n, m)``, and beats the crossbar while ``r <~ min(n, m) + 2``.
+
+The helpers here evaluate such claims mechanically so the example
+scripts and benchmarks can regenerate them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.bus import simulate
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Priority
+from repro.models.crossbar import crossbar_exact_ebw
+
+
+@dataclasses.dataclass(frozen=True)
+class EquivalenceSearchResult:
+    """Outcome of a search for a crossbar-equivalent single-bus design."""
+
+    target_ebw: float
+    config: SystemConfig | None
+    achieved_ebw: float | None
+
+    @property
+    def found(self) -> bool:
+        """Whether some scanned configuration reached the target."""
+        return self.config is not None
+
+
+def crossbar_target(processors: int, memories: int) -> float:
+    """The exact EBW of a ``processors x memories`` crossbar."""
+    return crossbar_exact_ebw(SystemConfig(processors, memories, 1)).ebw
+
+
+def find_crossbar_equivalent(
+    processors: int,
+    crossbar_size: int,
+    memory_options: list[int],
+    memory_cycle_ratio: int,
+    buffered: bool = False,
+    tolerance: float = 0.0,
+    cycles: int = 50_000,
+    seed: int = 0,
+) -> EquivalenceSearchResult:
+    """Find the smallest ``m`` whose single-bus EBW reaches the crossbar's.
+
+    Scans ``memory_options`` in increasing order and returns the first
+    configuration whose simulated EBW is at least
+    ``(1 - tolerance) * crossbar EBW``.
+    """
+    if not memory_options:
+        raise ConfigurationError("memory_options must not be empty")
+    target = crossbar_target(crossbar_size, crossbar_size)
+    for m in sorted(memory_options):
+        config = SystemConfig(
+            processors,
+            m,
+            memory_cycle_ratio,
+            priority=Priority.PROCESSORS,
+            buffered=buffered,
+        )
+        result = simulate(config, cycles=cycles, seed=seed)
+        if result.ebw >= (1.0 - tolerance) * target:
+            return EquivalenceSearchResult(
+                target_ebw=target, config=config, achieved_ebw=result.ebw
+            )
+    return EquivalenceSearchResult(target_ebw=target, config=None, achieved_ebw=None)
+
+
+def minimum_r_beating_crossbar(
+    processors: int,
+    memories: int,
+    request_probability: float,
+    r_options: list[int],
+    buffered: bool = False,
+    cycles: int = 50_000,
+    seed: int = 0,
+) -> int | None:
+    """Smallest ``r`` whose single-bus EBW exceeds the equivalent crossbar.
+
+    The crossbar reference has the same ``n``, ``m`` - the Section 7
+    "exceed the crossbar performance" comparisons.  For ``p < 1`` the
+    crossbar EBW is estimated by simulating a degenerate single-bus
+    system?  No: the paper compares against the analytical crossbar with
+    ``p = 1`` load scaled by ``n p``; we use the exact ``p = 1`` crossbar
+    value scaled by the simulated crossbar utilisation would be circular,
+    so the comparison for ``p < 1`` uses the crossbar EBW multiplied by
+    ``p`` as the paper's normalised-load convention implies.
+    """
+    if not r_options:
+        raise ConfigurationError("r_options must not be empty")
+    target = crossbar_target(processors, memories) * request_probability
+    for r in sorted(r_options):
+        config = SystemConfig(
+            processors,
+            memories,
+            r,
+            request_probability=request_probability,
+            priority=Priority.PROCESSORS,
+            buffered=buffered,
+        )
+        result = simulate(config, cycles=cycles, seed=seed)
+        if result.ebw >= target:
+            return r
+    return None
+
+
+def saturation_limit(
+    processors: int,
+    memories: int,
+    r_options: list[int],
+    saturation_fraction: float = 0.98,
+    cycles: int = 50_000,
+    seed: int = 0,
+) -> int | None:
+    """Largest ``r`` at which the buffered system still saturates the bus.
+
+    "Saturation" means EBW at least ``saturation_fraction`` of the
+    ceiling ``(r+2)/2``.  The paper states this holds until ``r``
+    approaches ``min(n, m)``.  Returns ``None`` if no scanned ``r``
+    saturates.
+    """
+    if not 0.0 < saturation_fraction <= 1.0:
+        raise ConfigurationError(
+            f"saturation_fraction must lie in (0, 1], got {saturation_fraction}"
+        )
+    best = None
+    for r in sorted(r_options):
+        config = SystemConfig(
+            processors,
+            memories,
+            r,
+            priority=Priority.PROCESSORS,
+            buffered=True,
+        )
+        result = simulate(config, cycles=cycles, seed=seed)
+        if result.ebw >= saturation_fraction * config.max_ebw:
+            best = r
+    return best

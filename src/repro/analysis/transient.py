@@ -1,0 +1,130 @@
+"""Warm-up (initial transient) analysis for the bus simulator.
+
+The experiments discard a warm-up prefix before measuring (25% of the
+window by default).  This module justifies and tunes that choice with
+the standard tools:
+
+* :func:`ebw_time_series` - per-interval EBW observations of one run;
+* :func:`welch_moving_average` - Welch's smoothing of (averaged)
+  replications, the classic visual/numeric warm-up diagnostic;
+* :func:`suggest_warmup` - the first interval where the smoothed series
+  stays within a tolerance band of its tail mean, i.e. where the
+  transient has died out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bus.system import MultiplexedBusSystem
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+def ebw_time_series(
+    config: SystemConfig,
+    intervals: int,
+    interval_cycles: int,
+    seed: int = 0,
+) -> list[float]:
+    """Per-interval EBW observations from one simulation run.
+
+    The run starts from the cold initial state (all processors issuing
+    simultaneously), so the early intervals carry the transient.
+    """
+    if intervals < 1:
+        raise ConfigurationError(f"intervals must be >= 1, got {intervals}")
+    if interval_cycles < 1:
+        raise ConfigurationError(
+            f"interval_cycles must be >= 1, got {interval_cycles}"
+        )
+    system = MultiplexedBusSystem(config, seed=seed)
+    series = []
+    previous = 0
+    for _ in range(intervals):
+        for _ in range(interval_cycles):
+            system.step()
+        completions = system.completions - previous
+        previous = system.completions
+        series.append(completions * config.processor_cycle / interval_cycles)
+    return series
+
+
+def averaged_replications(
+    config: SystemConfig,
+    replications: int,
+    intervals: int,
+    interval_cycles: int,
+    base_seed: int = 0,
+) -> list[float]:
+    """Across-replication mean of the per-interval EBW series.
+
+    Averaging across independent replications before smoothing is the
+    first step of Welch's procedure: it removes within-run noise while
+    preserving the common transient.
+    """
+    if replications < 1:
+        raise ConfigurationError(
+            f"replications must be >= 1, got {replications}"
+        )
+    accumulator = [0.0] * intervals
+    for replication in range(replications):
+        series = ebw_time_series(
+            config, intervals, interval_cycles, seed=base_seed + replication
+        )
+        for i, value in enumerate(series):
+            accumulator[i] += value
+    return [total / replications for total in accumulator]
+
+
+def welch_moving_average(series: Sequence[float], window: int) -> list[float]:
+    """Welch's centred moving average with shrinking edge windows.
+
+    For index ``i`` the window half width is ``min(window, i)`` (and is
+    clipped at the right edge), matching Welch (1983).
+    """
+    if window < 0:
+        raise ConfigurationError(f"window must be >= 0, got {window}")
+    if not series:
+        raise ConfigurationError("series must be non-empty")
+    n = len(series)
+    smoothed = []
+    for i in range(n):
+        half = min(window, i, n - 1 - i)
+        segment = series[i - half : i + half + 1]
+        smoothed.append(sum(segment) / len(segment))
+    return smoothed
+
+
+def suggest_warmup(
+    series: Sequence[float],
+    window: int = 3,
+    tolerance: float = 0.02,
+    tail_fraction: float = 0.5,
+) -> int:
+    """First interval index where the smoothed series has converged.
+
+    Convergence means every subsequent smoothed value stays within
+    ``tolerance`` (relative) of the mean over the trailing
+    ``tail_fraction`` of the series.  Returns the series length when the
+    series never settles - the caller should then simulate longer.
+    """
+    if not 0.0 < tail_fraction <= 1.0:
+        raise ConfigurationError(
+            f"tail_fraction must lie in (0, 1], got {tail_fraction}"
+        )
+    if tolerance <= 0.0:
+        raise ConfigurationError(f"tolerance must be positive, got {tolerance}")
+    smoothed = welch_moving_average(series, window)
+    tail_start = int(len(smoothed) * (1.0 - tail_fraction))
+    tail = smoothed[tail_start:] or smoothed
+    steady = sum(tail) / len(tail)
+    if steady == 0.0:
+        return len(series)
+    for start in range(len(smoothed)):
+        if all(
+            abs(value - steady) <= tolerance * abs(steady)
+            for value in smoothed[start:]
+        ):
+            return start
+    return len(series)

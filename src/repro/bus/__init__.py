@@ -1,0 +1,63 @@
+"""Cycle-accurate simulator of the multiplexed single-bus machine."""
+
+from repro.bus.arbiter import (
+    BusArbiter,
+    Grant,
+    GrantKind,
+    RequestCandidate,
+    ResponseCandidate,
+)
+from repro.bus.memory import MemoryModule, PendingRequest
+from repro.bus.processor import Processor, ProcessorState
+from repro.bus.system import MultiplexedBusSystem
+from repro.bus.trace import (
+    NullTrace,
+    TraceEvent,
+    TraceEventKind,
+    TraceRecorder,
+    TraceSink,
+)
+from repro.core.config import SystemConfig
+from repro.core.results import SimulationResult
+from repro.workloads.generators import TargetSampler
+
+
+def simulate(
+    config: SystemConfig,
+    cycles: int = 100_000,
+    seed: int = 0,
+    warmup: int | None = None,
+    targets: TargetSampler | None = None,
+) -> SimulationResult:
+    """Build a :class:`MultiplexedBusSystem` and run it once.
+
+    The one-call entry point used by the examples and experiments:
+
+    >>> from repro import SystemConfig
+    >>> from repro.bus import simulate
+    >>> result = simulate(SystemConfig(2, 2, 2), cycles=2_000, seed=1)
+    >>> 0.0 < result.ebw <= result.config.max_ebw
+    True
+    """
+    system = MultiplexedBusSystem(config, seed=seed, targets=targets)
+    return system.run(cycles, warmup=warmup)
+
+
+__all__ = [
+    "MultiplexedBusSystem",
+    "simulate",
+    "MemoryModule",
+    "PendingRequest",
+    "Processor",
+    "ProcessorState",
+    "BusArbiter",
+    "Grant",
+    "GrantKind",
+    "RequestCandidate",
+    "ResponseCandidate",
+    "TraceSink",
+    "TraceRecorder",
+    "NullTrace",
+    "TraceEvent",
+    "TraceEventKind",
+]

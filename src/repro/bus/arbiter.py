@@ -1,0 +1,101 @@
+"""Bus arbitration (hypotheses (g) and (h) of the paper).
+
+Each bus cycle at most one transfer is granted.  Two candidate classes
+exist: processor requests whose target module can accept them, and
+memory modules holding a ready response.  The :class:`BusArbiter`
+resolves the inter-class conflict with the configured priority (g' /
+g'') and intra-class ties either uniformly at random (the paper's
+hypothesis (h)) or FCFS (library ablation).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple, Sequence
+
+from repro.core.policy import Priority, TieBreak
+from repro.des.rng import RandomStream
+
+
+class GrantKind(enum.Enum):
+    """What kind of transfer won the bus for this cycle."""
+
+    REQUEST = "request"
+    RESPONSE = "response"
+
+
+class RequestCandidate(NamedTuple):
+    """A deliverable processor request.
+
+    NamedTuples rather than dataclasses: candidates are rebuilt every
+    simulated bus cycle, so construction cost is on the hot path.
+    """
+
+    processor: int
+    module: int
+    issue_cycle: int
+
+
+class ResponseCandidate(NamedTuple):
+    """A module with a result ready for its response transfer."""
+
+    module: int
+    ready_cycle: int
+
+
+class Grant(NamedTuple):
+    """The arbitration outcome of one bus cycle."""
+
+    kind: GrantKind
+    processor: int | None
+    module: int
+
+
+class BusArbiter:
+    """Grants the bus according to priority policy and tie-break rule."""
+
+    def __init__(
+        self,
+        priority: Priority,
+        tie_break: TieBreak,
+        stream: RandomStream,
+    ) -> None:
+        self.priority = priority
+        self.tie_break = tie_break
+        self._stream = stream
+
+    def arbitrate(
+        self,
+        requests: Sequence[RequestCandidate],
+        responses: Sequence[ResponseCandidate],
+    ) -> Grant | None:
+        """Pick this cycle's transfer, or ``None`` to leave the bus idle."""
+        if self.priority is Priority.PROCESSORS:
+            ordered_classes = (GrantKind.REQUEST, GrantKind.RESPONSE)
+        else:
+            ordered_classes = (GrantKind.RESPONSE, GrantKind.REQUEST)
+        for kind in ordered_classes:
+            if kind is GrantKind.REQUEST and requests:
+                chosen = self._pick_request(requests)
+                return Grant(GrantKind.REQUEST, chosen.processor, chosen.module)
+            if kind is GrantKind.RESPONSE and responses:
+                chosen_response = self._pick_response(responses)
+                return Grant(GrantKind.RESPONSE, None, chosen_response.module)
+        return None
+
+    # ------------------------------------------------------------------
+    def _pick_request(self, candidates: Sequence[RequestCandidate]) -> RequestCandidate:
+        if len(candidates) == 1:
+            return candidates[0]
+        if self.tie_break is TieBreak.RANDOM:
+            return self._stream.choice(candidates)
+        return min(candidates, key=lambda c: (c.issue_cycle, c.processor))
+
+    def _pick_response(
+        self, candidates: Sequence[ResponseCandidate]
+    ) -> ResponseCandidate:
+        if len(candidates) == 1:
+            return candidates[0]
+        if self.tie_break is TieBreak.RANDOM:
+            return self._stream.choice(candidates)
+        return min(candidates, key=lambda c: (c.ready_cycle, c.module))

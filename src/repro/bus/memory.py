@@ -1,0 +1,240 @@
+"""Memory-module state machines (unbuffered and buffered).
+
+Unbuffered operation (Section 2): a module accepts a request only when
+idle; it accesses for ``r`` bus cycles and then *remains occupied* -
+holding its result - until the bus returns that result to the requesting
+processor.  The requester effectively owns the module for the whole
+request-access-response round trip, which is the source of the extra
+memory interference the paper's Section 6 sets out to remove.
+
+Buffered operation (Section 6): the module gains a FIFO input buffer and
+a FIFO output buffer (one entry each in the paper; the depth is a
+parameter here).  On completing an access the module deposits the result
+in the output buffer and immediately starts the next buffered request, so
+it can serve different requests in contiguous bus cycles.  If the output
+buffer is full the module *stalls* until a response transfer frees a
+slot.
+
+Timing convention used throughout :mod:`repro.bus`: a request delivered
+during bus cycle ``T`` occupies the module's access stage for cycles
+``T+1 .. T+r``; the result is eligible for a response transfer from cycle
+``T+r+1``.  This yields the paper's minimum processor cycle of ``r + 2``
+bus cycles.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Callable
+
+from repro.core.errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class PendingRequest:
+    """A request travelling through a module."""
+
+    processor: int
+    issue_cycle: int
+    """Cycle at which the processor first made the request eligible."""
+
+
+class MemoryModule:
+    """One memory module.
+
+    The class implements both operating modes; ``input_depth = 0`` (and
+    ``output_depth = 0``) select the unbuffered Section 2 behaviour,
+    where the "output buffer" degenerates to the module holding its own
+    result until the bus picks it up.
+
+    Parameters
+    ----------
+    index:
+        Module number (0-based), used in traces and error messages.
+    access_cycles:
+        The paper's ``r``: bus cycles one access occupies.
+    input_depth / output_depth:
+        Buffer depths; 0 means unbuffered.  The paper's Section 6 system
+        is ``input_depth = output_depth = 1``.
+    access_sampler:
+        Optional callable returning the duration (in cycles, >= 1) of
+        each individual access.  Default: constant ``access_cycles``
+        (hypothesis (c)).  The Section 6 product-form comparison passes
+        a geometric sampler with mean ``access_cycles`` - the
+        discrete-time analogue of the exponential characterisation.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        access_cycles: int,
+        input_depth: int = 0,
+        output_depth: int = 0,
+        access_sampler: Callable[[], int] | None = None,
+    ) -> None:
+        if access_cycles < 1:
+            raise SimulationError(f"access_cycles must be >= 1, got {access_cycles}")
+        if input_depth < 0 or output_depth < 0:
+            raise SimulationError("buffer depths must be >= 0")
+        if (input_depth == 0) != (output_depth == 0):
+            raise SimulationError(
+                "input and output buffers must be enabled together"
+            )
+        self.index = index
+        self.access_cycles = access_cycles
+        self.input_depth = input_depth
+        self.output_depth = output_depth
+        self._access_sampler = access_sampler
+        # Access stage: the request in service and remaining cycles.
+        self._in_service: PendingRequest | None = None
+        self._remaining = 0
+        # Completed access whose result cannot move to the output stage
+        # yet (possible in buffered mode only).
+        self._stalled: PendingRequest | None = None
+        self._input: collections.deque[PendingRequest] = collections.deque()
+        self._output: collections.deque[tuple[PendingRequest, int]] = (
+            collections.deque()
+        )
+        # Instrumentation.
+        self.busy_cycles = 0
+        self.stall_cycles = 0
+        self.services_started = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def buffered(self) -> bool:
+        """Whether this module runs in the Section 6 buffered mode."""
+        return self.input_depth > 0
+
+    @property
+    def accessing(self) -> bool:
+        """True while the access stage is working on a request."""
+        return self._in_service is not None
+
+    @property
+    def stalled(self) -> bool:
+        """True when a finished access waits for output-buffer space."""
+        return self._stalled is not None
+
+    @property
+    def response_ready(self) -> bool:
+        """True when a result is eligible for a response bus transfer."""
+        return bool(self._output)
+
+    @property
+    def oldest_response_ready_cycle(self) -> int:
+        """Cycle at which the oldest ready result became eligible."""
+        if not self._output:
+            raise SimulationError(f"module {self.index} has no ready response")
+        return self._output[0][1]
+
+    @property
+    def input_backlog(self) -> int:
+        """Requests waiting in the input buffer."""
+        return len(self._input)
+
+    def can_accept(self) -> bool:
+        """Whether a processor request to this module is bus-eligible.
+
+        Unbuffered: only when the module is completely idle (hypothesis
+        (h) - "only the requests issued ... toward idle memory modules
+        are considered").  Buffered: when idle (the request will enter
+        service directly) or when the input buffer has room.
+        """
+        if self.buffered:
+            if self._in_service is None and self._stalled is None:
+                return True
+            return len(self._input) < self.input_depth
+        return (
+            self._in_service is None
+            and self._stalled is None
+            and not self._output
+        )
+
+    # ------------------------------------------------------------------
+    def deliver_request(self, request: PendingRequest) -> None:
+        """Accept a request whose bus transfer just completed.
+
+        Called at the end of the transfer cycle; the access stage starts
+        on the next cycle.
+        """
+        if not self.can_accept():
+            raise SimulationError(
+                f"module {self.index} received a request while ineligible"
+            )
+        if self._in_service is None and self._stalled is None:
+            self._start(request)
+        else:
+            self._input.append(request)
+
+    def tick(self, cycle: int) -> None:
+        """Advance the access stage through bus cycle ``cycle``.
+
+        Must be called exactly once per cycle, before the cycle's bus
+        transfer is applied (a request delivered this cycle starts next
+        cycle; see module docstring).  A result completed during
+        ``cycle`` becomes bus-eligible at ``cycle + 1``.
+        """
+        if self._stalled is not None:
+            # Waiting for output space; a response transfer may have
+            # drained the output buffer at the end of the last cycle.
+            self.stall_cycles += 1
+            self._try_finish(self._stalled, cycle)
+            return
+        if self._in_service is None:
+            return
+        self.busy_cycles += 1
+        self._remaining -= 1
+        if self._remaining == 0:
+            finished = self._in_service
+            self._in_service = None
+            self._try_finish(finished, cycle)
+
+    def take_response(self) -> PendingRequest:
+        """Remove and return the oldest ready result (FIFO, Section 6
+        hypothesis 2) for a response bus transfer."""
+        if not self._output:
+            raise SimulationError(
+                f"module {self.index} has no response ready to transfer"
+            )
+        response, _ = self._output.popleft()
+        # Freeing an output slot may unblock a stalled access stage; the
+        # unblocking happens on the next tick, keeping cycle accounting
+        # explicit.
+        return response
+
+    # ------------------------------------------------------------------
+    def _start(self, request: PendingRequest) -> None:
+        self._in_service = request
+        if self._access_sampler is None:
+            self._remaining = self.access_cycles
+        else:
+            duration = self._access_sampler()
+            if duration < 1:
+                raise SimulationError(
+                    f"access sampler returned invalid duration {duration}"
+                )
+            self._remaining = duration
+        self.services_started += 1
+
+    def _try_finish(self, finished: PendingRequest, cycle: int) -> None:
+        """Move a completed access to the output stage if space allows."""
+        capacity = self.output_depth if self.buffered else 1
+        if len(self._output) < capacity:
+            self._output.append((finished, cycle + 1))
+            self._stalled = None
+            if self.buffered and self._input:
+                self._start(self._input.popleft())
+        else:
+            self._stalled = finished
+
+    # ------------------------------------------------------------------
+    def in_flight(self) -> int:
+        """Requests currently inside this module (for conservation tests)."""
+        total = len(self._input) + len(self._output)
+        if self._in_service is not None:
+            total += 1
+        if self._stalled is not None:
+            total += 1
+        return total

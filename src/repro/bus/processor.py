@@ -1,0 +1,123 @@
+"""Processor state machine.
+
+A processor cycles through three states (Section 2 hypotheses (d), (f)):
+
+* ``THINKING`` - performing internal processing; at its next
+  processor-cycle boundary it issues a new request with probability ``p``
+  or thinks for one more processor cycle (``r + 2`` bus cycles);
+* ``REQUESTING`` - holding a request that has not yet crossed the bus
+  (either because the bus was busy or because the target module cannot
+  accept it - hypothesis (h));
+* ``AWAITING`` - the request was delivered; the processor sleeps until
+  the response transfer returns the result.
+
+With ``p = 1`` a processor re-enters ``REQUESTING`` on the bus cycle
+right after receiving its response, which is the paper's "immediately
+issues a new request" behaviour.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.core.errors import SimulationError
+from repro.des.rng import RandomStream
+from repro.workloads.generators import TargetSampler
+
+
+class ProcessorState(enum.Enum):
+    """The three phases of the processor loop."""
+
+    THINKING = "thinking"
+    REQUESTING = "requesting"
+    AWAITING = "awaiting"
+
+
+class Processor:
+    """One processor of the multiprocessor under study."""
+
+    def __init__(
+        self,
+        index: int,
+        request_probability: float,
+        processor_cycle: int,
+        targets: TargetSampler,
+        think_stream: RandomStream,
+    ) -> None:
+        if processor_cycle < 3:
+            raise SimulationError(
+                f"processor cycle must be >= 3 bus cycles, got {processor_cycle}"
+            )
+        self.index = index
+        self.request_probability = request_probability
+        self.processor_cycle = processor_cycle
+        self._targets = targets
+        self._think_stream = think_stream
+        self.state = ProcessorState.THINKING
+        self.target: int | None = None
+        self.issue_cycle: int | None = None
+        self._wake_cycle = 0
+        # Instrumentation.
+        self.completions = 0
+        self.total_latency = 0
+
+    # ------------------------------------------------------------------
+    def start(self, cycle: int) -> None:
+        """Issue the initial request, eligible from ``cycle``.
+
+        All processors start with a fresh request at simulation start -
+        the standard initial condition for the ``p = 1`` model; with
+        ``p < 1`` the warm-up period washes the initial state out.
+        """
+        self._issue(cycle)
+
+    def on_cycle_start(self, cycle: int) -> None:
+        """Wake a thinking processor whose boundary has arrived."""
+        if self.state is ProcessorState.THINKING and cycle >= self._wake_cycle:
+            self._issue(cycle)
+
+    @property
+    def has_pending_request(self) -> bool:
+        """True when the processor holds an undelivered request."""
+        return self.state is ProcessorState.REQUESTING
+
+    def request_delivered(self) -> None:
+        """The bus carried this processor's request to its module."""
+        if self.state is not ProcessorState.REQUESTING:
+            raise SimulationError(
+                f"processor {self.index} had no pending request to deliver"
+            )
+        self.state = ProcessorState.AWAITING
+
+    def response_received(self, cycle: int) -> None:
+        """The bus returned the result at the end of ``cycle``.
+
+        Decides the next issue instant: with probability ``p`` the
+        processor re-issues at ``cycle + 1``; each failed draw postpones
+        the decision by one full processor cycle (hypothesis (f): requests
+        are submitted only at processor-cycle beginnings).
+        """
+        if self.state is not ProcessorState.AWAITING:
+            raise SimulationError(
+                f"processor {self.index} received an unexpected response"
+            )
+        if self.issue_cycle is None:
+            raise SimulationError(
+                f"processor {self.index} completed with no recorded issue cycle"
+            )
+        self.completions += 1
+        self.total_latency += cycle - self.issue_cycle + 1
+        thinking_cycles = self._think_stream.geometric_failures(
+            self.request_probability
+        )
+        wake = cycle + 1 + thinking_cycles * self.processor_cycle
+        self.state = ProcessorState.THINKING
+        self.target = None
+        self.issue_cycle = None
+        self._wake_cycle = wake
+
+    # ------------------------------------------------------------------
+    def _issue(self, cycle: int) -> None:
+        self.state = ProcessorState.REQUESTING
+        self.target = self._targets.next_target(self.index)
+        self.issue_cycle = cycle

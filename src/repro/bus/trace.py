@@ -1,0 +1,75 @@
+"""Cycle-by-cycle trace instrumentation for the bus simulator.
+
+Tracing is optional (and off by default - it costs time and memory); the
+simulator accepts any object with the :class:`TraceSink` interface.
+:class:`TraceRecorder` stores events in memory for tests and debugging;
+:class:`NullTrace` is the default no-op sink.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Protocol
+
+
+class TraceEventKind(enum.Enum):
+    """The observable events of the bus machine."""
+
+    REQUEST_TRANSFER = "request-transfer"
+    RESPONSE_TRANSFER = "response-transfer"
+    BUS_IDLE = "bus-idle"
+    ACCESS_COMPLETE = "access-complete"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    cycle: int
+    kind: TraceEventKind
+    processor: int | None = None
+    module: int | None = None
+
+
+class TraceSink(Protocol):
+    """Anything that can receive trace events."""
+
+    def record(self, event: TraceEvent) -> None:
+        """Consume one event."""
+
+
+class NullTrace:
+    """Discards all events (the default sink)."""
+
+    def record(self, event: TraceEvent) -> None:
+        """Do nothing."""
+
+
+class TraceRecorder:
+    """Keeps all events in memory.
+
+    >>> recorder = TraceRecorder()
+    >>> recorder.record(TraceEvent(0, TraceEventKind.BUS_IDLE))
+    >>> len(recorder.events)
+    1
+    """
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+
+    def record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    def of_kind(self, kind: TraceEventKind) -> list[TraceEvent]:
+        """All recorded events of one kind, in order."""
+        return [event for event in self.events if event.kind is kind]
+
+    def bus_events(self) -> list[TraceEvent]:
+        """The per-cycle bus activity (transfers and idles), in order."""
+        bus_kinds = {
+            TraceEventKind.REQUEST_TRANSFER,
+            TraceEventKind.RESPONSE_TRANSFER,
+            TraceEventKind.BUS_IDLE,
+        }
+        return [event for event in self.events if event.kind in bus_kinds]

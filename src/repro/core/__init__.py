@@ -1,0 +1,30 @@
+"""Core types shared across the repro library.
+
+This subpackage holds the configuration object, policy enums, metric
+conversions and result containers.  It has no dependency on the
+simulators or the analytical models, which all depend on it.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.errors import (
+    ConfigurationError,
+    ExperimentError,
+    ModelError,
+    ReproError,
+    SimulationError,
+)
+from repro.core.policy import Priority, TieBreak
+from repro.core.results import ModelResult, SimulationResult
+
+__all__ = [
+    "SystemConfig",
+    "Priority",
+    "TieBreak",
+    "ModelResult",
+    "SimulationResult",
+    "ReproError",
+    "ConfigurationError",
+    "SimulationError",
+    "ModelError",
+    "ExperimentError",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid system or experiment configuration was supplied."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an internally inconsistent state.
+
+    This error indicates a bug in the simulator (an invariant was broken),
+    never a user mistake; user mistakes raise :class:`ConfigurationError`.
+    """
+
+
+class ModelError(ReproError, RuntimeError):
+    """An analytical model could not be evaluated.
+
+    Raised, for instance, when a Markov chain has no reachable recurrent
+    class from the chosen initial state or a linear solve fails.
+    """
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """An experiment harness failure (unknown id, malformed spec, ...)."""

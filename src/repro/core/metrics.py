@@ -1,0 +1,111 @@
+"""Performance metrics of the multiplexed single-bus system.
+
+The paper's single figure of merit is the *effective bandwidth*
+
+    ``EBW = Pb * (r + 2) / 2``
+
+the expected number of memory requests serviced per processor cycle, where
+``Pb`` is the bus utilisation (Section 2).  Several related quantities can
+be derived from EBW; this module collects those conversions so simulators,
+analytical models and experiments all agree on definitions.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+def ebw_from_bus_utilization(bus_utilization: float, r: int) -> float:
+    """Effective bandwidth from bus utilisation ``Pb`` (Section 2).
+
+    Each serviced request occupies exactly two bus cycles (one request
+    transfer, one response transfer), so completions per bus cycle equal
+    ``Pb / 2`` and per processor cycle ``Pb * (r + 2) / 2``.
+    """
+    if not 0.0 <= bus_utilization <= 1.0:
+        raise ConfigurationError(
+            f"bus utilisation must lie in [0, 1], got {bus_utilization!r}"
+        )
+    return bus_utilization * (r + 2) / 2.0
+
+
+def bus_utilization_from_ebw(ebw: float, r: int) -> float:
+    """Inverse of :func:`ebw_from_bus_utilization`."""
+    if ebw < 0.0:
+        raise ConfigurationError(f"EBW must be non-negative, got {ebw!r}")
+    return 2.0 * ebw / (r + 2)
+
+
+def max_ebw(r: int) -> float:
+    """The maximum attainable EBW, ``(r+2)/2`` (Section 2).
+
+    This bound corresponds to the bus alternating request and response
+    transfers with no idle cycles.  It compares with the value 1 reached
+    when the bus is not multiplexed.
+    """
+    if r < 1:
+        raise ConfigurationError(f"r must be a positive integer, got {r!r}")
+    return (r + 2) / 2.0
+
+
+def processor_utilization(ebw: float, config: SystemConfig) -> float:
+    """The normalised processor efficiency ``EBW / (n * p)``.
+
+    This is the quantity plotted in Figures 3 and 6 of the paper.  With no
+    interference each processor completes ``p`` requests per processor
+    cycle on average, so the system-wide ceiling is ``n * p`` services per
+    processor cycle and the ratio lies in ``(0, 1]``.
+    """
+    if ebw < 0.0:
+        raise ConfigurationError(f"EBW must be non-negative, got {ebw!r}")
+    return ebw / config.offered_load
+
+
+def memory_utilization(ebw: float, config: SystemConfig) -> float:
+    """Mean fraction of time a memory module spends accessing.
+
+    Every serviced request keeps one module busy for ``r`` of the
+    ``r + 2`` bus cycles of a processor cycle; with EBW services per
+    processor cycle spread over ``m`` modules the per-module utilisation
+    is ``EBW * r / ((r + 2) * m)``... expressed per bus cycle:
+    completions per bus cycle are ``EBW / (r+2)`` and each holds a module
+    ``r`` cycles, giving ``EBW * r / ((r+2) * m)``.
+    """
+    if ebw < 0.0:
+        raise ConfigurationError(f"EBW must be non-negative, got {ebw!r}")
+    r = config.memory_cycle_ratio
+    return ebw * r / ((r + 2) * config.memories)
+
+
+def mean_wait_cycles(ebw: float, config: SystemConfig) -> float:
+    """Mean request latency in bus cycles, via Little's law.
+
+    With ``p = 1`` every processor always has one request in flight
+    (issued, queued or in service), so the number-in-system is ``n`` and
+    the throughput is ``EBW / (r + 2)`` requests per bus cycle; Little's
+    law gives a mean response time of ``n * (r + 2) / EBW`` bus cycles.
+    For ``p < 1`` the in-flight population is reduced by the thinking
+    processors; this helper applies Little's law to the request-holding
+    population ``n * p`` as an approximation consistent with the paper's
+    offered-load normalisation.
+    """
+    if ebw <= 0.0:
+        raise ConfigurationError(f"EBW must be positive, got {ebw!r}")
+    return config.offered_load * config.processor_cycle / ebw
+
+
+def crossbar_equivalent_speedup(ebw: float, crossbar_ebw: float) -> float:
+    """Ratio of the single-bus EBW to a reference crossbar EBW.
+
+    Values above 1 mean the multiplexed single bus outperforms the
+    (non-multiplexed) crossbar with basic cycle ``(r+2)t`` - the central
+    comparison of Figures 2 and 5.
+    """
+    if crossbar_ebw <= 0.0:
+        raise ConfigurationError(
+            f"crossbar EBW must be positive, got {crossbar_ebw!r}"
+        )
+    if ebw < 0.0:
+        raise ConfigurationError(f"EBW must be non-negative, got {ebw!r}")
+    return ebw / crossbar_ebw

@@ -1,0 +1,43 @@
+"""Arbitration and buffering policies of the multiplexed single-bus system.
+
+The paper (Section 2, hypothesis (g)) considers two bus-granting policies:
+
+* **g′ — priority to processors**: pending processor requests win the bus
+  over pending memory responses;
+* **g″ — priority to memories**: pending memory responses win the bus over
+  pending processor requests.
+
+Within a priority class, arbitration is random (hypothesis (h)).  The
+library additionally offers a deterministic FCFS tie-break as an ablation;
+the paper's results all use :attr:`TieBreak.RANDOM`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Priority(enum.Enum):
+    """Which request class wins the bus on a conflict (hypothesis (g))."""
+
+    PROCESSORS = "processors"
+    """Policy g′ of the paper: processor requests beat memory responses."""
+
+    MEMORIES = "memories"
+    """Policy g″ of the paper: memory responses beat processor requests."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class TieBreak(enum.Enum):
+    """How the arbiter picks among candidates of the same priority class."""
+
+    RANDOM = "random"
+    """Uniformly random choice (hypothesis (h) of the paper)."""
+
+    FCFS = "fcfs"
+    """Oldest candidate first (ablation; not used by the paper)."""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,157 @@
+"""Result containers shared by the simulators and the analytical models.
+
+Two kinds of evaluation exist in this library:
+
+* :class:`SimulationResult` - produced by the cycle-accurate simulator
+  (:mod:`repro.bus`) from seeded stochastic runs; carries raw counters and
+  batch-means confidence intervals.
+* :class:`ModelResult` - produced by the deterministic analytical models
+  (:mod:`repro.models`, :mod:`repro.queueing`).
+
+Both expose ``ebw`` and the derived metrics with identical definitions so
+experiments can compare them directly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import statistics
+from typing import Mapping
+
+from repro.core import metrics
+from repro.core.config import SystemConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationResult:
+    """Measured outcome of one simulation run.
+
+    All counters refer to the measurement window only; warm-up cycles are
+    excluded.  Times are in bus cycles.
+    """
+
+    config: SystemConfig
+    cycles: int
+    """Measured bus cycles (excludes warm-up)."""
+    completions: int
+    """Number of responses delivered to processors in the window."""
+    request_transfers: int
+    """Bus cycles spent carrying processor->memory request transfers."""
+    response_transfers: int
+    """Bus cycles spent carrying memory->processor response transfers."""
+    memory_busy_cycles: int
+    """Sum over modules of cycles spent performing an access."""
+    total_latency: int
+    """Sum over completed requests of issue-to-response-received latency."""
+    seed: int
+    warmup_cycles: int
+    batch_ebws: tuple[float, ...] = ()
+    """Per-batch EBW estimates used for the confidence interval."""
+
+    # ------------------------------------------------------------------
+    @property
+    def bus_busy_cycles(self) -> int:
+        """Total bus cycles carrying a transfer in the window."""
+        return self.request_transfers + self.response_transfers
+
+    @property
+    def bus_utilization(self) -> float:
+        """Fraction of measured cycles the bus carried a transfer (``Pb``)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.bus_busy_cycles / self.cycles
+
+    @property
+    def ebw(self) -> float:
+        """Effective bandwidth: completions per processor cycle.
+
+        Computed directly from the completion count, which is the paper's
+        definition; ``ebw_from_bus_utilization`` gives the same number up
+        to end effects (transfers straddling the window edges).
+        """
+        if self.cycles == 0:
+            return 0.0
+        return self.completions * self.config.processor_cycle / self.cycles
+
+    @property
+    def processor_utilization(self) -> float:
+        """``EBW / (n p)`` - the Figure 3 / Figure 6 quantity."""
+        return metrics.processor_utilization(self.ebw, self.config)
+
+    @property
+    def memory_utilization(self) -> float:
+        """Mean fraction of time a module spends accessing."""
+        if self.cycles == 0:
+            return 0.0
+        return self.memory_busy_cycles / (self.cycles * self.config.memories)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean issue-to-completion latency of serviced requests (cycles)."""
+        if self.completions == 0:
+            return math.nan
+        return self.total_latency / self.completions
+
+    def ebw_confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI on EBW from the batch means.
+
+        Returns ``(ebw, ebw)`` when fewer than two batches were recorded.
+        """
+        if len(self.batch_ebws) < 2:
+            return (self.ebw, self.ebw)
+        mean = statistics.fmean(self.batch_ebws)
+        half = z * statistics.stdev(self.batch_ebws) / math.sqrt(len(self.batch_ebws))
+        return (mean - half, mean + half)
+
+    def summary(self) -> str:
+        """Multi-line human-readable report used by the examples."""
+        low, high = self.ebw_confidence_interval()
+        lines = [
+            f"system            : {self.config.describe()}",
+            f"measured cycles   : {self.cycles} (warm-up {self.warmup_cycles})",
+            f"EBW               : {self.ebw:.3f}  (95% CI [{low:.3f}, {high:.3f}],"
+            f" max {self.config.max_ebw:.1f})",
+            f"bus utilisation   : {self.bus_utilization:.3f}",
+            f"processor util.   : {self.processor_utilization:.3f}",
+            f"memory util.      : {self.memory_utilization:.3f}",
+            f"mean latency      : {self.mean_latency:.1f} bus cycles",
+            f"completions       : {self.completions}",
+        ]
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelResult:
+    """Deterministic outcome of an analytical model evaluation."""
+
+    config: SystemConfig
+    ebw: float
+    method: str
+    """Identifier of the producing model (e.g. ``"exact-memory-priority"``)."""
+    details: Mapping[str, float] = dataclasses.field(default_factory=dict)
+    """Model-specific extras (state count, idle probability, ...)."""
+
+    @property
+    def bus_utilization(self) -> float:
+        """Bus utilisation implied by the EBW (inverse of Section 2 formula)."""
+        return metrics.bus_utilization_from_ebw(
+            self.ebw, self.config.memory_cycle_ratio
+        )
+
+    @property
+    def processor_utilization(self) -> float:
+        """``EBW / (n p)`` - comparable with the simulator's value."""
+        return metrics.processor_utilization(self.ebw, self.config)
+
+    def summary(self) -> str:
+        """One human-readable report line per quantity."""
+        lines = [
+            f"system          : {self.config.describe()}",
+            f"model           : {self.method}",
+            f"EBW             : {self.ebw:.3f} (max {self.config.max_ebw:.1f})",
+            f"bus utilisation : {self.bus_utilization:.3f}",
+        ]
+        for key, value in self.details.items():
+            lines.append(f"{key:<16}: {value:g}")
+        return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, dependency-free event scheduler plus the
+statistics and random-stream utilities that every simulator in this
+repository builds on.  It replaces the SimPy dependency with an
+auditable in-tree core.
+"""
+
+from repro.des.engine import Engine
+from repro.des.events import Event, EventHandle
+from repro.des.processes import Acquire, FifoResource, ProcessRunner, Timeout
+from repro.des.replications import (
+    ReplicationResult,
+    ebw_estimator,
+    replicate,
+    replicate_until,
+)
+from repro.des.rng import RandomStream, StreamFactory, derive_seed
+from repro.des.stats import BatchMeans, Counter, TimeWeighted, autocorrelation
+
+__all__ = [
+    "Engine",
+    "Event",
+    "EventHandle",
+    "RandomStream",
+    "StreamFactory",
+    "derive_seed",
+    "BatchMeans",
+    "Counter",
+    "TimeWeighted",
+    "autocorrelation",
+    "ProcessRunner",
+    "FifoResource",
+    "Acquire",
+    "Timeout",
+    "ReplicationResult",
+    "replicate",
+    "replicate_until",
+    "ebw_estimator",
+]

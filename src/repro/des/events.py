@@ -1,0 +1,56 @@
+"""Event records for the discrete-event kernel.
+
+An :class:`Event` couples a firing time with a callback.  Events are
+totally ordered by ``(time, priority, sequence)``: ties in time are broken
+first by an explicit integer priority (smaller fires first) and then by
+scheduling order, which makes simulations fully deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+
+@dataclasses.dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Instances are created through :meth:`repro.des.engine.Engine.schedule`
+    rather than directly; the engine assigns the tie-breaking sequence
+    number.
+    """
+
+    time: float
+    priority: int
+    sequence: int
+    callback: Callable[[], Any] = dataclasses.field(compare=False)
+    cancelled: bool = dataclasses.field(default=False, compare=False)
+
+
+class EventHandle:
+    """A cancellation token for a scheduled event.
+
+    Cancellation is lazy: the event stays in the heap but is skipped when
+    popped.  This keeps cancellation O(1) at a small memory cost, the
+    standard approach for heap-based schedulers.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """The scheduled firing time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._event.cancelled = True

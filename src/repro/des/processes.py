@@ -1,0 +1,119 @@
+"""Generator-based processes on top of the event engine.
+
+This layer gives the event kernel a SimPy-like coroutine interface: a
+process is a generator that yields the commands defined here, and the
+:class:`ProcessRunner` resumes it when the awaited condition is met.
+
+Only the two primitives the library needs are provided:
+
+* :class:`Timeout` - resume after a delay;
+* :class:`Acquire` / release of a :class:`FifoResource` - a single- or
+  multi-server FIFO station, the building block of the exponential
+  queueing simulator used for the Section 6 product-form comparison.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+from typing import Generator, Union
+
+from repro.core.errors import SimulationError
+from repro.des.engine import Engine
+
+
+@dataclasses.dataclass(frozen=True)
+class Timeout:
+    """Yield this from a process to sleep for ``delay`` time units."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"timeout delay must be >= 0, got {self.delay}")
+
+
+@dataclasses.dataclass(frozen=True)
+class Acquire:
+    """Yield this from a process to queue for one server of ``resource``."""
+
+    resource: "FifoResource"
+
+
+Command = Union[Timeout, Acquire]
+Process = Generator[Command, None, None]
+
+
+class FifoResource:
+    """A FIFO station with ``servers`` identical servers.
+
+    Processes acquire a server by yielding :class:`Acquire`; they must
+    call :meth:`release` when done.  Waiters resume in arrival order.
+    """
+
+    def __init__(self, runner: "ProcessRunner", name: str, servers: int = 1) -> None:
+        if servers < 1:
+            raise SimulationError(f"servers must be >= 1, got {servers}")
+        self.name = name
+        self.servers = servers
+        self._runner = runner
+        self._busy = 0
+        self._waiting: collections.deque[Process] = collections.deque()
+
+    @property
+    def busy(self) -> int:
+        """Number of servers currently held."""
+        return self._busy
+
+    @property
+    def queue_length(self) -> int:
+        """Number of processes waiting for a server."""
+        return len(self._waiting)
+
+    def _try_acquire(self, process: Process) -> None:
+        if self._busy < self.servers and not self._waiting:
+            self._busy += 1
+            self._runner._resume_soon(process)
+        else:
+            self._waiting.append(process)
+
+    def release(self) -> None:
+        """Free one server, waking the oldest waiter if any."""
+        if self._busy < 1:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiting:
+            waiter = self._waiting.popleft()
+            self._runner._resume_soon(waiter)
+        else:
+            self._busy -= 1
+
+
+class ProcessRunner:
+    """Drives generator processes on an :class:`Engine`."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+
+    def resource(self, name: str, servers: int = 1) -> FifoResource:
+        """Create a FIFO resource attached to this runner."""
+        return FifoResource(self, name, servers)
+
+    def start(self, process: Process) -> None:
+        """Begin executing ``process`` at the current simulation time."""
+        self._resume_soon(process)
+
+    # ------------------------------------------------------------------
+    def _resume_soon(self, process: Process) -> None:
+        self.engine.schedule(self.engine.now, lambda: self._advance(process))
+
+    def _advance(self, process: Process) -> None:
+        try:
+            command = next(process)
+        except StopIteration:
+            return
+        if isinstance(command, Timeout):
+            self.engine.schedule_after(command.delay, lambda: self._advance(process))
+        elif isinstance(command, Acquire):
+            command.resource._try_acquire(process)
+        else:
+            raise SimulationError(f"process yielded unknown command {command!r}")

@@ -1,0 +1,123 @@
+"""Named deterministic random-number streams.
+
+Simulations draw randomness for several independent purposes (arbitration
+tie-breaks, request targets, think-time coin flips).  Giving each purpose
+its own stream, derived deterministically from a master seed and a name,
+keeps results reproducible even when code evolution changes *how many*
+draws one purpose makes: other purposes' streams are unaffected.
+
+Streams wrap :class:`random.Random` seeded with a stable SHA-256 digest of
+``(master seed, stream name)`` - no dependence on Python's hash
+randomisation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """A stable 64-bit seed for stream ``name`` under ``master_seed``."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStream:
+    """One purpose-specific random stream.
+
+    Thin convenience facade over :class:`random.Random` with the handful
+    of draws the simulators need.
+    """
+
+    def __init__(self, master_seed: int, name: str) -> None:
+        self.name = name
+        self._random = random.Random(derive_seed(master_seed, name))
+
+    def uniform_index(self, bound: int) -> int:
+        """An integer uniform on ``[0, bound)``."""
+        if bound < 1:
+            raise ValueError(f"bound must be positive, got {bound}")
+        return self._random.randrange(bound)
+
+    def choice(self, items: Sequence[T]) -> T:
+        """A uniform choice among ``items``."""
+        if not items:
+            raise ValueError("cannot choose from an empty sequence")
+        return items[self._random.randrange(len(items))]
+
+    def bernoulli(self, probability: float) -> bool:
+        """True with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {probability}")
+        if probability == 1.0:
+            return True
+        return self._random.random() < probability
+
+    def geometric_failures(self, success_probability: float) -> int:
+        """Number of failures before the first success (support {0,1,...}).
+
+        Used for think times: a processor that declines to issue with
+        probability ``1-p`` at each processor-cycle boundary waits a
+        geometric number of extra processor cycles.
+        """
+        if not 0.0 < success_probability <= 1.0:
+            raise ValueError(
+                f"success probability must lie in (0, 1], got {success_probability}"
+            )
+        if success_probability == 1.0:
+            return 0
+        count = 0
+        while not self.bernoulli(success_probability):
+            count += 1
+        return count
+
+    def exponential(self, mean: float) -> float:
+        """An exponential variate with the given mean."""
+        if mean <= 0.0:
+            raise ValueError(f"mean must be positive, got {mean}")
+        return self._random.expovariate(1.0 / mean)
+
+    def random(self) -> float:
+        """A uniform float in [0, 1)."""
+        return self._random.random()
+
+
+class StreamFactory:
+    """Creates and caches named :class:`RandomStream` objects.
+
+    >>> streams = StreamFactory(master_seed=7)
+    >>> streams.get("arbitration") is streams.get("arbitration")
+    True
+    """
+
+    def __init__(self, master_seed: int) -> None:
+        if not isinstance(master_seed, int):
+            raise ValueError(f"master seed must be an integer, got {master_seed!r}")
+        self.master_seed = master_seed
+        self._streams: dict[str, RandomStream] = {}
+
+    def get(self, name: str) -> RandomStream:
+        """The stream for ``name``, created on first use."""
+        if name not in self._streams:
+            self._streams[name] = RandomStream(self.master_seed, name)
+        return self._streams[name]
+
+
+def mean_and_half_width(values: Sequence[float], z: float = 1.96) -> tuple[float, float]:
+    """Sample mean and normal-approximation CI half width.
+
+    Shared by batch-means estimators; returns half width 0 for fewer than
+    two values.
+    """
+    if not values:
+        raise ValueError("values must be non-empty")
+    mean = sum(values) / len(values)
+    if len(values) < 2:
+        return mean, 0.0
+    variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+    return mean, z * math.sqrt(variance / len(values))

@@ -1,0 +1,156 @@
+"""Statistics collection for simulations.
+
+Three collectors cover the needs of the bus and queueing simulators:
+
+* :class:`Counter` - monotone event counts with window snapshots, used to
+  exclude warm-up;
+* :class:`TimeWeighted` - time-averaged piecewise-constant quantities
+  (queue lengths, busy indicators);
+* :class:`BatchMeans` - the classic batch-means method for confidence
+  intervals on steady-state rates from a single long run.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.des.rng import mean_and_half_width
+
+
+class Counter:
+    """A monotone event counter with support for measurement windows."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.total = 0
+        self._window_start_value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative: {amount}")
+        self.total += amount
+
+    def start_window(self) -> None:
+        """Begin the measurement window (typically after warm-up)."""
+        self._window_start_value = self.total
+
+    @property
+    def in_window(self) -> int:
+        """Events counted since :meth:`start_window`."""
+        return self.total - self._window_start_value
+
+
+class TimeWeighted:
+    """Time average of a piecewise-constant signal.
+
+    >>> tw = TimeWeighted("queue", initial=0.0, start_time=0.0)
+    >>> tw.update(2.0, at=3.0)   # value was 0 during [0, 3)
+    >>> tw.update(0.0, at=4.0)   # value was 2 during [3, 4)
+    >>> tw.average(until=4.0)
+    0.5
+    """
+
+    def __init__(self, name: str, initial: float = 0.0, start_time: float = 0.0) -> None:
+        self.name = name
+        self._value = initial
+        self._last_time = start_time
+        self._area = 0.0
+        self._window_start_time = start_time
+
+    @property
+    def value(self) -> float:
+        """The current signal value."""
+        return self._value
+
+    def update(self, new_value: float, at: float) -> None:
+        """Record that the signal changed to ``new_value`` at time ``at``."""
+        if at < self._last_time:
+            raise ValueError(
+                f"time went backwards: {at} < {self._last_time} in {self.name}"
+            )
+        self._area += self._value * (at - self._last_time)
+        self._value = new_value
+        self._last_time = at
+
+    def start_window(self, at: float) -> None:
+        """Restart averaging from time ``at`` (typically after warm-up)."""
+        self.update(self._value, at)
+        self._area = 0.0
+        self._window_start_time = at
+
+    def average(self, until: float) -> float:
+        """Time average of the signal over the current window up to ``until``."""
+        if until < self._last_time:
+            raise ValueError(f"until={until} precedes last update {self._last_time}")
+        span = until - self._window_start_time
+        if span <= 0.0:
+            return self._value
+        area = self._area + self._value * (until - self._last_time)
+        return area / span
+
+
+class BatchMeans:
+    """Batch-means estimator for a steady-state rate.
+
+    Observations (e.g. completions per cycle over consecutive equal-length
+    batches) are appended; the estimator reports their mean and a normal
+    confidence interval.  Batching de-correlates successive observations,
+    the textbook remedy for serial correlation in a single long run.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._batches: list[float] = []
+
+    def add(self, value: float) -> None:
+        """Record one batch observation."""
+        if math.isnan(value):
+            raise ValueError("batch observation is NaN")
+        self._batches.append(value)
+
+    @property
+    def batches(self) -> tuple[float, ...]:
+        """The recorded batch observations."""
+        return tuple(self._batches)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded batches."""
+        return len(self._batches)
+
+    def mean(self) -> float:
+        """Mean of the batch observations."""
+        if not self._batches:
+            raise ValueError("no batches recorded")
+        return sum(self._batches) / len(self._batches)
+
+    def confidence_interval(self, z: float = 1.96) -> tuple[float, float]:
+        """Normal-approximation CI ``(low, high)`` on the mean."""
+        mean, half = mean_and_half_width(self._batches, z)
+        return mean - half, mean + half
+
+    def relative_half_width(self, z: float = 1.96) -> float:
+        """CI half width divided by the mean (``inf`` if the mean is 0)."""
+        mean, half = mean_and_half_width(self._batches, z)
+        if mean == 0.0:
+            return math.inf
+        return half / abs(mean)
+
+
+def autocorrelation(values: Sequence[float], lag: int) -> float:
+    """Sample autocorrelation at ``lag``, used to validate batch sizing."""
+    if lag < 0:
+        raise ValueError(f"lag must be non-negative, got {lag}")
+    n = len(values)
+    if lag >= n:
+        raise ValueError(f"lag {lag} must be smaller than sample size {n}")
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values)
+    if variance == 0.0:
+        return 0.0
+    covariance = sum(
+        (values[i] - mean) * (values[i + lag] - mean) for i in range(n - lag)
+    )
+    return covariance / variance

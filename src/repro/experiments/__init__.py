@@ -1,0 +1,19 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+See :mod:`repro.experiments.registry` for the experiment list and
+:mod:`repro.experiments.runner` for the command-line interface.
+"""
+
+from repro.experiments.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    all_experiments,
+    get,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ExperimentSpec",
+    "all_experiments",
+    "get",
+]

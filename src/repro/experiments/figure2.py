@@ -1,0 +1,100 @@
+"""Figure 2: EBW vs r, both priorities, with crossbar references (p = 1).
+
+The paper's reading of this figure: the multiplexed single bus provides
+very good EBW as ``r`` increases, priority to processors (g') beats
+priority to memories (g''), and for large ``r`` the crossbar EBW acts as
+a lower bound on the single-bus EBW.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.analysis.sweeps import sweep_r
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.experiments import paper_data
+from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
+from repro.models.crossbar import crossbar_exact_ebw
+
+
+def run(cycles: int = 50_000, seed: int = 1985) -> ExperimentResult:
+    """Regenerate the Figure 2 curve family."""
+    measured: dict[tuple[str, str], float] = {}
+    rows: list[str] = []
+    columns = tuple(f"r={r}" for r in paper_data.FIGURE2_R_VALUES)
+    for n, m in paper_data.FIGURE2_SYSTEMS:
+        for priority, tag in (
+            (Priority.PROCESSORS, "priority=processors"),
+            (Priority.MEMORIES, "priority=memories"),
+        ):
+            base = SystemConfig(n, m, 2, priority=priority)
+            label = f"{n}x{m} {tag}"
+            rows.append(label)
+            sweep = sweep_r(
+                base,
+                paper_data.FIGURE2_R_VALUES,
+                label=label,
+                cycles=cycles,
+                seed=seed,
+            )
+            for r, ebw in zip(sweep.axis_values(), sweep.ebw_values()):
+                measured[(label, f"r={int(r)}")] = ebw
+        crossbar_label = f"{n}x{m} crossbar"
+        rows.append(crossbar_label)
+        crossbar = crossbar_exact_ebw(SystemConfig(n, m, 1)).ebw
+        for r in paper_data.FIGURE2_R_VALUES:
+            # The crossbar's basic cycle is (r+2)t, so its EBW per
+            # processor cycle is flat in r.
+            measured[(crossbar_label, f"r={r}")] = crossbar
+    return ExperimentResult(
+        experiment_id="figure2",
+        title="Figure 2 - Multiplexed single-bus effective bandwidth (p = 1)",
+        row_label="curve",
+        column_label="r",
+        rows=tuple(rows),
+        columns=columns,
+        measured=measured,
+        notes="expected shape: g' >= g''; EBW grows with r and stays above "
+        "the crossbar line for large r (Section 3 / Section 7)",
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Figure2Checks:
+    """The qualitative claims the figure supports (used by tests)."""
+
+    processors_beat_memories: bool
+    ebw_above_crossbar_at_large_r: bool
+
+
+def check_claims(result: ExperimentResult) -> Figure2Checks:
+    """Evaluate the paper's Figure 2 claims on a generated result."""
+    beats = True
+    above = True
+    for n, m in paper_data.FIGURE2_SYSTEMS:
+        crossbar = result.measured[(f"{n}x{m} crossbar", "r=24")]
+        for r in paper_data.FIGURE2_R_VALUES:
+            column = f"r={r}"
+            g_prime = result.measured[(f"{n}x{m} priority=processors", column)]
+            g_second = result.measured[(f"{n}x{m} priority=memories", column)]
+            # Allow simulation noise of a couple of percent.
+            if g_prime < g_second * 0.98:
+                beats = False
+        largest = f"r={paper_data.FIGURE2_R_VALUES[-1]}"
+        if result.measured[(f"{n}x{m} priority=processors", largest)] < crossbar * 0.95:
+            above = False
+    return Figure2Checks(
+        processors_beat_memories=beats,
+        ebw_above_crossbar_at_large_r=above,
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="figure2",
+        title="EBW vs r, both priorities, crossbar reference",
+        paper_artifact="Figure 2",
+        run=run,
+    )
+)

@@ -1,0 +1,63 @@
+"""Figure 3: processor utilisation EBW/(n p) vs p, n = 8, m = 16 (p < 1).
+
+The figure shows how internal-processing cycles (p < 1) unload the
+memory subsystem: utilisation rises toward 1 as p decreases, and larger
+``r`` values sustain high utilisation over a wider range of p.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.sweeps import sweep_p
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.experiments import paper_data
+from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
+
+
+def run(cycles: int = 60_000, seed: int = 1985) -> ExperimentResult:
+    """Regenerate the Figure 3 curve family (unbuffered system)."""
+    measured: dict[tuple[str, str], float] = {}
+    rows = []
+    columns = tuple(f"p={p:g}" for p in paper_data.FIGURE3_P_VALUES)
+    for r in paper_data.FIGURE3_R_VALUES:
+        base = SystemConfig(
+            processors=paper_data.FIGURE3_PROCESSORS,
+            memories=paper_data.FIGURE3_MEMORIES,
+            memory_cycle_ratio=r,
+            priority=Priority.PROCESSORS,
+        )
+        label = f"r={r}"
+        rows.append(label)
+        sweep = sweep_p(
+            base,
+            paper_data.FIGURE3_P_VALUES,
+            label=label,
+            cycles=cycles,
+            seed=seed,
+        )
+        for p, utilization in zip(
+            sweep.axis_values(), sweep.processor_utilization_values()
+        ):
+            measured[(label, f"p={p:g}")] = utilization
+    return ExperimentResult(
+        experiment_id="figure3",
+        title="Figure 3 - Processor utilisation EBW/(n p), unbuffered, "
+        "n = 8, m = 16",
+        row_label="curve",
+        column_label="p",
+        rows=tuple(rows),
+        columns=columns,
+        measured=measured,
+        notes="expected shape: utilisation decreases with p and increases "
+        "with r; all values in (0, 1]",
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="figure3",
+        title="Processor utilisation vs p (unbuffered)",
+        paper_artifact="Figure 3",
+        run=run,
+    )
+)

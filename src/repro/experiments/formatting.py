@@ -1,0 +1,56 @@
+"""ASCII rendering of experiment results, in the paper's table layout.
+
+Measured values are printed with the paper's three decimals; when a
+reference value exists the cell shows ``measured (reference)`` so the
+side-by-side comparison needs no external tooling.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.registry import ExperimentResult
+
+
+def format_result(result: ExperimentResult, show_reference: bool = True) -> str:
+    """Render one experiment result as a fixed-width table."""
+    has_reference = bool(result.reference) and show_reference
+    cell_width = 16 if has_reference else 8
+    header_cells = [f"{result.row_label}\\{result.column_label}".ljust(8)]
+    header_cells += [column.rjust(cell_width) for column in result.columns]
+    lines = [result.title, "=" * len(result.title), "".join(header_cells)]
+    for row in result.rows:
+        cells = [row.ljust(8)]
+        for column in result.columns:
+            measured = result.measured.get((row, column))
+            reference = result.reference.get((row, column))
+            if measured is None:
+                cells.append("-".rjust(cell_width))
+            elif has_reference and reference is not None:
+                cells.append(f"{measured:7.3f} ({reference:6.3f})".rjust(cell_width))
+            else:
+                cells.append(f"{measured:7.3f}".rjust(cell_width))
+        lines.append("".join(cells))
+    if result.reference:
+        lines.append(
+            f"worst |err| {result.worst_absolute_error():.3f}"
+            f"  worst rel {100 * result.worst_relative_error():.1f}%"
+            f"  mean rel {100 * result.mean_relative_error():.1f}%"
+        )
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)
+
+
+def format_series(result: ExperimentResult) -> str:
+    """Render a figure-style result: one line per curve (row)."""
+    lines = [result.title, "=" * len(result.title)]
+    axis = "  ".join(f"{column:>7}" for column in result.columns)
+    lines.append(f"{result.row_label:<24} {result.column_label}: {axis}")
+    for row in result.rows:
+        values = []
+        for column in result.columns:
+            measured = result.measured.get((row, column))
+            values.append(f"{measured:7.3f}" if measured is not None else "      -")
+        lines.append(f"{row:<24}    {'  '.join(values)}")
+    if result.notes:
+        lines.append(f"note: {result.notes}")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments            # list experiments
+    python -m repro.experiments all        # run everything
+    python -m repro.experiments table1 figure5
+    python -m repro.experiments figure5 --chart
+
+Each experiment prints the measured grid next to the paper's published
+values (when the paper printed any) in the layout of the original
+tables; ``--chart`` additionally renders figure experiments as ASCII
+curves.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterator, Sequence
+
+from repro.experiments.asciichart import render_chart
+from repro.experiments.formatting import format_result, format_series
+from repro.experiments.registry import all_experiments, get
+
+_SERIES_EXPERIMENTS = {"figure2", "figure3", "figure5", "figure6"}
+
+
+def list_experiments() -> str:
+    """Human-readable table of everything in the registry."""
+    lines = ["available experiments:"]
+    for spec in all_experiments():
+        lines.append(
+            f"  {spec.experiment_id:<14} {spec.paper_artifact:<22} {spec.title}"
+        )
+    return "\n".join(lines)
+
+
+def iter_reports(
+    ids: Sequence[str], fast: bool = False, chart: bool = False
+) -> Iterator[str]:
+    """Yield one formatted report per experiment, as each completes."""
+    for _, report in _reports_with_results(ids, fast=fast, chart=chart):
+        yield report
+
+
+def run_experiments(
+    ids: Sequence[str], fast: bool = False, chart: bool = False
+) -> str:
+    """Run the named experiments (or all) and return the full report."""
+    return "\n\n".join(iter_reports(ids, fast=fast, chart=chart))
+
+
+def _accepts_cycles(experiment_id: str) -> bool:
+    return experiment_id not in {"table1", "table2", "table3b"}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the tables and figures of the ISCA 1985 "
+        "multiplexed single-bus paper.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids to run (or 'all'); with no ids, lists them",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use short simulations (smoke test quality)",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="render figure experiments as ASCII charts",
+    )
+    parser.add_argument(
+        "--markdown",
+        metavar="PATH",
+        help="additionally write a markdown paper-vs-measured report",
+    )
+    args = parser.parse_args(argv)
+    if not args.ids:
+        print(list_experiments())
+        return 0
+    collected = []
+    for spec_result, report in _reports_with_results(
+        args.ids, fast=args.fast, chart=args.chart
+    ):
+        collected.append(spec_result)
+        print(report, flush=True)
+        print(flush=True)
+    if args.markdown:
+        from repro.experiments.report import write_markdown_report
+
+        path = write_markdown_report(
+            collected, args.markdown, title="Paper-vs-measured report"
+        )
+        print(f"markdown report written to {path}")
+    return 0
+
+
+def _reports_with_results(
+    ids: Sequence[str], fast: bool = False, chart: bool = False
+) -> Iterator[tuple["ExperimentResult", str]]:
+    """Run experiments, yielding ``(result, formatted report)`` pairs."""
+    from repro.experiments.registry import ExperimentResult  # noqa: F401
+
+    if not ids or list(ids) == ["all"]:
+        specs = list(all_experiments())
+    else:
+        specs = [get(experiment_id) for experiment_id in ids]
+    for spec in specs:
+        started = time.time()
+        kwargs = {}
+        if fast and _accepts_cycles(spec.experiment_id):
+            kwargs["cycles"] = 10_000
+        result = spec.run(**kwargs)
+        is_series = spec.experiment_id in _SERIES_EXPERIMENTS
+        formatter = format_series if is_series else format_result
+        report = formatter(result)
+        if chart and is_series:
+            report += "\n\n" + render_chart(result)
+        elapsed = time.time() - started
+        yield result, report + f"\n[{elapsed:.1f}s]"
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

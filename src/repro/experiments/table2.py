@@ -1,0 +1,59 @@
+"""Table 2: combinational approximation with priority to memories."""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.experiments import paper_data
+from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
+from repro.models.approx_memory_priority import approximate_memory_priority_ebw
+
+_SIZES = (2, 4, 6, 8)
+
+
+def run(symmetric: bool = False) -> ExperimentResult:
+    """Evaluate the Section 3.2 model over the Table 2 grid.
+
+    ``symmetric=True`` applies the paper's suggested symmetrisation
+    (mentioned in Section 5); the printed table is the plain variant.
+    """
+    measured: dict[tuple[str, str], float] = {}
+    reference: dict[tuple[str, str], float] = {}
+    for n in _SIZES:
+        for m in _SIZES:
+            config = SystemConfig(
+                processors=n,
+                memories=m,
+                memory_cycle_ratio=min(n, m) + 7,
+                priority=Priority.MEMORIES,
+            )
+            key = (f"n={n}", f"m={m}")
+            measured[key] = approximate_memory_priority_ebw(
+                config, symmetric=symmetric
+            ).ebw
+            if not symmetric:
+                reference[key] = paper_data.TABLE2_APPROX_MEMORY_PRIORITY[(n, m)]
+    variant = "symmetrised" if symmetric else "non-symmetric"
+    return ExperimentResult(
+        experiment_id="table2",
+        title=f"Table 2 - EBW approximate values ({variant}), priority to "
+        "memory modules, r = min(n, m) + 7",
+        row_label="n",
+        column_label="m",
+        rows=tuple(f"n={n}" for n in _SIZES),
+        columns=tuple(f"m={m}" for m in _SIZES),
+        measured=measured,
+        reference=reference,
+        notes="deterministic model output; the paper prints the "
+        "non-symmetric variant",
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="table2",
+        title="Combinational approximation, priority to memories",
+        paper_artifact="Table 2",
+        run=run,
+    )
+)

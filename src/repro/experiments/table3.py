@@ -1,0 +1,89 @@
+"""Table 3: priority to processors - simulation (a) and reduced chain (b)."""
+
+from __future__ import annotations
+
+from repro.bus import simulate
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.experiments import paper_data
+from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
+from repro.models.processor_priority import processor_priority_ebw
+
+
+def run_simulation(cycles: int = 100_000, seed: int = 1985) -> ExperimentResult:
+    """Table 3(a): simulate every (m, r) cell with n = 8, p = 1."""
+    measured: dict[tuple[str, str], float] = {}
+    reference: dict[tuple[str, str], float] = {}
+    for m in paper_data.TABLE3_M_VALUES:
+        for r in paper_data.TABLE3_R_VALUES:
+            config = SystemConfig(
+                processors=paper_data.TABLE3_PROCESSORS,
+                memories=m,
+                memory_cycle_ratio=r,
+                priority=Priority.PROCESSORS,
+            )
+            key = (f"m={m}", f"r={r}")
+            measured[key] = simulate(config, cycles=cycles, seed=seed).ebw
+            reference[key] = paper_data.TABLE3A_SIMULATION[(m, r)]
+    return ExperimentResult(
+        experiment_id="table3a",
+        title="Table 3(a) - EBW simulation, priority to processors, n = 8",
+        row_label="m",
+        column_label="r",
+        rows=tuple(f"m={m}" for m in paper_data.TABLE3_M_VALUES),
+        columns=tuple(f"r={r}" for r in paper_data.TABLE3_R_VALUES),
+        measured=measured,
+        reference=reference,
+        notes="stochastic comparison; the paper's (4, 8) entry breaks its "
+        "own monotone trend and is likely a 1985 sampling outlier",
+    )
+
+
+def run_model() -> ExperimentResult:
+    """Table 3(b): evaluate the reconstructed Section 4 reduced chain."""
+    measured: dict[tuple[str, str], float] = {}
+    reference: dict[tuple[str, str], float] = {}
+    for m in paper_data.TABLE3_M_VALUES:
+        for r in paper_data.TABLE3_R_VALUES:
+            config = SystemConfig(
+                processors=paper_data.TABLE3_PROCESSORS,
+                memories=m,
+                memory_cycle_ratio=r,
+                priority=Priority.PROCESSORS,
+            )
+            key = (f"m={m}", f"r={r}")
+            measured[key] = processor_priority_ebw(config).ebw
+            reference[key] = paper_data.TABLE3B_APPROX_MODEL[(m, r)]
+    return ExperimentResult(
+        experiment_id="table3b",
+        title="Table 3(b) - EBW approximate model, priority to processors, "
+        "n = 8",
+        row_label="m",
+        column_label="r",
+        rows=tuple(f"m={m}" for m in paper_data.TABLE3_M_VALUES),
+        columns=tuple(f"r={r}" for r in paper_data.TABLE3_R_VALUES),
+        measured=measured,
+        reference=reference,
+        notes="transition table reconstructed from the OCR-damaged scan "
+        "(see DESIGN.md); both chains approximate the same simulation "
+        "within a few percent",
+    )
+
+
+SPEC_A = register(
+    ExperimentSpec(
+        experiment_id="table3a",
+        title="Simulation, priority to processors",
+        paper_artifact="Table 3(a)",
+        run=run_simulation,
+    )
+)
+
+SPEC_B = register(
+    ExperimentSpec(
+        experiment_id="table3b",
+        title="Reduced Markov chain, priority to processors",
+        paper_artifact="Table 3(b)",
+        run=run_model,
+    )
+)

@@ -1,0 +1,49 @@
+"""Table 4: buffered-system simulation, priority to processors, n = 8."""
+
+from __future__ import annotations
+
+from repro.bus import simulate
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.experiments import paper_data
+from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
+
+
+def run(cycles: int = 100_000, seed: int = 1985) -> ExperimentResult:
+    """Simulate the Section 6 buffered machine over the Table 4 grid."""
+    measured: dict[tuple[str, str], float] = {}
+    reference: dict[tuple[str, str], float] = {}
+    for m in paper_data.TABLE4_M_VALUES:
+        for r in paper_data.TABLE4_R_VALUES:
+            config = SystemConfig(
+                processors=paper_data.TABLE4_PROCESSORS,
+                memories=m,
+                memory_cycle_ratio=r,
+                priority=Priority.PROCESSORS,
+                buffered=True,
+            )
+            key = (f"m={m}", f"r={r}")
+            measured[key] = simulate(config, cycles=cycles, seed=seed).ebw
+            reference[key] = paper_data.TABLE4_BUFFERED_SIMULATION[(m, r)]
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Table 4 - EBW values, priority to processors, buffered "
+        "system, n = 8",
+        row_label="m",
+        column_label="r",
+        rows=tuple(f"m={m}" for m in paper_data.TABLE4_M_VALUES),
+        columns=tuple(f"r={r}" for r in paper_data.TABLE4_R_VALUES),
+        measured=measured,
+        reference=reference,
+        notes="stochastic comparison against the paper's simulated values",
+    )
+
+
+SPEC = register(
+    ExperimentSpec(
+        experiment_id="table4",
+        title="Buffered system simulation",
+        paper_artifact="Table 4",
+        run=run,
+    )
+)

@@ -1,0 +1,99 @@
+"""Reachability-driven construction of Markov chains.
+
+The paper's chains are most naturally written as a *transition function*
+(state -> successor distribution) plus one initial state; the full state
+space is whatever that function reaches.  :func:`build_chain` performs the
+breadth-first enumeration and returns a
+:class:`~repro.markov.chain.DiscreteTimeMarkovChain` over exactly the
+reachable states - which is how we reproduce the paper's state-count
+formula ``S = (3v^2 + 3v - 2) / 2`` including its implicit exclusion of
+unreachable states.
+"""
+
+from __future__ import annotations
+
+import collections
+from typing import Callable, Hashable, Iterable, Mapping, TypeVar
+
+from repro.core.errors import ModelError
+from repro.markov.chain import DiscreteTimeMarkovChain
+
+State = TypeVar("State", bound=Hashable)
+
+TransitionFunction = Callable[[State], Mapping[State, float]]
+
+_DEFAULT_MAX_STATES = 2_000_000
+
+
+def build_chain(
+    initial: State | Iterable[State],
+    transition: TransitionFunction,
+    max_states: int = _DEFAULT_MAX_STATES,
+) -> DiscreteTimeMarkovChain[State]:
+    """Enumerate all states reachable from ``initial`` and build the DTMC.
+
+    Parameters
+    ----------
+    initial:
+        One state or an iterable of seed states.
+    transition:
+        Maps a state to its successor distribution.  Probabilities of one
+        state must sum to 1; zero-probability successors may be included
+        and are dropped.
+    max_states:
+        Safety bound on the enumeration (the paper's chains have at most
+        a few hundred states; hitting this bound indicates a bug in the
+        transition function).
+    """
+    seeds = [initial] if isinstance(initial, Hashable) and not _is_iterable_of_states(
+        initial
+    ) else list(initial)  # type: ignore[arg-type]
+    if not seeds:
+        raise ModelError("at least one initial state is required")
+
+    order: list[State] = []
+    index: dict[State, int] = {}
+    queue: collections.deque[State] = collections.deque()
+    for seed in seeds:
+        if seed not in index:
+            index[seed] = len(order)
+            order.append(seed)
+            queue.append(seed)
+
+    rows_by_state: dict[State, Mapping[State, float]] = {}
+    while queue:
+        state = queue.popleft()
+        successors = transition(state)
+        rows_by_state[state] = successors
+        for successor, probability in successors.items():
+            if probability <= 0.0:
+                continue
+            if successor not in index:
+                if len(order) >= max_states:
+                    raise ModelError(
+                        f"state enumeration exceeded max_states={max_states}"
+                    )
+                index[successor] = len(order)
+                order.append(successor)
+                queue.append(successor)
+
+    rows: list[dict[int, float]] = []
+    for state in order:
+        row: dict[int, float] = {}
+        for successor, probability in rows_by_state[state].items():
+            if probability <= 0.0:
+                continue
+            row[index[successor]] = row.get(index[successor], 0.0) + probability
+        rows.append(row)
+    return DiscreteTimeMarkovChain(order, rows)
+
+
+def _is_iterable_of_states(value: object) -> bool:
+    """Treat lists/sets/generators as seed collections, not single states.
+
+    Tuples are *states* in this library (occupancy vectors and the
+    ``(i, c, e, b)`` states are tuples), so they count as single states.
+    """
+    return isinstance(value, (list, set, frozenset)) or (
+        hasattr(value, "__iter__") and not isinstance(value, (str, bytes, tuple))
+    )

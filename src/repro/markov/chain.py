@@ -1,0 +1,190 @@
+"""Finite discrete-time Markov chains.
+
+The analytical models of the paper (Sections 3 and 4) all reduce to
+computing the stationary distribution of a finite, irreducible DTMC.
+:class:`DiscreteTimeMarkovChain` stores sparse transition rows over
+arbitrary hashable state objects and solves for the stationary vector
+either directly (dense linear solve - exact up to floating point, used by
+all the paper models, whose state spaces are tiny) or by power iteration
+(for larger chains and for cross-checking).
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterable, Mapping, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.errors import ModelError
+
+State = TypeVar("State", bound=Hashable)
+
+_ROW_SUM_TOLERANCE = 1e-9
+
+
+class DiscreteTimeMarkovChain(Generic[State]):
+    """A finite DTMC with sparse rows.
+
+    Parameters
+    ----------
+    states:
+        The state objects, in index order.
+    rows:
+        ``rows[i]`` maps successor state *indices* to probabilities; each
+        row must sum to 1 within a small tolerance.
+    """
+
+    def __init__(
+        self,
+        states: Sequence[State],
+        rows: Sequence[Mapping[int, float]],
+    ) -> None:
+        if len(states) != len(rows):
+            raise ModelError(
+                f"{len(states)} states but {len(rows)} transition rows"
+            )
+        if not states:
+            raise ModelError("a Markov chain needs at least one state")
+        self._states = list(states)
+        self._index = {state: i for i, state in enumerate(self._states)}
+        if len(self._index) != len(self._states):
+            raise ModelError("duplicate states supplied")
+        self._rows: list[dict[int, float]] = []
+        for i, row in enumerate(rows):
+            total = 0.0
+            clean: dict[int, float] = {}
+            for j, probability in row.items():
+                if not 0 <= j < len(self._states):
+                    raise ModelError(f"row {i} references unknown state index {j}")
+                if probability < -_ROW_SUM_TOLERANCE:
+                    raise ModelError(
+                        f"negative transition probability {probability} in row {i}"
+                    )
+                if probability <= 0.0:
+                    continue
+                clean[j] = clean.get(j, 0.0) + probability
+                total += probability
+            if abs(total - 1.0) > _ROW_SUM_TOLERANCE:
+                raise ModelError(
+                    f"row {i} ({self._states[i]!r}) sums to {total!r}, expected 1"
+                )
+            self._rows.append(clean)
+
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> tuple[State, ...]:
+        """The state objects in index order."""
+        return tuple(self._states)
+
+    @property
+    def size(self) -> int:
+        """Number of states."""
+        return len(self._states)
+
+    def index_of(self, state: State) -> int:
+        """The index of ``state`` (raises :class:`ModelError` if absent)."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise ModelError(f"unknown state {state!r}") from None
+
+    def row(self, state: State) -> dict[State, float]:
+        """Successor distribution of ``state`` keyed by state object."""
+        i = self.index_of(state)
+        return {self._states[j]: p for j, p in self._rows[i].items()}
+
+    def transition_matrix(self) -> np.ndarray:
+        """The dense row-stochastic transition matrix."""
+        matrix = np.zeros((self.size, self.size))
+        for i, row in enumerate(self._rows):
+            for j, probability in row.items():
+                matrix[i, j] = probability
+        return matrix
+
+    # ------------------------------------------------------------------
+    def is_irreducible(self) -> bool:
+        """True when every state reaches every other state.
+
+        Uses Tarjan-free double BFS on the adjacency structure: the chain
+        is irreducible iff some state reaches all states in both the
+        forward and the reversed graph.
+        """
+        forward = [set(row.keys()) for row in self._rows]
+        backward: list[set[int]] = [set() for _ in range(self.size)]
+        for i, row in enumerate(self._rows):
+            for j in row:
+                backward[j].add(i)
+        return (
+            len(_reachable_from(0, forward)) == self.size
+            and len(_reachable_from(0, backward)) == self.size
+        )
+
+    def stationary_distribution(self, method: str = "direct") -> np.ndarray:
+        """The stationary probability vector ``pi`` with ``pi P = pi``.
+
+        ``method="direct"`` solves the linear system with the
+        normalisation constraint substituted for one balance equation;
+        ``method="power"`` iterates ``pi <- pi P`` from uniform until
+        convergence.  Both require an irreducible chain.
+        """
+        if not self.is_irreducible():
+            raise ModelError(
+                "stationary distribution requested for a reducible chain"
+            )
+        if method == "direct":
+            return self._stationary_direct()
+        if method == "power":
+            return self._stationary_power()
+        raise ModelError(f"unknown stationary method {method!r}")
+
+    def _stationary_direct(self) -> np.ndarray:
+        matrix = self.transition_matrix()
+        # Solve pi (P - I) = 0 subject to sum(pi) = 1 by replacing the
+        # last column of (P - I)^T with ones.
+        system = (matrix - np.eye(self.size)).T
+        system[-1, :] = 1.0
+        rhs = np.zeros(self.size)
+        rhs[-1] = 1.0
+        try:
+            pi = np.linalg.solve(system, rhs)
+        except np.linalg.LinAlgError as error:  # pragma: no cover - guarded by irreducibility
+            raise ModelError(f"stationary solve failed: {error}") from error
+        pi = np.where(np.abs(pi) < 1e-14, 0.0, pi)
+        if np.any(pi < -1e-9):
+            raise ModelError("stationary solve produced negative probabilities")
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    def _stationary_power(
+        self, tolerance: float = 1e-13, max_iterations: int = 1_000_000
+    ) -> np.ndarray:
+        matrix = self.transition_matrix()
+        # Damp with a half step of the identity so periodic chains converge.
+        matrix = 0.5 * (matrix + np.eye(self.size))
+        pi = np.full(self.size, 1.0 / self.size)
+        for _ in range(max_iterations):
+            nxt = pi @ matrix
+            if np.abs(nxt - pi).max() < tolerance:
+                return nxt / nxt.sum()
+            pi = nxt
+        raise ModelError("power iteration did not converge")
+
+    # ------------------------------------------------------------------
+    def expected_value(self, weights: Mapping[State, float]) -> float:
+        """Stationary expectation of a per-state weight function."""
+        pi = self.stationary_distribution()
+        return float(
+            sum(pi[self.index_of(state)] * w for state, w in weights.items())
+        )
+
+
+def _reachable_from(start: int, adjacency: Sequence[Iterable[int]]) -> set[int]:
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        node = frontier.pop()
+        for successor in adjacency[node]:
+            if successor not in seen:
+                seen.add(successor)
+                frontier.append(successor)
+    return seen

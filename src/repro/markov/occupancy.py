@@ -1,0 +1,211 @@
+"""The sorted occupancy-vector Markov chain (Section 3.1.1 substrate).
+
+The exact models of Bhandarkar (crossbar, ref [1] of the paper), of the
+authors' multiple-bus work (ref [5]) and of Section 3.1.1 of this paper
+all share one chain:
+
+* the state is the vector ``(n1, ..., nm)`` of processors requesting each
+  module, with ``sum(ni) = n`` (all processors always have exactly one
+  outstanding request - the ``p = 1`` hypothesis); permutation-equivalent
+  vectors are lumped by keeping the vector sorted in non-increasing order;
+* during one processor cycle, ``K = min(x, b)`` of the ``x`` busy modules
+  complete one request each, where ``b`` is the *service width*:
+  ``b = m`` (or infinity) for the crossbar, ``b = number of buses`` for a
+  multiple-bus network, and ``b = r + 1`` for the multiplexed single bus
+  with priority to memories ("the bus is granted in the next cycle to the
+  first accessed memory module");
+* which ``K`` of the ``x`` busy modules complete is uniformly random
+  (random arbitration, hypothesis (h));
+* the ``K`` freed processors immediately re-issue requests, each uniform
+  over the ``m`` modules (hypotheses (e), (f) with ``p = 1``).
+
+The transition computation factorises into (i) a hypergeometric choice of
+completing modules, grouped by occupancy value so the enumeration stays
+tiny, and (ii) ``K`` sequential uniform re-assignments, each a sparse
+convolution over lumped states.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from math import comb
+from typing import Mapping
+
+from repro.core.errors import ConfigurationError
+from repro.markov.builder import build_chain
+from repro.markov.chain import DiscreteTimeMarkovChain
+
+OccupancyState = tuple[int, ...]
+"""Positive per-module request counts, sorted non-increasing.
+
+Zero-occupancy modules are omitted; the module count ``m`` lives in the
+:class:`OccupancyChain`, keeping states compact and hashable.
+"""
+
+
+def canonical(counts: Mapping[int, int] | list[int] | tuple[int, ...]) -> OccupancyState:
+    """Sort positive counts non-increasingly and drop zeros."""
+    values = list(counts.values()) if isinstance(counts, Mapping) else list(counts)
+    if any(v < 0 for v in values):
+        raise ConfigurationError(f"negative occupancy in {counts!r}")
+    return tuple(sorted((v for v in values if v > 0), reverse=True))
+
+
+def _value_multiplicities(state: OccupancyState) -> dict[int, int]:
+    """Map occupancy value -> number of modules holding that value."""
+    multiplicities: dict[int, int] = {}
+    for value in state:
+        multiplicities[value] = multiplicities.get(value, 0) + 1
+    return multiplicities
+
+
+def _completion_choices(
+    state: OccupancyState, completions: int
+) -> dict[OccupancyState, float]:
+    """Distribution over states after ``completions`` uniformly-chosen
+    busy modules each complete one request.
+
+    Grouping modules by their occupancy value turns the subset choice
+    into a small product of binomial coefficients (a multivariate
+    hypergeometric), avoiding enumeration of individual module subsets.
+    """
+    busy = len(state)
+    if completions > busy:
+        raise ConfigurationError(
+            f"cannot complete {completions} requests with {busy} busy modules"
+        )
+    multiplicities = _value_multiplicities(state)
+    values = sorted(multiplicities)
+    total_ways = comb(busy, completions)
+    outcomes: dict[OccupancyState, float] = {}
+    ranges = [range(min(multiplicities[v], completions) + 1) for v in values]
+    for chosen in itertools.product(*ranges):
+        if sum(chosen) != completions:
+            continue
+        ways = 1
+        for value, k in zip(values, chosen):
+            ways *= comb(multiplicities[value], k)
+        remaining: list[int] = []
+        for value, k in zip(values, chosen):
+            keep = multiplicities[value] - k
+            remaining.extend([value] * keep)
+            remaining.extend([value - 1] * k)
+        successor = canonical(remaining)
+        outcomes[successor] = outcomes.get(successor, 0.0) + ways / total_ways
+    return outcomes
+
+
+def _add_one_request(
+    distribution: dict[OccupancyState, float], modules: int
+) -> dict[OccupancyState, float]:
+    """Convolve with one uniform request over ``modules`` modules.
+
+    From a lumped state the new request lands on a module of occupancy
+    value ``v`` with probability ``multiplicity(v) / m`` (value 0 has
+    multiplicity ``m - busy``).
+    """
+    result: dict[OccupancyState, float] = {}
+    for state, probability in distribution.items():
+        multiplicities = _value_multiplicities(state)
+        empty = modules - len(state)
+        if empty > 0:
+            successor = canonical(state + (1,))
+            weight = probability * empty / modules
+            result[successor] = result.get(successor, 0.0) + weight
+        for value, multiplicity in multiplicities.items():
+            bumped = list(state)
+            bumped.remove(value)
+            bumped.append(value + 1)
+            successor = canonical(bumped)
+            weight = probability * multiplicity / modules
+            result[successor] = result.get(successor, 0.0) + weight
+    return result
+
+
+class OccupancyChain:
+    """The lumped occupancy chain for ``n`` processors, ``m`` modules and
+    service width ``b``.
+
+    Parameters
+    ----------
+    processors:
+        ``n``, the number of processors (each always holding one request).
+    modules:
+        ``m``, the number of memory modules.
+    service_width:
+        ``b``: the maximum number of busy modules that complete in one
+        processor cycle.  ``None`` means unlimited (crossbar behaviour).
+    """
+
+    def __init__(
+        self, processors: int, modules: int, service_width: int | None = None
+    ) -> None:
+        if processors < 1:
+            raise ConfigurationError(f"processors must be >= 1, got {processors}")
+        if modules < 1:
+            raise ConfigurationError(f"modules must be >= 1, got {modules}")
+        if service_width is not None and service_width < 1:
+            raise ConfigurationError(
+                f"service_width must be >= 1 or None, got {service_width}"
+            )
+        self.processors = processors
+        self.modules = modules
+        self.service_width = service_width
+
+    # ------------------------------------------------------------------
+    def completions_in(self, state: OccupancyState) -> int:
+        """``K = min(x, b)``: services completed from ``state``."""
+        busy = len(state)
+        if self.service_width is None:
+            return busy
+        return min(busy, self.service_width)
+
+    def transition(self, state: OccupancyState) -> dict[OccupancyState, float]:
+        """Successor distribution over one processor cycle."""
+        if sum(state) != self.processors:
+            raise ConfigurationError(
+                f"state {state!r} does not hold {self.processors} requests"
+            )
+        if len(state) > self.modules:
+            raise ConfigurationError(
+                f"state {state!r} uses more than {self.modules} modules"
+            )
+        completions = self.completions_in(state)
+        if completions == 0:
+            return {state: 1.0}
+        distribution = _completion_choices(state, completions)
+        for _ in range(completions):
+            distribution = _add_one_request(distribution, self.modules)
+        return distribution
+
+    @functools.cached_property
+    def chain(self) -> DiscreteTimeMarkovChain[OccupancyState]:
+        """The reachable chain from the all-on-one-module state."""
+        initial: OccupancyState = (self.processors,)
+        return build_chain(initial, self.transition)
+
+    # ------------------------------------------------------------------
+    def busy_distribution(self) -> dict[int, float]:
+        """Stationary distribution of the number of busy modules ``x``.
+
+        This is the ``P(x)`` appearing in the Section 3 EBW formula.
+        """
+        pi = self.chain.stationary_distribution()
+        result: dict[int, float] = {}
+        for state, probability in zip(self.chain.states, pi):
+            x = len(state)
+            result[x] = result.get(x, 0.0) + float(probability)
+        return result
+
+    def expected_busy(self) -> float:
+        """Stationary mean of the number of busy modules."""
+        return sum(x * p for x, p in self.busy_distribution().items())
+
+    def expected_completions(self) -> float:
+        """Stationary mean of ``K = min(x, b)`` - the multiple-bus
+        bandwidth in requests per cycle (ref [5])."""
+        if self.service_width is None:
+            return self.expected_busy()
+        b = self.service_width
+        return sum(min(x, b) * p for x, p in self.busy_distribution().items())

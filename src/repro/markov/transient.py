@@ -1,0 +1,116 @@
+"""Transient behaviour of finite Markov chains.
+
+The stationary solutions in :mod:`repro.markov.chain` answer the paper's
+steady-state questions; this module answers *how fast* the chains get
+there, which backs the simulator's warm-up choices with model evidence:
+
+* :func:`step_distribution` - the distribution after ``k`` steps from an
+  initial condition;
+* :func:`total_variation_distance` - the standard distance to
+  stationarity;
+* :func:`mixing_steps` - the first step count whose distribution is
+  within ``epsilon`` of stationary (a mixing-time estimate);
+* :func:`expected_hitting_steps` - mean first-passage time into a target
+  set, via the standard linear system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.errors import ModelError
+from repro.markov.chain import DiscreteTimeMarkovChain
+
+State = TypeVar("State", bound=Hashable)
+
+
+def step_distribution(
+    chain: DiscreteTimeMarkovChain[State],
+    initial: State,
+    steps: int,
+) -> np.ndarray:
+    """Distribution over states after ``steps`` transitions from ``initial``."""
+    if steps < 0:
+        raise ModelError(f"steps must be >= 0, got {steps}")
+    distribution = np.zeros(chain.size)
+    distribution[chain.index_of(initial)] = 1.0
+    matrix = chain.transition_matrix()
+    for _ in range(steps):
+        distribution = distribution @ matrix
+    return distribution
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """``TV(p, q) = 0.5 * sum |p_i - q_i|``."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ModelError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def mixing_steps(
+    chain: DiscreteTimeMarkovChain[State],
+    initial: State,
+    epsilon: float = 0.01,
+    max_steps: int = 10_000,
+) -> int:
+    """Steps needed for the chain to be ``epsilon``-close to stationary.
+
+    Returns the smallest ``k`` with ``TV(P^k(initial), pi) <= epsilon``;
+    raises :class:`ModelError` if ``max_steps`` is insufficient (possible
+    for periodic chains, which never mix pointwise).
+    """
+    if not 0.0 < epsilon < 1.0:
+        raise ModelError(f"epsilon must lie in (0, 1), got {epsilon}")
+    pi = chain.stationary_distribution()
+    distribution = np.zeros(chain.size)
+    distribution[chain.index_of(initial)] = 1.0
+    matrix = chain.transition_matrix()
+    for step in range(max_steps + 1):
+        if total_variation_distance(distribution, pi) <= epsilon:
+            return step
+        distribution = distribution @ matrix
+    raise ModelError(
+        f"chain did not mix to epsilon={epsilon} within {max_steps} steps"
+    )
+
+
+def expected_hitting_steps(
+    chain: DiscreteTimeMarkovChain[State],
+    start: State,
+    targets: Sequence[State] | Callable[[State], bool],
+) -> float:
+    """Mean number of steps to first reach any target state from ``start``.
+
+    Solves the classic first-passage system ``h = 1 + P h`` restricted to
+    non-target states.  Returns 0 when ``start`` is itself a target.
+    """
+    if callable(targets):
+        target_indices = {
+            i for i, state in enumerate(chain.states) if targets(state)
+        }
+    else:
+        target_indices = {chain.index_of(state) for state in targets}
+    if not target_indices:
+        raise ModelError("at least one target state is required")
+    start_index = chain.index_of(start)
+    if start_index in target_indices:
+        return 0.0
+    others = [i for i in range(chain.size) if i not in target_indices]
+    position = {i: k for k, i in enumerate(others)}
+    matrix = chain.transition_matrix()
+    reduced = matrix[np.ix_(others, others)]
+    system = np.eye(len(others)) - reduced
+    rhs = np.ones(len(others))
+    try:
+        hitting = np.linalg.solve(system, rhs)
+    except np.linalg.LinAlgError as error:
+        raise ModelError(
+            f"hitting-time system is singular (targets unreachable?): {error}"
+        ) from error
+    if np.any(hitting < -1e-9):
+        raise ModelError("hitting-time solve produced negative times")
+    return float(hitting[position[start_index]])

@@ -1,0 +1,41 @@
+"""Analytical models of the paper.
+
+* :mod:`repro.models.exact_memory_priority` - Section 3.1.1 exact chain;
+* :mod:`repro.models.approx_memory_priority` - Section 3.2 combinational
+  approximation (plain and symmetrised);
+* :mod:`repro.models.processor_priority` - Section 4 reduced chain;
+* :mod:`repro.models.crossbar` - crossbar baselines (refs [1], [17]);
+* :mod:`repro.models.multiple_bus` - multiple-bus baseline (ref [5]);
+* :mod:`repro.models.combinatorics` / :mod:`repro.models.bandwidth` -
+  shared mathematical building blocks.
+"""
+
+from repro.models.approx_memory_priority import approximate_memory_priority_ebw
+from repro.models.bandwidth import ebw_from_busy_distribution, ebw_weight
+from repro.models.crossbar import crossbar_approximate_ebw, crossbar_exact_ebw
+from repro.models.exact_memory_priority import exact_memory_priority_ebw
+from repro.models.multiple_bus import (
+    minimum_buses_matching,
+    minimum_buses_matching_rate,
+    multiple_bus_approximate_ebw,
+    multiple_bus_exact_ebw,
+)
+from repro.models.processor_priority import (
+    ProcessorPriorityChain,
+    processor_priority_ebw,
+)
+
+__all__ = [
+    "exact_memory_priority_ebw",
+    "approximate_memory_priority_ebw",
+    "processor_priority_ebw",
+    "ProcessorPriorityChain",
+    "crossbar_exact_ebw",
+    "crossbar_approximate_ebw",
+    "multiple_bus_exact_ebw",
+    "multiple_bus_approximate_ebw",
+    "minimum_buses_matching",
+    "minimum_buses_matching_rate",
+    "ebw_weight",
+    "ebw_from_busy_distribution",
+]

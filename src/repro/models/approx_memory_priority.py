@@ -1,0 +1,69 @@
+"""Section 3.2: the combinational approximation with priority to memories.
+
+The exact chain of Section 3.1.1 is replaced by a memoryless profile: at
+the start of every processor cycle all ``n`` processors are assumed to
+submit fresh independent uniform requests, and requests directed to busy
+modules are discarded.  The number of busy modules then follows the
+classic distinct-modules distribution ``P(j) = C(m, j) Surj(n, j) / m^n``
+and the same useful-cycle weights as the exact model produce the EBW.
+
+Table 1 of the paper is symmetric in ``n`` and ``m``; the combinational
+expression is not.  The paper therefore suggests symmetrising with
+``n* = min(n, m)`` and ``m* = max(n, m)``; Table 2 prints the plain
+(non-symmetric) values.  Both variants are implemented.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Priority
+from repro.core.results import ModelResult
+from repro.models.bandwidth import ebw_from_busy_distribution
+from repro.models.combinatorics import distinct_modules_pmf
+
+
+def approximate_memory_priority_ebw(
+    config: SystemConfig, symmetric: bool = False
+) -> ModelResult:
+    """Evaluate the Section 3.2 combinational model for ``config``.
+
+    Parameters
+    ----------
+    config:
+        System description; requires ``p = 1``, unbuffered, priority to
+        memories (the model's hypotheses).
+    symmetric:
+        Apply the paper's symmetrisation ``(n, m) -> (min, max)``
+        suggested by the symmetry of the exact results.  Table 2 uses
+        ``False``.
+    """
+    _validate(config)
+    n, m = config.processors, config.memories
+    if symmetric:
+        n, m = min(n, m), max(n, m)
+    busy_pmf = distinct_modules_pmf(n, m)
+    ebw = ebw_from_busy_distribution(busy_pmf, config.memory_cycle_ratio)
+    method = "approx-memory-priority-symmetric" if symmetric else "approx-memory-priority"
+    return ModelResult(
+        config=config,
+        ebw=ebw,
+        method=method,
+        details={"distinct_profile_processors": float(n)},
+    )
+
+
+def _validate(config: SystemConfig) -> None:
+    if config.request_probability != 1.0:
+        raise ConfigurationError(
+            "the Section 3.2 model assumes p = 1 "
+            f"(got p = {config.request_probability})"
+        )
+    if config.buffered:
+        raise ConfigurationError(
+            "the Section 3.2 model covers the unbuffered system"
+        )
+    if config.priority is not Priority.MEMORIES:
+        raise ConfigurationError(
+            "the Section 3.2 model assumes priority to memories"
+        )

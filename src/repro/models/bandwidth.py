@@ -1,0 +1,55 @@
+"""The Section 3 effective-bandwidth weighting.
+
+Both the exact chain (Section 3.1.1) and the combinational approximation
+(Section 3.2) convert a distribution ``P(x)`` over the number of busy
+modules into an EBW through the same weights:
+
+* ``x <= r + 1`` (case a): all ``x`` busy modules complete during the
+  cycle; the useful-cycle fraction is ``(r + 2) / (r + 1 + x)``, so the
+  state contributes ``x (r + 2) / (r + 1 + x)``;
+* ``x >= r + 2`` (case b): the bus saturates at one transfer per cycle;
+  the state contributes the ceiling ``(r + 2) / 2``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.errors import ConfigurationError
+
+
+def ebw_weight(busy_modules: int, memory_cycle_ratio: int) -> float:
+    """Contribution of a state with ``x`` busy modules to the EBW."""
+    if busy_modules < 0:
+        raise ConfigurationError(f"busy module count must be >= 0: {busy_modules}")
+    if memory_cycle_ratio < 1:
+        raise ConfigurationError(f"r must be >= 1: {memory_cycle_ratio}")
+    r = memory_cycle_ratio
+    x = busy_modules
+    if x == 0:
+        return 0.0
+    if x <= r + 1:
+        return x * (r + 2) / (r + 1 + x)
+    return (r + 2) / 2.0
+
+
+def ebw_from_busy_distribution(
+    busy_pmf: Mapping[int, float], memory_cycle_ratio: int
+) -> float:
+    """EBW of a busy-module distribution under the Section 3 weights.
+
+    ``busy_pmf`` maps the number of busy modules ``x`` to its stationary
+    probability ``P(x)``; the paper's formula is
+
+        ``EBW = sum_{x<=r+1} x (r+2)/(r+1+x) P(x)
+              + sum_{x>=r+2} (r+2)/2 P(x)``.
+    """
+    total_probability = sum(busy_pmf.values())
+    if abs(total_probability - 1.0) > 1e-9:
+        raise ConfigurationError(
+            f"busy-module PMF sums to {total_probability}, expected 1"
+        )
+    return sum(
+        probability * ebw_weight(x, memory_cycle_ratio)
+        for x, probability in busy_pmf.items()
+    )

@@ -1,0 +1,147 @@
+"""Combinatorial helpers for the analytical models.
+
+Exact integer combinatorics (Stirling numbers of the second kind,
+surjection counts) and the classic distribution of the number of distinct
+memory modules addressed by ``n`` independent uniform requests - the
+memoryless building block of Section 3.2 and of the crossbar
+approximations (refs [1], [17] of the paper).
+"""
+
+from __future__ import annotations
+
+import functools
+from math import comb
+from typing import Iterator
+
+from repro.core.errors import ConfigurationError
+
+
+@functools.lru_cache(maxsize=None)
+def stirling2(n: int, k: int) -> int:
+    """Stirling number of the second kind ``S(n, k)``.
+
+    Counts the partitions of an ``n``-element set into ``k`` non-empty
+    unlabelled blocks.  Computed with the standard recurrence
+    ``S(n, k) = k S(n-1, k) + S(n-1, k-1)``.
+    """
+    if n < 0 or k < 0:
+        raise ConfigurationError(f"stirling2 needs n, k >= 0, got ({n}, {k})")
+    if n == 0 and k == 0:
+        return 1
+    if n == 0 or k == 0:
+        return 0
+    if k > n:
+        return 0
+    return k * stirling2(n - 1, k) + stirling2(n - 1, k - 1)
+
+
+def surjections(n: int, k: int) -> int:
+    """Number of surjections from an ``n``-set onto a ``k``-set.
+
+    Equals ``k! * S(n, k)``; this is the count written as a sum of
+    multinomial coefficients over positive compositions in the paper's
+    P2 expression (Section 4).
+    """
+    if n < 0 or k < 0:
+        raise ConfigurationError(f"surjections needs n, k >= 0, got ({n}, {k})")
+    return factorial(k) * stirling2(n, k)
+
+
+@functools.lru_cache(maxsize=None)
+def factorial(n: int) -> int:
+    """``n!`` with caching (tiny ``n`` throughout this library)."""
+    if n < 0:
+        raise ConfigurationError(f"factorial needs n >= 0, got {n}")
+    result = 1
+    for i in range(2, n + 1):
+        result *= i
+    return result
+
+
+def distinct_modules_pmf(requests: int, modules: int) -> dict[int, float]:
+    """PMF of the number of distinct modules hit by uniform requests.
+
+    ``P(j) = C(m, j) * Surj(n, j) / m^n`` for ``j`` distinct modules when
+    ``n`` processors each choose one of ``m`` modules independently and
+    uniformly.  This is the memoryless request profile underlying the
+    Section 3.2 combinational model.
+    """
+    if requests < 1:
+        raise ConfigurationError(f"requests must be >= 1, got {requests}")
+    if modules < 1:
+        raise ConfigurationError(f"modules must be >= 1, got {modules}")
+    total = modules**requests
+    pmf: dict[int, float] = {}
+    for j in range(1, min(requests, modules) + 1):
+        ways = comb(modules, j) * surjections(requests, j)
+        if ways:
+            pmf[j] = ways / total
+    return pmf
+
+
+def expected_distinct_modules(requests: int, modules: int) -> float:
+    """Closed form ``m (1 - (1 - 1/m)^n)`` - Strecker's approximation.
+
+    This is the classical expected number of distinct modules addressed,
+    i.e. the crossbar bandwidth approximation of ref [17].
+    """
+    if requests < 1:
+        raise ConfigurationError(f"requests must be >= 1, got {requests}")
+    if modules < 1:
+        raise ConfigurationError(f"modules must be >= 1, got {modules}")
+    return modules * (1.0 - (1.0 - 1.0 / modules) ** requests)
+
+
+def sole_requester_probability(processors: int, demanded: int) -> float:
+    """The paper's ``P2`` (Section 4).
+
+    Probability that the processor whose service just completed was the
+    *only* one requesting its module, conditioned on ``c = demanded``
+    distinct modules being demanded by the ``n = processors`` outstanding
+    requests.  Distributing the other ``n - 1`` processors so that the
+    remaining ``c - 1`` modules are all demanded, the served module is
+    empty in ``Surj(n-1, c-1)`` of the ``Surj(n-1, c-1) + Surj(n-1, c)``
+    equally-likely arrangements:
+
+        ``P2 = Surj(n-1, c-1) / (Surj(n-1, c-1) + Surj(n-1, c))``
+
+    Boundary behaviour matches the paper's model: ``P2 = 1`` when every
+    module has exactly one requester (``c = n``) and ``P2 = 0`` when all
+    processors pile on one module (``c = 1`` with ``n > 1``).
+    """
+    if processors < 1:
+        raise ConfigurationError(f"processors must be >= 1, got {processors}")
+    if not 1 <= demanded <= processors:
+        raise ConfigurationError(
+            f"demanded modules must lie in [1, processors], got {demanded}"
+        )
+    alone = surjections(processors - 1, demanded - 1)
+    shared = surjections(processors - 1, demanded)
+    total = alone + shared
+    if total == 0:
+        raise ConfigurationError(
+            f"no arrangement realises c={demanded} with n={processors}"
+        )
+    return alone / total
+
+
+def compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All weak compositions of ``total`` into ``parts`` ordered parts.
+
+    Exposed for tests that verify the surjection counts against the
+    paper's multinomial-sum formulation of P2.
+    """
+    if parts < 0 or total < 0:
+        raise ConfigurationError(
+            f"compositions needs total, parts >= 0, got ({total}, {parts})"
+        )
+    if parts == 0:
+        if total == 0:
+            yield ()
+        return
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for tail in compositions(total - head, parts - 1):
+            yield (head,) + tail

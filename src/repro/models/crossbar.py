@@ -1,0 +1,60 @@
+"""Crossbar reference models (the paper's comparison baseline).
+
+The paper compares the multiplexed single bus against a *non-multiplexed*
+``n x m`` crossbar whose basic cycle equals one processor cycle
+``(r + 2) t``.  In such a crossbar every busy module completes one request
+per cycle, so its EBW (requests serviced per processor cycle) is simply
+the stationary mean number of busy modules.
+
+Two classical evaluations are provided:
+
+* :func:`crossbar_exact_ebw` - the Bhandarkar exact Markov chain (ref
+  [1]): the occupancy chain with unlimited service width;
+* :func:`crossbar_approximate_ebw` - Strecker's memoryless closed form
+  ``m (1 - (1 - 1/m)^n)`` (ref [17]).
+
+Both are independent of ``r``: the crossbar's cycle is *defined* as the
+processor cycle, so EBW-per-processor-cycle depends only on ``n, m``.
+For large ``n = m`` the exact value approaches the well-known ``~0.6 n``
+mentioned in the paper's introduction.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.results import ModelResult
+from repro.markov.occupancy import OccupancyChain
+from repro.models.combinatorics import expected_distinct_modules
+
+
+def crossbar_exact_ebw(config: SystemConfig) -> ModelResult:
+    """Exact crossbar EBW via the Bhandarkar occupancy chain.
+
+    ``config.memory_cycle_ratio`` is carried through untouched so results
+    can sit on the same axes as single-bus evaluations; it does not affect
+    the value (see module docstring).  Requires ``p = 1``.
+    """
+    if config.request_probability != 1.0:
+        raise ConfigurationError(
+            "the exact crossbar chain assumes p = 1; "
+            "use the simulator for p < 1 crossbar estimates"
+        )
+    chain = OccupancyChain(
+        processors=config.processors,
+        modules=config.memories,
+        service_width=None,
+    )
+    ebw = chain.expected_busy()
+    return ModelResult(
+        config=config,
+        ebw=ebw,
+        method="crossbar-exact",
+        details={"states": float(chain.chain.size)},
+    )
+
+
+def crossbar_approximate_ebw(config: SystemConfig) -> ModelResult:
+    """Strecker's approximation ``m (1 - (1 - 1/m)^n)``."""
+    ebw = expected_distinct_modules(config.processors, config.memories)
+    return ModelResult(config=config, ebw=ebw, method="crossbar-approximate")

@@ -1,0 +1,62 @@
+"""Section 3.1.1: the exact Markov chain with priority to memories.
+
+With priority granted to memory modules and ``p = 1``, the paper shows
+the memory-service timing vector ``r`` can be disregarded and the sorted
+request-occupancy vector alone is a Markov state.  The chain is then the
+multiple-bus chain of ref [5] with service width ``b = r + 1`` (the bus
+serialisation admits at most ``r + 1`` completions per processor cycle),
+and the EBW applies the useful-cycle weights of :mod:`repro.models.bandwidth`.
+
+This model generates Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Priority
+from repro.core.results import ModelResult
+from repro.markov.occupancy import OccupancyChain
+from repro.models.bandwidth import ebw_from_busy_distribution
+
+
+def exact_memory_priority_ebw(config: SystemConfig) -> ModelResult:
+    """Evaluate the Section 3.1.1 exact chain for ``config``.
+
+    Requires ``p = 1``, no buffering and priority to memories - the
+    hypotheses under which the paper derives the model.
+    """
+    _validate(config)
+    chain = OccupancyChain(
+        processors=config.processors,
+        modules=config.memories,
+        service_width=config.memory_cycle_ratio + 1,
+    )
+    busy_pmf = chain.busy_distribution()
+    ebw = ebw_from_busy_distribution(busy_pmf, config.memory_cycle_ratio)
+    return ModelResult(
+        config=config,
+        ebw=ebw,
+        method="exact-memory-priority",
+        details={
+            "states": float(chain.chain.size),
+            "mean_busy_modules": chain.expected_busy(),
+        },
+    )
+
+
+def _validate(config: SystemConfig) -> None:
+    if config.request_probability != 1.0:
+        raise ConfigurationError(
+            "the Section 3.1.1 exact model assumes p = 1 "
+            f"(got p = {config.request_probability})"
+        )
+    if config.buffered:
+        raise ConfigurationError(
+            "the Section 3.1.1 exact model covers the unbuffered system"
+        )
+    if config.priority is not Priority.MEMORIES:
+        raise ConfigurationError(
+            "the Section 3.1.1 exact model assumes priority to memories; "
+            "use the Section 4 model for priority to processors"
+        )

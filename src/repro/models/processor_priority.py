@@ -1,0 +1,247 @@
+"""Section 4: the approximate reduced Markov chain, priority to processors.
+
+With priority to processors the exact chain of Section 3.1 would need the
+full per-module service-stage vector, which explodes combinatorially.
+The paper instead lumps the state into four scalars ``(i, c, e, b)``:
+
+* ``c`` - how many distinct memory modules are demanded (targeted by at
+  least one of the ``n`` outstanding requests, delivered or still held by
+  a processor);
+* ``i`` - how many modules are part-way through their ``r``-cycle access;
+* ``e`` - how many modules have completed the access but could not yet
+  return the result because the bus was unavailable;
+* ``b`` - bus status this cycle: ``0`` response transfer, ``1`` request
+  transfer, ``2`` idle.
+
+The chain steps once per *bus* cycle.  Four state classes exist:
+
+* class 0: ``(i, c, 0, 2)`` with ``i = c`` - bus idle; possible only when
+  every processor's request targets a busy module (requests to busy
+  modules are not eligible for the bus, hypothesis (h));
+* class 1: ``(i, c, e, 0)`` with ``1 + i + e = c`` - a response transfer
+  in progress (the on-bus module is the ``1``); priority to processors
+  makes a response possible only when no demanded module is idle, hence
+  the equality;
+* class 2: ``(i, c, e, 1)`` with ``1 + i + e = c`` - a request transfer
+  in progress to the only idle demanded module;
+* class 3: ``(i, c, e, 1)`` with ``1 + i + e < c`` - a request transfer
+  with further idle-but-demanded modules still waiting for delivery.
+
+Transition probabilities build on four quantities (paper notation):
+
+* ``P1 = i / r`` - probability that one of the ``i`` in-progress accesses
+  completes this cycle (module starts are serialised by the bus, so at
+  most one access can complete per bus cycle);
+* ``P2`` - probability that the just-served request was the *only* one
+  directed to its module (see
+  :func:`repro.models.combinatorics.sole_requester_probability`);
+* ``P3 = (c - 1) / m`` and ``P4 = c / m`` - probabilities that the served
+  processor's immediately re-issued request (``p = 1``) targets an
+  already-demanded module.
+
+The printed transition table in the only available scan of the paper is
+OCR-damaged; the table implemented here is re-derived from the state
+semantics above and validated two independent ways: it reproduces the
+paper's state-space size ``S = (3 v^2 + 3 v - 2) / 2`` for
+``r > v = min(n, m)`` (including the single unreachable state
+``(0, v, v-1, 0)``), and it reproduces Table 3(b) numerically.
+
+The EBW follows from the stationary bus utilisation (Section 2):
+``EBW = (1 - P[b = 2]) (r + 2) / 2``.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError, ModelError
+from repro.core.policy import Priority
+from repro.core.results import ModelResult
+from repro.markov.builder import build_chain
+from repro.markov.chain import DiscreteTimeMarkovChain
+from repro.models.combinatorics import sole_requester_probability
+
+ReducedState = tuple[int, int, int, int]
+"""``(i, c, e, b)`` - see module docstring."""
+
+BUS_RESPONSE = 0
+BUS_REQUEST = 1
+BUS_IDLE = 2
+
+
+def classify(state: ReducedState) -> int:
+    """The paper's class number (0-3) of a reduced state.
+
+    Raises :class:`ModelError` for vectors violating every class
+    constraint (useful to catch transition-function bugs in tests).
+    """
+    i, c, e, b = state
+    if i < 0 or c < 1 or e < 0:
+        raise ModelError(f"malformed reduced state {state!r}")
+    if b == BUS_IDLE and e == 0 and i == c:
+        return 0
+    if b == BUS_RESPONSE and 1 + i + e == c:
+        return 1
+    if b == BUS_REQUEST and 1 + i + e == c:
+        return 2
+    if b == BUS_REQUEST and 1 + i + e < c:
+        return 3
+    raise ModelError(f"state {state!r} matches no class constraint")
+
+
+class ProcessorPriorityChain:
+    """The Section 4 reduced chain for one ``(n, m, r)`` triple."""
+
+    def __init__(self, processors: int, modules: int, memory_cycle_ratio: int) -> None:
+        if processors < 1:
+            raise ConfigurationError(f"processors must be >= 1, got {processors}")
+        if modules < 1:
+            raise ConfigurationError(f"modules must be >= 1, got {modules}")
+        if memory_cycle_ratio < 1:
+            raise ConfigurationError(
+                f"memory_cycle_ratio must be >= 1, got {memory_cycle_ratio}"
+            )
+        self.processors = processors
+        self.modules = modules
+        self.memory_cycle_ratio = memory_cycle_ratio
+
+    # ------------------------------------------------------------------
+    # The P1..P4 probabilities (paper Section 4).
+    # ------------------------------------------------------------------
+    def p1(self, in_progress: int) -> float:
+        """Completion probability ``i / r`` for ``i`` accessing modules."""
+        if in_progress < 0 or in_progress > self.memory_cycle_ratio:
+            raise ModelError(
+                f"in-progress count {in_progress} outside [0, r={self.memory_cycle_ratio}]"
+            )
+        return in_progress / self.memory_cycle_ratio
+
+    def p2(self, demanded: int) -> float:
+        """Sole-requester probability for ``c`` demanded modules."""
+        return sole_requester_probability(self.processors, demanded)
+
+    def p3(self, demanded: int) -> float:
+        """Re-request hits one of the *other* ``c - 1`` demanded modules."""
+        return (demanded - 1) / self.modules
+
+    def p4(self, demanded: int) -> float:
+        """Re-request hits one of the ``c`` demanded modules."""
+        return demanded / self.modules
+
+    # ------------------------------------------------------------------
+    def transition(self, state: ReducedState) -> dict[ReducedState, float]:
+        """Successor distribution over one bus cycle."""
+        state_class = classify(state)
+        i, c, e, _ = state
+        p1 = self.p1(i)
+        successors: dict[ReducedState, float] = {}
+
+        def add(successor: ReducedState, probability: float) -> None:
+            if probability <= 0.0:
+                return
+            classify(successor)  # defensive: reject malformed successors
+            successors[successor] = successors.get(successor, 0.0) + probability
+
+        if state_class == 0:
+            # Bus idle, all c demanded modules mid-access.  A completion
+            # puts a response on the (free) bus next cycle.
+            add((i - 1, c, 0, BUS_RESPONSE), p1)
+            add((i, c, 0, BUS_IDLE), 1.0 - p1)
+            return successors
+
+        if state_class == 1:
+            # Response transfer completes this cycle: the served module is
+            # released, its processor immediately re-issues (p = 1).
+            p2, p3, p4 = self.p2(c), self.p3(c), self.p4(c)
+            to_new_module_kept = (1.0 - p2) * (1.0 - p4)
+            to_busy_or_released = p2 * (1.0 - p3) + (1.0 - p2) * p4
+            leaves_and_rejoins_busy = p2 * p3
+            # --- a second access also completed this cycle (prob p1) ---
+            add((i - 1, c - 1, e, BUS_RESPONSE), p1 * leaves_and_rejoins_busy)
+            add((i - 1, c, e + 1, BUS_REQUEST), p1 * to_busy_or_released)
+            add((i - 1, c + 1, e + 1, BUS_REQUEST), p1 * to_new_module_kept)
+            # --- no other completion (prob 1 - p1) ---
+            if e > 0:
+                add((i, c - 1, e - 1, BUS_RESPONSE), (1.0 - p1) * leaves_and_rejoins_busy)
+            else:
+                add((i, c - 1, 0, BUS_IDLE), (1.0 - p1) * leaves_and_rejoins_busy)
+            add((i, c, e, BUS_REQUEST), (1.0 - p1) * to_busy_or_released)
+            add((i, c + 1, e, BUS_REQUEST), (1.0 - p1) * to_new_module_kept)
+            return successors
+
+        if state_class == 2:
+            # Request transfer to the only idle demanded module; it starts
+            # its access next cycle.  No processor is served this cycle.
+            add((i, c, e, BUS_RESPONSE), p1)
+            if e > 0:
+                add((i + 1, c, e - 1, BUS_RESPONSE), 1.0 - p1)
+            else:
+                add((i + 1, c, 0, BUS_IDLE), 1.0 - p1)
+            return successors
+
+        # state_class == 3: request transfer with one more idle demanded
+        # module still waiting; processor priority keeps the bus on
+        # request transfers next cycle.
+        add((i, c, e + 1, BUS_REQUEST), p1)
+        add((i + 1, c, e, BUS_REQUEST), 1.0 - p1)
+        return successors
+
+    # ------------------------------------------------------------------
+    @functools.cached_property
+    def chain(self) -> DiscreteTimeMarkovChain[ReducedState]:
+        """The reachable reduced chain from the first-request state."""
+        initial: ReducedState = (0, 1, 0, BUS_REQUEST)
+        return build_chain(initial, self.transition)
+
+    @property
+    def state_count(self) -> int:
+        """Number of reachable states (paper: ``(3v^2+3v-2)/2`` for r > v)."""
+        return self.chain.size
+
+    def bus_idle_probability(self) -> float:
+        """Stationary probability that the bus is idle (``b = 2``)."""
+        pi = self.chain.stationary_distribution()
+        return float(
+            sum(
+                probability
+                for state, probability in zip(self.chain.states, pi)
+                if state[3] == BUS_IDLE
+            )
+        )
+
+    def ebw(self) -> float:
+        """Effective bandwidth ``(1 - P[idle]) (r + 2) / 2``."""
+        utilization = 1.0 - self.bus_idle_probability()
+        return utilization * (self.memory_cycle_ratio + 2) / 2.0
+
+
+def processor_priority_ebw(config: SystemConfig) -> ModelResult:
+    """Evaluate the Section 4 reduced chain for ``config``.
+
+    Requires ``p = 1``, no buffering and priority to processors.
+    """
+    if config.request_probability != 1.0:
+        raise ConfigurationError(
+            "the Section 4 model assumes p = 1 "
+            f"(got p = {config.request_probability})"
+        )
+    if config.buffered:
+        raise ConfigurationError("the Section 4 model covers the unbuffered system")
+    if config.priority is not Priority.PROCESSORS:
+        raise ConfigurationError(
+            "the Section 4 model assumes priority to processors; "
+            "use the Section 3 models for priority to memories"
+        )
+    model = ProcessorPriorityChain(
+        config.processors, config.memories, config.memory_cycle_ratio
+    )
+    return ModelResult(
+        config=config,
+        ebw=model.ebw(),
+        method="approx-processor-priority",
+        details={
+            "states": float(model.state_count),
+            "bus_idle_probability": model.bus_idle_probability(),
+        },
+    )

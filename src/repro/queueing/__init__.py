@@ -1,0 +1,47 @@
+"""Product-form queueing substrate for the Section 6 comparison."""
+
+from repro.queueing.bounds import (
+    ThroughputBounds,
+    asymptotic_bounds,
+    balanced_job_bounds,
+    bus_ceiling_matches_section2,
+)
+from repro.queueing.convolution import (
+    normalising_constants,
+    queueing_utilization,
+    throughput,
+)
+from repro.queueing.exponential_sim import (
+    CentralServerResult,
+    CentralServerSimulator,
+    ServiceDistribution,
+    simulate_central_server,
+)
+from repro.queueing.mva import MvaSolution, product_form_ebw, solve_mva
+from repro.queueing.network import (
+    ClosedNetwork,
+    Station,
+    StationKind,
+    buffered_bus_network,
+)
+
+__all__ = [
+    "ThroughputBounds",
+    "asymptotic_bounds",
+    "balanced_job_bounds",
+    "bus_ceiling_matches_section2",
+    "ClosedNetwork",
+    "Station",
+    "StationKind",
+    "buffered_bus_network",
+    "MvaSolution",
+    "solve_mva",
+    "product_form_ebw",
+    "normalising_constants",
+    "throughput",
+    "queueing_utilization",
+    "ServiceDistribution",
+    "CentralServerSimulator",
+    "CentralServerResult",
+    "simulate_central_server",
+]

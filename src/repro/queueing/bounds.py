@@ -1,0 +1,104 @@
+"""Asymptotic and balanced-job bounds for closed queueing networks.
+
+Classic operational-analysis bounds that bracket the exact MVA solution
+of the Section 6 product-form model without solving the recursion:
+
+* **asymptotic bounds** (Muntz-Wong / Denning-Buzen):
+  ``X(N) <= min(N / (D + Z), 1 / Dmax)`` and
+  ``X(N) >= N / (N D + Z)`` for FIFO demands totalling ``D``, bottleneck
+  demand ``Dmax`` and think time ``Z``;
+* **balanced-job bounds** (Zahorjan et al.), which tighten both sides
+  using the average demand.
+
+They serve two purposes here: cheap sanity envelopes in the tests, and
+the back-of-envelope analysis a designer would do before running the
+simulator - e.g. the bus-bound ceiling ``EBW <= (r+2)/2`` of Section 2
+is exactly the ``1/Dmax`` bound of the central-server model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.errors import ConfigurationError
+from repro.queueing.network import ClosedNetwork, StationKind
+
+
+@dataclasses.dataclass(frozen=True)
+class ThroughputBounds:
+    """Lower and upper bounds on the closed-network throughput ``X(N)``."""
+
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if self.lower > self.upper + 1e-12:
+            raise ConfigurationError(
+                f"inconsistent bounds: lower {self.lower} > upper {self.upper}"
+            )
+
+    def contains(self, value: float, slack: float = 1e-9) -> bool:
+        """Whether ``value`` lies inside the bounds (with float slack)."""
+        return self.lower - slack <= value <= self.upper + slack
+
+
+def _demand_summary(network: ClosedNetwork) -> tuple[float, float, float, int]:
+    """Total FIFO demand, bottleneck demand, think time, station count."""
+    total = 0.0
+    bottleneck = 0.0
+    think = 0.0
+    stations = 0
+    for station in network.stations:
+        if station.kind is StationKind.QUEUEING:
+            total += station.demand
+            bottleneck = max(bottleneck, station.demand)
+            stations += 1
+        else:
+            think += station.demand
+    if stations == 0 or total <= 0.0:
+        raise ConfigurationError("bounds need at least one loaded FIFO station")
+    return total, bottleneck, think, stations
+
+
+def asymptotic_bounds(network: ClosedNetwork) -> ThroughputBounds:
+    """The Denning-Buzen asymptotic bounds on ``X(N)``."""
+    total, bottleneck, think, _ = _demand_summary(network)
+    population = network.population
+    upper = min(population / (total + think), 1.0 / bottleneck)
+    lower = population / (population * total + think)
+    return ThroughputBounds(lower=lower, upper=upper)
+
+
+def balanced_job_bounds(network: ClosedNetwork) -> ThroughputBounds:
+    """Balanced-job bounds: tighter than asymptotic on both sides.
+
+    With total demand ``D``, bottleneck ``Dmax``, average ``Davg = D/K``
+    and think time ``Z`` (Zahorjan, Sevcik, Eager, Galler 1982):
+
+        ``N / (D + Z + (N-1) Dmax)  <=  X(N)  <=
+          N / (D + Z + (N-1) Davg * D / (D + Z/...))``
+
+    The implementation uses the standard simplified form with think time
+    folded in linearly, which preserves the bracketing property.
+    """
+    total, bottleneck, think, stations = _demand_summary(network)
+    population = network.population
+    average = total / stations
+    lower = population / (total + think + (population - 1) * bottleneck)
+    upper = population / (total + think + (population - 1) * average)
+    upper = min(upper, 1.0 / bottleneck)
+    return ThroughputBounds(lower=lower, upper=upper)
+
+
+def bus_ceiling_matches_section2(memory_cycle_ratio: int) -> float:
+    """The ``1/Dmax`` bound of the central-server model, in EBW units.
+
+    The bus station has demand 2 (two transfers per request), so
+    ``X <= 1/2`` requests per bus cycle; per processor cycle that is
+    exactly the Section 2 ceiling ``(r + 2) / 2``.
+    """
+    if memory_cycle_ratio < 1:
+        raise ConfigurationError(
+            f"memory_cycle_ratio must be >= 1, got {memory_cycle_ratio}"
+        )
+    return (memory_cycle_ratio + 2) / 2.0

@@ -1,0 +1,72 @@
+"""Buzen's convolution algorithm (ref [19]).
+
+An independent exact solver for the same product-form networks as
+:mod:`repro.queueing.mva`; having both lets the test suite cross-check
+two classic algorithms against each other.
+
+For a single-class network with single-server FIFO stations of demand
+``d_i`` and delay stations of demand ``z_j``, the normalising constant
+satisfies
+
+    ``G(k) = sum over populations`` - computed iteratively, station by
+    station, with the recurrences
+
+* FIFO station: ``g_new(k) = g_old(k) + d_i * g_new(k - 1)``;
+* delay station: ``g_new(k) = sum_{j=0..k} (z^j / j!) g_old(k - j)``.
+
+Throughput then follows from ``X(N) = G(N - 1) / G(N)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.errors import ConfigurationError
+from repro.queueing.network import ClosedNetwork, StationKind
+
+
+def normalising_constants(network: ClosedNetwork) -> list[float]:
+    """``[G(0), G(1), ..., G(N)]`` for the network.
+
+    Station demands are taken per network cycle; the constants are those
+    of the standard Gordon-Newell form.
+    """
+    size = network.population
+    g = [0.0] * (size + 1)
+    g[0] = 1.0
+    for station in network.stations:
+        demand = station.demand
+        if station.kind is StationKind.QUEUEING:
+            for k in range(1, size + 1):
+                g[k] = g[k] + demand * g[k - 1]
+        elif station.kind is StationKind.DELAY:
+            new = [0.0] * (size + 1)
+            for k in range(size + 1):
+                total = 0.0
+                for j in range(k + 1):
+                    total += (demand**j / math.factorial(j)) * g[k - j]
+                new[k] = total
+            g = new
+        else:  # pragma: no cover - enum is exhaustive
+            raise ConfigurationError(f"unsupported station kind {station.kind}")
+    return g
+
+
+def throughput(network: ClosedNetwork) -> float:
+    """Network throughput ``X(N) = G(N-1) / G(N)`` (cycles per time unit)."""
+    g = normalising_constants(network)
+    if g[network.population] <= 0.0:
+        raise ConfigurationError("degenerate network: zero normalising constant")
+    return g[network.population - 1] / g[network.population]
+
+
+def queueing_utilization(network: ClosedNetwork, station_name: str) -> float:
+    """Utilisation ``d_i X(N)`` of one queueing station."""
+    for station in network.stations:
+        if station.name == station_name:
+            if station.kind is not StationKind.QUEUEING:
+                raise ConfigurationError(
+                    f"{station_name!r} is not a queueing station"
+                )
+            return station.demand * throughput(network)
+    raise ConfigurationError(f"unknown station {station_name!r}")

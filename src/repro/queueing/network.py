@@ -1,0 +1,130 @@
+"""Closed queueing-network descriptions (Section 6 comparison substrate).
+
+The paper notes that, were the bus and memory service times exponential,
+the buffered system would be a product-form closed network (refs [18] -
+BCMP, [19] - Buzen, [20] - MVA) and could be solved analytically.  This
+module describes such networks; :mod:`repro.queueing.mva` and
+:mod:`repro.queueing.convolution` solve them.
+
+The central-server model of the buffered single-bus machine has:
+
+* one FIFO *bus* station, visited twice per memory request (request +
+  response transfers) with mean service 1 bus cycle;
+* ``m`` FIFO *memory* stations, each visited with ratio ``1/m`` and mean
+  service ``r``;
+* ``n`` circulating customers (the processors, ``p = 1``);
+* optionally a *delay* (infinite-server) station modelling internal
+  processing for ``p < 1``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+class StationKind(enum.Enum):
+    """Station types supported by the solvers."""
+
+    QUEUEING = "queueing"
+    """Single-server FIFO station."""
+
+    DELAY = "delay"
+    """Infinite-server (pure delay) station."""
+
+
+@dataclasses.dataclass(frozen=True)
+class Station:
+    """One service station of a closed network."""
+
+    name: str
+    kind: StationKind
+    visit_ratio: float
+    """Mean visits per network cycle (one complete memory request)."""
+    service_time: float
+    """Mean service time per visit."""
+
+    def __post_init__(self) -> None:
+        if self.visit_ratio < 0:
+            raise ConfigurationError(
+                f"visit ratio of {self.name!r} must be >= 0, got {self.visit_ratio}"
+            )
+        if self.service_time < 0:
+            raise ConfigurationError(
+                f"service time of {self.name!r} must be >= 0, got {self.service_time}"
+            )
+
+    @property
+    def demand(self) -> float:
+        """Service demand per network cycle: ``visit_ratio * service_time``."""
+        return self.visit_ratio * self.service_time
+
+
+@dataclasses.dataclass(frozen=True)
+class ClosedNetwork:
+    """A single-class closed queueing network."""
+
+    stations: tuple[Station, ...]
+    population: int
+
+    def __post_init__(self) -> None:
+        if self.population < 1:
+            raise ConfigurationError(
+                f"population must be >= 1, got {self.population}"
+            )
+        if not self.stations:
+            raise ConfigurationError("a network needs at least one station")
+        names = [station.name for station in self.stations]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(f"duplicate station names in {names}")
+
+    @property
+    def bottleneck_demand(self) -> float:
+        """The largest queueing-station demand (asymptotic bound)."""
+        demands = [
+            station.demand
+            for station in self.stations
+            if station.kind is StationKind.QUEUEING
+        ]
+        if not demands:
+            raise ConfigurationError("no queueing stations in the network")
+        return max(demands)
+
+    @property
+    def total_demand(self) -> float:
+        """Sum of all service demands (the no-contention cycle time)."""
+        return sum(station.demand for station in self.stations)
+
+
+def buffered_bus_network(config: SystemConfig) -> ClosedNetwork:
+    """The central-server model of the buffered single-bus machine.
+
+    One network cycle is one complete memory request: a bus request
+    transfer, one memory access, and a bus response transfer.  With
+    ``p < 1`` a delay station adds the mean internal-processing time
+    ``(r + 2)(1 - p)/p`` implied by the geometric think rule of
+    hypothesis (f).
+    """
+    r = config.memory_cycle_ratio
+    stations = [
+        Station("bus", StationKind.QUEUEING, visit_ratio=2.0, service_time=1.0)
+    ]
+    for k in range(config.memories):
+        stations.append(
+            Station(
+                f"memory-{k}",
+                StationKind.QUEUEING,
+                visit_ratio=1.0 / config.memories,
+                service_time=float(r),
+            )
+        )
+    p = config.request_probability
+    if p < 1.0:
+        think = config.processor_cycle * (1.0 - p) / p
+        stations.append(
+            Station("think", StationKind.DELAY, visit_ratio=1.0, service_time=think)
+        )
+    return ClosedNetwork(stations=tuple(stations), population=config.processors)

@@ -1,0 +1,17 @@
+"""Workload models: request-target generators and traces."""
+
+from repro.workloads.generators import (
+    HotSpotTargets,
+    TargetSampler,
+    TraceTargets,
+    UniformTargets,
+)
+from repro.workloads.trace import RequestTrace
+
+__all__ = [
+    "TargetSampler",
+    "UniformTargets",
+    "HotSpotTargets",
+    "TraceTargets",
+    "RequestTrace",
+]

@@ -1,0 +1,67 @@
+"""Request trace records and (de)serialisation.
+
+A :class:`RequestTrace` is a compact record of which module each
+processor targeted on each successive request.  Traces bridge the
+simulator and reproducible experiments: record once with
+``TraceRecorder``-style instrumentation, replay with
+:class:`repro.workloads.generators.TraceTargets`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestTrace:
+    """Per-processor sequences of requested module indices."""
+
+    modules: int
+    targets: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.modules < 1:
+            raise ConfigurationError(f"modules must be >= 1, got {self.modules}")
+        for processor, sequence in enumerate(self.targets):
+            for target in sequence:
+                if not 0 <= target < self.modules:
+                    raise ConfigurationError(
+                        f"processor {processor} targets unknown module {target}"
+                    )
+
+    @property
+    def processors(self) -> int:
+        """Number of processors recorded in the trace."""
+        return len(self.targets)
+
+    def to_json(self) -> str:
+        """Serialise to a JSON string."""
+        payload = {
+            "modules": self.modules,
+            "targets": [list(sequence) for sequence in self.targets],
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RequestTrace":
+        """Parse a trace previously produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(text)
+            modules = payload["modules"]
+            targets = tuple(tuple(seq) for seq in payload["targets"])
+        except (json.JSONDecodeError, KeyError, TypeError) as error:
+            raise ConfigurationError(f"malformed trace JSON: {error}") from error
+        return cls(modules=modules, targets=targets)
+
+    def save(self, path: str | Path) -> None:
+        """Write the trace to ``path`` as JSON."""
+        Path(path).write_text(self.to_json(), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RequestTrace":
+        """Read a trace previously written by :meth:`save`."""
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,53 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+
+# Property tests run simulations and chain solves; allow them time but
+# keep example counts bounded so the suite stays fast.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def small_config() -> SystemConfig:
+    """A tiny system for fast unit-level simulations."""
+    return SystemConfig(
+        processors=2,
+        memories=2,
+        memory_cycle_ratio=2,
+        priority=Priority.PROCESSORS,
+    )
+
+
+@pytest.fixture
+def paper_config() -> SystemConfig:
+    """The paper's favourite running example: 8 processors, 16 modules."""
+    return SystemConfig(
+        processors=8,
+        memories=16,
+        memory_cycle_ratio=8,
+        priority=Priority.PROCESSORS,
+    )
+
+
+@pytest.fixture
+def buffered_config() -> SystemConfig:
+    """A Section 6 buffered system."""
+    return SystemConfig(
+        processors=8,
+        memories=8,
+        memory_cycle_ratio=8,
+        priority=Priority.PROCESSORS,
+        buffered=True,
+    )

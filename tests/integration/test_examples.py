@@ -1,0 +1,64 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fastest one also runs end to
+end in a subprocess so its printed workflow stays healthy.  The longer
+examples are exercised indirectly (their building blocks are covered by
+the unit and integration suites) to keep the test run short.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import py_compile
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamplesCompile:
+    def test_examples_exist(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "design_space.py",
+            "buffered_memory.py",
+            "model_validation.py",
+            "simulation_methodology.py",
+        } <= names
+
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=lambda p: p.name
+    )
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize(
+        "path", ALL_EXAMPLES, ids=lambda p: p.name
+    )
+    def test_has_main_guard_and_docstring(self, path):
+        source = path.read_text(encoding="utf-8")
+        assert '"""' in source.split("\n", 2)[-1] or source.lstrip().startswith(
+            ('"""', "#!")
+        )
+        assert 'if __name__ == "__main__":' in source
+
+
+class TestQuickstartRuns:
+    def test_quickstart_end_to_end(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        out = completed.stdout
+        assert "cycle-accurate simulation" in out
+        assert "EBW" in out
+        assert "crossbar" in out
+        assert "buffered" in out

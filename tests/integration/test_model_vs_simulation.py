@@ -1,0 +1,88 @@
+"""Integration: analytical models cross-validated against the simulator.
+
+These tests close the loop the paper closes in its Section 5: the
+analytical models and the simulation must agree within a few percent,
+for both priority policies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus import simulate
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.models.approx_memory_priority import approximate_memory_priority_ebw
+from repro.models.exact_memory_priority import exact_memory_priority_ebw
+from repro.models.processor_priority import processor_priority_ebw
+
+
+class TestMemoryPriorityModels:
+    @pytest.mark.parametrize("n,m,r", [(4, 4, 6), (8, 8, 8), (8, 16, 8), (6, 4, 4)])
+    def test_exact_chain_tracks_simulation(self, n, m, r):
+        # The Section 3.1.1 chain lumps a processor cycle into one step;
+        # it tracks the cycle-accurate simulation within ~10%.
+        config = SystemConfig(n, m, r, priority=Priority.MEMORIES)
+        model = exact_memory_priority_ebw(config).ebw
+        sim = simulate(config, cycles=40_000, seed=7).ebw
+        assert model == pytest.approx(sim, rel=0.10)
+
+    @pytest.mark.parametrize("n,m,r", [(8, 8, 8), (8, 16, 8)])
+    def test_approximate_close_to_exact(self, n, m, r):
+        config = SystemConfig(n, m, r, priority=Priority.MEMORIES)
+        exact = exact_memory_priority_ebw(config).ebw
+        approx = approximate_memory_priority_ebw(config).ebw
+        assert approx == pytest.approx(exact, rel=0.09)
+
+
+class TestProcessorPriorityModel:
+    @pytest.mark.parametrize(
+        "m,r",
+        [(4, 2), (4, 12), (6, 6), (8, 8), (10, 6), (12, 10), (16, 12)],
+    )
+    def test_reduced_chain_tracks_simulation(self, m, r):
+        # The paper claims <= 5% disagreement "in almost any case" for
+        # its chain; the reconstruction achieves <= ~7.5% on the grid.
+        config = SystemConfig(8, m, r, priority=Priority.PROCESSORS)
+        model = processor_priority_ebw(config).ebw
+        sim = simulate(config, cycles=40_000, seed=11).ebw
+        assert model == pytest.approx(sim, rel=0.08)
+
+    def test_saturated_regime_exact(self):
+        config = SystemConfig(8, 8, 2, priority=Priority.PROCESSORS)
+        model = processor_priority_ebw(config).ebw
+        sim = simulate(config, cycles=40_000, seed=11).ebw
+        assert model == pytest.approx(sim, rel=0.005)
+
+
+class TestPolicyOrdering:
+    @pytest.mark.parametrize("n,m,r", [(8, 8, 8), (8, 16, 8), (4, 4, 6)])
+    def test_processor_priority_wins(self, n, m, r):
+        # Section 3: "the EBWs yielded by the bus arbitration policy g'
+        # are better than those obtained using policy g''" (p = 1).
+        g_prime = simulate(
+            SystemConfig(n, m, r, priority=Priority.PROCESSORS),
+            cycles=40_000,
+            seed=3,
+        ).ebw
+        g_second = simulate(
+            SystemConfig(n, m, r, priority=Priority.MEMORIES),
+            cycles=40_000,
+            seed=3,
+        ).ebw
+        assert g_prime >= g_second * 0.99
+
+
+class TestBufferingOrdering:
+    @pytest.mark.parametrize("n,m,r", [(8, 8, 8), (8, 4, 12), (8, 16, 10)])
+    def test_buffers_never_hurt(self, n, m, r):
+        config = SystemConfig(n, m, r, priority=Priority.PROCESSORS)
+        unbuffered = simulate(config, cycles=40_000, seed=5).ebw
+        buffered = simulate(config.with_buffers(), cycles=40_000, seed=5).ebw
+        assert buffered >= unbuffered * 0.99
+
+    def test_deeper_buffers_do_not_hurt(self):
+        config = SystemConfig(8, 4, 12, priority=Priority.PROCESSORS)
+        depth1 = simulate(config.with_buffers(1), cycles=40_000, seed=5).ebw
+        depth4 = simulate(config.with_buffers(4), cycles=40_000, seed=5).ebw
+        assert depth4 >= depth1 * 0.99

@@ -1,0 +1,121 @@
+"""Property tests for the discrete-event kernel and queueing solvers."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.des.engine import Engine
+from repro.queueing.convolution import throughput
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import ClosedNetwork, Station, StationKind
+
+
+class TestEngineProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=100.0),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_events_fire_in_nondecreasing_time_order(self, times):
+        engine = Engine()
+        fired = []
+        for t in times:
+            engine.schedule(t, lambda t=t: fired.append(engine.now))
+        engine.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(times)
+        assert engine.pending == 0
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=50.0),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_cancellation_drops_exactly_the_cancelled(self, schedule):
+        engine = Engine()
+        fired = []
+        expected = 0
+        for t, keep in schedule:
+            handle = engine.schedule(t, lambda t=t: fired.append(t))
+            if keep:
+                expected += 1
+            else:
+                handle.cancel()
+        engine.run()
+        assert len(fired) == expected
+
+
+@st.composite
+def closed_networks(draw):
+    stations = []
+    count = draw(st.integers(min_value=1, max_value=4))
+    for i in range(count):
+        stations.append(
+            Station(
+                name=f"q{i}",
+                kind=StationKind.QUEUEING,
+                visit_ratio=draw(st.floats(min_value=0.1, max_value=3.0)),
+                service_time=draw(st.floats(min_value=0.1, max_value=5.0)),
+            )
+        )
+    if draw(st.booleans()):
+        stations.append(
+            Station(
+                name="think",
+                kind=StationKind.DELAY,
+                visit_ratio=1.0,
+                service_time=draw(st.floats(min_value=0.0, max_value=10.0)),
+            )
+        )
+    population = draw(st.integers(min_value=1, max_value=12))
+    return ClosedNetwork(stations=tuple(stations), population=population)
+
+
+class TestQueueingProperties:
+    @given(closed_networks())
+    @settings(max_examples=40)
+    def test_mva_agrees_with_convolution(self, network):
+        assert np.isclose(
+            solve_mva(network).throughput,
+            throughput(network),
+            rtol=1e-8,
+        )
+
+    @given(closed_networks())
+    @settings(max_examples=40)
+    def test_throughput_respects_asymptotic_bounds(self, network):
+        # X(N) <= min(N / total demand, 1 / bottleneck demand).
+        x = solve_mva(network).throughput
+        assert x <= network.population / network.total_demand + 1e-9
+        assert x <= 1.0 / network.bottleneck_demand + 1e-9
+        assert x > 0.0
+
+    @given(closed_networks())
+    @settings(max_examples=30)
+    def test_queue_lengths_sum_to_population(self, network):
+        solution = solve_mva(network)
+        assert np.isclose(
+            sum(solution.queue_lengths.values()),
+            network.population,
+            rtol=1e-8,
+        )
+
+    @given(closed_networks())
+    @settings(max_examples=30)
+    def test_throughput_monotone_in_population(self, network):
+        bigger = ClosedNetwork(
+            stations=network.stations, population=network.population + 1
+        )
+        assert (
+            solve_mva(bigger).throughput
+            >= solve_mva(network).throughput - 1e-9
+        )

@@ -1,0 +1,97 @@
+"""Property tests for the Markov substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.markov.chain import DiscreteTimeMarkovChain
+from repro.markov.occupancy import OccupancyChain, canonical
+
+
+@st.composite
+def random_irreducible_chain(draw):
+    """A random chain with strictly positive rows (hence irreducible)."""
+    size = draw(st.integers(min_value=2, max_value=6))
+    rows = []
+    for _ in range(size):
+        weights = draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0),
+                min_size=size,
+                max_size=size,
+            )
+        )
+        total = sum(weights)
+        rows.append({j: w / total for j, w in enumerate(weights)})
+    return DiscreteTimeMarkovChain(list(range(size)), rows)
+
+
+class TestChainProperties:
+    @given(random_irreducible_chain())
+    def test_stationary_is_distribution(self, chain):
+        pi = chain.stationary_distribution()
+        assert np.all(pi >= -1e-12)
+        assert np.isclose(pi.sum(), 1.0)
+
+    @given(random_irreducible_chain())
+    def test_stationary_is_fixed_point(self, chain):
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi @ chain.transition_matrix(), pi, atol=1e-9)
+
+    @given(random_irreducible_chain())
+    def test_power_matches_direct(self, chain):
+        direct = chain.stationary_distribution("direct")
+        power = chain.stationary_distribution("power")
+        assert np.allclose(direct, power, atol=1e-7)
+
+    @given(random_irreducible_chain())
+    def test_positive_chains_are_irreducible(self, chain):
+        assert chain.is_irreducible()
+
+
+class TestOccupancyProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=9) | st.none(),
+    )
+    def test_rows_are_distributions(self, n, m, b):
+        chain = OccupancyChain(n, m, service_width=b)
+        for state in chain.chain.states:
+            row = chain.transition(state)
+            assert abs(sum(row.values()) - 1.0) < 1e-9
+            for successor in row:
+                assert sum(successor) == n
+                assert len(successor) <= m
+
+    @given(
+        st.integers(min_value=1, max_value=7),
+        st.integers(min_value=1, max_value=7),
+    )
+    def test_busy_distribution_properties(self, n, m):
+        chain = OccupancyChain(n, m, service_width=None)
+        busy = chain.busy_distribution()
+        assert abs(sum(busy.values()) - 1.0) < 1e-9
+        assert all(1 <= x <= min(n, m) for x in busy)
+
+    @given(
+        st.integers(min_value=2, max_value=7),
+        st.integers(min_value=2, max_value=7),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_width_monotonicity(self, n, m, b):
+        # More service width can only increase mean completions.
+        narrow = OccupancyChain(n, m, service_width=b).expected_completions()
+        wide = OccupancyChain(n, m, service_width=b + 1).expected_completions()
+        assert wide >= narrow - 1e-9
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=9), max_size=8)
+    )
+    def test_canonical_idempotent(self, counts):
+        once = canonical(counts)
+        assert canonical(once) == once
+        assert list(once) == sorted(once, reverse=True)
+        assert all(v > 0 for v in once)

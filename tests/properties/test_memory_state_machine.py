@@ -1,0 +1,150 @@
+"""Stateful property test of the memory-module state machine.
+
+Hypothesis drives random but legal sequences of the three external
+operations (deliver a request, advance a cycle, take a response) against
+a :class:`~repro.bus.memory.MemoryModule` and cross-checks it against a
+simple reference model of what must hold: FIFO ordering, request
+conservation, capacity limits and service-time lower bounds.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.bus.memory import MemoryModule, PendingRequest
+
+
+class MemoryModuleMachine(RuleBasedStateMachine):
+    """Random walks over the buffered module's external interface."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.access_cycles = 3
+        self.depth = 2
+        self.module = MemoryModule(
+            index=0,
+            access_cycles=self.access_cycles,
+            input_depth=self.depth,
+            output_depth=self.depth,
+        )
+        self.cycle = 0
+        self.next_processor = 0
+        self.delivered: list[int] = []  # processors, in delivery order
+        self.returned: list[int] = []  # processors, in response order
+        self.delivery_cycle: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    @precondition(lambda self: self.module.can_accept())
+    @rule()
+    def deliver(self) -> None:
+        processor = self.next_processor
+        self.next_processor += 1
+        self.module.deliver_request(
+            PendingRequest(processor=processor, issue_cycle=self.cycle)
+        )
+        self.delivered.append(processor)
+        self.delivery_cycle[processor] = self.cycle
+
+    @rule(steps=st.integers(min_value=1, max_value=6))
+    def advance(self, steps: int) -> None:
+        for _ in range(steps):
+            self.cycle += 1
+            self.module.tick(self.cycle)
+
+    @precondition(lambda self: self.module.response_ready)
+    @rule()
+    def take(self) -> None:
+        response = self.module.take_response()
+        self.returned.append(response.processor)
+        # Service-time lower bound: a response can only exist after the
+        # request's delivery plus one full access.
+        assert (
+            self.cycle >= self.delivery_cycle[response.processor] + self.access_cycles
+        )
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def conservation(self) -> None:
+        inside = self.module.in_flight()
+        assert inside == len(self.delivered) - len(self.returned)
+        assert 0 <= inside <= 2 + 2 * self.depth
+
+    @invariant()
+    def fifo_order(self) -> None:
+        # Responses come back in exactly the delivery order (single
+        # module, FIFO buffers - Section 6 hypothesis 2).
+        assert self.returned == self.delivered[: len(self.returned)]
+
+    @invariant()
+    def acceptance_consistent(self) -> None:
+        if self.module.can_accept():
+            assert self.module.input_backlog < self.depth or (
+                not self.module.accessing and not self.module.stalled
+            )
+
+
+TestMemoryModuleStateMachine = MemoryModuleMachine.TestCase
+TestMemoryModuleStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=60, deadline=None
+)
+
+
+class UnbufferedModuleMachine(RuleBasedStateMachine):
+    """The same walk over the unbuffered (Section 2) module."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.access_cycles = 2
+        self.module = MemoryModule(index=0, access_cycles=self.access_cycles)
+        self.cycle = 0
+        self.next_processor = 0
+        self.outstanding: int | None = None
+        self.delivered_at = 0
+
+    @precondition(lambda self: self.module.can_accept())
+    @rule()
+    def deliver(self) -> None:
+        processor = self.next_processor
+        self.next_processor += 1
+        self.module.deliver_request(
+            PendingRequest(processor=processor, issue_cycle=self.cycle)
+        )
+        self.outstanding = processor
+        self.delivered_at = self.cycle
+
+    @rule(steps=st.integers(min_value=1, max_value=5))
+    def advance(self, steps: int) -> None:
+        for _ in range(steps):
+            self.cycle += 1
+            self.module.tick(self.cycle)
+
+    @precondition(lambda self: self.module.response_ready)
+    @rule()
+    def take(self) -> None:
+        response = self.module.take_response()
+        assert response.processor == self.outstanding
+        assert self.cycle >= self.delivered_at + self.access_cycles
+        self.outstanding = None
+
+    @invariant()
+    def one_request_at_a_time(self) -> None:
+        # Hypothesis (h): the module holds at most one request, and it
+        # accepts a new one only when completely empty.
+        assert self.module.in_flight() in (0, 1)
+        if self.outstanding is not None:
+            assert not self.module.can_accept()
+        else:
+            assert self.module.can_accept()
+
+
+TestUnbufferedModuleStateMachine = UnbufferedModuleMachine.TestCase
+TestUnbufferedModuleStateMachine.settings = settings(
+    max_examples=30, stateful_step_count=50, deadline=None
+)

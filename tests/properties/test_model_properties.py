@@ -1,0 +1,111 @@
+"""Property tests for the analytical models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.models.approx_memory_priority import approximate_memory_priority_ebw
+from repro.models.bandwidth import ebw_weight
+from repro.models.combinatorics import (
+    distinct_modules_pmf,
+    sole_requester_probability,
+    stirling2,
+    surjections,
+)
+from repro.models.exact_memory_priority import exact_memory_priority_ebw
+from repro.models.processor_priority import ProcessorPriorityChain
+
+sizes = st.integers(min_value=1, max_value=8)
+ratios = st.integers(min_value=1, max_value=12)
+
+
+class TestCombinatoricsProperties:
+    @given(st.integers(min_value=0, max_value=12), st.integers(min_value=0, max_value=12))
+    def test_stirling_recurrence(self, n, k):
+        if n >= 1 and k >= 1:
+            assert stirling2(n, k) == k * stirling2(n - 1, k) + stirling2(
+                n - 1, k - 1
+            )
+
+    @given(st.integers(min_value=1, max_value=10))
+    def test_surjections_onto_n_is_factorial(self, n):
+        import math
+
+        assert surjections(n, n) == math.factorial(n)
+
+    @given(sizes, sizes)
+    def test_distinct_pmf_is_distribution(self, n, m):
+        pmf = distinct_modules_pmf(n, m)
+        assert abs(sum(pmf.values()) - 1.0) < 1e-12
+        assert all(1 <= j <= min(n, m) for j in pmf)
+
+    @given(st.integers(min_value=2, max_value=10))
+    def test_sole_requester_probability_in_unit_interval(self, n):
+        for c in range(1, n + 1):
+            p2 = sole_requester_probability(n, c)
+            assert 0.0 <= p2 <= 1.0
+
+
+class TestBandwidthProperties:
+    @given(st.integers(min_value=0, max_value=40), ratios)
+    def test_weight_bounds(self, x, r):
+        weight = ebw_weight(x, r)
+        assert 0.0 <= weight <= (r + 2) / 2 + 1e-12
+        if 1 <= x:
+            assert weight >= 1.0 - 1e-12
+
+
+class TestModelProperties:
+    @given(sizes, sizes, ratios)
+    def test_exact_model_bounds(self, n, m, r):
+        config = SystemConfig(n, m, r, priority=Priority.MEMORIES)
+        ebw = exact_memory_priority_ebw(config).ebw
+        assert 0.0 < ebw <= config.max_ebw + 1e-9
+        # EBW can never exceed the number of processors or modules per
+        # processor cycle either.
+        assert ebw <= min(n, m) + 1e-9
+
+    @given(sizes, sizes, ratios)
+    def test_approximate_model_bounds(self, n, m, r):
+        config = SystemConfig(n, m, r, priority=Priority.MEMORIES)
+        ebw = approximate_memory_priority_ebw(config).ebw
+        assert 0.0 < ebw <= config.max_ebw + 1e-9
+
+    @given(sizes, sizes, ratios)
+    def test_reduced_chain_bounds(self, n, m, r):
+        chain = ProcessorPriorityChain(n, m, r)
+        ebw = chain.ebw()
+        assert 0.0 < ebw <= (r + 2) / 2 + 1e-9
+        assert 0.0 <= chain.bus_idle_probability() <= 1.0
+
+    @given(sizes, sizes, ratios)
+    def test_reduced_chain_rows_sum_to_one(self, n, m, r):
+        chain = ProcessorPriorityChain(n, m, r)
+        for state in chain.chain.states:
+            assert sum(chain.transition(state).values()) == pytest.approx(1.0)
+
+    @given(sizes, sizes)
+    def test_reduced_chain_state_count_formula(self, n, m):
+        # For r > v the reachable count is (3v^2+3v-2)/2, except in the
+        # degenerate v=1 systems (single processor or single module)
+        # where exactly 3 states cycle: request on bus, access in
+        # progress, response on bus.
+        v = min(n, m)
+        chain = ProcessorPriorityChain(n, m, v + 3)
+        if v == 1:
+            assert chain.state_count == 3
+        else:
+            assert chain.state_count == (3 * v * v + 3 * v - 2) // 2
+
+    @given(st.integers(min_value=2, max_value=8), ratios)
+    def test_more_memories_do_not_hurt_exact_model(self, n, r):
+        config_small = SystemConfig(n, 4, r, priority=Priority.MEMORIES)
+        config_large = SystemConfig(n, 8, r, priority=Priority.MEMORIES)
+        assert (
+            exact_memory_priority_ebw(config_large).ebw
+            >= exact_memory_priority_ebw(config_small).ebw - 1e-9
+        )

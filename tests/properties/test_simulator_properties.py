@@ -1,0 +1,101 @@
+"""Property tests for the cycle-accurate simulator.
+
+Random small configurations are simulated for a few hundred cycles with
+conservation audits after every step; the invariants here are the
+machine-level truths any parameterisation must satisfy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bus import MultiplexedBusSystem
+from repro.bus.trace import TraceEventKind, TraceRecorder
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority, TieBreak
+
+
+@st.composite
+def system_configs(draw):
+    return SystemConfig(
+        processors=draw(st.integers(min_value=1, max_value=6)),
+        memories=draw(st.integers(min_value=1, max_value=6)),
+        memory_cycle_ratio=draw(st.integers(min_value=1, max_value=6)),
+        request_probability=draw(st.sampled_from([0.3, 0.7, 1.0])),
+        priority=draw(st.sampled_from(list(Priority))),
+        buffered=draw(st.booleans()),
+        tie_break=draw(st.sampled_from(list(TieBreak))),
+    )
+
+
+class TestInvariants:
+    @given(system_configs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20)
+    def test_conservation_under_random_configs(self, config, seed):
+        system = MultiplexedBusSystem(config, seed=seed)
+        for _ in range(300):
+            system.step()
+            system.audit()
+
+    @given(system_configs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20)
+    def test_transfer_accounting(self, config, seed):
+        recorder = TraceRecorder()
+        system = MultiplexedBusSystem(config, seed=seed, trace=recorder)
+        cycles = 250
+        for _ in range(cycles):
+            system.step()
+        # Exactly one bus event per cycle.
+        assert len(recorder.bus_events()) == cycles
+        # Responses never outnumber requests; the gap is bounded by the
+        # requests that can sit inside the machine.
+        capacity = config.processors
+        assert system.response_transfers <= system.request_transfers
+        assert system.request_transfers - system.response_transfers <= capacity
+        assert system.completions == system.response_transfers
+
+    @given(system_configs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15)
+    def test_ebw_bounds(self, config, seed):
+        system = MultiplexedBusSystem(config, seed=seed)
+        cycles = 800
+        result = system.run(cycles, warmup=100)
+        # Steady state obeys EBW <= (r+2)/2; a finite window can exceed
+        # it by at most the n completions whose request transfers
+        # happened before the window opened.
+        edge_allowance = config.processors * config.processor_cycle / cycles
+        assert 0.0 <= result.ebw <= config.max_ebw + edge_allowance + 1e-9
+        assert 0.0 <= result.bus_utilization <= 1.0
+        assert 0.0 <= result.memory_utilization <= 1.0
+
+    @given(system_configs())
+    @settings(max_examples=10)
+    def test_determinism(self, config):
+        results = [
+            MultiplexedBusSystem(config, seed=99).run(400, warmup=50)
+            for _ in range(2)
+        ]
+        assert results[0].completions == results[1].completions
+        assert results[0].total_latency == results[1].total_latency
+
+    @given(system_configs(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=15)
+    def test_latency_at_least_processor_cycle(self, config, seed):
+        recorder = TraceRecorder()
+        system = MultiplexedBusSystem(config, seed=seed, trace=recorder)
+        for _ in range(400):
+            system.step()
+        # Every response arrives at least r+1 cycles after its request
+        # transfer (access + response transfer).
+        pending: dict[int, int] = {}
+        for event in recorder.events:
+            if event.kind is TraceEventKind.REQUEST_TRANSFER:
+                pending[event.processor] = event.cycle
+            elif event.kind is TraceEventKind.RESPONSE_TRANSFER:
+                started = pending.pop(event.processor, None)
+                if started is not None:
+                    assert (
+                        event.cycle - started
+                        >= config.memory_cycle_ratio + 1
+                    )

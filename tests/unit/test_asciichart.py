@@ -1,0 +1,109 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ExperimentError
+from repro.experiments.asciichart import render_chart
+from repro.experiments.registry import ExperimentResult
+
+
+def make_result() -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id="demo",
+        title="Demo figure",
+        row_label="curve",
+        column_label="r",
+        rows=("low", "high"),
+        columns=("r=2", "r=4", "r=8"),
+        measured={
+            ("low", "r=2"): 1.0,
+            ("low", "r=4"): 1.5,
+            ("low", "r=8"): 2.0,
+            ("high", "r=2"): 2.0,
+            ("high", "r=4"): 3.0,
+            ("high", "r=8"): 4.0,
+        },
+    )
+
+
+class TestRenderChart:
+    def test_contains_title_axis_and_legend(self):
+        chart = render_chart(make_result())
+        assert "Demo figure" in chart
+        assert "legend:" in chart
+        assert "o = low" in chart
+        assert "x = high" in chart
+        assert "2" in chart and "8" in chart  # x-axis labels
+
+    def test_extreme_values_on_boundary_rows(self):
+        chart = render_chart(make_result(), height=10)
+        lines = chart.split("\n")
+        plot_lines = [line for line in lines if "|" in line]
+        # Max (4.0, glyph x) on the top plot row, min (1.0, glyph o) on
+        # the bottom one.
+        assert "x" in plot_lines[0]
+        assert "o" in plot_lines[-1]
+
+    def test_flat_series_renders(self):
+        result = ExperimentResult(
+            experiment_id="flat",
+            title="Flat",
+            row_label="curve",
+            column_label="r",
+            rows=("flat",),
+            columns=("r=1", "r=2"),
+            measured={("flat", "r=1"): 2.0, ("flat", "r=2"): 2.0},
+        )
+        chart = render_chart(result)
+        plot = "\n".join(line for line in chart.split("\n") if "|" in line)
+        assert plot.count("o") == 2
+
+    def test_missing_points_skipped(self):
+        result = ExperimentResult(
+            experiment_id="gap",
+            title="Gap",
+            row_label="curve",
+            column_label="r",
+            rows=("gappy",),
+            columns=("r=1", "r=2", "r=3"),
+            measured={("gappy", "r=1"): 1.0, ("gappy", "r=3"): 3.0},
+        )
+        chart = render_chart(result)
+        plot = "\n".join(line for line in chart.split("\n") if "|" in line)
+        assert plot.count("o") == 2
+
+    def test_rejects_tiny_height(self):
+        with pytest.raises(ExperimentError):
+            render_chart(make_result(), height=2)
+
+    def test_rejects_empty(self):
+        empty = ExperimentResult(
+            experiment_id="none",
+            title="None",
+            row_label="curve",
+            column_label="r",
+            rows=(),
+            columns=(),
+            measured={},
+        )
+        with pytest.raises(ExperimentError):
+            render_chart(empty)
+
+
+class TestRunnerChartIntegration:
+    def test_chart_flag_renders_figures(self, capsys):
+        from repro.experiments.runner import main
+
+        # fast + chart on the cheapest figure
+        assert main(["figure3", "--fast", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+    def test_fast_flag_accepted_for_tables(self, capsys):
+        from repro.experiments.runner import main
+
+        assert main(["table1", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out

@@ -1,0 +1,63 @@
+"""Unit tests for :mod:`repro.models.bandwidth` (Section 3 EBW weights)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.models.bandwidth import ebw_from_busy_distribution, ebw_weight
+
+
+class TestEbwWeight:
+    def test_zero_busy_contributes_nothing(self):
+        assert ebw_weight(0, 8) == 0.0
+
+    def test_single_busy_module(self):
+        # x = 1: weight = (r+2)/(r+2) = 1 completion per processor cycle.
+        for r in (1, 4, 9, 24):
+            assert ebw_weight(1, r) == pytest.approx(1.0)
+
+    def test_case_a_formula(self):
+        # x <= r+1: x (r+2)/(r+1+x).
+        assert ebw_weight(2, 9) == pytest.approx(2 * 11 / 12)
+        assert ebw_weight(5, 9) == pytest.approx(5 * 11 / 15)
+
+    def test_case_b_saturation(self):
+        # x >= r+2: the ceiling (r+2)/2.
+        assert ebw_weight(4, 2) == pytest.approx(2.0)
+        assert ebw_weight(100, 2) == pytest.approx(2.0)
+
+    def test_continuous_at_boundary(self):
+        # At x = r+1 case a gives (r+1)(r+2)/(2r+2) = (r+2)/2 = case b.
+        for r in (1, 3, 8):
+            assert ebw_weight(r + 1, r) == pytest.approx((r + 2) / 2)
+
+    def test_weight_bounded_by_ceiling(self):
+        for r in (1, 2, 8):
+            for x in range(0, 3 * r):
+                assert ebw_weight(x, r) <= (r + 2) / 2 + 1e-12
+
+    def test_monotone_in_busy_modules(self):
+        r = 6
+        weights = [ebw_weight(x, r) for x in range(0, 20)]
+        assert weights == sorted(weights)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            ebw_weight(-1, 4)
+        with pytest.raises(ConfigurationError):
+            ebw_weight(2, 0)
+
+
+class TestEbwFromDistribution:
+    def test_table1_hand_case(self):
+        # n=m=2, r=9: P(1)=P(2)=1/2 gives the paper's 1.417.
+        ebw = ebw_from_busy_distribution({1: 0.5, 2: 0.5}, 9)
+        assert ebw == pytest.approx(1.417, abs=5e-4)
+
+    def test_point_mass(self):
+        assert ebw_from_busy_distribution({3: 1.0}, 9) == pytest.approx(3 * 11 / 13)
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ConfigurationError, match="sums to"):
+            ebw_from_busy_distribution({1: 0.4, 2: 0.4}, 9)

@@ -1,0 +1,85 @@
+"""Unit tests for :mod:`repro.bus.arbiter`."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.bus.arbiter import (
+    BusArbiter,
+    GrantKind,
+    RequestCandidate,
+    ResponseCandidate,
+)
+from repro.core.policy import Priority, TieBreak
+from repro.des.rng import RandomStream
+
+
+def make_arbiter(priority: Priority, tie_break: TieBreak = TieBreak.RANDOM):
+    return BusArbiter(priority, tie_break, RandomStream(9, "arbitration"))
+
+
+REQUESTS = [
+    RequestCandidate(processor=0, module=1, issue_cycle=5),
+    RequestCandidate(processor=1, module=2, issue_cycle=3),
+]
+RESPONSES = [
+    ResponseCandidate(module=0, ready_cycle=4),
+    ResponseCandidate(module=3, ready_cycle=2),
+]
+
+
+class TestPriority:
+    def test_processors_first(self):
+        arbiter = make_arbiter(Priority.PROCESSORS)
+        grant = arbiter.arbitrate(REQUESTS, RESPONSES)
+        assert grant.kind is GrantKind.REQUEST
+
+    def test_memories_first(self):
+        arbiter = make_arbiter(Priority.MEMORIES)
+        grant = arbiter.arbitrate(REQUESTS, RESPONSES)
+        assert grant.kind is GrantKind.RESPONSE
+
+    def test_falls_back_to_other_class(self):
+        arbiter = make_arbiter(Priority.PROCESSORS)
+        grant = arbiter.arbitrate([], RESPONSES)
+        assert grant.kind is GrantKind.RESPONSE
+        arbiter = make_arbiter(Priority.MEMORIES)
+        grant = arbiter.arbitrate(REQUESTS, [])
+        assert grant.kind is GrantKind.REQUEST
+
+    def test_idle_when_no_candidates(self):
+        arbiter = make_arbiter(Priority.PROCESSORS)
+        assert arbiter.arbitrate([], []) is None
+
+
+class TestTieBreaks:
+    def test_random_covers_all_candidates(self):
+        arbiter = make_arbiter(Priority.PROCESSORS, TieBreak.RANDOM)
+        chosen = Counter(
+            arbiter.arbitrate(REQUESTS, []).processor for _ in range(400)
+        )
+        assert set(chosen) == {0, 1}
+        # Roughly uniform (hypothesis (h): random arbitration).
+        assert 120 < chosen[0] < 280
+
+    def test_fcfs_requests_pick_oldest(self):
+        arbiter = make_arbiter(Priority.PROCESSORS, TieBreak.FCFS)
+        grant = arbiter.arbitrate(REQUESTS, [])
+        assert grant.processor == 1  # issue_cycle 3 < 5
+
+    def test_fcfs_responses_pick_oldest(self):
+        arbiter = make_arbiter(Priority.MEMORIES, TieBreak.FCFS)
+        grant = arbiter.arbitrate([], RESPONSES)
+        assert grant.module == 3  # ready_cycle 2 < 4
+
+    def test_single_candidate_fast_path(self):
+        arbiter = make_arbiter(Priority.PROCESSORS)
+        grant = arbiter.arbitrate([REQUESTS[0]], [])
+        assert grant.processor == 0
+        assert grant.module == 1
+
+    def test_response_grant_has_no_processor(self):
+        arbiter = make_arbiter(Priority.MEMORIES)
+        grant = arbiter.arbitrate([], [RESPONSES[0]])
+        assert grant.processor is None
+        assert grant.module == 0

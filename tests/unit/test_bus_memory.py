@@ -1,0 +1,151 @@
+"""Unit tests for :mod:`repro.bus.memory`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus.memory import MemoryModule, PendingRequest
+from repro.core.errors import SimulationError
+
+
+def request(processor: int = 0, issue_cycle: int = 0) -> PendingRequest:
+    return PendingRequest(processor=processor, issue_cycle=issue_cycle)
+
+
+class TestUnbufferedLifecycle:
+    def test_initially_idle_and_accepting(self):
+        module = MemoryModule(0, access_cycles=3)
+        assert module.can_accept()
+        assert not module.accessing
+        assert not module.response_ready
+
+    def test_access_takes_exactly_r_cycles(self):
+        module = MemoryModule(0, access_cycles=3)
+        module.deliver_request(request())  # delivered end of cycle 0
+        for cycle in (1, 2):
+            module.tick(cycle)
+            assert not module.response_ready
+        module.tick(3)
+        assert module.response_ready
+        # Ready for the bus from cycle 4 = T + r + 1.
+        assert module.oldest_response_ready_cycle == 4
+
+    def test_busy_module_rejects_requests(self):
+        # Hypothesis (h): requests to busy modules are not even eligible.
+        module = MemoryModule(0, access_cycles=2)
+        module.deliver_request(request())
+        assert not module.can_accept()
+        module.tick(1)
+        module.tick(2)
+        # Result waiting: still not accepting until the response leaves.
+        assert module.response_ready
+        assert not module.can_accept()
+
+    def test_module_occupied_until_response_taken(self):
+        module = MemoryModule(0, access_cycles=1)
+        module.deliver_request(request(processor=5))
+        module.tick(1)
+        taken = module.take_response()
+        assert taken.processor == 5
+        assert module.can_accept()
+        assert module.in_flight() == 0
+
+    def test_deliver_while_ineligible_raises(self):
+        module = MemoryModule(0, access_cycles=2)
+        module.deliver_request(request())
+        with pytest.raises(SimulationError, match="ineligible"):
+            module.deliver_request(request(processor=1))
+
+    def test_take_response_without_result_raises(self):
+        with pytest.raises(SimulationError):
+            MemoryModule(0, access_cycles=2).take_response()
+
+    def test_busy_cycle_accounting(self):
+        module = MemoryModule(0, access_cycles=4)
+        module.deliver_request(request())
+        for cycle in range(1, 5):
+            module.tick(cycle)
+        module.tick(5)  # idle tick (result waiting)
+        assert module.busy_cycles == 4
+        assert module.services_started == 1
+
+
+class TestBufferedLifecycle:
+    def test_accepts_into_input_buffer_while_busy(self):
+        module = MemoryModule(0, access_cycles=3, input_depth=1, output_depth=1)
+        module.deliver_request(request(processor=0))
+        assert module.can_accept()  # input buffer empty
+        module.deliver_request(request(processor=1))
+        assert module.input_backlog == 1
+        assert not module.can_accept()  # input buffer full
+
+    def test_back_to_back_service(self):
+        # Section 6: "a memory module can now be busy servicing different
+        # requests in contiguous bus cycles".
+        module = MemoryModule(0, access_cycles=2, input_depth=1, output_depth=1)
+        module.deliver_request(request(processor=0))
+        module.deliver_request(request(processor=1))
+        module.tick(1)
+        module.tick(2)  # first access done; second starts immediately
+        assert module.response_ready
+        assert module.accessing
+        module.tick(3)
+        module.tick(4)
+        # Second result blocked? No - output depth 1 holds the first;
+        # the second finished access stalls.
+        assert module.stalled
+
+    def test_stall_resolves_after_response_taken(self):
+        module = MemoryModule(0, access_cycles=1, input_depth=1, output_depth=1)
+        module.deliver_request(request(processor=0))
+        module.deliver_request(request(processor=1))
+        module.tick(1)  # first done -> output; second starts
+        module.tick(2)  # second done -> output full -> stall
+        assert module.stalled
+        module.take_response()  # bus drains the output at end of cycle 2
+        module.tick(3)  # stalled result moves to output
+        assert not module.stalled
+        assert module.response_ready
+        assert module.stall_cycles >= 1
+
+    def test_fifo_response_order(self):
+        module = MemoryModule(0, access_cycles=1, input_depth=2, output_depth=2)
+        module.deliver_request(request(processor=0))
+        module.deliver_request(request(processor=1))
+        module.tick(1)
+        module.tick(2)
+        assert module.take_response().processor == 0
+        assert module.take_response().processor == 1
+
+    def test_deeper_buffers_hold_more(self):
+        module = MemoryModule(0, access_cycles=5, input_depth=3, output_depth=3)
+        module.deliver_request(request(processor=0))
+        for processor in (1, 2, 3):
+            assert module.can_accept()
+            module.deliver_request(request(processor=processor))
+        assert not module.can_accept()
+        assert module.in_flight() == 4
+
+    def test_idle_buffered_module_serves_directly(self):
+        module = MemoryModule(0, access_cycles=2, input_depth=1, output_depth=1)
+        module.deliver_request(request())
+        assert module.accessing
+        assert module.input_backlog == 0
+
+
+class TestValidation:
+    def test_rejects_bad_access_cycles(self):
+        with pytest.raises(SimulationError):
+            MemoryModule(0, access_cycles=0)
+
+    def test_rejects_negative_depths(self):
+        with pytest.raises(SimulationError):
+            MemoryModule(0, access_cycles=1, input_depth=-1, output_depth=-1)
+
+    def test_rejects_mismatched_buffering(self):
+        with pytest.raises(SimulationError):
+            MemoryModule(0, access_cycles=1, input_depth=1, output_depth=0)
+
+    def test_ready_cycle_without_response_raises(self):
+        with pytest.raises(SimulationError):
+            _ = MemoryModule(0, access_cycles=1).oldest_response_ready_cycle

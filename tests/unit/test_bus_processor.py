@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.bus.processor`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bus.processor import Processor, ProcessorState
+from repro.core.errors import SimulationError
+from repro.des.rng import RandomStream
+from repro.workloads.generators import TraceTargets
+
+
+def make_processor(p: float = 1.0, cycle: int = 4, targets=None) -> Processor:
+    if targets is None:
+        targets = TraceTargets([[0, 1, 0, 1, 0, 1, 0, 1]], modules=2)
+    return Processor(
+        index=0,
+        request_probability=p,
+        processor_cycle=cycle,
+        targets=targets,
+        think_stream=RandomStream(1, "think"),
+    )
+
+
+class TestLifecycle:
+    def test_start_issues_first_request(self):
+        processor = make_processor()
+        processor.start(cycle=0)
+        assert processor.state is ProcessorState.REQUESTING
+        assert processor.target == 0
+        assert processor.issue_cycle == 0
+        assert processor.has_pending_request
+
+    def test_delivery_moves_to_awaiting(self):
+        processor = make_processor()
+        processor.start(0)
+        processor.request_delivered()
+        assert processor.state is ProcessorState.AWAITING
+        assert not processor.has_pending_request
+
+    def test_response_with_p_one_reissues_next_cycle(self):
+        processor = make_processor(p=1.0)
+        processor.start(0)
+        processor.request_delivered()
+        processor.response_received(cycle=5)
+        # p = 1: thinking resolves instantly at the next cycle boundary.
+        processor.on_cycle_start(6)
+        assert processor.state is ProcessorState.REQUESTING
+        assert processor.issue_cycle == 6
+        assert processor.target == 1  # second trace entry
+
+    def test_latency_recorded(self):
+        processor = make_processor()
+        processor.start(0)
+        processor.request_delivered()
+        processor.response_received(cycle=5)
+        assert processor.completions == 1
+        assert processor.total_latency == 6  # cycles 0..5 inclusive
+
+    def test_delivery_without_request_raises(self):
+        processor = make_processor()
+        processor.start(0)
+        processor.request_delivered()
+        with pytest.raises(SimulationError):
+            processor.request_delivered()
+
+    def test_response_without_delivery_raises(self):
+        processor = make_processor()
+        processor.start(0)
+        with pytest.raises(SimulationError):
+            processor.response_received(3)
+
+
+class TestThinking:
+    def test_thinking_processor_does_not_wake_early(self):
+        # Force failures: p tiny with a stream that draws many failures.
+        processor = make_processor(p=0.5, cycle=10)
+        processor.start(0)
+        processor.request_delivered()
+        processor.response_received(cycle=0)
+        wake = processor._wake_cycle
+        if wake > 1:
+            processor.on_cycle_start(1)
+            assert processor.state is ProcessorState.THINKING
+
+    def test_wake_cycles_quantised_to_processor_cycle(self):
+        # Wake must be at cycle+1 plus a multiple of the processor cycle
+        # (hypothesis (f): requests only at processor-cycle boundaries).
+        processor = make_processor(p=0.3, cycle=7)
+        processor.start(0)
+        for completion in range(30):
+            processor.request_delivered()
+            end = processor._wake_cycle + 5
+            processor.response_received(cycle=end)
+            assert (processor._wake_cycle - (end + 1)) % 7 == 0
+            processor.on_cycle_start(processor._wake_cycle)
+            assert processor.state is ProcessorState.REQUESTING
+
+    def test_p_one_never_thinks_extra_cycles(self):
+        processor = make_processor(p=1.0)
+        processor.start(0)
+        for end in (3, 9, 15):
+            processor.request_delivered()
+            processor.response_received(cycle=end)
+            assert processor._wake_cycle == end + 1
+            processor.on_cycle_start(end + 1)
+
+
+class TestValidation:
+    def test_rejects_tiny_processor_cycle(self):
+        with pytest.raises(SimulationError):
+            make_processor(cycle=2)

@@ -1,0 +1,94 @@
+"""Unit tests for :mod:`repro.bus.trace`."""
+
+from __future__ import annotations
+
+from repro.bus import MultiplexedBusSystem
+from repro.bus.trace import (
+    NullTrace,
+    TraceEvent,
+    TraceEventKind,
+    TraceRecorder,
+)
+from repro.core.config import SystemConfig
+
+
+class TestRecorder:
+    def test_records_in_order(self):
+        recorder = TraceRecorder()
+        recorder.record(TraceEvent(0, TraceEventKind.BUS_IDLE))
+        recorder.record(TraceEvent(1, TraceEventKind.REQUEST_TRANSFER, 0, 1))
+        assert [e.cycle for e in recorder.events] == [0, 1]
+
+    def test_of_kind(self):
+        recorder = TraceRecorder()
+        recorder.record(TraceEvent(0, TraceEventKind.BUS_IDLE))
+        recorder.record(TraceEvent(1, TraceEventKind.RESPONSE_TRANSFER, 0, 1))
+        assert len(recorder.of_kind(TraceEventKind.BUS_IDLE)) == 1
+        assert len(recorder.of_kind(TraceEventKind.REQUEST_TRANSFER)) == 0
+
+    def test_null_trace_discards(self):
+        sink = NullTrace()
+        sink.record(TraceEvent(0, TraceEventKind.BUS_IDLE))  # no error, no state
+
+
+class TestSystemIntegration:
+    def test_every_cycle_has_exactly_one_bus_event(self):
+        recorder = TraceRecorder()
+        config = SystemConfig(4, 4, 3)
+        system = MultiplexedBusSystem(config, seed=1, trace=recorder)
+        cycles = 300
+        for _ in range(cycles):
+            system.step()
+        bus_events = recorder.bus_events()
+        assert len(bus_events) == cycles
+        assert [e.cycle for e in bus_events] == list(range(cycles))
+
+    def test_transfer_counts_match_system_counters(self):
+        recorder = TraceRecorder()
+        config = SystemConfig(4, 4, 3)
+        system = MultiplexedBusSystem(config, seed=1, trace=recorder)
+        for _ in range(500):
+            system.step()
+        requests = recorder.of_kind(TraceEventKind.REQUEST_TRANSFER)
+        responses = recorder.of_kind(TraceEventKind.RESPONSE_TRANSFER)
+        assert len(requests) == system.request_transfers
+        assert len(responses) == system.response_transfers
+
+    def test_request_response_alternate_per_processor(self):
+        # For any single processor the trace must alternate strictly:
+        # request, response, request, response, ...
+        recorder = TraceRecorder()
+        config = SystemConfig(3, 3, 2)
+        system = MultiplexedBusSystem(config, seed=2, trace=recorder)
+        for _ in range(600):
+            system.step()
+        for processor in range(3):
+            kinds = [
+                event.kind
+                for event in recorder.events
+                if event.processor == processor
+                and event.kind
+                in (TraceEventKind.REQUEST_TRANSFER, TraceEventKind.RESPONSE_TRANSFER)
+            ]
+            for i, kind in enumerate(kinds):
+                expected = (
+                    TraceEventKind.REQUEST_TRANSFER
+                    if i % 2 == 0
+                    else TraceEventKind.RESPONSE_TRANSFER
+                )
+                assert kind is expected
+
+    def test_response_cycle_at_least_r_plus_1_after_request(self):
+        recorder = TraceRecorder()
+        config = SystemConfig(4, 4, 5)
+        system = MultiplexedBusSystem(config, seed=3, trace=recorder)
+        for _ in range(800):
+            system.step()
+        last_request: dict[int, int] = {}
+        for event in recorder.events:
+            if event.kind is TraceEventKind.REQUEST_TRANSFER:
+                last_request[event.processor] = event.cycle
+            elif event.kind is TraceEventKind.RESPONSE_TRANSFER:
+                if event.processor in last_request:
+                    gap = event.cycle - last_request[event.processor]
+                    assert gap >= config.memory_cycle_ratio + 1

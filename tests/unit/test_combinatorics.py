@@ -1,0 +1,182 @@
+"""Unit tests for :mod:`repro.models.combinatorics`."""
+
+from __future__ import annotations
+
+from math import comb
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.models.combinatorics import (
+    compositions,
+    distinct_modules_pmf,
+    expected_distinct_modules,
+    factorial,
+    sole_requester_probability,
+    stirling2,
+    surjections,
+)
+
+
+class TestStirling:
+    @pytest.mark.parametrize(
+        "n,k,expected",
+        [(0, 0, 1), (1, 1, 1), (3, 2, 3), (4, 2, 7), (5, 3, 25), (7, 3, 301)],
+    )
+    def test_known_values(self, n, k, expected):
+        assert stirling2(n, k) == expected
+
+    def test_zero_cases(self):
+        assert stirling2(3, 0) == 0
+        assert stirling2(0, 3) == 0
+        assert stirling2(2, 5) == 0
+
+    def test_row_sum_is_bell_number(self):
+        # Bell(5) = 52.
+        assert sum(stirling2(5, k) for k in range(6)) == 52
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            stirling2(-1, 2)
+
+
+class TestSurjections:
+    @pytest.mark.parametrize(
+        "n,k,expected",
+        [(3, 2, 6), (4, 2, 14), (4, 4, 24), (7, 4, 8400), (5, 1, 1)],
+    )
+    def test_known_values(self, n, k, expected):
+        assert surjections(n, k) == expected
+
+    def test_matches_composition_count(self):
+        # Surjections onto k labeled blocks = sum of multinomials over
+        # positive compositions - the form printed in the paper's P2.
+        n, k = 6, 3
+        total = 0
+        for composition in compositions(n, k):
+            if all(part > 0 for part in composition):
+                ways = factorial(n)
+                for part in composition:
+                    ways //= factorial(part)
+                total += ways
+        assert surjections(n, k) == total
+
+    def test_factorial(self):
+        assert factorial(0) == 1
+        assert factorial(5) == 120
+        with pytest.raises(ConfigurationError):
+            factorial(-1)
+
+
+class TestDistinctModulesPmf:
+    def test_sums_to_one(self):
+        for n, m in [(2, 2), (4, 2), (8, 16), (16, 4)]:
+            assert sum(distinct_modules_pmf(n, m).values()) == pytest.approx(1.0)
+
+    def test_two_processors_two_modules(self):
+        pmf = distinct_modules_pmf(2, 2)
+        assert pmf[1] == pytest.approx(0.5)
+        assert pmf[2] == pytest.approx(0.5)
+
+    def test_four_processors_two_modules(self):
+        # P(all four on one module) = 2/16.
+        pmf = distinct_modules_pmf(4, 2)
+        assert pmf[1] == pytest.approx(1 / 8)
+        assert pmf[2] == pytest.approx(7 / 8)
+
+    def test_support_bounded_by_min(self):
+        pmf = distinct_modules_pmf(3, 10)
+        assert max(pmf) == 3
+        pmf = distinct_modules_pmf(10, 3)
+        assert max(pmf) == 3
+
+    def test_mean_matches_closed_form(self):
+        for n, m in [(4, 4), (8, 16), (5, 3)]:
+            pmf = distinct_modules_pmf(n, m)
+            mean = sum(j * p for j, p in pmf.items())
+            assert mean == pytest.approx(expected_distinct_modules(n, m))
+
+    def test_closed_form_known_value(self):
+        # Strecker for n=m=2: 2 (1 - 1/4) = 1.5.
+        assert expected_distinct_modules(2, 2) == pytest.approx(1.5)
+
+    def test_crossbar_limit_is_0_6n(self):
+        # The paper's introduction: crossbar bandwidth ~ 0.6 n for large
+        # n = m (1 - 1/e ~ 0.632).
+        n = 64
+        assert expected_distinct_modules(n, n) / n == pytest.approx(0.63, abs=0.01)
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ConfigurationError):
+            distinct_modules_pmf(0, 2)
+        with pytest.raises(ConfigurationError):
+            expected_distinct_modules(2, 0)
+
+
+class TestSoleRequesterProbability:
+    def test_boundary_all_distinct(self):
+        # c = n: every module has exactly one requester, so the served
+        # one was certainly alone.
+        assert sole_requester_probability(4, 4) == 1.0
+
+    def test_boundary_single_module(self):
+        # c = 1 with n > 1: everyone piled on the served module.
+        assert sole_requester_probability(4, 1) == 0.0
+
+    def test_single_processor(self):
+        assert sole_requester_probability(1, 1) == 1.0
+
+    def test_paper_formula_structure(self):
+        # P2 = Surj(n-1, c-1) / (Surj(n-1, c-1) + Surj(n-1, c)).
+        n, c = 8, 4
+        expected = surjections(7, 3) / (surjections(7, 3) + surjections(7, 4))
+        assert sole_requester_probability(n, c) == pytest.approx(expected)
+
+    def test_monotone_in_demanded(self):
+        # More demanded modules spread requesters thinner: P2 grows in c.
+        values = [sole_requester_probability(8, c) for c in range(1, 9)]
+        assert values == sorted(values)
+
+    def test_matches_exhaustive_enumeration(self):
+        # Brute-force check on a small case: distribute n-1=3 processors
+        # over c=2 labeled modules with the other c-1 all nonempty.
+        n, c = 4, 2
+        alone = shared = 0
+        for assignment in compositions(n - 1, c):
+            others_nonempty = all(part > 0 for part in assignment[1:])
+            if not others_nonempty:
+                continue
+            ways = factorial(n - 1)
+            for part in assignment:
+                ways //= factorial(part)
+            if assignment[0] == 0:
+                alone += ways
+            else:
+                shared += ways
+        assert sole_requester_probability(n, c) == pytest.approx(
+            alone / (alone + shared)
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            sole_requester_probability(4, 0)
+        with pytest.raises(ConfigurationError):
+            sole_requester_probability(4, 5)
+
+
+class TestCompositions:
+    def test_counts(self):
+        assert len(list(compositions(4, 2))) == comb(5, 1)
+        assert len(list(compositions(5, 3))) == comb(7, 2)
+
+    def test_zero_parts(self):
+        assert list(compositions(0, 0)) == [()]
+        assert list(compositions(3, 0)) == []
+
+    def test_all_sum_correctly(self):
+        for composition in compositions(6, 3):
+            assert sum(composition) == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            list(compositions(-1, 2))

@@ -1,0 +1,147 @@
+"""Unit tests for :mod:`repro.des.engine` and :mod:`repro.des.events`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.des.engine import Engine
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(3.0, lambda: fired.append("c"))
+        engine.schedule(1.0, lambda: fired.append("a"))
+        engine.schedule(2.0, lambda: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_priority_then_insertion(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append("late"), priority=5)
+        engine.schedule(1.0, lambda: fired.append("first"), priority=0)
+        engine.schedule(1.0, lambda: fired.append("second"), priority=0)
+        engine.run()
+        assert fired == ["first", "second", "late"]
+
+    def test_clock_advances_to_event_times(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [2.5]
+        assert engine.now == 2.5
+
+    def test_schedule_in_past_rejected(self):
+        engine = Engine()
+        engine.schedule(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            engine.schedule(1.0, lambda: None)
+
+    def test_schedule_after(self):
+        engine = Engine()
+        times = []
+        engine.schedule(1.0, lambda: engine.schedule_after(2.0, lambda: times.append(engine.now)))
+        engine.run()
+        assert times == [3.0]
+
+    def test_schedule_after_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError, match="non-negative"):
+            engine.schedule_after(-1.0, lambda: None)
+
+    def test_events_scheduled_at_current_time_fire(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: engine.schedule(1.0, lambda: fired.append("x")))
+        engine.run()
+        assert fired == ["x"]
+
+
+class TestRunBounds:
+    def test_run_until_stops_before_later_events(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        engine.run()
+        assert fired == [1, 10]
+
+    def test_run_until_advances_clock_when_no_events(self):
+        engine = Engine()
+        engine.run(until=7.0)
+        assert engine.now == 7.0
+
+    def test_max_events(self):
+        engine = Engine()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            engine.schedule(t, lambda t=t: fired.append(t))
+        engine.run(max_events=2)
+        assert fired == [1.0, 2.0]
+
+    def test_run_not_reentrant(self):
+        engine = Engine()
+        error = {}
+
+        def reenter():
+            try:
+                engine.run()
+            except SimulationError as exc:
+                error["raised"] = str(exc)
+
+        engine.schedule(1.0, reenter)
+        engine.run()
+        assert "re-entrant" in error["raised"]
+
+    def test_step(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        assert engine.step() is True
+        assert fired == [1]
+        assert engine.step() is False
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        engine = Engine()
+        fired = []
+        handle = engine.schedule(1.0, lambda: fired.append("x"))
+        handle.cancel()
+        engine.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_cancel_is_idempotent(self):
+        engine = Engine()
+        handle = engine.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        handle = engine.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert engine.pending == 1
+
+    def test_processed_counts_fired_events(self):
+        engine = Engine()
+        for t in (1.0, 2.0):
+            engine.schedule(t, lambda: None)
+        engine.run()
+        assert engine.processed == 2
+
+    def test_handle_reports_time(self):
+        engine = Engine()
+        handle = engine.schedule(4.5, lambda: None)
+        assert handle.time == 4.5

@@ -1,0 +1,146 @@
+"""Unit tests for :mod:`repro.des.processes`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.des.engine import Engine
+from repro.des.processes import Acquire, ProcessRunner, Timeout
+
+
+def make_runner():
+    engine = Engine()
+    return engine, ProcessRunner(engine)
+
+
+class TestTimeout:
+    def test_process_sleeps(self):
+        engine, runner = make_runner()
+        log = []
+
+        def process():
+            yield Timeout(5.0)
+            log.append(engine.now)
+
+        runner.start(process())
+        engine.run()
+        assert log == [5.0]
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SimulationError):
+            Timeout(-1.0)
+
+    def test_sequential_timeouts_accumulate(self):
+        engine, runner = make_runner()
+        log = []
+
+        def process():
+            yield Timeout(1.0)
+            log.append(engine.now)
+            yield Timeout(2.0)
+            log.append(engine.now)
+
+        runner.start(process())
+        engine.run()
+        assert log == [1.0, 3.0]
+
+
+class TestFifoResource:
+    def test_mutual_exclusion(self):
+        engine, runner = make_runner()
+        resource = runner.resource("server")
+        log = []
+
+        def customer(name, service):
+            yield Acquire(resource)
+            start = engine.now
+            yield Timeout(service)
+            resource.release()
+            log.append((name, start, engine.now))
+
+        runner.start(customer("a", 3.0))
+        runner.start(customer("b", 2.0))
+        engine.run()
+        # b waits until a releases at t=3, then serves during [3, 5].
+        assert log == [("a", 0.0, 3.0), ("b", 3.0, 5.0)]
+
+    def test_fifo_order(self):
+        engine, runner = make_runner()
+        resource = runner.resource("server")
+        order = []
+
+        def customer(name):
+            yield Acquire(resource)
+            order.append(name)
+            yield Timeout(1.0)
+            resource.release()
+
+        for name in ("first", "second", "third"):
+            runner.start(customer(name))
+        engine.run()
+        assert order == ["first", "second", "third"]
+
+    def test_multi_server(self):
+        engine, runner = make_runner()
+        resource = runner.resource("server", servers=2)
+        finish = []
+
+        def customer():
+            yield Acquire(resource)
+            yield Timeout(4.0)
+            resource.release()
+            finish.append(engine.now)
+
+        for _ in range(3):
+            runner.start(customer())
+        engine.run()
+        # Two run in parallel [0,4]; the third [4,8].
+        assert finish == [4.0, 4.0, 8.0]
+
+    def test_queue_length_and_busy(self):
+        engine, runner = make_runner()
+        resource = runner.resource("server")
+        snapshots = {}
+
+        def holder():
+            yield Acquire(resource)
+            yield Timeout(10.0)
+            resource.release()
+
+        def waiter():
+            yield Timeout(1.0)
+            yield Acquire(resource)
+            resource.release()
+
+        def probe():
+            yield Timeout(5.0)
+            snapshots["busy"] = resource.busy
+            snapshots["queue"] = resource.queue_length
+
+        runner.start(holder())
+        runner.start(waiter())
+        runner.start(probe())
+        engine.run()
+        assert snapshots == {"busy": 1, "queue": 1}
+
+    def test_release_of_idle_resource_rejected(self):
+        _, runner = make_runner()
+        resource = runner.resource("server")
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_zero_servers_rejected(self):
+        _, runner = make_runner()
+        with pytest.raises(SimulationError):
+            runner.resource("server", servers=0)
+
+    def test_unknown_command_rejected(self):
+        engine, runner = make_runner()
+
+        def bad():
+            yield "not-a-command"
+
+        runner.start(bad())
+        with pytest.raises(SimulationError, match="unknown command"):
+            engine.run()

@@ -1,0 +1,113 @@
+"""Unit tests for :mod:`repro.des.rng`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des.rng import RandomStream, StreamFactory, derive_seed, mean_and_half_width
+
+
+class TestSeedDerivation:
+    def test_deterministic(self):
+        assert derive_seed(42, "targets") == derive_seed(42, "targets")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "targets") != derive_seed(42, "arbitration")
+
+    def test_differs_by_master_seed(self):
+        assert derive_seed(1, "targets") != derive_seed(2, "targets")
+
+
+class TestRandomStream:
+    def test_reproducible_sequences(self):
+        a = RandomStream(7, "s")
+        b = RandomStream(7, "s")
+        assert [a.uniform_index(10) for _ in range(50)] == [
+            b.uniform_index(10) for _ in range(50)
+        ]
+
+    def test_uniform_index_range(self):
+        stream = RandomStream(1, "s")
+        values = {stream.uniform_index(4) for _ in range(200)}
+        assert values == {0, 1, 2, 3}
+
+    def test_uniform_index_rejects_zero_bound(self):
+        with pytest.raises(ValueError):
+            RandomStream(1, "s").uniform_index(0)
+
+    def test_choice(self):
+        stream = RandomStream(1, "s")
+        items = ["a", "b", "c"]
+        assert all(stream.choice(items) in items for _ in range(50))
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomStream(1, "s").choice([])
+
+    def test_bernoulli_certain(self):
+        stream = RandomStream(1, "s")
+        assert all(stream.bernoulli(1.0) for _ in range(20))
+        assert not any(stream.bernoulli(0.0) for _ in range(20))
+
+    def test_bernoulli_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            RandomStream(1, "s").bernoulli(1.5)
+
+    def test_geometric_failures_zero_for_certain_success(self):
+        stream = RandomStream(1, "s")
+        assert stream.geometric_failures(1.0) == 0
+
+    def test_geometric_failures_mean(self):
+        stream = RandomStream(3, "s")
+        p = 0.25
+        draws = [stream.geometric_failures(p) for _ in range(4_000)]
+        mean = sum(draws) / len(draws)
+        assert mean == pytest.approx((1 - p) / p, rel=0.1)
+
+    def test_geometric_rejects_zero_probability(self):
+        with pytest.raises(ValueError):
+            RandomStream(1, "s").geometric_failures(0.0)
+
+    def test_exponential_mean(self):
+        stream = RandomStream(5, "s")
+        draws = [stream.exponential(4.0) for _ in range(4_000)]
+        assert sum(draws) / len(draws) == pytest.approx(4.0, rel=0.1)
+
+    def test_exponential_rejects_non_positive_mean(self):
+        with pytest.raises(ValueError):
+            RandomStream(1, "s").exponential(0.0)
+
+
+class TestStreamFactory:
+    def test_streams_cached(self):
+        factory = StreamFactory(7)
+        assert factory.get("a") is factory.get("a")
+
+    def test_streams_independent_of_draw_order(self):
+        # Drawing from one stream must not perturb another.
+        f1 = StreamFactory(7)
+        s_targets_1 = f1.get("targets")
+        _ = [s_targets_1.uniform_index(10) for _ in range(100)]
+        arb_after_draws = [f1.get("arb").uniform_index(10) for _ in range(10)]
+
+        f2 = StreamFactory(7)
+        arb_fresh = [f2.get("arb").uniform_index(10) for _ in range(10)]
+        assert arb_after_draws == arb_fresh
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(ValueError):
+            StreamFactory("seed")
+
+
+class TestMeanAndHalfWidth:
+    def test_single_value(self):
+        assert mean_and_half_width([2.0]) == (2.0, 0.0)
+
+    def test_known_values(self):
+        mean, half = mean_and_half_width([1.0, 3.0], z=1.0)
+        assert mean == 2.0
+        assert half == pytest.approx(1.0)  # stdev sqrt(2), /sqrt(2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mean_and_half_width([])

@@ -1,0 +1,118 @@
+"""Unit tests for :mod:`repro.des.stats`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.des.stats import BatchMeans, Counter, TimeWeighted, autocorrelation
+
+
+class TestCounter:
+    def test_increments(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(4)
+        assert counter.total == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+    def test_window(self):
+        counter = Counter("c")
+        counter.increment(10)
+        counter.start_window()
+        counter.increment(3)
+        assert counter.in_window == 3
+        assert counter.total == 13
+
+
+class TestTimeWeighted:
+    def test_docstring_example(self):
+        tw = TimeWeighted("queue", initial=0.0, start_time=0.0)
+        tw.update(2.0, at=3.0)
+        tw.update(0.0, at=4.0)
+        assert tw.average(until=4.0) == pytest.approx(0.5)
+
+    def test_average_extends_current_value(self):
+        tw = TimeWeighted("q", initial=1.0)
+        assert tw.average(until=10.0) == pytest.approx(1.0)
+
+    def test_window_restart(self):
+        tw = TimeWeighted("q", initial=5.0)
+        tw.update(1.0, at=10.0)
+        tw.start_window(at=10.0)
+        assert tw.average(until=20.0) == pytest.approx(1.0)
+
+    def test_rejects_time_travel(self):
+        tw = TimeWeighted("q")
+        tw.update(1.0, at=5.0)
+        with pytest.raises(ValueError, match="backwards"):
+            tw.update(2.0, at=3.0)
+
+    def test_average_rejects_past(self):
+        tw = TimeWeighted("q")
+        tw.update(1.0, at=5.0)
+        with pytest.raises(ValueError):
+            tw.average(until=4.0)
+
+    def test_zero_span_returns_current(self):
+        tw = TimeWeighted("q", initial=7.0)
+        assert tw.average(until=0.0) == 7.0
+
+
+class TestBatchMeans:
+    def test_mean(self):
+        batches = BatchMeans("x")
+        for v in (1.0, 2.0, 3.0):
+            batches.add(v)
+        assert batches.mean() == pytest.approx(2.0)
+        assert batches.count == 3
+        assert batches.batches == (1.0, 2.0, 3.0)
+
+    def test_confidence_interval_brackets(self):
+        batches = BatchMeans("x")
+        for v in (1.9, 2.0, 2.1, 2.0):
+            batches.add(v)
+        low, high = batches.confidence_interval()
+        assert low < 2.0 < high
+
+    def test_relative_half_width(self):
+        batches = BatchMeans("x")
+        for v in (2.0, 2.0, 2.0):
+            batches.add(v)
+        assert batches.relative_half_width() == 0.0
+
+    def test_relative_half_width_infinite_for_zero_mean(self):
+        batches = BatchMeans("x")
+        batches.add(1.0)
+        batches.add(-1.0)
+        assert math.isinf(batches.relative_half_width())
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            BatchMeans("x").add(float("nan"))
+
+    def test_mean_requires_data(self):
+        with pytest.raises(ValueError):
+            BatchMeans("x").mean()
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        assert autocorrelation([1.0, 2.0, 3.0, 4.0], 0) == pytest.approx(1.0)
+
+    def test_alternating_sequence_negative_at_lag_one(self):
+        values = [1.0, -1.0] * 20
+        assert autocorrelation(values, 1) < -0.9
+
+    def test_constant_sequence_is_zero(self):
+        assert autocorrelation([5.0] * 10, 1) == 0.0
+
+    def test_rejects_bad_lag(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], 5)
+        with pytest.raises(ValueError):
+            autocorrelation([1.0, 2.0], -1)

@@ -1,0 +1,102 @@
+"""Unit tests for :mod:`repro.queueing.exponential_sim`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.queueing.exponential_sim import (
+    CentralServerSimulator,
+    ServiceDistribution,
+    simulate_central_server,
+)
+from repro.queueing.mva import product_form_ebw
+
+
+class TestDeterministicService:
+    def test_single_customer_cycle_time(self):
+        # One customer, deterministic: cycle = 1 + r + 1 = r + 2 exactly,
+        # so EBW = 1.
+        config = SystemConfig(1, 2, 6, buffered=True)
+        result = simulate_central_server(
+            config, ServiceDistribution.DETERMINISTIC, duration=4_000.0, seed=1
+        )
+        assert result.ebw == pytest.approx(1.0, abs=0.01)
+
+    def test_throughput_units(self):
+        config = SystemConfig(1, 2, 6, buffered=True)
+        result = simulate_central_server(
+            config, ServiceDistribution.DETERMINISTIC, duration=4_000.0, seed=1
+        )
+        assert result.throughput == pytest.approx(1 / 8, abs=0.002)
+
+
+class TestExponentialService:
+    def test_matches_mva(self):
+        # The exponential central-server simulation must converge to the
+        # product-form solution - a joint check of the process layer,
+        # the RNG and the MVA solver.
+        config = SystemConfig(4, 4, 4, buffered=True)
+        result = simulate_central_server(
+            config, ServiceDistribution.EXPONENTIAL, duration=150_000.0, seed=2
+        )
+        assert result.ebw == pytest.approx(product_form_ebw(config), rel=0.03)
+
+    def test_matches_mva_with_think_time(self):
+        config = SystemConfig(4, 4, 4, request_probability=0.5, buffered=True)
+        result = simulate_central_server(
+            config, ServiceDistribution.EXPONENTIAL, duration=150_000.0, seed=3
+        )
+        assert result.ebw == pytest.approx(product_form_ebw(config), rel=0.05)
+
+    def test_deterministic_beats_exponential(self):
+        # Lower service variability -> higher throughput (the Section 6
+        # observation: the exponential model is pessimistic).
+        config = SystemConfig(8, 8, 8, buffered=True)
+        exp = simulate_central_server(
+            config, ServiceDistribution.EXPONENTIAL, duration=60_000.0, seed=4
+        )
+        det = simulate_central_server(
+            config, ServiceDistribution.DETERMINISTIC, duration=60_000.0, seed=4
+        )
+        assert det.ebw > exp.ebw
+
+
+class TestMechanics:
+    def test_determinism(self):
+        config = SystemConfig(4, 4, 4, buffered=True)
+        a = simulate_central_server(config, duration=10_000.0, seed=5)
+        b = simulate_central_server(config, duration=10_000.0, seed=5)
+        assert a.completions == b.completions
+
+    def test_warmup_excluded(self):
+        config = SystemConfig(2, 2, 2, buffered=True)
+        simulator = CentralServerSimulator(
+            config, ServiceDistribution.DETERMINISTIC, seed=1
+        )
+        result = simulator.run(duration=1_000.0, warmup=500.0)
+        assert result.duration == 1_000.0
+        assert result.completions > 0
+
+    def test_rejects_bad_duration(self):
+        config = SystemConfig(2, 2, 2, buffered=True)
+        simulator = CentralServerSimulator(
+            config, ServiceDistribution.EXPONENTIAL, seed=1
+        )
+        with pytest.raises(ConfigurationError):
+            simulator.run(duration=0.0)
+        with pytest.raises(ConfigurationError):
+            simulator.run(duration=10.0, warmup=-1.0)
+
+    def test_zero_duration_throughput(self):
+        from repro.queueing.exponential_sim import CentralServerResult
+
+        result = CentralServerResult(
+            config=SystemConfig(2, 2, 2, buffered=True),
+            distribution=ServiceDistribution.EXPONENTIAL,
+            completions=0,
+            duration=0.0,
+            seed=0,
+        )
+        assert result.throughput == 0.0

@@ -1,0 +1,72 @@
+"""Unit tests for the figure claim-checkers (synthetic data)."""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+from repro.experiments.figure2 import Figure2Checks, check_claims as check_figure2
+from repro.experiments.figure5 import Figure5Checks, check_claims as check_figure5
+from repro.experiments.registry import ExperimentResult
+
+
+def synthetic_figure2(g_prime: float, g_second: float, crossbar: float):
+    measured = {}
+    for n, m in paper_data.FIGURE2_SYSTEMS:
+        for r in paper_data.FIGURE2_R_VALUES:
+            measured[(f"{n}x{m} priority=processors", f"r={r}")] = g_prime
+            measured[(f"{n}x{m} priority=memories", f"r={r}")] = g_second
+            measured[(f"{n}x{m} crossbar", f"r={r}")] = crossbar
+    return ExperimentResult(
+        experiment_id="figure2",
+        title="synthetic",
+        row_label="curve",
+        column_label="r",
+        rows=tuple(measured),
+        columns=tuple(f"r={r}" for r in paper_data.FIGURE2_R_VALUES),
+        measured=measured,
+    )
+
+
+def synthetic_figure5(buffered: float, unbuffered: float, crossbar: float):
+    measured = {}
+    for n, m in paper_data.FIGURE5_SYSTEMS:
+        for r in paper_data.FIGURE5_R_VALUES:
+            measured[(f"{n}x{m} with buffers", f"r={r}")] = buffered
+            measured[(f"{n}x{m} without buffers", f"r={r}")] = unbuffered
+            measured[(f"{n}x{m} crossbar", f"r={r}")] = crossbar
+    return ExperimentResult(
+        experiment_id="figure5",
+        title="synthetic",
+        row_label="curve",
+        column_label="r",
+        rows=tuple(measured),
+        columns=tuple(f"r={r}" for r in paper_data.FIGURE5_R_VALUES),
+        measured=measured,
+    )
+
+
+class TestFigure2Checks:
+    def test_claims_hold(self):
+        checks = check_figure2(synthetic_figure2(5.0, 4.0, 4.5))
+        assert checks == Figure2Checks(True, True)
+
+    def test_priority_violation_detected(self):
+        checks = check_figure2(synthetic_figure2(3.0, 4.0, 2.0))
+        assert not checks.processors_beat_memories
+
+    def test_crossbar_violation_detected(self):
+        checks = check_figure2(synthetic_figure2(3.0, 2.0, 9.0))
+        assert not checks.ebw_above_crossbar_at_large_r
+
+
+class TestFigure5Checks:
+    def test_claims_hold(self):
+        checks = check_figure5(synthetic_figure5(5.5, 4.5, 5.0))
+        assert checks == Figure5Checks(True, True)
+
+    def test_domination_violation_detected(self):
+        checks = check_figure5(synthetic_figure5(4.0, 5.0, 3.0))
+        assert not checks.buffered_dominates_unbuffered
+
+    def test_crossbar_exceedance_detected(self):
+        checks = check_figure5(synthetic_figure5(4.0, 3.0, 6.0))
+        assert not checks.buffered_exceeds_crossbar_somewhere

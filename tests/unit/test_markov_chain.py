@@ -1,0 +1,159 @@
+"""Unit tests for :mod:`repro.markov.chain` and :mod:`repro.markov.builder`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.markov.builder import build_chain
+from repro.markov.chain import DiscreteTimeMarkovChain
+
+
+def two_state_chain(a: float = 0.3, b: float = 0.6) -> DiscreteTimeMarkovChain:
+    """P(0->1) = a, P(1->0) = b; stationary pi0 = b/(a+b)."""
+    return DiscreteTimeMarkovChain(
+        states=["s0", "s1"],
+        rows=[{0: 1 - a, 1: a}, {0: b, 1: 1 - b}],
+    )
+
+
+class TestConstruction:
+    def test_row_sums_validated(self):
+        with pytest.raises(ModelError, match="sums to"):
+            DiscreteTimeMarkovChain(["a"], [{0: 0.5}])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ModelError):
+            DiscreteTimeMarkovChain(["a", "b"], [{0: 1.5, 1: -0.5}, {1: 1.0}])
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ModelError, match="unknown state index"):
+            DiscreteTimeMarkovChain(["a"], [{3: 1.0}])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ModelError):
+            DiscreteTimeMarkovChain(["a", "b"], [{0: 1.0}])
+
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ModelError, match="duplicate"):
+            DiscreteTimeMarkovChain(["a", "a"], [{0: 1.0}, {0: 1.0}])
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ModelError):
+            DiscreteTimeMarkovChain([], [])
+
+    def test_duplicate_row_entries_merge(self):
+        # Rows may accumulate the same successor twice in building code.
+        chain = DiscreteTimeMarkovChain(["a"], [{0: 1.0}])
+        assert chain.row("a") == {"a": 1.0}
+
+    def test_index_of_unknown_state(self):
+        chain = two_state_chain()
+        with pytest.raises(ModelError):
+            chain.index_of("nope")
+
+
+class TestStationary:
+    def test_two_state_closed_form(self):
+        chain = two_state_chain(a=0.3, b=0.6)
+        pi = chain.stationary_distribution()
+        assert pi[0] == pytest.approx(0.6 / 0.9)
+        assert pi[1] == pytest.approx(0.3 / 0.9)
+
+    def test_fixed_point_property(self):
+        chain = two_state_chain(a=0.2, b=0.5)
+        pi = chain.stationary_distribution()
+        assert np.allclose(pi @ chain.transition_matrix(), pi)
+
+    def test_power_agrees_with_direct(self):
+        chain = two_state_chain(a=0.37, b=0.11)
+        direct = chain.stationary_distribution("direct")
+        power = chain.stationary_distribution("power")
+        assert np.allclose(direct, power, atol=1e-9)
+
+    def test_periodic_chain_power_converges(self):
+        # A deterministic 2-cycle is periodic; the damped power method
+        # must still converge to the uniform stationary distribution.
+        chain = DiscreteTimeMarkovChain(["a", "b"], [{1: 1.0}, {0: 1.0}])
+        pi = chain.stationary_distribution("power")
+        assert np.allclose(pi, [0.5, 0.5], atol=1e-6)
+
+    def test_reducible_chain_rejected(self):
+        chain = DiscreteTimeMarkovChain(["a", "b"], [{0: 1.0}, {0: 1.0}])
+        with pytest.raises(ModelError, match="reducible"):
+            chain.stationary_distribution()
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ModelError, match="unknown stationary method"):
+            two_state_chain().stationary_distribution("magic")
+
+    def test_expected_value(self):
+        chain = two_state_chain(a=0.5, b=0.5)
+        assert chain.expected_value({"s0": 0.0, "s1": 10.0}) == pytest.approx(5.0)
+
+
+class TestIrreducibility:
+    def test_irreducible(self):
+        assert two_state_chain().is_irreducible()
+
+    def test_absorbing_state_not_irreducible(self):
+        chain = DiscreteTimeMarkovChain(
+            ["a", "b"], [{0: 0.5, 1: 0.5}, {1: 1.0}]
+        )
+        assert not chain.is_irreducible()
+
+
+class TestBuilder:
+    def test_enumerates_reachable_states_only(self):
+        # Random walk on 0..4 with reflecting walls, started at 2.
+        def transition(k: int):
+            if k == 0:
+                return {1: 1.0}
+            if k == 4:
+                return {3: 1.0}
+            return {k - 1: 0.5, k + 1: 0.5}
+
+        chain = build_chain(2, transition)
+        assert sorted(chain.states) == [0, 1, 2, 3, 4]
+
+    def test_reflecting_walk_stationary(self):
+        def transition(k: int):
+            if k == 0:
+                return {1: 1.0}
+            if k == 2:
+                return {1: 1.0}
+            return {0: 0.5, 2: 0.5}
+
+        chain = build_chain(0, transition)
+        pi = chain.stationary_distribution("power")
+        index = {state: i for i, state in enumerate(chain.states)}
+        assert pi[index[1]] == pytest.approx(0.5, abs=1e-6)
+
+    def test_tuple_states_are_single_seeds(self):
+        def transition(state):
+            return {state: 1.0}
+
+        chain = build_chain((1, 2), transition)
+        assert chain.states == ((1, 2),)
+
+    def test_list_of_seeds(self):
+        def transition(state):
+            return {state: 1.0}
+
+        chain = build_chain(["a", "b"], transition)
+        assert set(chain.states) == {"a", "b"}
+
+    def test_max_states_guard(self):
+        def transition(k: int):
+            return {k + 1: 1.0}
+
+        with pytest.raises(ModelError, match="max_states"):
+            build_chain(0, transition, max_states=10)
+
+    def test_zero_probability_successors_dropped(self):
+        def transition(k: int):
+            return {0: 1.0, 99: 0.0}
+
+        chain = build_chain(0, transition)
+        assert chain.states == (0,)

@@ -1,0 +1,123 @@
+"""Unit tests for :mod:`repro.markov.transient`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import ModelError
+from repro.markov.chain import DiscreteTimeMarkovChain
+from repro.markov.transient import (
+    expected_hitting_steps,
+    mixing_steps,
+    step_distribution,
+    total_variation_distance,
+)
+from repro.models.processor_priority import BUS_IDLE, ProcessorPriorityChain
+
+
+def two_state(a: float = 0.5, b: float = 0.5) -> DiscreteTimeMarkovChain:
+    return DiscreteTimeMarkovChain(
+        ["s0", "s1"], [{0: 1 - a, 1: a}, {0: b, 1: 1 - b}]
+    )
+
+
+class TestStepDistribution:
+    def test_zero_steps_is_point_mass(self):
+        dist = step_distribution(two_state(), "s0", 0)
+        assert dist.tolist() == [1.0, 0.0]
+
+    def test_one_step_matches_row(self):
+        chain = two_state(a=0.3)
+        dist = step_distribution(chain, "s0", 1)
+        assert dist[1] == pytest.approx(0.3)
+
+    def test_converges_to_stationary(self):
+        chain = two_state(a=0.3, b=0.6)
+        dist = step_distribution(chain, "s0", 200)
+        pi = chain.stationary_distribution()
+        assert np.allclose(dist, pi, atol=1e-9)
+
+    def test_rejects_negative_steps(self):
+        with pytest.raises(ModelError):
+            step_distribution(two_state(), "s0", -1)
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        assert total_variation_distance([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation_distance([1.0, 0.0], [0.0, 1.0]) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ModelError):
+            total_variation_distance([1.0], [0.5, 0.5])
+
+
+class TestMixing:
+    def test_already_mixed_chain(self):
+        # From the uniform-ish start of a symmetric chain, mixing is
+        # essentially immediate.
+        chain = two_state(a=0.5, b=0.5)
+        assert mixing_steps(chain, "s0", epsilon=0.5) == 0
+
+    def test_slow_chain_mixes_slower(self):
+        fast = mixing_steps(two_state(0.5, 0.5), "s0", epsilon=0.01)
+        slow = mixing_steps(two_state(0.05, 0.05), "s0", epsilon=0.01)
+        assert slow > fast
+
+    def test_periodic_chain_raises(self):
+        flip = DiscreteTimeMarkovChain(["a", "b"], [{1: 1.0}, {0: 1.0}])
+        with pytest.raises(ModelError, match="did not mix"):
+            mixing_steps(flip, "a", epsilon=0.01, max_steps=50)
+
+    def test_epsilon_validated(self):
+        with pytest.raises(ModelError):
+            mixing_steps(two_state(), "s0", epsilon=0.0)
+
+    def test_section4_chain_mixes_fast(self):
+        # Model-side justification of the simulator's warm-up: the
+        # Section 4 chain for the paper's 8x16 system is within 1% TV of
+        # stationarity in well under 1000 bus cycles.
+        model = ProcessorPriorityChain(8, 16, 8)
+        steps = mixing_steps(model.chain, (0, 1, 0, 1), epsilon=0.01)
+        assert steps < 1_000
+
+
+class TestHittingTimes:
+    def test_start_in_target(self):
+        assert expected_hitting_steps(two_state(), "s0", ["s0"]) == 0.0
+
+    def test_two_state_closed_form(self):
+        # From s0, hitting s1 is geometric with success probability a:
+        # mean 1/a.
+        chain = two_state(a=0.25, b=0.5)
+        assert expected_hitting_steps(chain, "s0", ["s1"]) == pytest.approx(4.0)
+
+    def test_predicate_targets(self):
+        chain = two_state(a=0.2)
+        time = expected_hitting_steps(chain, "s0", lambda s: s == "s1")
+        assert time == pytest.approx(5.0)
+
+    def test_requires_targets(self):
+        with pytest.raises(ModelError):
+            expected_hitting_steps(two_state(), "s0", [])
+
+    def test_section4_idle_recurrence(self):
+        # How long does the loaded 8x4 bus run before its next idle
+        # cycle?  (A model-level quantity with no direct simulation
+        # counterpart.)  From a fully busy state - all 4 modules
+        # demanded, one response in flight - the bus works for several
+        # cycles before idling.
+        model = ProcessorPriorityChain(8, 4, 8)
+        busy_start = (2, 4, 1, 0)
+        steps = expected_hitting_steps(
+            model.chain, busy_start, lambda s: s[3] == BUS_IDLE
+        )
+        assert steps > 5.0
+        # Whereas the degenerate everyone-on-one-module start goes idle
+        # immediately after its single request transfer.
+        assert expected_hitting_steps(
+            model.chain, (0, 1, 0, 1), lambda s: s[3] == BUS_IDLE
+        ) == pytest.approx(1.0)

@@ -1,0 +1,89 @@
+"""Unit tests for :mod:`repro.core.metrics`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import metrics
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+class TestEbwConversions:
+    def test_full_utilisation_gives_max_ebw(self):
+        # Section 2: EBW = Pb (r+2)/2, max at Pb = 1.
+        assert metrics.ebw_from_bus_utilization(1.0, 8) == 5.0
+
+    def test_zero_utilisation_gives_zero(self):
+        assert metrics.ebw_from_bus_utilization(0.0, 8) == 0.0
+
+    @pytest.mark.parametrize("r", [1, 2, 5, 10, 24])
+    def test_round_trip(self, r):
+        for pb in (0.1, 0.5, 0.99):
+            ebw = metrics.ebw_from_bus_utilization(pb, r)
+            assert metrics.bus_utilization_from_ebw(ebw, r) == pytest.approx(pb)
+
+    @pytest.mark.parametrize("pb", [-0.1, 1.1])
+    def test_rejects_bad_utilisation(self, pb):
+        with pytest.raises(ConfigurationError):
+            metrics.ebw_from_bus_utilization(pb, 4)
+
+    def test_rejects_negative_ebw(self):
+        with pytest.raises(ConfigurationError):
+            metrics.bus_utilization_from_ebw(-1.0, 4)
+
+
+class TestMaxEbw:
+    def test_values(self):
+        assert metrics.max_ebw(2) == 2.0
+        assert metrics.max_ebw(12) == 7.0
+
+    def test_exceeds_non_multiplexed_bound(self):
+        # The paper: max EBW (r+2)/2 "compares advantageously with the
+        # value 1" of a non-multiplexed bus, for any r >= 1.
+        for r in range(1, 30):
+            assert metrics.max_ebw(r) > 1.0
+
+    def test_rejects_bad_r(self):
+        with pytest.raises(ConfigurationError):
+            metrics.max_ebw(0)
+
+
+class TestDerivedMetrics:
+    def test_processor_utilization_ceiling(self):
+        config = SystemConfig(8, 16, 8, request_probability=0.5)
+        # EBW equal to n*p means fully utilised processors.
+        assert metrics.processor_utilization(4.0, config) == pytest.approx(1.0)
+
+    def test_processor_utilization_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            metrics.processor_utilization(-0.5, SystemConfig(2, 2, 2))
+
+    def test_memory_utilization(self):
+        config = SystemConfig(8, 4, 2)
+        # EBW services per processor cycle, each holding a module r of
+        # (r+2)*m module-cycles.
+        assert metrics.memory_utilization(2.0, config) == pytest.approx(
+            2.0 * 2 / (4 * 4)
+        )
+
+    def test_memory_utilization_capped_at_one_at_max_load(self):
+        config = SystemConfig(4, 1, 6)
+        # One module, EBW bounded by one service per r+2 cycles = 1.
+        assert metrics.memory_utilization(1.0, config) == pytest.approx(6 / 8)
+
+    def test_mean_wait_cycles_littles_law(self):
+        config = SystemConfig(8, 16, 6)  # processor cycle 8
+        # n=8 requests in flight at EBW=4 per processor cycle -> 16 cycles.
+        assert metrics.mean_wait_cycles(4.0, config) == pytest.approx(16.0)
+
+    def test_mean_wait_cycles_rejects_zero_ebw(self):
+        with pytest.raises(ConfigurationError):
+            metrics.mean_wait_cycles(0.0, SystemConfig(2, 2, 2))
+
+    def test_crossbar_speedup(self):
+        assert metrics.crossbar_equivalent_speedup(6.0, 4.0) == pytest.approx(1.5)
+
+    def test_crossbar_speedup_rejects_bad_reference(self):
+        with pytest.raises(ConfigurationError):
+            metrics.crossbar_equivalent_speedup(1.0, 0.0)

@@ -1,0 +1,140 @@
+"""The public API surface: imports, exports, and the one-call entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import Priority, SystemConfig, simulate
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackages_import(self):
+        import repro.analysis
+        import repro.bus
+        import repro.core
+        import repro.des
+        import repro.experiments
+        import repro.markov
+        import repro.models
+        import repro.queueing
+        import repro.workloads
+
+        for module in (
+            repro.analysis,
+            repro.bus,
+            repro.core,
+            repro.des,
+            repro.experiments,
+            repro.markov,
+            repro.models,
+            repro.queueing,
+            repro.workloads,
+        ):
+            assert module.__doc__, f"{module.__name__} lacks a docstring"
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis
+        import repro.bus
+        import repro.des
+        import repro.markov
+        import repro.models
+        import repro.queueing
+        import repro.workloads
+
+        for module in (
+            repro.analysis,
+            repro.bus,
+            repro.des,
+            repro.markov,
+            repro.models,
+            repro.queueing,
+            repro.workloads,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestSimulateEntryPoint:
+    def test_minimal_call(self):
+        result = simulate(SystemConfig(2, 2, 2), cycles=2_000, seed=1)
+        assert result.completions > 0
+        assert result.config.processors == 2
+
+    def test_custom_targets(self):
+        from repro.workloads import TraceTargets
+
+        targets = TraceTargets([[0], [1]], modules=2)
+        result = simulate(
+            SystemConfig(2, 2, 2), cycles=2_000, seed=1, targets=targets
+        )
+        assert result.completions > 0
+
+    def test_explicit_warmup(self):
+        result = simulate(SystemConfig(2, 2, 2), cycles=1_000, seed=1, warmup=0)
+        assert result.warmup_cycles == 0
+
+    def test_priority_enum_round_trip(self):
+        assert str(Priority.PROCESSORS) == "processors"
+        assert str(Priority.MEMORIES) == "memories"
+
+    def test_doctest_of_simulate(self):
+        # The facade docstring example must stay true.
+        result = simulate(SystemConfig(2, 2, 2), cycles=2_000, seed=1)
+        assert 0.0 < result.ebw <= result.config.max_ebw
+
+
+class TestConsoleScript:
+    def test_entry_point_declared(self):
+        import importlib.metadata as md
+
+        entry_points = md.entry_points()
+        scripts = entry_points.select(group="console_scripts")
+        names = {ep.name for ep in scripts}
+        assert "repro-experiments" in names
+
+    def test_runner_module_invocable(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro.experiments"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "table1" in completed.stdout
+
+
+class TestDoctests:
+    def test_engine_doctest(self):
+        import doctest
+
+        import repro.des.engine as engine_module
+
+        failures, _ = doctest.testmod(engine_module, verbose=False)
+        assert failures == 0
+
+    def test_stats_doctest(self):
+        import doctest
+
+        import repro.des.stats as stats_module
+
+        failures, _ = doctest.testmod(stats_module, verbose=False)
+        assert failures == 0
+
+    def test_rng_doctest(self):
+        import doctest
+
+        import repro.des.rng as rng_module
+
+        failures, _ = doctest.testmod(rng_module, verbose=False)
+        assert failures == 0

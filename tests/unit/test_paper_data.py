@@ -1,0 +1,86 @@
+"""Consistency tests for the transcribed published numbers."""
+
+from __future__ import annotations
+
+from repro.experiments import paper_data
+
+
+class TestTableShapes:
+    def test_table1_grid_complete(self):
+        sizes = (2, 4, 6, 8)
+        assert set(paper_data.TABLE1_EXACT_MEMORY_PRIORITY) == {
+            (n, m) for n in sizes for m in sizes
+        }
+
+    def test_table2_grid_complete(self):
+        sizes = (2, 4, 6, 8)
+        assert set(paper_data.TABLE2_APPROX_MEMORY_PRIORITY) == {
+            (n, m) for n in sizes for m in sizes
+        }
+
+    def test_table3_grids_complete(self):
+        expected = {
+            (m, r)
+            for m in paper_data.TABLE3_M_VALUES
+            for r in paper_data.TABLE3_R_VALUES
+        }
+        assert set(paper_data.TABLE3A_SIMULATION) == expected
+        assert set(paper_data.TABLE3B_APPROX_MODEL) == expected
+
+    def test_table4_grid_complete(self):
+        expected = {
+            (m, r)
+            for m in paper_data.TABLE4_M_VALUES
+            for r in paper_data.TABLE4_R_VALUES
+        }
+        assert set(paper_data.TABLE4_BUFFERED_SIMULATION) == expected
+
+
+class TestTableSanity:
+    def test_table1_symmetric(self):
+        # Section 5 remarks Table 1 is symmetric on n and m.
+        for (n, m), value in paper_data.TABLE1_EXACT_MEMORY_PRIORITY.items():
+            assert value == paper_data.TABLE1_EXACT_MEMORY_PRIORITY[(m, n)]
+
+    def test_all_values_within_physical_ceiling(self):
+        for (n, m), value in paper_data.TABLE1_EXACT_MEMORY_PRIORITY.items():
+            r = min(n, m) + 7
+            assert 0 < value <= (r + 2) / 2
+        for (m, r), value in paper_data.TABLE3A_SIMULATION.items():
+            assert 0 < value <= (r + 2) / 2
+        for (m, r), value in paper_data.TABLE3B_APPROX_MODEL.items():
+            assert 0 < value <= (r + 2) / 2
+        for (m, r), value in paper_data.TABLE4_BUFFERED_SIMULATION.items():
+            assert 0 < value <= (r + 2) / 2
+
+    def test_table3b_monotone_in_r(self):
+        # The transcription fix of the (6, 8) typo keeps every row
+        # monotone in r (the chain is monotone; only 3(a) has noise).
+        for m in paper_data.TABLE3_M_VALUES:
+            row = [
+                paper_data.TABLE3B_APPROX_MODEL[(m, r)]
+                for r in paper_data.TABLE3_R_VALUES
+            ]
+            assert row == sorted(row)
+
+    def test_table4_rows_peak_then_decay(self):
+        # Section 6: the buffered EBW tends to the crossbar value from
+        # above as r grows, so every row decays after its peak.
+        for m in paper_data.TABLE4_M_VALUES:
+            row = [
+                paper_data.TABLE4_BUFFERED_SIMULATION[(m, r)]
+                for r in paper_data.TABLE4_R_VALUES
+            ]
+            peak = row.index(max(row))
+            tail = row[peak:]
+            assert all(
+                later <= earlier + 0.01
+                for earlier, later in zip(tail, tail[1:])
+            )
+
+    def test_figure_parameters_plausible(self):
+        assert paper_data.FIGURE3_PROCESSORS == 8
+        assert paper_data.FIGURE3_MEMORIES == 16
+        assert all(0 < p <= 1 for p in paper_data.FIGURE3_P_VALUES)
+        assert paper_data.FIGURE6_P_VALUES == paper_data.FIGURE3_P_VALUES
+        assert all(r >= 1 for r in paper_data.FIGURE2_R_VALUES)

@@ -1,0 +1,185 @@
+"""Unit tests for the Section 4 reduced chain."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError, ModelError
+from repro.core.policy import Priority
+from repro.models.processor_priority import (
+    BUS_IDLE,
+    BUS_REQUEST,
+    BUS_RESPONSE,
+    ProcessorPriorityChain,
+    classify,
+    processor_priority_ebw,
+)
+
+
+class TestClassification:
+    def test_class_0(self):
+        assert classify((3, 3, 0, BUS_IDLE)) == 0
+
+    def test_class_1(self):
+        assert classify((2, 4, 1, BUS_RESPONSE)) == 1
+
+    def test_class_2(self):
+        assert classify((2, 4, 1, BUS_REQUEST)) == 2
+
+    def test_class_3(self):
+        assert classify((1, 4, 1, BUS_REQUEST)) == 3
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ModelError):
+            classify((2, 4, 0, BUS_IDLE))  # idle but i != c
+        with pytest.raises(ModelError):
+            classify((3, 3, 1, BUS_RESPONSE))  # 1+i+e > c
+        with pytest.raises(ModelError):
+            classify((-1, 2, 0, BUS_REQUEST))
+        with pytest.raises(ModelError):
+            classify((0, 0, 0, BUS_IDLE))  # c < 1
+
+
+class TestProbabilities:
+    def test_p1_is_i_over_r(self):
+        chain = ProcessorPriorityChain(8, 8, 10)
+        assert chain.p1(0) == 0.0
+        assert chain.p1(5) == 0.5
+        assert chain.p1(10) == 1.0
+
+    def test_p1_rejects_out_of_range(self):
+        chain = ProcessorPriorityChain(8, 8, 10)
+        with pytest.raises(ModelError):
+            chain.p1(11)
+
+    def test_p3_p4(self):
+        chain = ProcessorPriorityChain(8, 16, 10)
+        assert chain.p3(5) == pytest.approx(4 / 16)
+        assert chain.p4(5) == pytest.approx(5 / 16)
+
+    def test_p2_boundaries(self):
+        chain = ProcessorPriorityChain(8, 16, 10)
+        assert chain.p2(8) == 1.0  # c = n
+        assert chain.p2(1) == 0.0  # all piled on one module
+
+
+class TestTransitions:
+    def test_rows_are_distributions(self):
+        chain = ProcessorPriorityChain(8, 8, 6)
+        for state in chain.chain.states:
+            row = chain.transition(state)
+            assert sum(row.values()) == pytest.approx(1.0), state
+
+    def test_successors_are_well_formed(self):
+        chain = ProcessorPriorityChain(6, 10, 4)
+        for state in chain.chain.states:
+            for successor in chain.transition(state):
+                classify(successor)  # raises on malformed states
+
+    def test_class_0_transitions(self):
+        chain = ProcessorPriorityChain(8, 8, 10)
+        row = chain.transition((4, 4, 0, BUS_IDLE))
+        assert row == pytest.approx(
+            {(3, 4, 0, BUS_RESPONSE): 0.4, (4, 4, 0, BUS_IDLE): 0.6}
+        )
+
+    def test_class_2_transitions_with_waiting_responses(self):
+        chain = ProcessorPriorityChain(8, 8, 10)
+        row = chain.transition((2, 5, 2, BUS_REQUEST))
+        assert row == pytest.approx(
+            {(2, 5, 2, BUS_RESPONSE): 0.2, (3, 5, 1, BUS_RESPONSE): 0.8}
+        )
+
+    def test_class_2_transitions_without_waiting_responses(self):
+        chain = ProcessorPriorityChain(8, 8, 10)
+        row = chain.transition((3, 4, 0, BUS_REQUEST))
+        assert row[(4, 4, 0, BUS_IDLE)] == pytest.approx(0.7)
+
+    def test_class_3_transitions(self):
+        chain = ProcessorPriorityChain(8, 8, 10)
+        row = chain.transition((2, 6, 1, BUS_REQUEST))
+        assert row == pytest.approx(
+            {(2, 6, 2, BUS_REQUEST): 0.2, (3, 6, 1, BUS_REQUEST): 0.8}
+        )
+
+    def test_i_never_exceeds_r(self):
+        chain = ProcessorPriorityChain(8, 8, 3)
+        assert all(state[0] <= 3 for state in chain.chain.states)
+
+    def test_c_never_exceeds_min_n_m(self):
+        chain = ProcessorPriorityChain(5, 9, 12)
+        assert all(state[1] <= 5 for state in chain.chain.states)
+        chain = ProcessorPriorityChain(9, 5, 12)
+        assert all(state[1] <= 5 for state in chain.chain.states)
+
+
+class TestStateSpace:
+    @pytest.mark.parametrize("n,m", [(2, 8), (4, 8), (8, 4), (8, 8), (3, 5)])
+    def test_paper_state_count_formula(self, n, m):
+        # Section 4: S = (3 v^2 + 3 v - 2) / 2 for r > v = min(n, m).
+        v = min(n, m)
+        chain = ProcessorPriorityChain(n, m, v + 5)
+        assert chain.state_count == (3 * v * v + 3 * v - 2) // 2
+
+    def test_unreachable_state_excluded(self):
+        # The formula's -1: (0, v, v-1, BUS_RESPONSE) is unreachable.
+        chain = ProcessorPriorityChain(4, 4, 10)
+        assert (0, 4, 3, BUS_RESPONSE) not in chain.chain.states
+
+    def test_small_r_shrinks_state_space(self):
+        big = ProcessorPriorityChain(8, 8, 12).state_count
+        small = ProcessorPriorityChain(8, 8, 2).state_count
+        assert small < big
+
+
+class TestEbw:
+    def test_single_processor_closed_form(self):
+        # One processor completes one request every r+2 cycles: EBW = 1.
+        for r in (1, 2, 5, 10):
+            chain = ProcessorPriorityChain(1, 4, r)
+            assert chain.ebw() == pytest.approx(1.0)
+
+    def test_bounded_by_ceiling(self):
+        for n, m, r in [(8, 4, 2), (8, 16, 12), (4, 4, 6)]:
+            chain = ProcessorPriorityChain(n, m, r)
+            assert chain.ebw() <= (r + 2) / 2 + 1e-12
+
+    def test_saturates_for_small_r(self):
+        # Paper: EBW = (r+2)/2 attainable with r < min(n, m).
+        chain = ProcessorPriorityChain(8, 8, 2)
+        assert chain.ebw() == pytest.approx(2.0, abs=5e-3)
+
+    def test_idle_probability_complements_utilisation(self):
+        chain = ProcessorPriorityChain(8, 8, 8)
+        ebw = chain.ebw()
+        idle = chain.bus_idle_probability()
+        assert ebw == pytest.approx((1 - idle) * 5.0)
+
+    def test_facade_validates_hypotheses(self):
+        good = SystemConfig(8, 8, 8, priority=Priority.PROCESSORS)
+        result = processor_priority_ebw(good)
+        assert result.method == "approx-processor-priority"
+        assert result.details["states"] > 0
+        with pytest.raises(ConfigurationError):
+            processor_priority_ebw(
+                SystemConfig(8, 8, 8, priority=Priority.MEMORIES)
+            )
+        with pytest.raises(ConfigurationError):
+            processor_priority_ebw(
+                SystemConfig(8, 8, 8, priority=Priority.PROCESSORS, buffered=True)
+            )
+        with pytest.raises(ConfigurationError):
+            processor_priority_ebw(
+                SystemConfig(
+                    8, 8, 8, priority=Priority.PROCESSORS, request_probability=0.5
+                )
+            )
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorPriorityChain(0, 4, 4)
+        with pytest.raises(ConfigurationError):
+            ProcessorPriorityChain(4, 0, 4)
+        with pytest.raises(ConfigurationError):
+            ProcessorPriorityChain(4, 4, 0)

@@ -1,0 +1,171 @@
+"""Unit tests for :mod:`repro.queueing` (network, MVA, convolution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.queueing.convolution import (
+    normalising_constants,
+    queueing_utilization,
+    throughput,
+)
+from repro.queueing.mva import product_form_ebw, solve_mva
+from repro.queueing.network import (
+    ClosedNetwork,
+    Station,
+    StationKind,
+    buffered_bus_network,
+)
+
+
+def single_station_network(population: int, demand: float) -> ClosedNetwork:
+    return ClosedNetwork(
+        stations=(
+            Station("only", StationKind.QUEUEING, visit_ratio=1.0, service_time=demand),
+        ),
+        population=population,
+    )
+
+
+def two_station_network(d1: float, d2: float, population: int) -> ClosedNetwork:
+    return ClosedNetwork(
+        stations=(
+            Station("a", StationKind.QUEUEING, 1.0, d1),
+            Station("b", StationKind.QUEUEING, 1.0, d2),
+        ),
+        population=population,
+    )
+
+
+class TestNetworkDescription:
+    def test_station_demand(self):
+        station = Station("bus", StationKind.QUEUEING, 2.0, 1.0)
+        assert station.demand == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Station("x", StationKind.QUEUEING, -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            ClosedNetwork(stations=(), population=2)
+        with pytest.raises(ConfigurationError):
+            single_station_network(0, 1.0)
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClosedNetwork(
+                stations=(
+                    Station("x", StationKind.QUEUEING, 1.0, 1.0),
+                    Station("x", StationKind.QUEUEING, 1.0, 1.0),
+                ),
+                population=1,
+            )
+
+    def test_bottleneck_and_total_demand(self):
+        network = two_station_network(3.0, 1.0, 2)
+        assert network.bottleneck_demand == 3.0
+        assert network.total_demand == 4.0
+
+    def test_buffered_bus_network_shape(self):
+        config = SystemConfig(8, 4, 6, priority=SystemConfig(2, 2, 2).priority)
+        network = buffered_bus_network(config)
+        assert network.population == 8
+        names = [s.name for s in network.stations]
+        assert names[0] == "bus"
+        assert len([n for n in names if n.startswith("memory-")]) == 4
+        bus = network.stations[0]
+        assert bus.demand == 2.0  # two transfers per request
+        memory = network.stations[1]
+        assert memory.demand == pytest.approx(6 / 4)
+
+    def test_buffered_bus_network_think_station(self):
+        config = SystemConfig(8, 4, 6, request_probability=0.5)
+        network = buffered_bus_network(config)
+        think = network.stations[-1]
+        assert think.kind is StationKind.DELAY
+        # Mean think = (r+2)(1-p)/p = 8 * 1 = 8.
+        assert think.service_time == pytest.approx(8.0)
+
+
+class TestMva:
+    def test_single_customer_no_queueing(self):
+        # One customer never queues: X = 1 / total demand.
+        network = two_station_network(2.0, 3.0, 1)
+        solution = solve_mva(network)
+        assert solution.throughput == pytest.approx(1 / 5)
+
+    def test_single_station_saturates(self):
+        # With one station of demand d, X(N) = N / (N d) = 1/d for N >= 1.
+        solution = solve_mva(single_station_network(5, 2.0))
+        assert solution.throughput == pytest.approx(0.5)
+        assert solution.queue_lengths["only"] == pytest.approx(5.0)
+
+    def test_bottleneck_asymptote(self):
+        network = two_station_network(4.0, 1.0, 20)
+        solution = solve_mva(network)
+        assert solution.throughput == pytest.approx(0.25, rel=0.01)
+        assert solution.utilizations["a"] == pytest.approx(1.0, abs=0.01)
+
+    def test_m_m_1_closed_form_two_stations(self):
+        # Balanced two-station network, N=2: X = 2 / (3 d).
+        d = 2.0
+        solution = solve_mva(two_station_network(d, d, 2))
+        assert solution.throughput == pytest.approx(2 / (3 * d))
+
+    def test_delay_station_reduces_throughput_gracefully(self):
+        with_delay = ClosedNetwork(
+            stations=(
+                Station("q", StationKind.QUEUEING, 1.0, 1.0),
+                Station("z", StationKind.DELAY, 1.0, 9.0),
+            ),
+            population=1,
+        )
+        solution = solve_mva(with_delay)
+        assert solution.throughput == pytest.approx(0.1)
+
+    def test_utilisation_never_exceeds_one(self):
+        for population in (1, 4, 16):
+            solution = solve_mva(two_station_network(2.0, 2.0, population))
+            for utilization in solution.utilizations.values():
+                assert utilization <= 1.0 + 1e-9
+
+    def test_product_form_ebw_unit(self):
+        config = SystemConfig(1, 1, 2, buffered=True)
+        # Single customer: cycle = 2*1 + 2 = 4, X = 1/4, EBW = X*(r+2)=1.
+        assert product_form_ebw(config) == pytest.approx(1.0)
+
+
+class TestConvolutionAgreesWithMva:
+    @pytest.mark.parametrize("population", [1, 2, 5, 10])
+    def test_queueing_only_networks(self, population):
+        network = two_station_network(1.5, 2.5, population)
+        assert throughput(network) == pytest.approx(
+            solve_mva(network).throughput, rel=1e-10
+        )
+
+    @pytest.mark.parametrize("m,r,n", [(2, 2, 2), (4, 6, 8), (8, 8, 8)])
+    def test_buffered_bus_networks(self, m, r, n):
+        config = SystemConfig(n, m, r, buffered=True)
+        network = buffered_bus_network(config)
+        assert throughput(network) == pytest.approx(
+            solve_mva(network).throughput, rel=1e-10
+        )
+
+    def test_with_delay_station(self):
+        config = SystemConfig(4, 4, 4, request_probability=0.5, buffered=True)
+        network = buffered_bus_network(config)
+        assert throughput(network) == pytest.approx(
+            solve_mva(network).throughput, rel=1e-9
+        )
+
+    def test_normalising_constants_positive_increasing_information(self):
+        g = normalising_constants(two_station_network(1.0, 1.0, 4))
+        assert g[0] == 1.0
+        assert all(value > 0 for value in g)
+
+    def test_station_utilisation(self):
+        network = two_station_network(4.0, 1.0, 20)
+        assert queueing_utilization(network, "a") == pytest.approx(1.0, abs=0.01)
+        with pytest.raises(ConfigurationError):
+            queueing_utilization(network, "missing")

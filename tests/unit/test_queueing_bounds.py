@@ -1,0 +1,106 @@
+"""Unit tests for :mod:`repro.queueing.bounds`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.queueing.bounds import (
+    ThroughputBounds,
+    asymptotic_bounds,
+    balanced_job_bounds,
+    bus_ceiling_matches_section2,
+)
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import (
+    ClosedNetwork,
+    Station,
+    StationKind,
+    buffered_bus_network,
+)
+
+
+def network(demands, population, think=0.0):
+    stations = [
+        Station(f"q{i}", StationKind.QUEUEING, 1.0, d)
+        for i, d in enumerate(demands)
+    ]
+    if think:
+        stations.append(Station("think", StationKind.DELAY, 1.0, think))
+    return ClosedNetwork(stations=tuple(stations), population=population)
+
+
+class TestBoundsBracketMva:
+    @pytest.mark.parametrize("population", [1, 2, 5, 20])
+    def test_asymptotic(self, population):
+        net = network([2.0, 1.0, 0.5], population, think=3.0)
+        x = solve_mva(net).throughput
+        bounds = asymptotic_bounds(net)
+        assert bounds.contains(x)
+
+    @pytest.mark.parametrize("population", [1, 3, 10])
+    def test_balanced_job(self, population):
+        net = network([2.0, 1.0, 0.5], population)
+        x = solve_mva(net).throughput
+        bounds = balanced_job_bounds(net)
+        assert bounds.contains(x, slack=1e-6)
+
+    def test_balanced_tighter_than_asymptotic_lower(self):
+        net = network([2.0, 1.0], 10)
+        assert (
+            balanced_job_bounds(net).lower >= asymptotic_bounds(net).lower - 1e-12
+        )
+
+    def test_bounds_on_buffered_bus_network(self):
+        config = SystemConfig(8, 8, 8, buffered=True)
+        net = buffered_bus_network(config)
+        x = solve_mva(net).throughput
+        assert asymptotic_bounds(net).contains(x)
+        assert balanced_job_bounds(net).contains(x, slack=1e-6)
+
+    def test_single_customer_exact(self):
+        # N = 1: both bounds collapse onto the exact 1 / (D + Z).
+        net = network([1.5, 0.5], 1, think=2.0)
+        x = solve_mva(net).throughput
+        bounds = balanced_job_bounds(net)
+        assert bounds.lower == pytest.approx(x)
+        assert bounds.upper == pytest.approx(x)
+
+
+class TestSection2Correspondence:
+    def test_bus_ceiling(self):
+        # The 1/Dmax bound of the central-server model (bus demand 2) in
+        # EBW units is the Section 2 ceiling (r+2)/2.
+        for r in (2, 8, 24):
+            assert bus_ceiling_matches_section2(r) == (r + 2) / 2
+
+    def test_ceiling_reached_by_saturated_machine(self):
+        from repro.bus import simulate
+
+        config = SystemConfig(8, 8, 2, buffered=True)
+        ebw = simulate(config, cycles=10_000, seed=1).ebw
+        assert ebw == pytest.approx(bus_ceiling_matches_section2(2), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bus_ceiling_matches_section2(0)
+
+
+class TestValidation:
+    def test_inconsistent_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ThroughputBounds(lower=2.0, upper=1.0)
+
+    def test_contains(self):
+        bounds = ThroughputBounds(lower=1.0, upper=2.0)
+        assert bounds.contains(1.5)
+        assert not bounds.contains(2.5)
+
+    def test_network_without_queueing_station_rejected(self):
+        delay_only = ClosedNetwork(
+            stations=(Station("z", StationKind.DELAY, 1.0, 5.0),),
+            population=2,
+        )
+        with pytest.raises(ConfigurationError):
+            asymptotic_bounds(delay_only)

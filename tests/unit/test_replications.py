@@ -1,0 +1,117 @@
+"""Unit tests for :mod:`repro.des.replications`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.des.replications import (
+    ReplicationResult,
+    ebw_estimator,
+    replicate,
+    replicate_until,
+)
+
+
+def noisy_estimator(seed: int) -> float:
+    """A deterministic pseudo-noisy estimator around 10."""
+    return 10.0 + ((seed * 2654435761) % 7 - 3) * 0.05
+
+
+class TestReplicate:
+    def test_fixed_count(self):
+        result = replicate(noisy_estimator, replications=5, base_seed=1)
+        assert result.replications == 5
+        assert result.seeds == (1, 2, 3, 4, 5)
+        assert result.mean == pytest.approx(10.0, abs=0.2)
+
+    def test_interval_brackets_mean(self):
+        result = replicate(noisy_estimator, replications=8)
+        low, high = result.interval()
+        assert low <= result.mean <= high
+        assert result.half_width >= 0.0
+
+    def test_constant_estimator_zero_width(self):
+        result = replicate(lambda seed: 4.2, replications=4)
+        assert result.half_width == 0.0
+        assert result.relative_half_width == 0.0
+
+    def test_summary_readable(self):
+        text = replicate(lambda seed: 2.0, replications=3).summary()
+        assert "2.0000" in text
+        assert "3 replications" in text
+
+    def test_requires_two_replications(self):
+        with pytest.raises(ConfigurationError):
+            replicate(noisy_estimator, replications=1)
+
+    def test_unsupported_confidence_rejected(self):
+        result = replicate(noisy_estimator, replications=3, confidence=0.8)
+        with pytest.raises(ConfigurationError):
+            _ = result.half_width
+
+    def test_zero_mean_relative_width_infinite(self):
+        result = ReplicationResult(
+            estimates=(1.0, -1.0), seeds=(0, 1), confidence=0.95
+        )
+        assert result.relative_half_width == float("inf")
+
+
+class TestReplicateUntil:
+    def test_stops_when_precise(self):
+        result = replicate_until(
+            lambda seed: 5.0, relative_precision=0.01, min_replications=3
+        )
+        assert result.replications == 3  # constant: precise immediately
+
+    def test_adds_replications_for_noisy_estimator(self):
+        calls = []
+
+        def estimator(seed: int) -> float:
+            calls.append(seed)
+            return noisy_estimator(seed)
+
+        result = replicate_until(
+            estimator,
+            relative_precision=0.002,
+            min_replications=3,
+            max_replications=12,
+        )
+        assert 3 <= result.replications <= 12
+        assert len(calls) == result.replications
+
+    def test_respects_max_replications(self):
+        # Irreducibly noisy estimator with impossible precision target.
+        result = replicate_until(
+            lambda seed: float(seed % 2) * 100.0,
+            relative_precision=0.001,
+            max_replications=6,
+        )
+        assert result.replications == 6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            replicate_until(noisy_estimator, relative_precision=0.0)
+        with pytest.raises(ConfigurationError):
+            replicate_until(noisy_estimator, 0.1, min_replications=1)
+        with pytest.raises(ConfigurationError):
+            replicate_until(
+                noisy_estimator, 0.1, min_replications=5, max_replications=4
+            )
+
+
+class TestEbwEstimator:
+    def test_matches_direct_simulation(self):
+        from repro.bus import simulate
+
+        config = SystemConfig(2, 2, 2)
+        estimator = ebw_estimator(config, cycles=2_000)
+        assert estimator(7) == simulate(config, cycles=2_000, seed=7).ebw
+
+    def test_replicated_ebw_tight_for_stable_system(self):
+        config = SystemConfig(4, 4, 2)  # saturated, very low variance
+        estimator = ebw_estimator(config, cycles=3_000)
+        result = replicate(estimator, replications=3, base_seed=1)
+        assert result.relative_half_width < 0.05
+        assert result.mean == pytest.approx(2.0, rel=0.02)

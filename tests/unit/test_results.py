@@ -1,0 +1,111 @@
+"""Unit tests for :mod:`repro.core.results`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.results import ModelResult, SimulationResult
+
+
+def make_simulation_result(**overrides) -> SimulationResult:
+    defaults = dict(
+        config=SystemConfig(4, 4, 6),  # processor cycle 8
+        cycles=8_000,
+        completions=2_000,
+        request_transfers=2_000,
+        response_transfers=2_000,
+        memory_busy_cycles=12_000,
+        total_latency=30_000,
+        seed=1,
+        warmup_cycles=100,
+        batch_ebws=(1.9, 2.0, 2.1, 2.0),
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_ebw_definition(self):
+        # 2000 completions in 8000 cycles with processor cycle 8:
+        # 2000 * 8 / 8000 = 2 services per processor cycle.
+        assert make_simulation_result().ebw == pytest.approx(2.0)
+
+    def test_bus_utilization(self):
+        result = make_simulation_result()
+        assert result.bus_busy_cycles == 4_000
+        assert result.bus_utilization == pytest.approx(0.5)
+
+    def test_ebw_consistent_with_bus_utilization(self):
+        # EBW = Pb (r+2)/2 must agree with the completion-count EBW when
+        # requests equal responses.
+        result = make_simulation_result()
+        assert result.ebw == pytest.approx(
+            result.bus_utilization * result.config.processor_cycle / 2
+        )
+
+    def test_memory_utilization(self):
+        result = make_simulation_result()
+        assert result.memory_utilization == pytest.approx(12_000 / (8_000 * 4))
+
+    def test_mean_latency(self):
+        assert make_simulation_result().mean_latency == pytest.approx(15.0)
+
+    def test_mean_latency_nan_when_no_completions(self):
+        result = make_simulation_result(completions=0, total_latency=0)
+        assert math.isnan(result.mean_latency)
+
+    def test_processor_utilization(self):
+        result = make_simulation_result()
+        assert result.processor_utilization == pytest.approx(2.0 / 4.0)
+
+    def test_empty_window(self):
+        result = make_simulation_result(
+            cycles=0,
+            completions=0,
+            request_transfers=0,
+            response_transfers=0,
+            memory_busy_cycles=0,
+            total_latency=0,
+        )
+        assert result.ebw == 0.0
+        assert result.bus_utilization == 0.0
+        assert result.memory_utilization == 0.0
+
+    def test_confidence_interval_brackets_mean(self):
+        low, high = make_simulation_result().ebw_confidence_interval()
+        assert low < 2.0 < high
+
+    def test_confidence_interval_degenerate_without_batches(self):
+        result = make_simulation_result(batch_ebws=())
+        assert result.ebw_confidence_interval() == (result.ebw, result.ebw)
+
+    def test_summary_contains_key_figures(self):
+        text = make_simulation_result().summary()
+        assert "EBW" in text
+        assert "2.000" in text
+        assert "bus utilisation" in text
+
+
+class TestModelResult:
+    def test_bus_utilization_inverse(self):
+        config = SystemConfig(4, 4, 6)
+        result = ModelResult(config=config, ebw=2.0, method="test")
+        assert result.bus_utilization == pytest.approx(0.5)
+
+    def test_processor_utilization(self):
+        config = SystemConfig(4, 4, 6)
+        result = ModelResult(config=config, ebw=2.0, method="test")
+        assert result.processor_utilization == pytest.approx(0.5)
+
+    def test_summary_includes_details(self):
+        config = SystemConfig(4, 4, 6)
+        result = ModelResult(
+            config=config, ebw=2.0, method="exact", details={"states": 22.0}
+        )
+        text = result.summary()
+        assert "exact" in text
+        assert "states" in text
+        assert "22" in text

@@ -1,0 +1,90 @@
+"""Unit tests for :mod:`repro.analysis.sensitivity`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    FactorEffect,
+    sensitivity_analysis,
+)
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Priority
+
+FAST = dict(cycles=6_000, seed=4)
+
+
+class TestFactorEffect:
+    def test_absolute_effect(self):
+        effect = FactorEffect("m", 8, 10, 4.0, 4.4)
+        assert effect.absolute_effect == pytest.approx(0.4)
+
+    def test_elasticity(self):
+        # +25% factor, +10% EBW -> elasticity 0.4.
+        effect = FactorEffect("m", 8, 10, 4.0, 4.4)
+        assert effect.elasticity == pytest.approx(0.4)
+
+    def test_unperturbed_factor_rejected(self):
+        effect = FactorEffect("m", 8, 8, 4.0, 4.0)
+        with pytest.raises(ConfigurationError):
+            _ = effect.elasticity
+
+
+class TestSensitivityAnalysis:
+    def test_report_structure(self):
+        base = SystemConfig(8, 8, 8, priority=Priority.PROCESSORS)
+        report = sensitivity_analysis(base, **FAST)
+        factors = {effect.factor for effect in report.effects}
+        assert factors == {
+            "memories",
+            "memory_cycle_ratio",
+            "request_probability",
+            "buffering",
+        }
+        assert report.base_ebw > 0
+
+    def test_more_memories_help_crowded_system(self):
+        base = SystemConfig(8, 4, 8, priority=Priority.PROCESSORS)
+        report = sensitivity_analysis(base, memory_step=4, **FAST)
+        assert report.effect("memories").absolute_effect > 0
+
+    def test_buffering_effect_positive(self):
+        base = SystemConfig(8, 8, 10, priority=Priority.PROCESSORS)
+        report = sensitivity_analysis(base, **FAST)
+        assert report.effect("buffering").absolute_effect > 0
+
+    def test_lighter_load_lowers_ebw(self):
+        # EBW counts completions; fewer requests mean fewer completions
+        # even though per-processor efficiency rises.
+        base = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS)
+        report = sensitivity_analysis(base, load_step=-0.4, **FAST)
+        assert report.effect("request_probability").absolute_effect < 0
+
+    def test_p_one_skips_upward_load_step(self):
+        base = SystemConfig(4, 4, 4)
+        report = sensitivity_analysis(base, load_step=0.5, **FAST)
+        factors = {effect.factor for effect in report.effects}
+        assert "request_probability" not in factors
+
+    def test_ranked_orders_by_magnitude(self):
+        base = SystemConfig(8, 4, 8, priority=Priority.PROCESSORS)
+        report = sensitivity_analysis(base, **FAST)
+        magnitudes = [abs(e.absolute_effect) for e in report.ranked()]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_summary_readable(self):
+        base = SystemConfig(4, 4, 4)
+        text = sensitivity_analysis(base, **FAST).summary()
+        assert "base:" in text
+        assert "memories" in text
+
+    def test_unknown_factor_rejected(self):
+        base = SystemConfig(4, 4, 4)
+        report = sensitivity_analysis(base, **FAST)
+        with pytest.raises(ConfigurationError):
+            report.effect("voltage")
+
+    def test_zero_steps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sensitivity_analysis(SystemConfig(4, 4, 4), memory_step=0, **FAST)

@@ -1,0 +1,109 @@
+"""Unit tests for :mod:`repro.analysis.transient`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.transient import (
+    averaged_replications,
+    ebw_time_series,
+    suggest_warmup,
+    welch_moving_average,
+)
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+class TestTimeSeries:
+    def test_shape_and_range(self):
+        config = SystemConfig(4, 4, 4)
+        series = ebw_time_series(config, intervals=10, interval_cycles=500, seed=1)
+        assert len(series) == 10
+        assert all(0.0 <= v <= config.max_ebw * 1.2 for v in series)
+
+    def test_deterministic(self):
+        config = SystemConfig(4, 4, 4)
+        a = ebw_time_series(config, 5, 300, seed=2)
+        b = ebw_time_series(config, 5, 300, seed=2)
+        assert a == b
+
+    def test_averaging_reduces_variance(self):
+        config = SystemConfig(8, 8, 8)
+        single = ebw_time_series(config, 12, 400, seed=1)
+        averaged = averaged_replications(config, replications=6, intervals=12,
+                                         interval_cycles=400, base_seed=1)
+
+        def spread(xs):
+            mean = sum(xs) / len(xs)
+            return sum((x - mean) ** 2 for x in xs)
+
+        # The tail of the averaged series fluctuates less than the
+        # single run's tail.
+        assert spread(averaged[4:]) <= spread(single[4:]) + 1e-9
+
+    def test_validation(self):
+        config = SystemConfig(2, 2, 2)
+        with pytest.raises(ConfigurationError):
+            ebw_time_series(config, 0, 10)
+        with pytest.raises(ConfigurationError):
+            ebw_time_series(config, 10, 0)
+        with pytest.raises(ConfigurationError):
+            averaged_replications(config, 0, 5, 10)
+
+
+class TestWelchSmoothing:
+    def test_window_zero_is_identity(self):
+        series = [1.0, 5.0, 3.0]
+        assert welch_moving_average(series, 0) == series
+
+    def test_constant_series_unchanged(self):
+        assert welch_moving_average([2.0] * 6, 2) == [2.0] * 6
+
+    def test_centre_window(self):
+        smoothed = welch_moving_average([0.0, 3.0, 6.0], 1)
+        assert smoothed[1] == pytest.approx(3.0)
+        # Edges use shrunk windows: first element is itself.
+        assert smoothed[0] == 0.0
+        assert smoothed[2] == 6.0
+
+    def test_smooths_noise(self):
+        noisy = [1.0, 2.0] * 10
+        smoothed = welch_moving_average(noisy, 3)
+        assert max(smoothed[3:-3]) - min(smoothed[3:-3]) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            welch_moving_average([], 1)
+        with pytest.raises(ConfigurationError):
+            welch_moving_average([1.0], -1)
+
+
+class TestSuggestWarmup:
+    def test_steady_series_needs_no_warmup(self):
+        assert suggest_warmup([5.0] * 20) == 0
+
+    def test_transient_detected(self):
+        series = [0.0, 1.0, 2.0, 3.0] + [4.0] * 16
+        warmup = suggest_warmup(series, window=1, tolerance=0.05)
+        assert 1 <= warmup <= 6
+
+    def test_never_settling_series(self):
+        series = [float(i) for i in range(20)]
+        assert suggest_warmup(series, window=0, tolerance=0.001) >= 18
+
+    def test_real_simulation_warmup_is_modest(self):
+        # The machine reaches steady state quickly; the default 25%
+        # warm-up used by run() is comfortably conservative.
+        config = SystemConfig(8, 16, 8)
+        series = averaged_replications(
+            config, replications=4, intervals=20, interval_cycles=400,
+            base_seed=3,
+        )
+        warmup = suggest_warmup(series, window=2, tolerance=0.05)
+        assert warmup <= 10  # half the horizon
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            suggest_warmup([1.0], tolerance=0.0)
+        with pytest.raises(ConfigurationError):
+            suggest_warmup([1.0], tail_fraction=0.0)

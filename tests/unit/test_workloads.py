@@ -1,0 +1,107 @@
+"""Unit tests for :mod:`repro.workloads`."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.des.rng import RandomStream
+from repro.workloads.generators import HotSpotTargets, TraceTargets, UniformTargets
+from repro.workloads.trace import RequestTrace
+
+
+class TestUniformTargets:
+    def test_range(self):
+        targets = UniformTargets(4, RandomStream(1, "t"))
+        values = {targets.next_target(0) for _ in range(200)}
+        assert values == {0, 1, 2, 3}
+
+    def test_approximately_uniform(self):
+        targets = UniformTargets(4, RandomStream(2, "t"))
+        counts = Counter(targets.next_target(0) for _ in range(8_000))
+        for module in range(4):
+            assert counts[module] == pytest.approx(2_000, rel=0.1)
+
+    def test_rejects_no_modules(self):
+        with pytest.raises(ConfigurationError):
+            UniformTargets(0, RandomStream(1, "t"))
+
+
+class TestHotSpotTargets:
+    def test_zero_fraction_behaves_uniformly(self):
+        targets = HotSpotTargets(4, RandomStream(3, "t"), hot_fraction=0.0)
+        counts = Counter(targets.next_target(0) for _ in range(4_000))
+        assert counts[0] == pytest.approx(1_000, rel=0.15)
+
+    def test_full_fraction_always_hot(self):
+        targets = HotSpotTargets(4, RandomStream(3, "t"), hot_fraction=1.0)
+        assert all(targets.next_target(0) == 0 for _ in range(100))
+
+    def test_fraction_shifts_mass(self):
+        targets = HotSpotTargets(
+            4, RandomStream(4, "t"), hot_fraction=0.5, hot_module=2
+        )
+        counts = Counter(targets.next_target(0) for _ in range(8_000))
+        # hot share = 0.5 + 0.5/4 = 0.625.
+        assert counts[2] / 8_000 == pytest.approx(0.625, abs=0.03)
+
+    def test_validation(self):
+        stream = RandomStream(1, "t")
+        with pytest.raises(ConfigurationError):
+            HotSpotTargets(4, stream, hot_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            HotSpotTargets(4, stream, hot_fraction=0.5, hot_module=4)
+        with pytest.raises(ConfigurationError):
+            HotSpotTargets(0, stream, hot_fraction=0.5)
+
+
+class TestTraceTargets:
+    def test_replays_in_order_and_cycles(self):
+        targets = TraceTargets([[0, 1, 2]], modules=3)
+        drawn = [targets.next_target(0) for _ in range(7)]
+        assert drawn == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_per_processor_positions_independent(self):
+        targets = TraceTargets([[0, 1], [1, 0]], modules=2)
+        assert targets.next_target(0) == 0
+        assert targets.next_target(1) == 1
+        assert targets.next_target(0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TraceTargets([], modules=2)
+        with pytest.raises(ConfigurationError):
+            TraceTargets([[]], modules=2)
+        with pytest.raises(ConfigurationError):
+            TraceTargets([[5]], modules=2)
+        targets = TraceTargets([[0]], modules=2)
+        with pytest.raises(ConfigurationError):
+            targets.next_target(3)
+
+
+class TestRequestTrace:
+    def test_round_trip_json(self):
+        trace = RequestTrace(modules=3, targets=((0, 1, 2), (2, 2)))
+        parsed = RequestTrace.from_json(trace.to_json())
+        assert parsed == trace
+        assert parsed.processors == 2
+
+    def test_save_and_load(self, tmp_path):
+        trace = RequestTrace(modules=2, targets=((0, 1),))
+        path = tmp_path / "trace.json"
+        trace.save(path)
+        assert RequestTrace.load(path) == trace
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RequestTrace(modules=0, targets=())
+        with pytest.raises(ConfigurationError):
+            RequestTrace(modules=2, targets=((0, 5),))
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RequestTrace.from_json("{not json")
+        with pytest.raises(ConfigurationError):
+            RequestTrace.from_json('{"modules": 2}')
