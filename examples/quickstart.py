@@ -8,8 +8,13 @@ analytical model and with a crossbar of the same size.
 Run:  python examples/quickstart.py
 """
 
+import os
+
 from repro import Priority, SystemConfig, simulate
 from repro.models import crossbar_exact_ebw, processor_priority_ebw
+
+# Overridable so smoke tests can run the full workflow quickly.
+CYCLES = int(os.environ.get("REPRO_QUICKSTART_CYCLES", "100000"))
 
 
 def main() -> None:
@@ -23,7 +28,7 @@ def main() -> None:
     )
 
     print("== cycle-accurate simulation ==")
-    result = simulate(config, cycles=100_000, seed=1)
+    result = simulate(config, cycles=CYCLES, seed=1)
     print(result.summary())
 
     print()
@@ -46,7 +51,7 @@ def main() -> None:
 
     print()
     print("== the same machine with Section 6 memory buffers ==")
-    buffered = simulate(config.with_buffers(), cycles=100_000, seed=1)
+    buffered = simulate(config.with_buffers(), cycles=CYCLES, seed=1)
     print(f"buffered EBW            : {buffered.ebw:.3f}")
     print(f"unbuffered EBW          : {result.ebw:.3f}")
     print(f"buffering gain          : {100 * (buffered.ebw / result.ebw - 1):.1f}%")

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+All project metadata lives in ``pyproject.toml``; this file exists so
+environments whose setuptools cannot build PEP 660 editable wheels (no
+``wheel`` package available) can still do a development install via
+``python setup.py develop`` / ``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

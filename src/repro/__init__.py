@@ -9,7 +9,10 @@ Public API tour
 * :mod:`repro.models` evaluates the paper's analytical models;
 * :mod:`repro.queueing` solves the Section 6 product-form comparison;
 * :mod:`repro.experiments` regenerates every table and figure
-  (``python -m repro.experiments all``).
+  (``repro-experiments all`` or ``python -m repro.experiments all``);
+* :mod:`repro.parallel` fans replications, sweeps and experiments out
+  over process pools and caches their results, without changing a
+  single output byte (``repro-experiments all --jobs 8``).
 
 Quick start::
 

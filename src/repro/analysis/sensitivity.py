@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.bus import simulate
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
+from repro.parallel.workers import SimulationCase, simulate_cases
 
 
 @dataclasses.dataclass(frozen=True)
@@ -89,70 +89,75 @@ def sensitivity_analysis(
     load_step: float = -0.2,
     cycles: int = 30_000,
     seed: int = 0,
+    max_workers: int | None = 1,
 ) -> SensitivityReport:
     """Perturb each design factor of ``base`` once and measure EBW.
 
     Factors: ``memories`` (+memory_step), ``memory_cycle_ratio``
     (+ratio_step), ``request_probability`` (+load_step, clipped to
-    (0, 1]), and ``buffering`` (toggled).
+    (0, 1]), and ``buffering`` (toggled).  The base point and every
+    perturbation are independent seeded runs, so with ``max_workers``
+    (``1`` = serial, ``None`` = CPU count) they are dispatched through
+    one process-pool batch; the report is identical to the serial one.
     """
     if memory_step == 0 or ratio_step == 0 or load_step == 0.0:
         raise ConfigurationError("perturbation steps must be non-zero")
-    base_ebw = simulate(base, cycles=cycles, seed=seed).ebw
-    effects: list[FactorEffect] = []
+
+    # (factor name, base value, perturbed value, perturbed config)
+    perturbations: list[tuple[str, float, float, SystemConfig]] = []
 
     more_memories = dataclasses.replace(
         base, memories=max(1, base.memories + memory_step)
     )
-    effects.append(
-        FactorEffect(
-            factor="memories",
-            base_value=base.memories,
-            perturbed_value=more_memories.memories,
-            base_ebw=base_ebw,
-            perturbed_ebw=simulate(more_memories, cycles=cycles, seed=seed).ebw,
-        )
+    perturbations.append(
+        ("memories", base.memories, more_memories.memories, more_memories)
     )
 
     slower_memory = dataclasses.replace(
         base, memory_cycle_ratio=max(1, base.memory_cycle_ratio + ratio_step)
     )
-    effects.append(
-        FactorEffect(
-            factor="memory_cycle_ratio",
-            base_value=base.memory_cycle_ratio,
-            perturbed_value=slower_memory.memory_cycle_ratio,
-            base_ebw=base_ebw,
-            perturbed_ebw=simulate(slower_memory, cycles=cycles, seed=seed).ebw,
+    perturbations.append(
+        (
+            "memory_cycle_ratio",
+            base.memory_cycle_ratio,
+            slower_memory.memory_cycle_ratio,
+            slower_memory,
         )
     )
 
     new_p = min(1.0, max(0.05, base.request_probability + load_step))
     if new_p != base.request_probability:
         lighter = dataclasses.replace(base, request_probability=new_p)
-        effects.append(
-            FactorEffect(
-                factor="request_probability",
-                base_value=base.request_probability,
-                perturbed_value=new_p,
-                base_ebw=base_ebw,
-                perturbed_ebw=simulate(lighter, cycles=cycles, seed=seed).ebw,
-            )
+        perturbations.append(
+            ("request_probability", base.request_probability, new_p, lighter)
         )
 
     toggled = (
         base.without_buffers() if base.buffered else base.with_buffers()
     )
-    effects.append(
+    perturbations.append(
+        ("buffering", float(base.buffered), float(toggled.buffered), toggled)
+    )
+
+    cases = [SimulationCase(base, cycles, seed)] + [
+        SimulationCase(config, cycles, seed)
+        for _, _, _, config in perturbations
+    ]
+    results = simulate_cases(cases, max_workers=max_workers)
+    base_ebw = results[0].ebw
+    effects = tuple(
         FactorEffect(
-            factor="buffering",
-            base_value=float(base.buffered),
-            perturbed_value=float(toggled.buffered),
+            factor=factor,
+            base_value=base_value,
+            perturbed_value=perturbed_value,
             base_ebw=base_ebw,
-            perturbed_ebw=simulate(toggled, cycles=cycles, seed=seed).ebw,
+            perturbed_ebw=result.ebw,
+        )
+        for (factor, base_value, perturbed_value, _), result in zip(
+            perturbations, results[1:]
         )
     )
 
     return SensitivityReport(
-        base=base, base_ebw=base_ebw, effects=tuple(effects)
+        base=base, base_ebw=base_ebw, effects=effects
     )

@@ -2,7 +2,12 @@
 
 Every figure of the paper is a sweep over one axis (``r`` or ``p``) with
 the other parameters fixed; these helpers centralise the loop so all
-callers simulate with identical settings and seeds.
+callers simulate with identical settings and seeds.  Grid points are
+dispatched through :mod:`repro.parallel` - pass ``max_workers`` to fan a
+sweep out over a process pool; the points are independent seeded runs,
+so the resulting curve is identical to the serial one.  ``max_workers``
+follows the pool convention: the default ``1`` runs serially, an
+explicit ``None`` uses the CPU count.
 """
 
 from __future__ import annotations
@@ -10,9 +15,9 @@ from __future__ import annotations
 import dataclasses
 from typing import Iterable, Sequence
 
-from repro.bus import simulate
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
+from repro.parallel.workers import SimulationCase, simulate_cases
 
 
 @dataclasses.dataclass(frozen=True)
@@ -56,27 +61,42 @@ def _axis_value(config: SystemConfig, axis: str) -> float:
     raise ConfigurationError(f"unknown sweep axis {axis!r}")
 
 
+def _run_sweep(
+    configs: Sequence[SystemConfig],
+    label: str,
+    axis: str,
+    cycles: int,
+    seed: int,
+    max_workers: int | None,
+) -> Sweep:
+    """Simulate every config (serially or on a pool) in grid order."""
+    cases = [SimulationCase(config, cycles, seed) for config in configs]
+    results = simulate_cases(cases, max_workers=max_workers)
+    points = tuple(
+        SweepPoint(
+            config=case.config,
+            ebw=result.ebw,
+            processor_utilization=result.processor_utilization,
+            bus_utilization=result.bus_utilization,
+        )
+        for case, result in zip(cases, results)
+    )
+    return Sweep(label=label, axis=axis, points=points)
+
+
 def sweep_r(
     base: SystemConfig,
     r_values: Iterable[int],
     label: str,
     cycles: int = 50_000,
     seed: int = 0,
+    max_workers: int | None = 1,
 ) -> Sweep:
     """Simulate ``base`` for each memory-cycle ratio in ``r_values``."""
-    points = []
-    for r in r_values:
-        config = dataclasses.replace(base, memory_cycle_ratio=r)
-        result = simulate(config, cycles=cycles, seed=seed)
-        points.append(
-            SweepPoint(
-                config=config,
-                ebw=result.ebw,
-                processor_utilization=result.processor_utilization,
-                bus_utilization=result.bus_utilization,
-            )
-        )
-    return Sweep(label=label, axis="r", points=tuple(points))
+    configs = [
+        dataclasses.replace(base, memory_cycle_ratio=r) for r in r_values
+    ]
+    return _run_sweep(configs, label, "r", cycles, seed, max_workers)
 
 
 def sweep_p(
@@ -85,21 +105,13 @@ def sweep_p(
     label: str,
     cycles: int = 50_000,
     seed: int = 0,
+    max_workers: int | None = 1,
 ) -> Sweep:
     """Simulate ``base`` for each request probability in ``p_values``."""
-    points = []
-    for p in p_values:
-        config = dataclasses.replace(base, request_probability=p)
-        result = simulate(config, cycles=cycles, seed=seed)
-        points.append(
-            SweepPoint(
-                config=config,
-                ebw=result.ebw,
-                processor_utilization=result.processor_utilization,
-                bus_utilization=result.bus_utilization,
-            )
-        )
-    return Sweep(label=label, axis="p", points=tuple(points))
+    configs = [
+        dataclasses.replace(base, request_probability=p) for p in p_values
+    ]
+    return _run_sweep(configs, label, "p", cycles, seed, max_workers)
 
 
 def sweep_m(
@@ -108,21 +120,11 @@ def sweep_m(
     label: str,
     cycles: int = 50_000,
     seed: int = 0,
+    max_workers: int | None = 1,
 ) -> Sweep:
     """Simulate ``base`` for each module count in ``m_values``."""
-    points = []
-    for m in m_values:
-        config = dataclasses.replace(base, memories=m)
-        result = simulate(config, cycles=cycles, seed=seed)
-        points.append(
-            SweepPoint(
-                config=config,
-                ebw=result.ebw,
-                processor_utilization=result.processor_utilization,
-                bus_utilization=result.bus_utilization,
-            )
-        )
-    return Sweep(label=label, axis="m", points=tuple(points))
+    configs = [dataclasses.replace(base, memories=m) for m in m_values]
+    return _run_sweep(configs, label, "m", cycles, seed, max_workers)
 
 
 def crossbar_reference(

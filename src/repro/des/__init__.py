@@ -14,6 +14,7 @@ from repro.des.replications import (
     ebw_estimator,
     replicate,
     replicate_until,
+    replication_seeds,
 )
 from repro.des.rng import RandomStream, StreamFactory, derive_seed
 from repro.des.stats import BatchMeans, Counter, TimeWeighted, autocorrelation
@@ -36,5 +37,6 @@ __all__ = [
     "ReplicationResult",
     "replicate",
     "replicate_until",
+    "replication_seeds",
     "ebw_estimator",
 ]

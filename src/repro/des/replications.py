@@ -77,22 +77,49 @@ def _z_value(confidence: float) -> float:
         ) from None
 
 
-def replicate(
-    estimator: Estimator,
-    replications: int,
-    base_seed: int = 0,
-    confidence: float = 0.95,
-) -> ReplicationResult:
-    """Run a fixed number of independent replications.
+def replication_seeds(base_seed: int, replications: int) -> tuple[int, ...]:
+    """The canonical seed tuple ``base_seed, base_seed + 1, ...``.
 
-    Seeds are ``base_seed, base_seed + 1, ...`` - distinct seeds produce
+    Single source of truth for the seed-to-replication mapping: both the
+    serial path below and :class:`repro.parallel.ParallelReplicator`
+    derive their seeds here, which is what makes serial and parallel
+    replication results bit-for-bit identical.  Distinct seeds produce
     independent random streams (see :mod:`repro.des.rng`).
     """
     if replications < 2:
         raise ConfigurationError(
             f"at least 2 replications are required, got {replications}"
         )
-    seeds = tuple(base_seed + i for i in range(replications))
+    return tuple(base_seed + i for i in range(replications))
+
+
+def replicate(
+    estimator: Estimator,
+    replications: int,
+    base_seed: int = 0,
+    confidence: float = 0.95,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> ReplicationResult:
+    """Run a fixed number of independent replications.
+
+    With ``parallel=True`` - or simply a ``max_workers`` value - the
+    replications are fanned out over a process pool (``max_workers``
+    processes, defaulting to the CPU count); the estimator must then be
+    picklable - e.g. the task returned by :func:`ebw_estimator` or any
+    module-level function.  The result is identical to the serial run
+    either way.
+    """
+    if parallel or max_workers is not None:
+        from repro.parallel.replicator import ParallelReplicator
+
+        return ParallelReplicator(max_workers=max_workers).run(
+            estimator,
+            replications,
+            base_seed=base_seed,
+            confidence=confidence,
+        )
+    seeds = replication_seeds(base_seed, replications)
     estimates = tuple(estimator(seed) for seed in seeds)
     return ReplicationResult(
         estimates=estimates, seeds=seeds, confidence=confidence
@@ -129,11 +156,9 @@ def replicate_until(
         )
     estimates: list[float] = []
     seeds: list[int] = []
-    seed = base_seed
-    while len(estimates) < max_replications:
+    for seed in replication_seeds(base_seed, max_replications):
         estimates.append(estimator(seed))
         seeds.append(seed)
-        seed += 1
         if len(estimates) >= min_replications:
             result = ReplicationResult(
                 estimates=tuple(estimates),
@@ -154,11 +179,10 @@ def ebw_estimator(
     """An :data:`Estimator` producing the simulated EBW of ``config``.
 
     Convenience factory tying the replication machinery to the bus
-    simulator without creating an import cycle at module load.
+    simulator without creating an import cycle at module load.  The
+    returned task is a picklable object, so it works with the serial
+    path and with ``replicate(..., parallel=True)`` alike.
     """
-    from repro.bus import simulate
+    from repro.parallel.workers import EbwTask
 
-    def estimate(seed: int) -> float:
-        return simulate(config, cycles=cycles, seed=seed).ebw
-
-    return estimate
+    return EbwTask(config=config, cycles=cycles)

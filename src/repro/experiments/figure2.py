@@ -18,8 +18,14 @@ from repro.experiments.registry import ExperimentResult, ExperimentSpec, registe
 from repro.models.crossbar import crossbar_exact_ebw
 
 
-def run(cycles: int = 50_000, seed: int = 1985) -> ExperimentResult:
-    """Regenerate the Figure 2 curve family."""
+def run(
+    cycles: int = 50_000, seed: int = 1985, jobs: int | None = 1
+) -> ExperimentResult:
+    """Regenerate the Figure 2 curve family.
+
+    ``jobs`` parallelises the sweep grid over worker processes; the
+    measured values are identical for any value.
+    """
     measured: dict[tuple[str, str], float] = {}
     rows: list[str] = []
     columns = tuple(f"r={r}" for r in paper_data.FIGURE2_R_VALUES)
@@ -37,6 +43,7 @@ def run(cycles: int = 50_000, seed: int = 1985) -> ExperimentResult:
                 label=label,
                 cycles=cycles,
                 seed=seed,
+                max_workers=jobs,
             )
             for r, ebw in zip(sweep.axis_values(), sweep.ebw_values()):
                 measured[(label, f"r={int(r)}")] = ebw

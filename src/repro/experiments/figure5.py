@@ -18,7 +18,9 @@ from repro.experiments.registry import ExperimentResult, ExperimentSpec, registe
 from repro.models.crossbar import crossbar_exact_ebw
 
 
-def run(cycles: int = 50_000, seed: int = 1985) -> ExperimentResult:
+def run(
+    cycles: int = 50_000, seed: int = 1985, jobs: int | None = 1
+) -> ExperimentResult:
     """Regenerate the Figure 5 curve family."""
     measured: dict[tuple[str, str], float] = {}
     rows: list[str] = []
@@ -40,6 +42,7 @@ def run(cycles: int = 50_000, seed: int = 1985) -> ExperimentResult:
                 label=label,
                 cycles=cycles,
                 seed=seed,
+                max_workers=jobs,
             )
             for r, ebw in zip(sweep.axis_values(), sweep.ebw_values()):
                 measured[(label, f"r={int(r)}")] = ebw

@@ -14,7 +14,9 @@ from repro.experiments import paper_data
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
 
 
-def run(cycles: int = 60_000, seed: int = 1985) -> ExperimentResult:
+def run(
+    cycles: int = 60_000, seed: int = 1985, jobs: int | None = 1
+) -> ExperimentResult:
     """Regenerate the Figure 6 curve family (buffered system)."""
     measured: dict[tuple[str, str], float] = {}
     rows = []
@@ -35,6 +37,7 @@ def run(cycles: int = 60_000, seed: int = 1985) -> ExperimentResult:
             label=label,
             cycles=cycles,
             seed=seed,
+            max_workers=jobs,
         )
         for p, utilization in zip(
             sweep.axis_values(), sweep.processor_utilization_values()

@@ -1,0 +1,32 @@
+"""Shared ``(m, r)`` grid dispatch for the simulated paper tables.
+
+Tables 3(a) and 4 both simulate every cell of an ``m x r`` grid under
+one seed; this helper owns the grid enumeration and the process-pool
+dispatch so the two experiments (and any future simulated table) cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.results import SimulationResult
+from repro.parallel.workers import SimulationCase, simulate_cases
+
+
+def simulate_mr_grid(
+    m_values: Iterable[int],
+    r_values: Iterable[int],
+    config_factory: Callable[[int, int], SystemConfig],
+    cycles: int,
+    seed: int,
+    jobs: int | None = 1,
+) -> Sequence[tuple[tuple[int, int], SimulationResult]]:
+    """Simulate ``config_factory(m, r)`` for every grid cell, in order."""
+    grid = [(m, r) for m in m_values for r in r_values]
+    cases = [
+        SimulationCase(config_factory(m, r), cycles, seed) for m, r in grid
+    ]
+    results = simulate_cases(cases, max_workers=jobs)
+    return list(zip(grid, results))

@@ -2,8 +2,9 @@
 
 Usage::
 
-    python -m repro.experiments            # list experiments
-    python -m repro.experiments all        # run everything
+    python -m repro.experiments                # list experiments
+    python -m repro.experiments all            # run everything
+    python -m repro.experiments all --jobs 8   # ... on 8 worker processes
     python -m repro.experiments table1 figure5
     python -m repro.experiments figure5 --chart
 
@@ -11,20 +12,43 @@ Each experiment prints the measured grid next to the paper's published
 values (when the paper printed any) in the layout of the original
 tables; ``--chart`` additionally renders figure experiments as ASCII
 curves.
+
+Parallelism and caching
+-----------------------
+``--jobs N`` fans experiments out over ``N`` worker processes (and, for
+a single experiment that supports it, parallelises its internal sweep
+grid).  Results are deterministic functions of ``(experiment, seed,
+cycles)``, so the report bytes are identical whatever ``N`` is.
+
+Completed results are cached by default under ``$REPRO_CACHE_DIR``
+(``~/.cache/repro-single-bus`` if unset), keyed on a content hash of the
+experiment id, its parameters and the library source code - re-running
+the same command serves the stored grid instantly, and any code change
+invalidates the cache automatically.  Disable with ``--no-cache``.
+Timings go to stderr so stdout stays byte-reproducible.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 import time
 from typing import Iterator, Sequence
 
 from repro.experiments.asciichart import render_chart
 from repro.experiments.formatting import format_result, format_series
-from repro.experiments.registry import all_experiments, get
+from repro.experiments.registry import (
+    ExperimentResult,
+    ExperimentSpec,
+    all_experiments,
+    get,
+)
 
 _SERIES_EXPERIMENTS = {"figure2", "figure3", "figure5", "figure6"}
+
+_FAST_CYCLES = 6_000
+"""Simulation length used by ``--fast`` (smoke-test quality)."""
 
 
 def list_experiments() -> str:
@@ -38,26 +62,43 @@ def list_experiments() -> str:
 
 
 def iter_reports(
-    ids: Sequence[str], fast: bool = False, chart: bool = False
+    ids: Sequence[str],
+    fast: bool = False,
+    chart: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> Iterator[str]:
     """Yield one formatted report per experiment, as each completes."""
-    for _, report in _reports_with_results(ids, fast=fast, chart=chart):
-        yield report
+    for outcome in _run_outcomes(ids, fast=fast, chart=chart, jobs=jobs, cache=cache):
+        yield outcome.report
 
 
 def run_experiments(
-    ids: Sequence[str], fast: bool = False, chart: bool = False
+    ids: Sequence[str],
+    fast: bool = False,
+    chart: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> str:
     """Run the named experiments (or all) and return the full report."""
-    return "\n\n".join(iter_reports(ids, fast=fast, chart=chart))
+    return "\n\n".join(
+        iter_reports(ids, fast=fast, chart=chart, jobs=jobs, cache=cache)
+    )
 
 
 def _accepts_cycles(experiment_id: str) -> bool:
     return experiment_id not in {"table1", "table2", "table3b"}
 
 
+def _accepts_jobs(spec: ExperimentSpec) -> bool:
+    try:
+        return "jobs" in inspect.signature(spec.run).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point (also installed as ``repro-experiments``)."""
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the ISCA 1985 "
@@ -79,21 +120,55 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="render figure experiments as ASCII charts",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for experiment execution (default 1)",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached results for identical runs (default on; "
+        "--no-cache disables)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro-single-bus)",
+    )
+    parser.add_argument(
         "--markdown",
         metavar="PATH",
         help="additionally write a markdown paper-vs-measured report",
     )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be a positive integer")
     if not args.ids:
         print(list_experiments())
         return 0
+    cache = None
+    if args.cache:
+        from repro.core.errors import ConfigurationError
+        from repro.parallel.cache import ResultCache
+
+        try:
+            cache = ResultCache(cache_dir=args.cache_dir)
+        except (ConfigurationError, OSError) as exc:
+            # A broken cache location must never block the science run.
+            print(f"warning: caching disabled: {exc}", file=sys.stderr)
     collected = []
-    for spec_result, report in _reports_with_results(
-        args.ids, fast=args.fast, chart=args.chart
+    for outcome in _run_outcomes(
+        args.ids, fast=args.fast, chart=args.chart, jobs=args.jobs, cache=cache
     ):
-        collected.append(spec_result)
-        print(report, flush=True)
+        collected.append(outcome.result)
+        print(outcome.report, flush=True)
         print(flush=True)
+        origin = "cached" if outcome.cached else f"{outcome.elapsed:.1f}s"
+        print(f"[{outcome.result.experiment_id}: {origin}]", file=sys.stderr)
     if args.markdown:
         from repro.experiments.report import write_markdown_report
 
@@ -104,29 +179,166 @@ def main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
-def _reports_with_results(
-    ids: Sequence[str], fast: bool = False, chart: bool = False
-) -> Iterator[tuple["ExperimentResult", str]]:
-    """Run experiments, yielding ``(result, formatted report)`` pairs."""
-    from repro.experiments.registry import ExperimentResult  # noqa: F401
+class _Outcome:
+    """One finished experiment: result, rendered report, provenance."""
 
+    __slots__ = ("result", "report", "elapsed", "cached")
+
+    def __init__(
+        self,
+        result: ExperimentResult,
+        report: str,
+        elapsed: float,
+        cached: bool,
+    ) -> None:
+        self.result = result
+        self.report = report
+        self.elapsed = elapsed
+        self.cached = cached
+
+
+def _run_registered(item: tuple[str, dict]) -> tuple[ExperimentResult, float]:
+    """Pool worker: run one registered experiment by id (spawn-safe).
+
+    Returns the result with its own wall time, so pooled runs report
+    true per-experiment timings.
+    """
+    experiment_id, kwargs = item
+    started = time.time()
+    result = get(experiment_id).run(**kwargs)
+    return result, time.time() - started
+
+
+def _run_outcomes(
+    ids: Sequence[str],
+    fast: bool = False,
+    chart: bool = False,
+    jobs: int = 1,
+    cache=None,
+) -> Iterator[_Outcome]:
+    """Run experiments (with optional pool and cache), in registry order."""
     if not ids or list(ids) == ["all"]:
         specs = list(all_experiments())
     else:
         specs = [get(experiment_id) for experiment_id in ids]
+
+    run_kwargs: list[dict] = []
     for spec in specs:
-        started = time.time()
-        kwargs = {}
+        kwargs: dict = {}
         if fast and _accepts_cycles(spec.experiment_id):
-            kwargs["cycles"] = 10_000
-        result = spec.run(**kwargs)
-        is_series = spec.experiment_id in _SERIES_EXPERIMENTS
-        formatter = format_series if is_series else format_result
-        report = formatter(result)
-        if chart and is_series:
-            report += "\n\n" + render_chart(result)
-        elapsed = time.time() - started
-        yield result, report + f"\n[{elapsed:.1f}s]"
+            kwargs["cycles"] = _FAST_CYCLES
+        run_kwargs.append(kwargs)
+
+    # Cache lookups first: the key covers the experiment id and its
+    # parameters (never the worker count - jobs must not change bytes).
+    results: dict[int, tuple[ExperimentResult, float, bool]] = {}
+    if cache is not None:
+        from repro.core.errors import ExperimentError
+        from repro.experiments.serialization import result_from_payload
+
+        for index, (spec, kwargs) in enumerate(zip(specs, run_kwargs)):
+            payload = cache.lookup(_cache_payload(spec, kwargs))
+            if payload is not None:
+                try:
+                    results[index] = (result_from_payload(payload), 0.0, True)
+                except ExperimentError:
+                    # Malformed payload: treat as a miss and recompute.
+                    pass
+
+    pending = [index for index in range(len(specs)) if index not in results]
+
+    # Pooled execution streams: every uncached experiment is submitted
+    # up front, but each report is yielded as soon as its (in-order)
+    # result arrives, matching the serial path's incremental output.
+    executor = None
+    futures: dict[int, object] = {}
+    if jobs > 1 and len(pending) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        # Workers beyond the experiment count are handed down to each
+        # experiment's own grid (the cache payload keeps the jobs-free
+        # kwargs, so worker counts never reach a cache key).
+        share = max(1, jobs // len(pending))
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            )
+            for index in pending:
+                kwargs = dict(run_kwargs[index])
+                if share > 1 and _accepts_jobs(specs[index]):
+                    kwargs["jobs"] = share
+                futures[index] = executor.submit(
+                    _run_registered, (specs[index].experiment_id, kwargs)
+                )
+        except (OSError, ValueError):
+            # Pool-less platform: fall back to the serial loop below.
+            if executor is not None:
+                executor.shutdown(wait=False, cancel_futures=True)
+            executor = None
+            futures = {}
+
+    try:
+        for index in range(len(specs)):
+            spec = specs[index]
+            if index in results:
+                result, elapsed, cached = results[index]
+            elif index in futures:
+                result, elapsed = _pooled_result(
+                    futures[index], spec, run_kwargs[index]
+                )
+                cached = False
+            else:
+                kwargs = dict(run_kwargs[index])
+                if jobs > 1 and _accepts_jobs(spec):
+                    kwargs["jobs"] = jobs
+                started = time.time()
+                result = spec.run(**kwargs)
+                elapsed = time.time() - started
+                cached = False
+            if cache is not None and not cached:
+                _store_guarded(cache, _cache_payload(spec, run_kwargs[index]), result)
+            yield _Outcome(result, _format(spec, result, chart), elapsed, cached)
+    finally:
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+
+def _pooled_result(future, spec: ExperimentSpec, kwargs: dict):
+    """Collect one pooled experiment, recomputing in-process if the
+    pool died underneath it."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        return future.result()
+    except BrokenProcessPool:
+        return _run_registered((spec.experiment_id, kwargs))
+
+
+def _store_guarded(cache, payload: dict, result: ExperimentResult) -> None:
+    """Cache a result; storage failures must never block the run."""
+    from repro.core.errors import ConfigurationError
+    from repro.experiments.serialization import result_to_payload
+
+    try:
+        cache.store(payload, result_to_payload(result))
+    except (OSError, ConfigurationError) as exc:
+        print(
+            f"warning: could not cache {payload['experiment_id']}: {exc}",
+            file=sys.stderr,
+        )
+
+
+def _cache_payload(spec: ExperimentSpec, kwargs: dict) -> dict:
+    return {"experiment_id": spec.experiment_id, "kwargs": kwargs}
+
+
+def _format(spec: ExperimentSpec, result: ExperimentResult, chart: bool) -> str:
+    is_series = spec.experiment_id in _SERIES_EXPERIMENTS
+    formatter = format_series if is_series else format_result
+    report = formatter(result)
+    if chart and is_series:
+        report += "\n\n" + render_chart(result)
+    return report
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,79 @@
+"""Lossless JSON round-tripping of :class:`ExperimentResult`.
+
+The result cache (:mod:`repro.parallel.cache`) stores plain JSON, while
+experiments traffic in :class:`~repro.experiments.registry.ExperimentResult`
+objects whose cell mappings are keyed by ``(row, column)`` tuples.  The
+two functions here convert between the representations exactly: floats
+survive unchanged (JSON carries Python's shortest round-trip ``repr``),
+cell order is canonicalised, and a version field guards against stale
+payload shapes after future schema changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.errors import ExperimentError
+from repro.experiments.registry import ExperimentResult
+
+PAYLOAD_VERSION = 1
+
+
+def _cells(mapping: Mapping[tuple[str, str], float]) -> list[list[Any]]:
+    return [
+        [row, column, value]
+        for (row, column), value in sorted(mapping.items())
+    ]
+
+
+def result_to_payload(result: ExperimentResult) -> dict[str, Any]:
+    """A JSON-able dict capturing every field of ``result``."""
+    return {
+        "payload_version": PAYLOAD_VERSION,
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "row_label": result.row_label,
+        "column_label": result.column_label,
+        "rows": list(result.rows),
+        "columns": list(result.columns),
+        "measured": _cells(result.measured),
+        "reference": _cells(result.reference),
+        "notes": result.notes,
+    }
+
+
+def result_from_payload(payload: Mapping[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_payload`.
+
+    Raises :class:`ExperimentError` on malformed or version-mismatched
+    payloads, so cache corruption surfaces as a clean miss upstream.
+    """
+    try:
+        if payload["payload_version"] != PAYLOAD_VERSION:
+            raise ExperimentError(
+                "experiment payload version mismatch: "
+                f"{payload['payload_version']!r} != {PAYLOAD_VERSION}"
+            )
+        return ExperimentResult(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            row_label=payload["row_label"],
+            column_label=payload["column_label"],
+            rows=tuple(payload["rows"]),
+            columns=tuple(payload["columns"]),
+            measured={
+                (row, column): value
+                for row, column, value in payload["measured"]
+            },
+            reference={
+                (row, column): value
+                for row, column, value in payload["reference"]
+            },
+            notes=payload["notes"],
+        )
+    except ExperimentError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"malformed experiment payload: {exc!r}"
+        ) from exc

@@ -2,29 +2,40 @@
 
 from __future__ import annotations
 
-from repro.bus import simulate
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
 from repro.experiments import paper_data
+from repro.experiments.grids import simulate_mr_grid
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
 from repro.models.processor_priority import processor_priority_ebw
 
 
-def run_simulation(cycles: int = 100_000, seed: int = 1985) -> ExperimentResult:
+def _table3_config(m: int, r: int) -> SystemConfig:
+    return SystemConfig(
+        processors=paper_data.TABLE3_PROCESSORS,
+        memories=m,
+        memory_cycle_ratio=r,
+        priority=Priority.PROCESSORS,
+    )
+
+
+def run_simulation(
+    cycles: int = 100_000, seed: int = 1985, jobs: int | None = 1
+) -> ExperimentResult:
     """Table 3(a): simulate every (m, r) cell with n = 8, p = 1."""
     measured: dict[tuple[str, str], float] = {}
     reference: dict[tuple[str, str], float] = {}
-    for m in paper_data.TABLE3_M_VALUES:
-        for r in paper_data.TABLE3_R_VALUES:
-            config = SystemConfig(
-                processors=paper_data.TABLE3_PROCESSORS,
-                memories=m,
-                memory_cycle_ratio=r,
-                priority=Priority.PROCESSORS,
-            )
-            key = (f"m={m}", f"r={r}")
-            measured[key] = simulate(config, cycles=cycles, seed=seed).ebw
-            reference[key] = paper_data.TABLE3A_SIMULATION[(m, r)]
+    for (m, r), result in simulate_mr_grid(
+        paper_data.TABLE3_M_VALUES,
+        paper_data.TABLE3_R_VALUES,
+        _table3_config,
+        cycles,
+        seed,
+        jobs=jobs,
+    ):
+        key = (f"m={m}", f"r={r}")
+        measured[key] = result.ebw
+        reference[key] = paper_data.TABLE3A_SIMULATION[(m, r)]
     return ExperimentResult(
         experiment_id="table3a",
         title="Table 3(a) - EBW simulation, priority to processors, n = 8",

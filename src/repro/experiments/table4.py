@@ -2,29 +2,40 @@
 
 from __future__ import annotations
 
-from repro.bus import simulate
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
 from repro.experiments import paper_data
+from repro.experiments.grids import simulate_mr_grid
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
 
 
-def run(cycles: int = 100_000, seed: int = 1985) -> ExperimentResult:
+def _table4_config(m: int, r: int) -> SystemConfig:
+    return SystemConfig(
+        processors=paper_data.TABLE4_PROCESSORS,
+        memories=m,
+        memory_cycle_ratio=r,
+        priority=Priority.PROCESSORS,
+        buffered=True,
+    )
+
+
+def run(
+    cycles: int = 100_000, seed: int = 1985, jobs: int | None = 1
+) -> ExperimentResult:
     """Simulate the Section 6 buffered machine over the Table 4 grid."""
     measured: dict[tuple[str, str], float] = {}
     reference: dict[tuple[str, str], float] = {}
-    for m in paper_data.TABLE4_M_VALUES:
-        for r in paper_data.TABLE4_R_VALUES:
-            config = SystemConfig(
-                processors=paper_data.TABLE4_PROCESSORS,
-                memories=m,
-                memory_cycle_ratio=r,
-                priority=Priority.PROCESSORS,
-                buffered=True,
-            )
-            key = (f"m={m}", f"r={r}")
-            measured[key] = simulate(config, cycles=cycles, seed=seed).ebw
-            reference[key] = paper_data.TABLE4_BUFFERED_SIMULATION[(m, r)]
+    for (m, r), result in simulate_mr_grid(
+        paper_data.TABLE4_M_VALUES,
+        paper_data.TABLE4_R_VALUES,
+        _table4_config,
+        cycles,
+        seed,
+        jobs=jobs,
+    ):
+        key = (f"m={m}", f"r={r}")
+        measured[key] = result.ebw
+        reference[key] = paper_data.TABLE4_BUFFERED_SIMULATION[(m, r)]
     return ExperimentResult(
         experiment_id="table4",
         title="Table 4 - EBW values, priority to processors, buffered "

@@ -1,0 +1,215 @@
+"""Content-addressed result cache for experiments and sweeps.
+
+Repeated sweeps and benchmark runs recompute identical seeded
+simulations; because every run in this library is deterministic in
+``(configuration, seed, code version)``, those recomputations are pure
+waste.  This cache keys a JSON-serializable value on the SHA-256 of a
+canonical encoding of that triple:
+
+* the *payload* - an arbitrary JSON-able mapping describing the work
+  (experiment id, config fields, cycles, seeds, ...);
+* the *version tag* - by default a digest over the library's own source
+  files, so any code change invalidates every cached entry.
+
+Entries are single JSON files under a configurable directory (the
+``REPRO_CACHE_DIR`` environment variable, defaulting to
+``~/.cache/repro-single-bus``).  Writes are atomic (temp file +
+``os.replace``) and corrupted or unreadable entries are treated as
+misses and deleted, so a damaged cache can never poison results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Any, Mapping
+
+from repro.core.errors import ConfigurationError
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+"""Environment variable overriding the default cache directory."""
+
+_CODE_VERSION: str | None = None
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-single-bus``."""
+    env = os.environ.get(ENV_CACHE_DIR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro-single-bus"
+
+
+def canonical_json(payload: Any) -> str:
+    """A canonical, whitespace-free, key-sorted JSON encoding."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def fingerprint(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def config_payload(config) -> dict[str, Any]:
+    """A stable JSON-able description of a :class:`SystemConfig`."""
+    return {
+        "processors": config.processors,
+        "memories": config.memories,
+        "memory_cycle_ratio": config.memory_cycle_ratio,
+        "request_probability": config.request_probability,
+        "priority": str(config.priority),
+        "buffered": config.buffered,
+        "buffer_depth": config.buffer_depth,
+        "tie_break": str(config.tie_break),
+    }
+
+
+def code_version_tag() -> str:
+    """A digest over the ``repro`` package sources (computed once).
+
+    Any edit to any module under :mod:`repro` changes the tag, which
+    changes every cache key, which turns every lookup into a miss - the
+    conservative invalidation rule for a reproduction whose numbers are
+    supposed to track the code exactly.
+    """
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        import repro
+
+        digest = hashlib.sha256()
+        package_root = pathlib.Path(repro.__file__).parent
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode("utf-8"))
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    """Corrupted entries deleted on read."""
+
+
+class ResultCache:
+    """Content-addressed JSON store for deterministic computation results."""
+
+    def __init__(
+        self,
+        cache_dir: str | os.PathLike | None = None,
+        version_tag: str | None = None,
+    ) -> None:
+        self.cache_dir = pathlib.Path(
+            cache_dir if cache_dir is not None else default_cache_dir()
+        )
+        self.version_tag = (
+            version_tag if version_tag is not None else code_version_tag()
+        )
+        self.stats = CacheStats()
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot create cache directory {self.cache_dir}: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def key(self, payload: Mapping[str, Any]) -> str:
+        """The cache key for ``payload`` under this cache's version tag."""
+        return fingerprint({"payload": payload, "version": self.version_tag})
+
+    def path_for(self, key: str) -> pathlib.Path:
+        """The file that does or would hold ``key``'s entry."""
+        return self.cache_dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any | None:
+        """The stored value for ``key``, or ``None`` on a miss.
+
+        A file that cannot be read, parsed, or that fails its integrity
+        check counts as a miss; the damaged entry is removed so the next
+        store rebuilds it.
+        """
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except OSError:
+            self.stats.misses += 1
+            self._evict(path)
+            return None
+        try:
+            entry = json.loads(raw)
+            if not isinstance(entry, dict) or entry.get("key") != key:
+                raise ValueError("cache entry fails integrity check")
+            value = entry["value"]
+        except (ValueError, KeyError, TypeError):
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> pathlib.Path:
+        """Atomically store a JSON-serializable ``value`` under ``key``.
+
+        ``None`` is rejected: :meth:`get` returns ``None`` for a miss,
+        so a stored null could never be distinguished from one.
+        """
+        if value is None:
+            raise ConfigurationError(
+                "cannot cache None: a stored null is indistinguishable "
+                "from a cache miss"
+            )
+        path = self.path_for(key)
+        entry = {"key": key, "version": self.version_tag, "value": value}
+        encoded = json.dumps(entry, sort_keys=True, indent=None)
+        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        temp.write_text(encoded, encoding="utf-8")
+        os.replace(temp, path)
+        self.stats.stores += 1
+        return path
+
+    def lookup(self, payload: Mapping[str, Any]) -> Any | None:
+        """:meth:`get` keyed directly on a payload mapping."""
+        return self.get(self.key(payload))
+
+    def store(self, payload: Mapping[str, Any], value: Any) -> pathlib.Path:
+        """:meth:`put` keyed directly on a payload mapping."""
+        return self.put(self.key(payload), value)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing deleters
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.cache_dir.glob("*.json"))
+
+    def _evict(self, path: pathlib.Path) -> None:
+        self.stats.evictions += 1
+        try:
+            path.unlink()
+        except OSError:  # pragma: no cover - racing deleters
+            pass

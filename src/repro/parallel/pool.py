@@ -1,0 +1,89 @@
+"""Ordered process-pool mapping with a guaranteed serial fallback.
+
+:func:`map_ordered` is the one primitive every parallel code path in
+this library uses: it applies a picklable function to a sequence of
+items and returns the results *in input order*, regardless of the order
+in which workers finish.  That ordering guarantee is what lets the
+parallel replication and sweep paths promise bit-for-bit identical
+results to their serial counterparts.
+
+When a pool cannot be started at all (sandboxes without POSIX
+semaphores, ``max_workers=1``, or a trivially small work list) the map
+degrades to an in-process loop computing the very same values.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence, TypeVar
+
+from repro.core.errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_workers(max_workers: int | None) -> int:
+    """Validate and default the worker count (``None`` -> CPU count)."""
+    if max_workers is None:
+        return os.cpu_count() or 1
+    if not isinstance(max_workers, int) or isinstance(max_workers, bool):
+        raise ConfigurationError(
+            f"max_workers must be a positive integer or None, got {max_workers!r}"
+        )
+    if max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be a positive integer or None, got {max_workers!r}"
+        )
+    return max_workers
+
+
+def map_ordered(
+    function: Callable[[T], R],
+    items: Sequence[T],
+    max_workers: int | None = None,
+    mp_context=None,
+) -> list[R]:
+    """Apply ``function`` to ``items``, preserving input order.
+
+    Uses a :class:`~concurrent.futures.ProcessPoolExecutor` when more
+    than one worker is requested and there is more than one item;
+    otherwise (or when the platform cannot start a pool) computes
+    in-process.  Either way the returned list satisfies
+    ``result[i] == function(items[i])``.
+    """
+    items = list(items)
+    workers = min(resolve_workers(max_workers), max(1, len(items)))
+    if workers <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    chunksize = max(1, len(items) // (workers * 4))
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=workers, mp_context=mp_context
+        )
+    except (OSError, ValueError) as exc:
+        # Platforms without POSIX semaphores / process support.
+        return _serial_fallback(function, items, exc)
+    try:
+        with executor:
+            return list(executor.map(function, items, chunksize=chunksize))
+    except BrokenProcessPool as exc:
+        # Workers can also die lazily, at first submit.  Only this
+        # pool-infrastructure error triggers the fallback: exceptions
+        # raised *by the function* propagate unchanged, exactly as in
+        # the serial loop.
+        return _serial_fallback(function, items, exc)
+
+
+def _serial_fallback(
+    function: Callable[[T], R], items: Sequence[T], exc: BaseException
+) -> list[R]:
+    warnings.warn(
+        f"process pool unavailable ({exc}); computing serially",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+    return [function(item) for item in items]

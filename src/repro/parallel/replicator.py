@@ -1,0 +1,88 @@
+"""Fan independent replications out over a process pool.
+
+The serial reference is :func:`repro.des.replications.replicate`: seeds
+``base_seed + i`` for ``i`` in ``range(replications)``, one estimate per
+seed, estimates ordered by seed.  :class:`ParallelReplicator` reproduces
+exactly that mapping - it obtains the seed tuple from the same
+:func:`~repro.des.replications.replication_seeds` helper the serial path
+uses, evaluates the estimator for each seed in worker processes, and
+reassembles the estimates in seed order.  Because every replication is
+an independent deterministic function of its seed (see
+:mod:`repro.des.rng`), the resulting :class:`ReplicationResult` is
+bit-for-bit identical to the serial one.
+
+The estimator must be picklable (a module-level function or a dataclass
+task such as :class:`repro.parallel.workers.EbwTask`); closures are
+rejected up front with a :class:`ConfigurationError` rather than failing
+obscurely inside the pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+from repro.core.errors import ConfigurationError
+from repro.des.replications import (
+    Estimator,
+    ReplicationResult,
+    replication_seeds,
+)
+from repro.parallel.pool import map_ordered, resolve_workers
+
+
+@dataclasses.dataclass(frozen=True)
+class ParallelReplicator:
+    """Runs fixed-count independent replications on a worker pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; ``None`` uses the CPU count.  ``1`` computes
+        in-process (still producing identical results).
+    mp_context:
+        Optional :mod:`multiprocessing` context (e.g.
+        ``multiprocessing.get_context("spawn")``).  The default is the
+        platform's start method; all shipped tasks are spawn-safe.
+    """
+
+    max_workers: int | None = None
+    mp_context: object = None
+
+    def run(
+        self,
+        estimator: Estimator,
+        replications: int,
+        base_seed: int = 0,
+        confidence: float = 0.95,
+    ) -> ReplicationResult:
+        """Replicate ``estimator`` exactly as the serial path would."""
+        seeds = replication_seeds(base_seed, replications)
+        if min(resolve_workers(self.max_workers), replications) > 1:
+            # Only an actual pool needs a picklable estimator; with one
+            # worker the map runs in-process and any callable works,
+            # matching the serial contract.
+            self._require_picklable(estimator)
+        estimates = tuple(
+            map_ordered(
+                estimator,
+                seeds,
+                max_workers=self.max_workers,
+                mp_context=self.mp_context,
+            )
+        )
+        return ReplicationResult(
+            estimates=estimates, seeds=seeds, confidence=confidence
+        )
+
+    @staticmethod
+    def _require_picklable(estimator: Estimator) -> None:
+        try:
+            pickle.dumps(estimator)
+        except Exception as exc:
+            raise ConfigurationError(
+                "parallel replication requires a picklable estimator "
+                "(a module-level function or a task object such as "
+                "repro.parallel.EbwTask); got "
+                f"{estimator!r}: {exc}"
+            ) from exc

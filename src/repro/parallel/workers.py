@@ -1,0 +1,74 @@
+"""Spawn-safe worker tasks for process-pool execution.
+
+Everything a worker process touches must be importable at module level
+and picklable: no closures, no lambdas, no objects holding open
+resources.  The tasks here are small frozen dataclasses that carry a
+:class:`~repro.core.config.SystemConfig` (itself a frozen dataclass of
+primitives and enums) plus the run parameters, so they cross process
+boundaries unchanged under both the ``fork`` and ``spawn`` start
+methods.
+
+Determinism contract: a task called with a given seed performs exactly
+the computation the serial code path performs with that seed - the
+worker functions call the same :func:`repro.bus.simulate` entry point
+with the same arguments, so estimates are bit-for-bit identical
+regardless of which process (or how many) produced them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import SystemConfig
+from repro.core.results import SimulationResult
+
+
+@dataclasses.dataclass(frozen=True)
+class SimulationCase:
+    """One fully-specified simulator invocation (config + cycles + seed)."""
+
+    config: SystemConfig
+    cycles: int
+    seed: int
+    warmup: int | None = None
+
+
+def run_case(case: SimulationCase) -> SimulationResult:
+    """Execute one :class:`SimulationCase` (module-level, hence pool-safe)."""
+    from repro.bus import simulate
+
+    return simulate(
+        case.config, cycles=case.cycles, seed=case.seed, warmup=case.warmup
+    )
+
+
+def simulate_cases(
+    cases, max_workers: int | None = None, mp_context=None
+) -> list[SimulationResult]:
+    """Run many :class:`SimulationCase` items, results in input order.
+
+    The grid-point dispatcher behind the parallel sweep and experiment
+    paths; with ``max_workers=1`` it is exactly the serial loop.
+    """
+    from repro.parallel.pool import map_ordered
+
+    return map_ordered(
+        run_case, cases, max_workers=max_workers, mp_context=mp_context
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class EbwTask:
+    """A picklable seed-to-EBW estimator for replication runs.
+
+    Equivalent to the closure built by
+    :func:`repro.des.replications.ebw_estimator` but safe to ship to a
+    worker process.  Calling it with a seed returns the simulated EBW of
+    ``config`` under that seed.
+    """
+
+    config: SystemConfig
+    cycles: int = 20_000
+
+    def __call__(self, seed: int) -> float:
+        return run_case(SimulationCase(self.config, self.cycles, seed)).ebw

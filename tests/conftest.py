@@ -19,6 +19,17 @@ settings.register_profile(
 settings.load_profile("repro")
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep every test's result cache away from the user's home cache.
+
+    The experiment runner caches by default; without this, tests that
+    invoke ``main()`` would write to (and read stale entries from)
+    ``~/.cache/repro-single-bus``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def small_config() -> SystemConfig:
     """A tiny system for fast unit-level simulations."""

@@ -50,11 +50,18 @@ class TestExamplesCompile:
 
 class TestQuickstartRuns:
     def test_quickstart_end_to_end(self):
+        import os
+
+        env = dict(os.environ)
+        # Smoke-test quality: the printed workflow, not the statistics,
+        # is under test here.
+        env["REPRO_QUICKSTART_CYCLES"] = "8000"
         completed = subprocess.run(
             [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
             capture_output=True,
             text=True,
             timeout=300,
+            env=env,
         )
         assert completed.returncode == 0, completed.stderr
         out = completed.stdout

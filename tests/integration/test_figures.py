@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.experiments import paper_data
 from repro.experiments.figure2 import check_claims as check_figure2
 from repro.experiments.figure2 import run as run_figure2
@@ -17,7 +19,7 @@ from repro.experiments.figure5 import check_claims as check_figure5
 from repro.experiments.figure5 import run as run_figure5
 from repro.experiments.figure6 import run as run_figure6
 
-CYCLES = 6_000
+CYCLES = 3_000
 SEED = 99
 
 
@@ -25,7 +27,7 @@ SEED = 99
 def figure2_result():
     # The near-crossbar claim needs tighter statistics than the shape
     # checks, hence the longer window for this figure.
-    return run_figure2(cycles=15_000, seed=SEED)
+    return run_figure2(cycles=8_000, seed=SEED)
 
 
 @pytest.fixture(scope="module")

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.bus import simulate
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
@@ -24,7 +26,7 @@ class TestMemoryPriorityModels:
         # it tracks the cycle-accurate simulation within ~10%.
         config = SystemConfig(n, m, r, priority=Priority.MEMORIES)
         model = exact_memory_priority_ebw(config).ebw
-        sim = simulate(config, cycles=40_000, seed=7).ebw
+        sim = simulate(config, cycles=15_000, seed=7).ebw
         assert model == pytest.approx(sim, rel=0.10)
 
     @pytest.mark.parametrize("n,m,r", [(8, 8, 8), (8, 16, 8)])
@@ -45,13 +47,13 @@ class TestProcessorPriorityModel:
         # its chain; the reconstruction achieves <= ~7.5% on the grid.
         config = SystemConfig(8, m, r, priority=Priority.PROCESSORS)
         model = processor_priority_ebw(config).ebw
-        sim = simulate(config, cycles=40_000, seed=11).ebw
+        sim = simulate(config, cycles=15_000, seed=11).ebw
         assert model == pytest.approx(sim, rel=0.08)
 
     def test_saturated_regime_exact(self):
         config = SystemConfig(8, 8, 2, priority=Priority.PROCESSORS)
         model = processor_priority_ebw(config).ebw
-        sim = simulate(config, cycles=40_000, seed=11).ebw
+        sim = simulate(config, cycles=15_000, seed=11).ebw
         assert model == pytest.approx(sim, rel=0.005)
 
 
@@ -62,12 +64,12 @@ class TestPolicyOrdering:
         # are better than those obtained using policy g''" (p = 1).
         g_prime = simulate(
             SystemConfig(n, m, r, priority=Priority.PROCESSORS),
-            cycles=40_000,
+            cycles=15_000,
             seed=3,
         ).ebw
         g_second = simulate(
             SystemConfig(n, m, r, priority=Priority.MEMORIES),
-            cycles=40_000,
+            cycles=15_000,
             seed=3,
         ).ebw
         assert g_prime >= g_second * 0.99
@@ -77,12 +79,12 @@ class TestBufferingOrdering:
     @pytest.mark.parametrize("n,m,r", [(8, 8, 8), (8, 4, 12), (8, 16, 10)])
     def test_buffers_never_hurt(self, n, m, r):
         config = SystemConfig(n, m, r, priority=Priority.PROCESSORS)
-        unbuffered = simulate(config, cycles=40_000, seed=5).ebw
-        buffered = simulate(config.with_buffers(), cycles=40_000, seed=5).ebw
+        unbuffered = simulate(config, cycles=15_000, seed=5).ebw
+        buffered = simulate(config.with_buffers(), cycles=15_000, seed=5).ebw
         assert buffered >= unbuffered * 0.99
 
     def test_deeper_buffers_do_not_hurt(self):
         config = SystemConfig(8, 4, 12, priority=Priority.PROCESSORS)
-        depth1 = simulate(config.with_buffers(1), cycles=40_000, seed=5).ebw
-        depth4 = simulate(config.with_buffers(4), cycles=40_000, seed=5).ebw
+        depth1 = simulate(config.with_buffers(1), cycles=15_000, seed=5).ebw
+        depth4 = simulate(config.with_buffers(4), cycles=15_000, seed=5).ebw
         assert depth4 >= depth1 * 0.99

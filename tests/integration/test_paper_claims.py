@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.analysis.tradeoffs import crossbar_target, minimum_r_beating_crossbar
 from repro.bus import simulate
 from repro.core.config import SystemConfig
@@ -17,7 +19,7 @@ from repro.core.policy import Priority
 from repro.models.crossbar import crossbar_exact_ebw
 from repro.queueing.mva import product_form_ebw
 
-CYCLES = 30_000
+CYCLES = 12_000
 
 
 def ebw(n, m, r, buffered=False, p=1.0, seed=17):

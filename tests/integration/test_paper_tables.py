@@ -79,6 +79,7 @@ class TestTable3bReconstruction:
         assert ebw == pytest.approx(reference, abs=5e-3)
 
 
+@pytest.mark.slow
 class TestTable3aSimulation:
     """Spot-check the stochastic Table 3(a) cells (full grid is the
     ``table3a`` experiment; these cells cover all regimes)."""
@@ -96,11 +97,12 @@ class TestTable3aSimulation:
     )
     def test_cell(self, m, r, tolerance):
         config = SystemConfig(8, m, r, priority=Priority.PROCESSORS)
-        result = simulate(config, cycles=40_000, seed=123)
+        result = simulate(config, cycles=16_000, seed=123)
         reference = paper_data.TABLE3A_SIMULATION[(m, r)]
         assert result.ebw == pytest.approx(reference, rel=tolerance)
 
 
+@pytest.mark.slow
 class TestTable4Simulation:
     """Spot-check the buffered Table 4 cells."""
 
@@ -112,7 +114,7 @@ class TestTable4Simulation:
         config = SystemConfig(
             8, m, r, priority=Priority.PROCESSORS, buffered=True
         )
-        result = simulate(config, cycles=40_000, seed=123)
+        result = simulate(config, cycles=16_000, seed=123)
         reference = paper_data.TABLE4_BUFFERED_SIMULATION[(m, r)]
         assert result.ebw == pytest.approx(reference, rel=0.05)
 

@@ -1,0 +1,112 @@
+"""Property tests: parallel execution is invisible in the results.
+
+The central promise of :mod:`repro.parallel` is that fanning work out
+over processes changes wall-clock time and nothing else.  These tests
+state that as properties over randomly drawn configurations and seed
+sets: serial :func:`repro.des.replications.replicate` and
+:class:`repro.parallel.ParallelReplicator` must return identical
+estimates, seeds and confidence-interval half widths, and parallel
+sweeps must trace identical curves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sweeps import sweep_p, sweep_r
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.des.replications import ebw_estimator, replicate
+from repro.parallel import ParallelReplicator
+
+CYCLES = 400
+"""Tiny runs: equivalence is exact, so statistical strength is irrelevant."""
+
+configs = st.builds(
+    SystemConfig,
+    processors=st.integers(min_value=1, max_value=4),
+    memories=st.integers(min_value=1, max_value=4),
+    memory_cycle_ratio=st.integers(min_value=1, max_value=4),
+    request_probability=st.sampled_from([0.3, 0.7, 1.0]),
+    priority=st.sampled_from(list(Priority)),
+    buffered=st.booleans(),
+)
+
+
+class TestReplicationEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        config=configs,
+        replications=st.integers(min_value=2, max_value=4),
+        base_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_parallel_replicator_matches_serial(
+        self, config, replications, base_seed
+    ):
+        estimator = ebw_estimator(config, cycles=CYCLES)
+        serial = replicate(estimator, replications, base_seed=base_seed)
+        parallel = ParallelReplicator(max_workers=2).run(
+            estimator, replications, base_seed=base_seed
+        )
+        assert parallel.estimates == serial.estimates
+        assert parallel.seeds == serial.seeds
+        assert parallel.confidence == serial.confidence
+        assert parallel.mean == serial.mean
+        assert parallel.half_width == serial.half_width
+
+    @settings(max_examples=8, deadline=None)
+    @given(config=configs, base_seed=st.integers(min_value=0, max_value=100))
+    def test_worker_count_is_invisible(self, config, base_seed):
+        estimator = ebw_estimator(config, cycles=CYCLES)
+        results = [
+            ParallelReplicator(max_workers=workers).run(
+                estimator, 3, base_seed=base_seed
+            )
+            for workers in (1, 2, 3)
+        ]
+        assert results[0] == results[1] == results[2]
+
+
+class TestSeededGridEquivalence:
+    """Deterministic grid (no hypothesis) covering the sweep dispatchers."""
+
+    GRID = [
+        SystemConfig(2, 2, 2),
+        SystemConfig(3, 2, 4, request_probability=0.5),
+        SystemConfig(2, 4, 3, priority=Priority.MEMORIES, buffered=True),
+    ]
+
+    @pytest.mark.parametrize("config", GRID, ids=lambda c: c.describe())
+    def test_sweep_r_identical_curves(self, config):
+        values = (1, 2, 4)
+        serial = sweep_r(config, values, "serial", cycles=CYCLES, seed=9)
+        pooled = sweep_r(
+            config, values, "serial", cycles=CYCLES, seed=9, max_workers=2
+        )
+        assert serial == pooled
+
+    def test_sweep_p_identical_curves(self):
+        config = dataclasses.replace(self.GRID[0], request_probability=1.0)
+        values = (0.2, 0.6, 1.0)
+        serial = sweep_p(config, values, "curve", cycles=CYCLES, seed=3)
+        pooled = sweep_p(
+            config, values, "curve", cycles=CYCLES, seed=3, max_workers=3
+        )
+        assert serial.ebw_values() == pooled.ebw_values()
+        assert serial.processor_utilization_values() == (
+            pooled.processor_utilization_values()
+        )
+
+    def test_sensitivity_identical_reports(self):
+        from repro.analysis.sensitivity import sensitivity_analysis
+
+        base = SystemConfig(2, 2, 2)
+        serial = sensitivity_analysis(base, cycles=CYCLES, seed=5)
+        pooled = sensitivity_analysis(
+            base, cycles=CYCLES, seed=5, max_workers=2
+        )
+        assert serial == pooled

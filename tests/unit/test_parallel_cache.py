@@ -1,0 +1,165 @@
+"""Unit tests for the content-addressed result cache."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.parallel.cache import (
+    ENV_CACHE_DIR,
+    ResultCache,
+    canonical_json,
+    code_version_tag,
+    config_payload,
+    default_cache_dir,
+    fingerprint,
+)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    """A cache isolated in tmp_path with a fixed version tag."""
+    return ResultCache(cache_dir=tmp_path / "cache", version_tag="v-test")
+
+
+class TestFingerprint:
+    def test_canonical_json_is_key_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_fingerprint_stable_across_key_order(self):
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+
+    def test_fingerprint_sensitive_to_values(self):
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_config_payload_round_trips_all_fields(self):
+        config = SystemConfig(4, 8, 6, request_probability=0.5, buffered=True)
+        payload = config_payload(config)
+        assert payload["processors"] == 4
+        assert payload["memories"] == 8
+        assert payload["memory_cycle_ratio"] == 6
+        assert payload["request_probability"] == 0.5
+        assert payload["buffered"] is True
+        assert payload["priority"] == "processors"
+        # Must be JSON-able as-is.
+        json.dumps(payload)
+
+    def test_distinct_configs_distinct_fingerprints(self):
+        a = config_payload(SystemConfig(2, 2, 2))
+        b = config_payload(SystemConfig(2, 2, 3))
+        assert fingerprint(a) != fingerprint(b)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, cache):
+        key = cache.key({"x": 1})
+        assert cache.get(key) is None
+        cache.put(key, {"value": 42})
+        assert cache.get(key) == {"value": 42}
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_lookup_store_payload_interface(self, cache):
+        payload = {"experiment_id": "demo", "kwargs": {"cycles": 100}}
+        assert cache.lookup(payload) is None
+        cache.store(payload, [1.0, 2.5])
+        assert cache.lookup(payload) == [1.0, 2.5]
+
+    def test_float_values_survive_exactly(self, cache):
+        value = [0.1 + 0.2, 1e-17, 123456.789012345]
+        cache.put("k" * 64, value)
+        assert cache.get("k" * 64) == value
+
+    def test_none_values_rejected(self, cache):
+        with pytest.raises(ConfigurationError, match="miss"):
+            cache.put("k" * 64, None)
+
+    def test_len_and_clear(self, cache):
+        for i in range(3):
+            cache.store({"i": i}, i)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+
+class TestInvalidation:
+    def test_different_config_misses(self, cache):
+        cache.store({"config": config_payload(SystemConfig(2, 2, 2))}, 1.0)
+        assert (
+            cache.lookup({"config": config_payload(SystemConfig(2, 2, 3))})
+            is None
+        )
+
+    def test_different_seed_misses(self, cache):
+        cache.store({"seed": 1}, 1.0)
+        assert cache.lookup({"seed": 2}) is None
+
+    def test_version_tag_change_invalidates(self, tmp_path):
+        old = ResultCache(cache_dir=tmp_path, version_tag="v1")
+        new = ResultCache(cache_dir=tmp_path, version_tag="v2")
+        payload = {"experiment_id": "demo"}
+        old.store(payload, "old-value")
+        assert new.lookup(payload) is None
+        assert old.lookup(payload) == "old-value"
+
+    def test_default_version_tag_tracks_source(self):
+        tag = code_version_tag()
+        assert isinstance(tag, str) and len(tag) == 16
+        # Deterministic within a process.
+        assert code_version_tag() == tag
+
+
+class TestCorruptionRecovery:
+    def test_unparseable_file_is_miss_and_removed(self, cache):
+        key = cache.key({"x": 1})
+        cache.put(key, 1.0)
+        cache.path_for(key).write_text("{not json", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not cache.path_for(key).exists()
+        assert cache.stats.evictions == 1
+
+    def test_integrity_mismatch_is_miss(self, cache):
+        key_a = cache.key({"x": 1})
+        key_b = cache.key({"x": 2})
+        cache.put(key_a, 1.0)
+        # Simulate a renamed/moved entry: contents claim a different key.
+        os.replace(cache.path_for(key_a), cache.path_for(key_b))
+        assert cache.get(key_b) is None
+        assert not cache.path_for(key_b).exists()
+
+    def test_wrong_schema_is_miss(self, cache):
+        key = cache.key({"x": 1})
+        cache.path_for(key).write_text('["a", "list"]', encoding="utf-8")
+        assert cache.get(key) is None
+
+    def test_recovers_by_restoring_after_eviction(self, cache):
+        key = cache.key({"x": 1})
+        cache.path_for(key).write_text("garbage", encoding="utf-8")
+        assert cache.get(key) is None
+        cache.put(key, "fresh")
+        assert cache.get(key) == "fresh"
+
+
+class TestDirectories:
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "via-env"))
+        assert default_cache_dir() == tmp_path / "via-env"
+
+    def test_default_dir_without_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+        assert default_cache_dir().name == "repro-single-bus"
+
+    def test_cache_creates_directory(self, tmp_path):
+        target = tmp_path / "a" / "b"
+        ResultCache(cache_dir=target, version_tag="v")
+        assert target.is_dir()
+
+    def test_unwritable_directory_raises_configuration_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        with pytest.raises(ConfigurationError):
+            ResultCache(cache_dir=blocker / "sub", version_tag="v")

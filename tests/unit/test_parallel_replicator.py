@@ -1,0 +1,198 @@
+"""Unit tests for the parallel replication and pool primitives."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.des.replications import (
+    ebw_estimator,
+    replicate,
+    replication_seeds,
+)
+from repro.parallel import (
+    EbwTask,
+    ParallelReplicator,
+    SimulationCase,
+    map_ordered,
+    resolve_workers,
+    run_case,
+    simulate_cases,
+)
+
+CONFIG = SystemConfig(2, 2, 2)
+CYCLES = 1_500
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestResolveWorkers:
+    def test_none_defaults_to_cpu_count(self):
+        assert resolve_workers(None) >= 1
+
+    def test_explicit_value_passes_through(self):
+        assert resolve_workers(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 1.5, "4", True])
+    def test_invalid_values_rejected(self, bad):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(bad)
+
+
+class TestMapOrdered:
+    def test_preserves_input_order(self):
+        items = [5, 3, 1, 4, 2]
+        assert map_ordered(_square, items, max_workers=2) == [
+            25,
+            9,
+            1,
+            16,
+            4,
+        ]
+
+    def test_serial_fast_path_identical(self):
+        items = list(range(6))
+        assert map_ordered(_square, items, max_workers=1) == map_ordered(
+            _square, items, max_workers=3
+        )
+
+    def test_empty_items(self):
+        assert map_ordered(_square, [], max_workers=4) == []
+
+    def test_single_item_runs_in_process(self):
+        # One item never needs a pool; unpicklable functions still work.
+        assert map_ordered(lambda x: x + 1, [41], max_workers=4) == [42]
+
+    def test_pool_failure_falls_back_to_serial(self, monkeypatch):
+        import repro.parallel.pool as pool_module
+
+        def broken_executor(*args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+        monkeypatch.setattr(
+            pool_module, "ProcessPoolExecutor", broken_executor
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = map_ordered(_square, [1, 2, 3], max_workers=2)
+        assert result == [1, 4, 9]
+        assert any("process pool unavailable" in str(w.message) for w in caught)
+
+    def test_submit_time_pool_breakage_falls_back(self, monkeypatch):
+        # Spawn failures can surface lazily inside executor.map, not at
+        # construction; those must degrade to the serial loop too.
+        from concurrent.futures.process import BrokenProcessPool
+
+        import repro.parallel.pool as pool_module
+
+        class LazyBrokenExecutor:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc_info):
+                return False
+
+            def map(self, *args, **kwargs):
+                raise BrokenProcessPool("worker died during spawn")
+
+        monkeypatch.setattr(
+            pool_module, "ProcessPoolExecutor", LazyBrokenExecutor
+        )
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = map_ordered(_square, [1, 2, 3], max_workers=2)
+        assert result == [1, 4, 9]
+        assert any("process pool unavailable" in str(w.message) for w in caught)
+
+
+class TestSimulationTasks:
+    def test_run_case_matches_simulate(self):
+        from repro.bus import simulate
+
+        case = SimulationCase(CONFIG, CYCLES, seed=7)
+        assert run_case(case) == simulate(CONFIG, cycles=CYCLES, seed=7)
+
+    def test_simulate_cases_matches_serial_loop(self):
+        cases = [SimulationCase(CONFIG, CYCLES, seed) for seed in range(3)]
+        serial = [run_case(case) for case in cases]
+        pooled = simulate_cases(cases, max_workers=2)
+        assert serial == pooled
+
+    def test_ebw_task_is_picklable_and_correct(self):
+        import pickle
+
+        task = EbwTask(CONFIG, cycles=CYCLES)
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone(3) == task(3)
+
+    def test_ebw_estimator_returns_picklable_task(self):
+        import pickle
+
+        estimator = ebw_estimator(CONFIG, cycles=CYCLES)
+        pickle.dumps(estimator)
+        assert isinstance(estimator, EbwTask)
+
+
+class TestParallelReplicator:
+    def test_matches_serial_replicate_exactly(self):
+        estimator = ebw_estimator(CONFIG, cycles=CYCLES)
+        serial = replicate(estimator, replications=4, base_seed=11)
+        parallel = ParallelReplicator(max_workers=2).run(
+            estimator, replications=4, base_seed=11
+        )
+        assert parallel == serial
+        assert parallel.estimates == serial.estimates
+        assert parallel.seeds == serial.seeds
+        assert parallel.half_width == serial.half_width
+
+    def test_replicate_parallel_flag(self):
+        estimator = ebw_estimator(CONFIG, cycles=CYCLES)
+        serial = replicate(estimator, replications=3, base_seed=2)
+        parallel = replicate(
+            estimator, replications=3, base_seed=2, parallel=True, max_workers=2
+        )
+        assert parallel == serial
+
+    def test_seeds_follow_canonical_mapping(self):
+        estimator = ebw_estimator(CONFIG, cycles=CYCLES)
+        result = ParallelReplicator(max_workers=1).run(
+            estimator, replications=3, base_seed=40
+        )
+        assert result.seeds == replication_seeds(40, 3) == (40, 41, 42)
+
+    def test_rejects_unpicklable_estimator(self):
+        with pytest.raises(ConfigurationError, match="picklable"):
+            ParallelReplicator(max_workers=2).run(
+                lambda seed: 1.0, replications=2
+            )
+
+    def test_single_worker_accepts_any_callable(self):
+        # max_workers=1 is the serial contract: no pool, no pickling.
+        result = ParallelReplicator(max_workers=1).run(
+            lambda seed: float(seed), replications=3, base_seed=5
+        )
+        assert result.estimates == (5.0, 6.0, 7.0)
+
+    def test_replicate_max_workers_one_accepts_lambda(self):
+        result = replicate(lambda seed: 2.0, 3, max_workers=1)
+        assert result.mean == 2.0
+
+    def test_too_few_replications_rejected(self):
+        estimator = ebw_estimator(CONFIG, cycles=CYCLES)
+        with pytest.raises(ConfigurationError):
+            ParallelReplicator().run(estimator, replications=1)
+
+    def test_confidence_recorded(self):
+        estimator = ebw_estimator(CONFIG, cycles=CYCLES)
+        result = ParallelReplicator(max_workers=1).run(
+            estimator, replications=2, confidence=0.99
+        )
+        assert result.confidence == 0.99

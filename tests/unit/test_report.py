@@ -3,6 +3,8 @@ extension experiment."""
 
 from __future__ import annotations
 
+import pytest
+
 from repro.experiments.hot_spot import degradation_at, run as run_hot_spot
 from repro.experiments.registry import ExperimentResult
 from repro.experiments.report import (
@@ -62,15 +64,19 @@ class TestMarkdown:
 
 
 class TestHotSpotExperiment:
-    def test_degradation_monotone(self):
-        result = run_hot_spot(cycles=6_000, seed=3)
+    @pytest.fixture(scope="class")
+    def hot_spot_result(self):
+        return run_hot_spot(cycles=5_000, seed=3)
+
+    def test_degradation_monotone(self, hot_spot_result):
+        result = hot_spot_result
         # At heavy hot-spotting every system loses bandwidth relative to
         # uniform traffic.
         for row in result.rows:
             assert degradation_at(result, row, 0.5) > 0.0
 
-    def test_uniform_column_recovers_paper_numbers(self):
-        result = run_hot_spot(cycles=6_000, seed=3)
+    def test_uniform_column_recovers_paper_numbers(self, hot_spot_result):
+        result = hot_spot_result
         value = result.measured[("8x16 r=12 unbuffered", "hot=0")]
         # Table 3(a) cell (16, 12) is 5.959 at full strength.
         assert 5.3 < value < 6.5
