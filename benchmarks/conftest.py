@@ -17,6 +17,18 @@ import pytest
 BENCH_CYCLES = 8_000
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point every benchmark's result cache at a pytest tmp dir.
+
+    Benchmarks measure compute, so serving (or polluting) the user's
+    ``~/.cache/repro-single-bus`` would skew timings and leave litter;
+    pytest prunes its tmp dirs automatically, so the fixture cleans up
+    after itself.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def bench_cycles() -> int:
     """Reduced simulation length for benchmark runs."""

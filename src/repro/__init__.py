@@ -12,7 +12,13 @@ Public API tour
   (``repro-experiments all`` or ``python -m repro.experiments all``);
 * :mod:`repro.parallel` fans replications, sweeps and experiments out
   over process pools and caches their results, without changing a
-  single output byte (``repro-experiments all --jobs 8``).
+  single output byte (``repro-experiments all --jobs 8``);
+* :mod:`repro.scenarios` declares whole design-space sweeps as
+  validated specs, compiles them to shardable work-unit lists, and runs
+  them - see ``SCENARIOS.md`` (``repro-experiments scenario``);
+* :mod:`repro.workloads` provides the request-target generators and the
+  declarative workload specs (uniform, hot-spot, trace, heterogeneous
+  per-processor p) the scenario layer composes.
 
 Quick start::
 

@@ -2,10 +2,13 @@
 
 Every figure of the paper is a sweep over one axis (``r`` or ``p``) with
 the other parameters fixed; these helpers centralise the loop so all
-callers simulate with identical settings and seeds.  Grid points are
-dispatched through :mod:`repro.parallel` - pass ``max_workers`` to fan a
-sweep out over a process pool; the points are independent seeded runs,
-so the resulting curve is identical to the serial one.  ``max_workers``
+callers simulate with identical settings and seeds.  Each sweep is
+expressed as a one-axis :class:`~repro.scenarios.spec.ScenarioSpec` and
+lowered through the scenario compiler
+(:mod:`repro.scenarios.compiler`), which dispatches the grid points
+through :mod:`repro.parallel` - pass ``max_workers`` to fan a sweep out
+over a process pool; the points are independent seeded runs, so the
+resulting curve is identical to the serial one.  ``max_workers``
 follows the pool convention: the default ``1`` runs serially, an
 explicit ``None`` uses the CPU count.
 """
@@ -17,7 +20,6 @@ from typing import Iterable, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
-from repro.parallel.workers import SimulationCase, simulate_cases
 
 
 @dataclasses.dataclass(frozen=True)
@@ -61,25 +63,45 @@ def _axis_value(config: SystemConfig, axis: str) -> float:
     raise ConfigurationError(f"unknown sweep axis {axis!r}")
 
 
+_AXIS_FIELDS = {
+    "r": "memory_cycle_ratio",
+    "p": "request_probability",
+    "m": "memories",
+}
+
+
 def _run_sweep(
-    configs: Sequence[SystemConfig],
+    base: SystemConfig,
+    field: str,
+    values: Sequence,
     label: str,
     axis: str,
     cycles: int,
     seed: int,
     max_workers: int | None,
 ) -> Sweep:
-    """Simulate every config (serially or on a pool) in grid order."""
-    cases = [SimulationCase(config, cycles, seed) for config in configs]
-    results = simulate_cases(cases, max_workers=max_workers)
+    """Compile the one-axis scenario for this sweep and execute it."""
+    from repro.scenarios.compiler import compile_scenario
+    from repro.scenarios.execute import run_units
+    from repro.scenarios.spec import GridAxis, ReplicationPlan, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name=f"sweep-{axis}",
+        base=dataclasses.asdict(base),
+        grid=(GridAxis(field, tuple(values)),),
+        cycles=cycles,
+        plan=ReplicationPlan(1, seed),
+        description=f"one-axis {axis} sweep ({label})",
+    )
+    results = run_units(compile_scenario(spec), jobs=max_workers)
     points = tuple(
         SweepPoint(
-            config=case.config,
+            config=result.unit.config,
             ebw=result.ebw,
             processor_utilization=result.processor_utilization,
             bus_utilization=result.bus_utilization,
         )
-        for case, result in zip(cases, results)
+        for result in results
     )
     return Sweep(label=label, axis=axis, points=points)
 
@@ -93,10 +115,10 @@ def sweep_r(
     max_workers: int | None = 1,
 ) -> Sweep:
     """Simulate ``base`` for each memory-cycle ratio in ``r_values``."""
-    configs = [
-        dataclasses.replace(base, memory_cycle_ratio=r) for r in r_values
-    ]
-    return _run_sweep(configs, label, "r", cycles, seed, max_workers)
+    return _run_sweep(
+        base, _AXIS_FIELDS["r"], tuple(r_values), label, "r", cycles, seed,
+        max_workers,
+    )
 
 
 def sweep_p(
@@ -108,10 +130,10 @@ def sweep_p(
     max_workers: int | None = 1,
 ) -> Sweep:
     """Simulate ``base`` for each request probability in ``p_values``."""
-    configs = [
-        dataclasses.replace(base, request_probability=p) for p in p_values
-    ]
-    return _run_sweep(configs, label, "p", cycles, seed, max_workers)
+    return _run_sweep(
+        base, _AXIS_FIELDS["p"], tuple(p_values), label, "p", cycles, seed,
+        max_workers,
+    )
 
 
 def sweep_m(
@@ -123,8 +145,10 @@ def sweep_m(
     max_workers: int | None = 1,
 ) -> Sweep:
     """Simulate ``base`` for each module count in ``m_values``."""
-    configs = [dataclasses.replace(base, memories=m) for m in m_values]
-    return _run_sweep(configs, label, "m", cycles, seed, max_workers)
+    return _run_sweep(
+        base, _AXIS_FIELDS["m"], tuple(m_values), label, "m", cycles, seed,
+        max_workers,
+    )
 
 
 def crossbar_reference(

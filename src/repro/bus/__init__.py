@@ -28,6 +28,7 @@ def simulate(
     seed: int = 0,
     warmup: int | None = None,
     targets: TargetSampler | None = None,
+    request_probabilities=None,
 ) -> SimulationResult:
     """Build a :class:`MultiplexedBusSystem` and run it once.
 
@@ -38,8 +39,17 @@ def simulate(
     >>> result = simulate(SystemConfig(2, 2, 2), cycles=2_000, seed=1)
     >>> 0.0 < result.ebw <= result.config.max_ebw
     True
+
+    ``request_probabilities`` optionally gives each processor its own
+    request probability (heterogeneous ``p``); ``None`` reproduces the
+    paper's homogeneous hypothesis (f) exactly.
     """
-    system = MultiplexedBusSystem(config, seed=seed, targets=targets)
+    system = MultiplexedBusSystem(
+        config,
+        seed=seed,
+        targets=targets,
+        request_probabilities=request_probabilities,
+    )
     return system.run(cycles, warmup=warmup)
 
 

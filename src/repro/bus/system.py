@@ -28,6 +28,8 @@ cycle ``T + r + 1``, giving the minimum processor cycle ``r + 2``.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.bus.arbiter import (
     BusArbiter,
     Grant,
@@ -69,6 +71,11 @@ class MultiplexedBusSystem:
         exponential service characterisation discussed in Section 6 and
         exists to regenerate the paper's ">25% discrepancy" comparison;
         all headline experiments use constant times.
+    request_probabilities:
+        Optional per-processor request probabilities (heterogeneous
+        ``p``), one value per processor, overriding the single
+        ``config.request_probability`` of hypothesis (f).  ``None``
+        keeps the paper's homogeneous behaviour bit-for-bit.
     """
 
     def __init__(
@@ -78,6 +85,7 @@ class MultiplexedBusSystem:
         targets: TargetSampler | None = None,
         trace: TraceSink | None = None,
         geometric_access_times: bool = False,
+        request_probabilities: Sequence[float] | None = None,
     ) -> None:
         self.config = config
         self.seed = seed
@@ -85,11 +93,14 @@ class MultiplexedBusSystem:
         streams = StreamFactory(seed)
         if targets is None:
             targets = UniformTargets(config.memories, streams.get("targets"))
+        per_processor_p = _resolve_request_probabilities(
+            config, request_probabilities
+        )
         think_stream = streams.get("think")
         self.processors = [
             Processor(
                 index=i,
-                request_probability=config.request_probability,
+                request_probability=per_processor_p[i],
                 processor_cycle=config.processor_cycle,
                 targets=targets,
                 think_stream=think_stream,
@@ -314,6 +325,29 @@ class MultiplexedBusSystem:
                 raise SimulationError(
                     f"processor {processor.index} has a stray in-flight request"
                 )
+
+
+def _resolve_request_probabilities(
+    config: SystemConfig, request_probabilities: Sequence[float] | None
+) -> list[float]:
+    """Validate the optional heterogeneous-p vector (one p per processor)."""
+    if request_probabilities is None:
+        return [config.request_probability] * config.processors
+    values = list(request_probabilities)
+    if len(values) != config.processors:
+        raise ConfigurationError(
+            f"request_probabilities lists {len(values)} values but the "
+            f"system has {config.processors} processors"
+        )
+    for index, p in enumerate(values):
+        if not isinstance(p, (int, float)) or isinstance(p, bool) or not (
+            0.0 < p <= 1.0
+        ):
+            raise ConfigurationError(
+                f"request probability for processor {index} must satisfy "
+                f"0 < p <= 1, got {p!r}"
+            )
+    return values
 
 
 def _module_requests(module: MemoryModule) -> list[PendingRequest]:

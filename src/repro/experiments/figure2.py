@@ -4,18 +4,25 @@ The paper's reading of this figure: the multiplexed single bus provides
 very good EBW as ``r`` increases, priority to processors (g') beats
 priority to memories (g''), and for large ``r`` the crossbar EBW acts as
 a lower bound on the single-bus EBW.
+
+The curve family is the registered ``figure2`` scenario: one compile
+produces the whole (system, priority, r) grid, so ``--jobs`` parallelism
+spans every curve at once instead of one sweep at a time.
 """
 
 from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.sweeps import sweep_r
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
 from repro.experiments import paper_data
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
 from repro.models.crossbar import crossbar_exact_ebw
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.execute import run_units
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ReplicationPlan
 
 
 def run(
@@ -23,30 +30,33 @@ def run(
 ) -> ExperimentResult:
     """Regenerate the Figure 2 curve family.
 
-    ``jobs`` parallelises the sweep grid over worker processes; the
+    ``jobs`` parallelises the scenario grid over worker processes; the
     measured values are identical for any value.
     """
+    spec = dataclasses.replace(
+        get_scenario("figure2"), cycles=cycles, plan=ReplicationPlan(1, seed)
+    )
+    # Key each unit result on its own configuration rather than trusting
+    # positional order, so the mapping survives axis reordering in the
+    # registered scenario.
+    ebw = {
+        (
+            result.unit.config.processors,
+            result.unit.config.memories,
+            result.unit.config.priority,
+            result.unit.config.memory_cycle_ratio,
+        ): result.ebw
+        for result in run_units(compile_scenario(spec), jobs=jobs)
+    }
     measured: dict[tuple[str, str], float] = {}
     rows: list[str] = []
     columns = tuple(f"r={r}" for r in paper_data.FIGURE2_R_VALUES)
     for n, m in paper_data.FIGURE2_SYSTEMS:
-        for priority, tag in (
-            (Priority.PROCESSORS, "priority=processors"),
-            (Priority.MEMORIES, "priority=memories"),
-        ):
-            base = SystemConfig(n, m, 2, priority=priority)
-            label = f"{n}x{m} {tag}"
+        for priority in (Priority.PROCESSORS, Priority.MEMORIES):
+            label = f"{n}x{m} priority={priority}"
             rows.append(label)
-            sweep = sweep_r(
-                base,
-                paper_data.FIGURE2_R_VALUES,
-                label=label,
-                cycles=cycles,
-                seed=seed,
-                max_workers=jobs,
-            )
-            for r, ebw in zip(sweep.axis_values(), sweep.ebw_values()):
-                measured[(label, f"r={int(r)}")] = ebw
+            for r in paper_data.FIGURE2_R_VALUES:
+                measured[(label, f"r={r}")] = ebw[(n, m, priority, r)]
         crossbar_label = f"{n}x{m} crossbar"
         rows.append(crossbar_label)
         crossbar = crossbar_exact_ebw(SystemConfig(n, m, 1)).ebw

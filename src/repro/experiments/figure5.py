@@ -10,42 +10,43 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.analysis.sweeps import sweep_r
 from repro.core.config import SystemConfig
-from repro.core.policy import Priority
 from repro.experiments import paper_data
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
 from repro.models.crossbar import crossbar_exact_ebw
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.execute import run_units
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ReplicationPlan
 
 
 def run(
     cycles: int = 50_000, seed: int = 1985, jobs: int | None = 1
 ) -> ExperimentResult:
     """Regenerate the Figure 5 curve family."""
+    spec = dataclasses.replace(
+        get_scenario("figure5"), cycles=cycles, plan=ReplicationPlan(1, seed)
+    )
+    # Keyed on each unit's own configuration so axis reordering cannot
+    # swap the buffered and unbuffered curves.
+    ebw = {
+        (
+            result.unit.config.processors,
+            result.unit.config.memories,
+            result.unit.config.buffered,
+            result.unit.config.memory_cycle_ratio,
+        ): result.ebw
+        for result in run_units(compile_scenario(spec), jobs=jobs)
+    }
     measured: dict[tuple[str, str], float] = {}
     rows: list[str] = []
     columns = tuple(f"r={r}" for r in paper_data.FIGURE5_R_VALUES)
     for n, m in paper_data.FIGURE5_SYSTEMS:
         for buffered, tag in ((True, "with buffers"), (False, "without buffers")):
-            base = SystemConfig(
-                n,
-                m,
-                2,
-                priority=Priority.PROCESSORS,
-                buffered=buffered,
-            )
             label = f"{n}x{m} {tag}"
             rows.append(label)
-            sweep = sweep_r(
-                base,
-                paper_data.FIGURE5_R_VALUES,
-                label=label,
-                cycles=cycles,
-                seed=seed,
-                max_workers=jobs,
-            )
-            for r, ebw in zip(sweep.axis_values(), sweep.ebw_values()):
-                measured[(label, f"r={int(r)}")] = ebw
+            for r in paper_data.FIGURE5_R_VALUES:
+                measured[(label, f"r={r}")] = ebw[(n, m, buffered, r)]
         crossbar_label = f"{n}x{m} crossbar"
         rows.append(crossbar_label)
         crossbar = crossbar_exact_ebw(SystemConfig(n, m, 1)).ebw

@@ -7,42 +7,40 @@ is already low at light load).
 
 from __future__ import annotations
 
-from repro.analysis.sweeps import sweep_p
-from repro.core.config import SystemConfig
-from repro.core.policy import Priority
+import dataclasses
+
 from repro.experiments import paper_data
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.execute import run_units
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ReplicationPlan
 
 
 def run(
     cycles: int = 60_000, seed: int = 1985, jobs: int | None = 1
 ) -> ExperimentResult:
     """Regenerate the Figure 6 curve family (buffered system)."""
+    spec = dataclasses.replace(
+        get_scenario("figure6"), cycles=cycles, plan=ReplicationPlan(1, seed)
+    )
+    # Keyed on each unit's own (r, p) so axis reordering cannot scramble
+    # the curves.
+    utilization = {
+        (
+            result.unit.config.memory_cycle_ratio,
+            result.unit.config.request_probability,
+        ): result.processor_utilization
+        for result in run_units(compile_scenario(spec), jobs=jobs)
+    }
     measured: dict[tuple[str, str], float] = {}
     rows = []
     columns = tuple(f"p={p:g}" for p in paper_data.FIGURE6_P_VALUES)
     for r in paper_data.FIGURE6_R_VALUES:
-        base = SystemConfig(
-            processors=paper_data.FIGURE6_PROCESSORS,
-            memories=paper_data.FIGURE6_MEMORIES,
-            memory_cycle_ratio=r,
-            priority=Priority.PROCESSORS,
-            buffered=True,
-        )
         label = f"r={r}"
         rows.append(label)
-        sweep = sweep_p(
-            base,
-            paper_data.FIGURE6_P_VALUES,
-            label=label,
-            cycles=cycles,
-            seed=seed,
-            max_workers=jobs,
-        )
-        for p, utilization in zip(
-            sweep.axis_values(), sweep.processor_utilization_values()
-        ):
-            measured[(label, f"p={p:g}")] = utilization
+        for p in paper_data.FIGURE6_P_VALUES:
+            measured[(label, f"p={p:g}")] = utilization[(r, p)]
     return ExperimentResult(
         experiment_id="figure6",
         title="Figure 6 - Processor utilisation EBW/(n p), buffered, "

@@ -1,32 +1,41 @@
-"""Shared ``(m, r)`` grid dispatch for the simulated paper tables.
+"""Shared ``(m, r)`` grid scenario for the simulated paper tables.
 
-Tables 3(a) and 4 both simulate every cell of an ``m x r`` grid under
-one seed; this helper owns the grid enumeration and the process-pool
-dispatch so the two experiments (and any future simulated table) cannot
-drift apart.
+Tables 3(a), 3(b) and 4 all evaluate every cell of an ``m x r`` grid
+with the remaining configuration fixed.  :func:`mr_grid_scenario` owns
+that shape; the registered ``table3a``/``table3b``/``table4`` scenarios
+(:mod:`repro.scenarios.builtin`) are built from it, so the tables (and
+any future ``m x r`` study) cannot drift apart in axis order, seeding,
+or enumeration.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Any, Iterable, Mapping
 
-from repro.core.config import SystemConfig
-from repro.core.results import SimulationResult
-from repro.parallel.workers import SimulationCase, simulate_cases
+from repro.scenarios.spec import GridAxis, ReplicationPlan, ScenarioSpec
 
 
-def simulate_mr_grid(
+def mr_grid_scenario(
+    name: str,
     m_values: Iterable[int],
     r_values: Iterable[int],
-    config_factory: Callable[[int, int], SystemConfig],
+    base: Mapping[str, Any],
     cycles: int,
     seed: int,
-    jobs: int | None = 1,
-) -> Sequence[tuple[tuple[int, int], SimulationResult]]:
-    """Simulate ``config_factory(m, r)`` for every grid cell, in order."""
-    grid = [(m, r) for m in m_values for r in r_values]
-    cases = [
-        SimulationCase(config_factory(m, r), cycles, seed) for m, r in grid
-    ]
-    results = simulate_cases(cases, max_workers=jobs)
-    return list(zip(grid, results))
+) -> ScenarioSpec:
+    """The canonical ``m`` (outer) x ``r`` (inner) table scenario.
+
+    ``base`` maps :class:`~repro.core.config.SystemConfig` field names
+    to the values fixed across the grid (e.g. ``processors`` and
+    ``priority``).
+    """
+    return ScenarioSpec(
+        name=name,
+        base=dict(base),
+        grid=(
+            GridAxis("memories", tuple(m_values)),
+            GridAxis("memory_cycle_ratio", tuple(r_values)),
+        ),
+        cycles=cycles,
+        plan=ReplicationPlan(1, seed),
+    )

@@ -10,41 +10,49 @@ standard robustness probe for interconnection-network models.
 
 from __future__ import annotations
 
-from repro.bus import MultiplexedBusSystem
-from repro.core.config import SystemConfig
-from repro.core.policy import Priority
-from repro.des.rng import StreamFactory
+import dataclasses
+
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
-from repro.workloads.generators import HotSpotTargets
+from repro.scenarios.builtin import HOT_SPOT_FRACTIONS, HOT_SPOT_SYSTEMS
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.execute import run_units
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ReplicationPlan
 
-_HOT_FRACTIONS = (0.0, 0.1, 0.2, 0.3, 0.5)
-_SYSTEMS = ((8, 8, 8), (8, 16, 8), (8, 16, 12))
+_HOT_FRACTIONS = HOT_SPOT_FRACTIONS
+_SYSTEMS = HOT_SPOT_SYSTEMS
 
 
-def run(cycles: int = 50_000, seed: int = 1985) -> ExperimentResult:
+def run(
+    cycles: int = 50_000, seed: int = 1985, jobs: int | None = 1
+) -> ExperimentResult:
     """EBW vs hot-spot fraction for buffered and unbuffered systems."""
+    spec = dataclasses.replace(
+        get_scenario("hot_spot"), cycles=cycles, plan=ReplicationPlan(1, seed)
+    )
+    # Keyed on each unit's own configuration and workload so axis
+    # reordering cannot scramble the rows.
+    ebw = {
+        (
+            result.unit.config.processors,
+            result.unit.config.memories,
+            result.unit.config.memory_cycle_ratio,
+            result.unit.config.buffered,
+            result.unit.workload.hot_fraction,
+        ): result.ebw
+        for result in run_units(compile_scenario(spec), jobs=jobs)
+    }
     measured: dict[tuple[str, str], float] = {}
     rows = []
     columns = tuple(f"hot={fraction:g}" for fraction in _HOT_FRACTIONS)
     for n, m, r in _SYSTEMS:
         for buffered, tag in ((False, "unbuffered"), (True, "buffered")):
-            config = SystemConfig(
-                n,
-                m,
-                r,
-                priority=Priority.PROCESSORS,
-                buffered=buffered,
-            )
             label = f"{n}x{m} r={r} {tag}"
             rows.append(label)
             for fraction in _HOT_FRACTIONS:
-                streams = StreamFactory(seed)
-                targets = HotSpotTargets(
-                    m, streams.get("hot-spot"), hot_fraction=fraction
-                )
-                system = MultiplexedBusSystem(config, seed=seed, targets=targets)
-                result = system.run(cycles)
-                measured[(label, f"hot={fraction:g}")] = result.ebw
+                measured[(label, f"hot={fraction:g}")] = ebw[
+                    (n, m, r, buffered, fraction)
+                ]
     return ExperimentResult(
         experiment_id="hot_spot",
         title="Extension - EBW degradation under hot-spot traffic "

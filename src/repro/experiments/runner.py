@@ -7,6 +7,8 @@ Usage::
     python -m repro.experiments all --jobs 8   # ... on 8 worker processes
     python -m repro.experiments table1 figure5
     python -m repro.experiments figure5 --chart
+    python -m repro.experiments scenario       # list declarative scenarios
+    python -m repro.experiments scenario figure2 --shard 1/4 --jobs 8
 
 Each experiment prints the measured grid next to the paper's published
 values (when the paper printed any) in the layout of the original
@@ -26,6 +28,13 @@ experiment id, its parameters and the library source code - re-running
 the same command serves the stored grid instantly, and any code change
 invalidates the cache automatically.  Disable with ``--no-cache``.
 Timings go to stderr so stdout stays byte-reproducible.
+
+Scenarios
+---------
+``repro-experiments scenario`` enters the declarative scenario
+subsystem (:mod:`repro.scenarios`): run a registered scenario or a
+TOML/JSON spec file, optionally as one shard of a multi-machine sweep
+(``--shard i/k``); see :mod:`repro.scenarios.cli`.
 """
 
 from __future__ import annotations
@@ -99,6 +108,13 @@ def _accepts_jobs(spec: ExperimentSpec) -> bool:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (also installed as ``repro-experiments``)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "scenario":
+        from repro.scenarios.cli import main as scenario_main
+
+        return scenario_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the ISCA 1985 "
@@ -270,8 +286,9 @@ def _run_outcomes(
                 futures[index] = executor.submit(
                     _run_registered, (specs[index].experiment_id, kwargs)
                 )
-        except (OSError, ValueError):
-            # Pool-less platform: fall back to the serial loop below.
+        except (OSError, ValueError, ImportError):
+            # Pool-less platform (CPython raises ImportError when POSIX
+            # semaphores are missing): fall back to the serial loop below.
             if executor is not None:
                 executor.shutdown(wait=False, cancel_futures=True)
             executor = None

@@ -1,38 +1,35 @@
-"""Table 3: priority to processors - simulation (a) and reduced chain (b)."""
+"""Table 3: priority to processors - simulation (a) and reduced chain (b).
+
+Both halves run through the declarative scenario subsystem: the
+registered ``table3a`` (simulation) and ``table3b`` (reduced Markov
+chain) scenarios own the grid, and this module only maps compiled unit
+results into the paper's table layout.
+"""
 
 from __future__ import annotations
 
-from repro.core.config import SystemConfig
-from repro.core.policy import Priority
+import dataclasses
+
 from repro.experiments import paper_data
-from repro.experiments.grids import simulate_mr_grid
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
-from repro.models.processor_priority import processor_priority_ebw
-
-
-def _table3_config(m: int, r: int) -> SystemConfig:
-    return SystemConfig(
-        processors=paper_data.TABLE3_PROCESSORS,
-        memories=m,
-        memory_cycle_ratio=r,
-        priority=Priority.PROCESSORS,
-    )
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.execute import run_units
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ReplicationPlan
 
 
 def run_simulation(
     cycles: int = 100_000, seed: int = 1985, jobs: int | None = 1
 ) -> ExperimentResult:
     """Table 3(a): simulate every (m, r) cell with n = 8, p = 1."""
+    spec = dataclasses.replace(
+        get_scenario("table3a"), cycles=cycles, plan=ReplicationPlan(1, seed)
+    )
     measured: dict[tuple[str, str], float] = {}
     reference: dict[tuple[str, str], float] = {}
-    for (m, r), result in simulate_mr_grid(
-        paper_data.TABLE3_M_VALUES,
-        paper_data.TABLE3_R_VALUES,
-        _table3_config,
-        cycles,
-        seed,
-        jobs=jobs,
-    ):
+    for result in run_units(compile_scenario(spec), jobs=jobs):
+        m = result.unit.config.memories
+        r = result.unit.config.memory_cycle_ratio
         key = (f"m={m}", f"r={r}")
         measured[key] = result.ebw
         reference[key] = paper_data.TABLE3A_SIMULATION[(m, r)]
@@ -52,19 +49,15 @@ def run_simulation(
 
 def run_model() -> ExperimentResult:
     """Table 3(b): evaluate the reconstructed Section 4 reduced chain."""
+    spec = get_scenario("table3b")
     measured: dict[tuple[str, str], float] = {}
     reference: dict[tuple[str, str], float] = {}
-    for m in paper_data.TABLE3_M_VALUES:
-        for r in paper_data.TABLE3_R_VALUES:
-            config = SystemConfig(
-                processors=paper_data.TABLE3_PROCESSORS,
-                memories=m,
-                memory_cycle_ratio=r,
-                priority=Priority.PROCESSORS,
-            )
-            key = (f"m={m}", f"r={r}")
-            measured[key] = processor_priority_ebw(config).ebw
-            reference[key] = paper_data.TABLE3B_APPROX_MODEL[(m, r)]
+    for result in run_units(compile_scenario(spec)):
+        m = result.unit.config.memories
+        r = result.unit.config.memory_cycle_ratio
+        key = (f"m={m}", f"r={r}")
+        measured[key] = result.ebw
+        reference[key] = paper_data.TABLE3B_APPROX_MODEL[(m, r)]
     return ExperimentResult(
         experiment_id="table3b",
         title="Table 3(b) - EBW approximate model, priority to processors, "

@@ -1,38 +1,33 @@
-"""Table 4: buffered-system simulation, priority to processors, n = 8."""
+"""Table 4: buffered-system simulation, priority to processors, n = 8.
+
+The registered ``table4`` scenario owns the grid; this module maps its
+compiled unit results into the paper's table layout.
+"""
 
 from __future__ import annotations
 
-from repro.core.config import SystemConfig
-from repro.core.policy import Priority
+import dataclasses
+
 from repro.experiments import paper_data
-from repro.experiments.grids import simulate_mr_grid
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
-
-
-def _table4_config(m: int, r: int) -> SystemConfig:
-    return SystemConfig(
-        processors=paper_data.TABLE4_PROCESSORS,
-        memories=m,
-        memory_cycle_ratio=r,
-        priority=Priority.PROCESSORS,
-        buffered=True,
-    )
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.execute import run_units
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import ReplicationPlan
 
 
 def run(
     cycles: int = 100_000, seed: int = 1985, jobs: int | None = 1
 ) -> ExperimentResult:
     """Simulate the Section 6 buffered machine over the Table 4 grid."""
+    spec = dataclasses.replace(
+        get_scenario("table4"), cycles=cycles, plan=ReplicationPlan(1, seed)
+    )
     measured: dict[tuple[str, str], float] = {}
     reference: dict[tuple[str, str], float] = {}
-    for (m, r), result in simulate_mr_grid(
-        paper_data.TABLE4_M_VALUES,
-        paper_data.TABLE4_R_VALUES,
-        _table4_config,
-        cycles,
-        seed,
-        jobs=jobs,
-    ):
+    for result in run_units(compile_scenario(spec), jobs=jobs):
+        m = result.unit.config.memories
+        r = result.unit.config.memory_cycle_ratio
         key = (f"m={m}", f"r={r}")
         measured[key] = result.ebw
         reference[key] = paper_data.TABLE4_BUFFERED_SIMULATION[(m, r)]

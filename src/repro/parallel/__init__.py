@@ -36,6 +36,7 @@ from repro.parallel.cache import (
     CacheStats,
     ResultCache,
     canonical_json,
+    case_payload,
     code_version_tag,
     config_payload,
     default_cache_dir,
@@ -63,6 +64,7 @@ __all__ = [
     "canonical_json",
     "fingerprint",
     "config_payload",
+    "case_payload",
     "code_version_tag",
     "default_cache_dir",
     "ENV_CACHE_DIR",

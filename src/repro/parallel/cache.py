@@ -69,6 +69,26 @@ def config_payload(config) -> dict[str, Any]:
     }
 
 
+def case_payload(case) -> dict[str, Any]:
+    """A stable JSON-able description of a full :class:`SimulationCase`.
+
+    Covers every field that influences the simulated bytes - including
+    the workload spec, so a hot-spot or trace run can never collide with
+    a uniform-workload entry for the same configuration and seed
+    (``workload=None`` and an explicit uniform spec intentionally share
+    a key: they execute identically).
+    """
+    from repro.workloads.spec import workload_payload
+
+    return {
+        "config": config_payload(case.config),
+        "cycles": case.cycles,
+        "seed": case.seed,
+        "warmup": case.warmup,
+        "workload": workload_payload(case.workload),
+    }
+
+
 def code_version_tag() -> str:
     """A digest over the ``repro`` package sources (computed once).
 

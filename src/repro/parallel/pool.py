@@ -64,8 +64,9 @@ def map_ordered(
         executor = ProcessPoolExecutor(
             max_workers=workers, mp_context=mp_context
         )
-    except (OSError, ValueError) as exc:
-        # Platforms without POSIX semaphores / process support.
+    except (OSError, ValueError, ImportError) as exc:
+        # Platforms without POSIX semaphores / process support (CPython
+        # raises ImportError from sem_open-less multiprocessing).
         return _serial_fallback(function, items, exc)
     try:
         with executor:

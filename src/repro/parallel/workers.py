@@ -8,6 +8,14 @@ primitives and enums) plus the run parameters, so they cross process
 boundaries unchanged under both the ``fork`` and ``spawn`` start
 methods.
 
+Non-uniform workloads travel as declarative specs
+(:mod:`repro.workloads.spec`) rather than live generators: a
+:class:`SimulationCase` carries the spec, and :func:`run_case` builds
+the matching generator *inside* the executing process from the case's
+own seed.  Live generators hold random streams and replay positions, so
+shipping the spec (not the object) is what keeps the tasks spawn-safe
+and the results independent of which process runs them.
+
 Determinism contract: a task called with a given seed performs exactly
 the computation the serial code path performs with that seed - the
 worker functions call the same :func:`repro.bus.simulate` entry point
@@ -21,24 +29,43 @@ import dataclasses
 
 from repro.core.config import SystemConfig
 from repro.core.results import SimulationResult
+from repro.workloads.spec import WorkloadSpec
 
 
 @dataclasses.dataclass(frozen=True)
 class SimulationCase:
-    """One fully-specified simulator invocation (config + cycles + seed)."""
+    """One fully-specified simulator invocation.
+
+    ``workload=None`` means the paper's uniform workload and follows the
+    exact code path (and random-stream layout) of a plain
+    ``simulate(config, ...)`` call, so adding the field changed no
+    existing result bytes.
+    """
 
     config: SystemConfig
     cycles: int
     seed: int
     warmup: int | None = None
+    workload: WorkloadSpec | None = None
 
 
 def run_case(case: SimulationCase) -> SimulationResult:
     """Execute one :class:`SimulationCase` (module-level, hence pool-safe)."""
     from repro.bus import simulate
 
+    targets = None
+    request_probabilities = None
+    if case.workload is not None:
+        case.workload.validate(case.config)
+        targets = case.workload.build_targets(case.config, case.seed)
+        request_probabilities = case.workload.request_probabilities(case.config)
     return simulate(
-        case.config, cycles=case.cycles, seed=case.seed, warmup=case.warmup
+        case.config,
+        cycles=case.cycles,
+        seed=case.seed,
+        warmup=case.warmup,
+        targets=targets,
+        request_probabilities=request_probabilities,
     )
 
 
@@ -64,11 +91,16 @@ class EbwTask:
     Equivalent to the closure built by
     :func:`repro.des.replications.ebw_estimator` but safe to ship to a
     worker process.  Calling it with a seed returns the simulated EBW of
-    ``config`` under that seed.
+    ``config`` under that seed.  An optional workload spec reproduces
+    hot-spot, trace or heterogeneous-p runs; ``None`` is the paper's
+    uniform workload.
     """
 
     config: SystemConfig
     cycles: int = 20_000
+    workload: WorkloadSpec | None = None
 
     def __call__(self, seed: int) -> float:
-        return run_case(SimulationCase(self.config, self.cycles, seed)).ebw
+        return run_case(
+            SimulationCase(self.config, self.cycles, seed, workload=self.workload)
+        ).ebw

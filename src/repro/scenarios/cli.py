@@ -1,0 +1,158 @@
+"""The ``repro-experiments scenario`` subcommand.
+
+Usage::
+
+    repro-experiments scenario                          # list scenarios
+    repro-experiments scenario figure2 --jobs 8
+    repro-experiments scenario my-sweep.toml --shard 2/4
+    repro-experiments scenario table3a --shard 1/3 > shard1.out
+
+Sharding contract: stdout carries exactly one self-contained line per
+executed work unit, each prefixed with its global (unsharded) index.
+Run the same scenario as ``k`` shards on ``k`` machines, concatenate
+the shard outputs, and ``sort`` them (or pass them through
+:func:`repro.scenarios.execute.merge_reports`): the result is
+byte-identical to the unsharded run.  Headers, timings and summaries go
+to stderr so stdout stays mergeable and reproducible.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError, ReproError
+from repro.scenarios.compiler import compile_scenario, parse_shard, shard_units
+from repro.scenarios.execute import run_units, unit_line
+from repro.scenarios.registry import all_scenarios, load_scenario
+from repro.scenarios.spec import ReplicationPlan
+
+
+def list_scenarios() -> str:
+    """Human-readable table of every registered scenario."""
+    lines = ["available scenarios:"]
+    for spec in all_scenarios():
+        units = spec.grid_size() * spec.plan.replications
+        lines.append(
+            f"  {spec.name:<22} {units:>5} units  {str(spec.method):<10} "
+            f"{spec.description}"
+        )
+    lines.append(
+        "\nrun one with: repro-experiments scenario <name|file.toml> "
+        "[--shard i/k] [--jobs N]"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``repro-experiments scenario ...``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments scenario",
+        description="Compile a declarative scenario into work units and "
+        "run them (optionally one shard of a multi-machine sweep).",
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        help="registered scenario name or a .toml/.json spec file; "
+        "omit to list registered scenarios",
+    )
+    parser.add_argument(
+        "--shard",
+        metavar="I/K",
+        help="run only shard I of K (1-based); merging all K shard "
+        "outputs reproduces the unsharded output byte-for-byte",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for unit execution (default 1)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        metavar="N",
+        help="override the spec's simulated cycles per unit",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        metavar="N",
+        help="override the spec's replication base seed",
+    )
+    parser.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached unit results (default on; --no-cache disables)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro-single-bus)",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error("--jobs must be a positive integer")
+    if args.scenario is None:
+        print(list_scenarios())
+        return 0
+    try:
+        spec = load_scenario(args.scenario)
+        if args.cycles is not None:
+            spec = dataclasses.replace(spec, cycles=args.cycles)
+        if args.seed is not None:
+            spec = dataclasses.replace(
+                spec,
+                plan=ReplicationPlan(spec.plan.replications, args.seed),
+            )
+        units = compile_scenario(spec)
+        total = len(units)
+        if args.shard is not None:
+            shard_index, shard_count = parse_shard(args.shard)
+            units = shard_units(units, shard_index, shard_count)
+            print(
+                f"[scenario {spec.name}: shard {shard_index}/{shard_count}, "
+                f"{len(units)} of {total} units]",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"[scenario {spec.name}: {total} units]",
+                file=sys.stderr,
+            )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = None
+    if args.cache:
+        from repro.parallel.cache import ResultCache
+
+        try:
+            cache = ResultCache(cache_dir=args.cache_dir)
+        except (ConfigurationError, OSError) as exc:
+            # A broken cache location must never block the science run.
+            print(f"warning: caching disabled: {exc}", file=sys.stderr)
+    started = time.time()
+    try:
+        results = run_units(units, jobs=args.jobs, cache=cache)
+    except ReproError as exc:
+        # Covers simulation and model failures too - any library error
+        # surfaces as the CLI's curated one-line diagnostic.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for result in results:
+        print(unit_line(result), flush=True)
+    elapsed = time.time() - started
+    served = sum(1 for result in results if result.cached)
+    print(
+        f"[{len(results)} units in {elapsed:.1f}s, {served} from cache]",
+        file=sys.stderr,
+    )
+    return 0

@@ -1,0 +1,185 @@
+"""Lower a :class:`~repro.scenarios.spec.ScenarioSpec` into work units.
+
+The compiler is the bridge between the declarative scenario layer and
+the :mod:`repro.parallel` execution substrate.  It produces a
+*deterministic, stably-ordered* tuple of :class:`WorkUnit` items:
+
+* ordering is row-major over the grid axes in declaration order, with
+  replication seeds varying fastest - i.e. exactly the nested loop a
+  hand-written experiment would contain;
+* each unit owns a dense ``index`` (its position in the unsharded
+  order) and a content-addressed :meth:`WorkUnit.payload` that covers
+  every byte-relevant field (configuration, workload, method, cycles,
+  warmup, seed) and deliberately excludes the index and scenario name,
+  so identical computations share cache entries across scenarios;
+* :func:`shard_units` partitions the list round-robin so ``k`` shards
+  run on ``k`` machines and merge - by sorting on ``index`` - into the
+  byte-identical unsharded result (property-tested in
+  ``tests/properties/test_scenario_sharding.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Any, Iterable, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.parallel.cache import case_payload, config_payload
+from repro.parallel.workers import SimulationCase
+from repro.scenarios.spec import EvaluationMethod, ScenarioSpec
+from repro.workloads.spec import WorkloadSpec, workload_payload
+
+_SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkUnit:
+    """One fully-specified evaluation of one grid point under one seed."""
+
+    index: int
+    scenario: str
+    config: SystemConfig
+    workload: WorkloadSpec | None
+    method: EvaluationMethod
+    cycles: int
+    warmup: int | None
+    seed: int
+    replication: int
+
+    def payload(self) -> dict[str, Any]:
+        """Content-addressed identity of the computation.
+
+        Excludes ``index``, ``scenario`` and ``replication``: two units
+        that perform the same computation hash identically wherever they
+        appear, which is what lets shards and unrelated scenarios share
+        cache entries.  Simulation units share the library-wide
+        :func:`~repro.parallel.cache.case_payload` encoding; analytic
+        methods are deterministic functions of the configuration alone,
+        so their keys exclude seed/cycles/warmup - replications and
+        ``--cycles`` overrides then hit the same entry instead of
+        recomputing the identical closed-form value.
+        """
+        if self.method is EvaluationMethod.SIMULATION:
+            payload = case_payload(
+                SimulationCase(
+                    config=self.config,
+                    cycles=self.cycles,
+                    seed=self.seed,
+                    warmup=self.warmup,
+                    workload=self.workload,
+                )
+            )
+        else:
+            payload = {
+                "config": config_payload(self.config),
+                "workload": workload_payload(self.workload),
+            }
+        payload["method"] = str(self.method)
+        return payload
+
+
+def compile_scenario(spec: ScenarioSpec) -> tuple[WorkUnit, ...]:
+    """Lower ``spec`` into its canonical ordered work-unit tuple.
+
+    The order is total and reproducible: grid points in the spec's
+    row-major axis order, and within each point the replication seeds in
+    plan order.  Compiling the same spec twice yields equal tuples.
+    """
+    units: list[WorkUnit] = []
+    seeds = spec.plan.seeds
+    index = 0
+    for config, workload in spec.points():
+        for replication, seed in enumerate(seeds):
+            units.append(
+                WorkUnit(
+                    index=index,
+                    scenario=spec.name,
+                    config=config,
+                    workload=workload,
+                    method=spec.method,
+                    cycles=spec.cycles,
+                    warmup=spec.warmup,
+                    seed=seed,
+                    replication=replication,
+                )
+            )
+            index += 1
+    if not units:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} compiles to zero work units"
+        )
+    return tuple(units)
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a ``--shard i/k`` designator (1-based, ``1 <= i <= k``)."""
+    match = _SHARD_RE.match(text.strip())
+    if not match:
+        raise ConfigurationError(
+            f"shard designator must look like 'i/k' (e.g. '2/4'), got {text!r}"
+        )
+    shard_index, shard_count = int(match.group(1)), int(match.group(2))
+    if shard_count < 1:
+        raise ConfigurationError(
+            f"shard count must be >= 1, got {shard_count}"
+        )
+    if not 1 <= shard_index <= shard_count:
+        raise ConfigurationError(
+            f"shard index must lie in 1..{shard_count}, got {shard_index}"
+        )
+    return shard_index, shard_count
+
+
+def shard_units(
+    units: Sequence[WorkUnit], shard_index: int, shard_count: int
+) -> tuple[WorkUnit, ...]:
+    """The subsequence of ``units`` owned by shard ``shard_index`` of
+    ``shard_count`` (1-based).
+
+    Units are dealt round-robin on their compiled index, so adjacent
+    (similar-cost) units spread across shards and every shard's length
+    differs by at most one.  The union of all ``shard_count`` shards is
+    exactly ``units``, each appearing once.
+    """
+    if not 1 <= shard_index <= shard_count:
+        raise ConfigurationError(
+            f"shard index must lie in 1..{shard_count}, got {shard_index}"
+        )
+    return tuple(
+        unit for unit in units if unit.index % shard_count == shard_index - 1
+    )
+
+
+def merge_by_index(entries: Iterable[tuple[int, Any]], what: str) -> list[Any]:
+    """Reassemble ``(unit index, item)`` pairs into canonical order.
+
+    The one validation used by every shard-merging surface (work-unit
+    lists, report lines): indices must neither collide nor leave holes -
+    merging half a sweep must fail loudly, not silently produce a
+    shorter result.  Raises :class:`ConfigurationError` otherwise.
+    """
+    merged: dict[int, Any] = {}
+    for index, item in entries:
+        if index in merged:
+            raise ConfigurationError(
+                f"duplicate {what} for unit index {index} across shards"
+            )
+        merged[index] = item
+    missing = [i for i in range(len(merged)) if i not in merged]
+    if missing:
+        raise ConfigurationError(
+            f"merged shards leave missing unit indices: {missing[:10]}"
+        )
+    return [merged[i] for i in sorted(merged)]
+
+
+def merge_units(shards: Iterable[Sequence[WorkUnit]]) -> tuple[WorkUnit, ...]:
+    """Reassemble shard outputs into the canonical unsharded order."""
+    return tuple(
+        merge_by_index(
+            ((unit.index, unit) for shard in shards for unit in shard),
+            "work unit",
+        )
+    )

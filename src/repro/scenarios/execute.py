@@ -1,0 +1,268 @@
+"""Execute compiled work units and render mergeable reports.
+
+:func:`evaluate_unit` is the single module-level (hence pool- and
+spawn-safe) dispatcher from a :class:`~repro.scenarios.compiler.WorkUnit`
+to its metrics; :func:`run_units` fans uncached units over the
+:mod:`repro.parallel` pool map and serves repeats from a
+:class:`~repro.parallel.cache.ResultCache` keyed on each unit's
+content-addressed payload (which covers the workload spec, so hot-spot
+and trace results can never collide with uniform entries).
+
+Report format and sharding
+--------------------------
+:func:`unit_line` renders one unit result as one self-contained line
+starting with ``unit <zero-padded index>``.  A sharded run prints only
+its own units' lines; because every line carries the unsharded index,
+sorting the concatenation of all shards' lines (:func:`merge_reports`)
+reproduces the unsharded report byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Iterable, Sequence
+
+from repro.core.errors import ConfigurationError, ExperimentError
+from repro.parallel.pool import map_ordered
+from repro.parallel.workers import SimulationCase, run_case
+from repro.scenarios.compiler import WorkUnit, compile_scenario, shard_units
+from repro.scenarios.spec import EvaluationMethod, ScenarioSpec
+
+_METRIC_KEYS = ("ebw", "processor_utilization", "bus_utilization")
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitResult:
+    """The measured metrics of one executed work unit."""
+
+    unit: WorkUnit
+    ebw: float
+    processor_utilization: float
+    bus_utilization: float
+    cached: bool = False
+
+
+def evaluate_unit(unit: WorkUnit) -> dict[str, float]:
+    """Evaluate one work unit (module-level, hence pool-safe).
+
+    Returns a plain JSON-able metrics mapping so the value can be cached
+    verbatim; floats round-trip exactly through JSON, so cached and
+    freshly-computed runs are byte-identical.
+    """
+    if unit.method is EvaluationMethod.SIMULATION:
+        result = run_case(
+            SimulationCase(
+                config=unit.config,
+                cycles=unit.cycles,
+                seed=unit.seed,
+                warmup=unit.warmup,
+                workload=unit.workload,
+            )
+        )
+        return {
+            "ebw": result.ebw,
+            "processor_utilization": result.processor_utilization,
+            "bus_utilization": result.bus_utilization,
+        }
+    if unit.method is EvaluationMethod.MARKOV:
+        from repro.core.policy import Priority
+        from repro.models.exact_memory_priority import exact_memory_priority_ebw
+        from repro.models.processor_priority import processor_priority_ebw
+
+        if unit.config.priority is Priority.PROCESSORS:
+            model = processor_priority_ebw(unit.config)
+        else:
+            model = exact_memory_priority_ebw(unit.config)
+    elif unit.method is EvaluationMethod.MVA:
+        from repro.core import metrics
+        from repro.queueing.mva import product_form_ebw
+
+        ebw = product_form_ebw(unit.config)
+        return {
+            "ebw": ebw,
+            "processor_utilization": metrics.processor_utilization(
+                ebw, unit.config
+            ),
+            "bus_utilization": metrics.bus_utilization_from_ebw(
+                ebw, unit.config.memory_cycle_ratio
+            ),
+        }
+    elif unit.method is EvaluationMethod.CROSSBAR:
+        from repro.models.crossbar import crossbar_exact_ebw
+
+        model = crossbar_exact_ebw(unit.config)
+    else:  # pragma: no cover - enum is closed
+        raise ConfigurationError(f"unknown evaluation method {unit.method!r}")
+    return {
+        "ebw": model.ebw,
+        "processor_utilization": model.processor_utilization,
+        "bus_utilization": model.bus_utilization,
+    }
+
+
+def _result_from_metrics(
+    unit: WorkUnit, metrics: Any, cached: bool
+) -> UnitResult:
+    try:
+        return UnitResult(
+            unit=unit,
+            ebw=float(metrics["ebw"]),
+            processor_utilization=float(metrics["processor_utilization"]),
+            bus_utilization=float(metrics["bus_utilization"]),
+            cached=cached,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ExperimentError(
+            f"malformed metrics payload for unit {unit.index}: {exc!r}"
+        ) from exc
+
+
+def run_units(
+    units: Sequence[WorkUnit],
+    jobs: int | None = 1,
+    cache=None,
+) -> list[UnitResult]:
+    """Execute ``units`` in order, via pool and cache when available.
+
+    The returned list preserves input order, and its values are
+    independent of both ``jobs`` and cache state - the two levers change
+    wall-clock time, never bytes.  Units whose content-addressed
+    payloads coincide (e.g. analytic-method replications, whose keys
+    ignore the seed) are computed once and fanned out.
+    """
+    from repro.parallel.cache import fingerprint
+
+    units = list(units)
+    keys: list[str] = []
+    results: dict[int, UnitResult] = {}
+    for position, unit in enumerate(units):
+        key = (
+            cache.key(unit.payload())
+            if cache is not None
+            else fingerprint(unit.payload())
+        )
+        keys.append(key)
+        if cache is not None:
+            value = cache.get(key)
+            if value is not None:
+                try:
+                    results[position] = _result_from_metrics(unit, value, True)
+                except ExperimentError:
+                    # Malformed entry: recompute below.
+                    results.pop(position, None)
+    pending = [
+        position for position in range(len(units)) if position not in results
+    ]
+    if pending:
+        representatives: list[int] = []
+        seen: set[str] = set()
+        for position in pending:
+            if keys[position] not in seen:
+                seen.add(keys[position])
+                representatives.append(position)
+        computed = map_ordered(
+            evaluate_unit,
+            [units[position] for position in representatives],
+            max_workers=jobs,
+        )
+        metrics_by_key = {
+            keys[position]: metrics
+            for position, metrics in zip(representatives, computed)
+        }
+        for position in pending:
+            results[position] = _result_from_metrics(
+                units[position], metrics_by_key[keys[position]], False
+            )
+        if cache is not None:
+            for position in representatives:
+                try:
+                    cache.put(keys[position], metrics_by_key[keys[position]])
+                except (OSError, ConfigurationError):
+                    # A full disk must not block the science run.
+                    pass
+    return [results[position] for position in range(len(units))]
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    shard: tuple[int, int] | None = None,
+    jobs: int | None = 1,
+    cache=None,
+) -> list[UnitResult]:
+    """Compile ``spec``, optionally take one shard, and execute it."""
+    units = compile_scenario(spec)
+    if shard is not None:
+        shard_index, shard_count = shard
+        units = shard_units(units, shard_index, shard_count)
+    return run_units(units, jobs=jobs, cache=cache)
+
+
+# ----------------------------------------------------------------------
+# Report rendering.
+# ----------------------------------------------------------------------
+def _describe_config(unit: WorkUnit) -> str:
+    config = unit.config
+    buffering = (
+        f"buffered(depth={config.buffer_depth})"
+        if config.buffered
+        else "unbuffered"
+    )
+    return (
+        f"n={config.processors} m={config.memories} "
+        f"r={config.memory_cycle_ratio} p={config.request_probability:g} "
+        f"priority={config.priority} {buffering} tie={config.tie_break}"
+    )
+
+
+def unit_line(result: UnitResult) -> str:
+    """One deterministic, self-contained report line for one unit.
+
+    The leading ``unit <index:06d>`` token gives the line its global
+    position, which is the whole sharding contract: shard outputs sorted
+    on that token equal the unsharded output.
+    """
+    unit = result.unit
+    workload = unit.workload.describe() if unit.workload is not None else "uniform"
+    return (
+        f"unit {unit.index:06d} {_describe_config(unit)} "
+        f"workload={workload} method={unit.method} seed={unit.seed} "
+        f"cycles={unit.cycles} ebw={result.ebw:.6f} "
+        f"putil={result.processor_utilization:.6f} "
+        f"butil={result.bus_utilization:.6f}"
+    )
+
+
+def render_report(results: Iterable[UnitResult]) -> str:
+    """The unit lines of ``results``, one per line, in input order."""
+    return "\n".join(unit_line(result) for result in results)
+
+
+def _line_index(line: str) -> int:
+    parts = line.split()
+    if len(parts) < 2 or parts[0] != "unit":
+        raise ConfigurationError(f"not a scenario unit line: {line!r}")
+    try:
+        return int(parts[1])
+    except ValueError:
+        raise ConfigurationError(
+            f"not a scenario unit line: {line!r}"
+        ) from None
+
+
+def merge_reports(reports: Iterable[str]) -> str:
+    """Merge shard reports into the canonical unsharded report.
+
+    Accepts each shard's stdout (possibly empty), validates that unit
+    indices neither collide nor leave holes
+    (:func:`~repro.scenarios.compiler.merge_by_index`), and returns the
+    lines sorted by unit index - byte-identical to the unsharded run.
+    """
+    from repro.scenarios.compiler import merge_by_index
+
+    entries = (
+        (_line_index(line), line)
+        for report in reports
+        for line in report.splitlines()
+        if line.strip()
+    )
+    return "\n".join(merge_by_index(entries, "report line"))

@@ -1,0 +1,93 @@
+"""Named scenario registry and file loading.
+
+Built-in scenarios live in :mod:`repro.scenarios.builtin` (imported
+lazily, mirroring the experiment registry); user scenarios load from
+TOML or JSON files with :func:`load_scenario`, which accepts either a
+registered name or a path.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec, spec_from_mapping
+
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a spec to the registry (module import side effect)."""
+    if spec.name in _REGISTRY:
+        raise ConfigurationError(f"duplicate scenario name {spec.name!r}")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up one registered scenario; raises on unknown names."""
+    _ensure_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {known}"
+        ) from None
+
+
+def all_scenarios() -> Sequence[ScenarioSpec]:
+    """All registered scenarios, sorted by name."""
+    _ensure_loaded()
+    return sorted(_REGISTRY.values(), key=lambda spec: spec.name)
+
+
+def load_scenario_file(path: str | pathlib.Path) -> ScenarioSpec:
+    """Load one scenario spec from a ``.toml`` or ``.json`` file."""
+    path = pathlib.Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read scenario file {path}: {exc}") from exc
+    suffix = path.suffix.lower()
+    if suffix == ".toml":
+        try:
+            import tomllib
+        except ModuleNotFoundError:  # pragma: no cover - Python < 3.11
+            raise ConfigurationError(
+                "TOML scenario files need Python >= 3.11 (tomllib); "
+                "use the JSON format instead"
+            ) from None
+        try:
+            data = tomllib.loads(raw.decode("utf-8"))
+        except (tomllib.TOMLDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(
+                f"malformed TOML scenario file {path}: {exc}"
+            ) from exc
+    elif suffix == ".json":
+        try:
+            data = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ConfigurationError(
+                f"malformed JSON scenario file {path}: {exc}"
+            ) from exc
+    else:
+        raise ConfigurationError(
+            f"scenario files must end in .toml or .json, got {path.name!r}"
+        )
+    return spec_from_mapping(data)
+
+
+def load_scenario(name_or_path: str) -> ScenarioSpec:
+    """Resolve a CLI scenario argument: registered name or spec file."""
+    text = str(name_or_path)
+    if text.endswith((".toml", ".json")) or "/" in text:
+        return load_scenario_file(text)
+    return get_scenario(text)
+
+
+def _ensure_loaded() -> None:
+    """Import the built-in scenario definitions so they register."""
+    from repro.scenarios import builtin  # noqa: F401

@@ -1,10 +1,19 @@
-"""Workload models: request-target generators and traces."""
+"""Workload models: request-target generators, traces, and specs."""
 
 from repro.workloads.generators import (
     HotSpotTargets,
     TargetSampler,
     TraceTargets,
     UniformTargets,
+)
+from repro.workloads.spec import (
+    HotSpotWorkload,
+    RequestMixWorkload,
+    TraceWorkload,
+    UniformWorkload,
+    WorkloadSpec,
+    workload_from_payload,
+    workload_payload,
 )
 from repro.workloads.trace import RequestTrace
 
@@ -14,4 +23,11 @@ __all__ = [
     "HotSpotTargets",
     "TraceTargets",
     "RequestTrace",
+    "WorkloadSpec",
+    "UniformWorkload",
+    "HotSpotWorkload",
+    "TraceWorkload",
+    "RequestMixWorkload",
+    "workload_payload",
+    "workload_from_payload",
 ]

@@ -1,0 +1,289 @@
+"""Declarative, picklable workload specifications.
+
+The generator classes in :mod:`repro.workloads.generators` are *live*
+objects: they hold random streams and replay positions, so they cannot
+cross process boundaries or participate in content-addressed cache keys.
+This module provides their declarative counterparts - small frozen
+dataclasses that fully describe a workload without instantiating it:
+
+* :class:`UniformWorkload` - hypothesis (e), the paper's default;
+* :class:`HotSpotWorkload` - a fraction of traffic pinned to one module;
+* :class:`TraceWorkload` - replay of recorded per-processor targets;
+* :class:`RequestMixWorkload` - per-processor request probabilities
+  (heterogeneous ``p``), keeping uniform targeting.
+
+A spec does three jobs: it validates itself against a
+:class:`~repro.core.config.SystemConfig`, it *builds* the matching live
+generator for a given seed (:meth:`build_targets`), and it serialises to
+a canonical JSON-able payload (:func:`workload_payload`) that cache keys
+and scenario files share.  ``workload_from_payload`` inverts the
+serialisation, so TOML/JSON scenario files and cache keys round-trip
+through the same code path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, ClassVar, Mapping, Sequence, Union
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.workloads.generators import (
+    HotSpotTargets,
+    TargetSampler,
+    TraceTargets,
+)
+
+HOT_SPOT_STREAM = "hot-spot"
+"""Stream name used for hot-spot target draws (matches the hot-spot
+experiment, so spec-built and hand-built generators are bit-identical)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class UniformWorkload:
+    """Hypothesis (e): requests independent and uniform over modules."""
+
+    kind: ClassVar[str] = "uniform"
+
+    def validate(self, config: SystemConfig) -> None:
+        """Uniform traffic fits every configuration."""
+
+    def build_targets(self, config: SystemConfig, seed: int) -> TargetSampler | None:
+        """``None``: the simulator's own default is already uniform.
+
+        Returning ``None`` (rather than a fresh :class:`UniformTargets`)
+        keeps the random-stream layout bit-identical to a plain
+        ``simulate(config, seed=seed)`` call.
+        """
+        return None
+
+    def request_probabilities(self, config: SystemConfig) -> tuple[float, ...] | None:
+        """No override: every processor uses ``config.request_probability``."""
+        return None
+
+    def describe(self) -> str:
+        """Compact single-token description for report lines."""
+        return "uniform"
+
+
+@dataclasses.dataclass(frozen=True)
+class HotSpotWorkload:
+    """A fraction of all requests is pinned to one hot module."""
+
+    hot_fraction: float
+    hot_module: int = 0
+
+    kind: ClassVar[str] = "hot_spot"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.hot_fraction, (int, float)) or isinstance(
+            self.hot_fraction, bool
+        ):
+            raise ConfigurationError(
+                f"hot_fraction must be a number, got {self.hot_fraction!r}"
+            )
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ConfigurationError(
+                f"hot_fraction must lie in [0, 1], got {self.hot_fraction}"
+            )
+        if not isinstance(self.hot_module, int) or isinstance(
+            self.hot_module, bool
+        ) or self.hot_module < 0:
+            raise ConfigurationError(
+                f"hot_module must be a non-negative integer, got {self.hot_module!r}"
+            )
+
+    def validate(self, config: SystemConfig) -> None:
+        if self.hot_module >= config.memories:
+            raise ConfigurationError(
+                f"hot_module {self.hot_module} does not exist in a system "
+                f"with {config.memories} memory modules"
+            )
+
+    def build_targets(self, config: SystemConfig, seed: int) -> TargetSampler:
+        from repro.des.rng import StreamFactory
+
+        return HotSpotTargets(
+            config.memories,
+            StreamFactory(seed).get(HOT_SPOT_STREAM),
+            hot_fraction=self.hot_fraction,
+            hot_module=self.hot_module,
+        )
+
+    def request_probabilities(self, config: SystemConfig) -> tuple[float, ...] | None:
+        return None
+
+    def describe(self) -> str:
+        return f"hot_spot(f={self.hot_fraction:g},module={self.hot_module})"
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceWorkload:
+    """Replay fixed per-processor target sequences (cycling at the end)."""
+
+    traces: tuple[tuple[int, ...], ...]
+
+    kind: ClassVar[str] = "trace"
+
+    def __post_init__(self) -> None:
+        try:
+            normalised = tuple(
+                tuple(int(target) for target in trace) for trace in self.traces
+            )
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"traces must be sequences of module indices: {exc}"
+            ) from exc
+        object.__setattr__(self, "traces", normalised)
+        if not self.traces:
+            raise ConfigurationError("at least one per-processor trace is required")
+        for processor, trace in enumerate(self.traces):
+            if not trace:
+                raise ConfigurationError(
+                    f"trace for processor {processor} is empty"
+                )
+            bad = [target for target in trace if target < 0]
+            if bad:
+                raise ConfigurationError(
+                    f"trace for processor {processor} has negative targets: {bad}"
+                )
+
+    def validate(self, config: SystemConfig) -> None:
+        if len(self.traces) < config.processors:
+            raise ConfigurationError(
+                f"trace workload records {len(self.traces)} processors but "
+                f"the system has {config.processors}"
+            )
+        for processor, trace in enumerate(self.traces):
+            bad = [t for t in trace if t >= config.memories]
+            if bad:
+                raise ConfigurationError(
+                    f"trace for processor {processor} targets missing "
+                    f"modules: {bad}"
+                )
+
+    def build_targets(self, config: SystemConfig, seed: int) -> TargetSampler:
+        return TraceTargets(self.traces, config.memories)
+
+    def request_probabilities(self, config: SystemConfig) -> tuple[float, ...] | None:
+        return None
+
+    def describe(self) -> str:
+        return f"trace(processors={len(self.traces)})"
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestMixWorkload:
+    """Heterogeneous ``p``: one request probability per processor."""
+
+    probabilities: tuple[float, ...]
+
+    kind: ClassVar[str] = "request_mix"
+
+    def __post_init__(self) -> None:
+        try:
+            normalised = tuple(float(p) for p in self.probabilities)
+        except (TypeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"probabilities must be a sequence of numbers: {exc}"
+            ) from exc
+        object.__setattr__(self, "probabilities", normalised)
+        if not self.probabilities:
+            raise ConfigurationError(
+                "at least one per-processor probability is required"
+            )
+        for processor, p in enumerate(self.probabilities):
+            if not 0.0 < p <= 1.0:
+                raise ConfigurationError(
+                    f"probability for processor {processor} must satisfy "
+                    f"0 < p <= 1, got {p!r}"
+                )
+
+    def validate(self, config: SystemConfig) -> None:
+        if len(self.probabilities) != config.processors:
+            raise ConfigurationError(
+                f"request mix lists {len(self.probabilities)} probabilities "
+                f"but the system has {config.processors} processors"
+            )
+
+    def build_targets(self, config: SystemConfig, seed: int) -> TargetSampler | None:
+        return None
+
+    def request_probabilities(self, config: SystemConfig) -> tuple[float, ...]:
+        return self.probabilities
+
+    def describe(self) -> str:
+        mean = sum(self.probabilities) / len(self.probabilities)
+        return f"request_mix(n={len(self.probabilities)},mean={mean:g})"
+
+
+WorkloadSpec = Union[
+    UniformWorkload, HotSpotWorkload, TraceWorkload, RequestMixWorkload
+]
+
+_KINDS: dict[str, type] = {
+    UniformWorkload.kind: UniformWorkload,
+    HotSpotWorkload.kind: HotSpotWorkload,
+    TraceWorkload.kind: TraceWorkload,
+    RequestMixWorkload.kind: RequestMixWorkload,
+}
+
+
+def workload_payload(workload: WorkloadSpec | None) -> dict[str, Any]:
+    """Canonical JSON-able description of a workload spec.
+
+    ``None`` encodes as the uniform workload, so cache keys for legacy
+    uniform runs and explicit :class:`UniformWorkload` runs coincide -
+    while every non-uniform workload necessarily produces a different
+    key than uniform traffic over the same configuration.
+    """
+    if workload is None:
+        workload = UniformWorkload()
+    payload: dict[str, Any] = {"kind": workload.kind}
+    for field in dataclasses.fields(workload):
+        value = getattr(workload, field.name)
+        if isinstance(value, tuple):
+            value = _listify(value)
+        payload[field.name] = value
+    return payload
+
+
+def _listify(value):
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    return value
+
+
+def workload_from_payload(payload: Mapping[str, Any]) -> WorkloadSpec:
+    """Rebuild a workload spec from :func:`workload_payload` output.
+
+    Also the parser for the ``[workload]`` table of TOML/JSON scenario
+    files, so file format and cache format can never drift apart.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"workload payload must be a mapping, got {payload!r}"
+        )
+    data = dict(payload)
+    kind = data.pop("kind", None)
+    if kind not in _KINDS:
+        known = ", ".join(sorted(_KINDS))
+        raise ConfigurationError(
+            f"unknown workload kind {kind!r}; known kinds: {known}"
+        )
+    cls = _KINDS[kind]
+    field_names = {field.name for field in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - field_names)
+    if unknown:
+        raise ConfigurationError(
+            f"workload kind {kind!r} does not accept keys: {', '.join(unknown)}"
+        )
+    converted: dict[str, Any] = {}
+    for key, value in data.items():
+        if isinstance(value, Sequence) and not isinstance(value, (str, bytes)):
+            value = tuple(
+                tuple(item) if isinstance(item, Sequence) else item
+                for item in value
+            )
+        converted[key] = value
+    return cls(**converted)

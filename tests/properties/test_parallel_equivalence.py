@@ -21,7 +21,8 @@ from repro.analysis.sweeps import sweep_p, sweep_r
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
 from repro.des.replications import ebw_estimator, replicate
-from repro.parallel import ParallelReplicator
+from repro.parallel import EbwTask, ParallelReplicator
+from repro.workloads.spec import HotSpotWorkload, TraceWorkload
 
 CYCLES = 400
 """Tiny runs: equivalence is exact, so statistical strength is irrelevant."""
@@ -65,6 +66,80 @@ class TestReplicationEquivalence:
         results = [
             ParallelReplicator(max_workers=workers).run(
                 estimator, 3, base_seed=base_seed
+            )
+            for workers in (1, 2, 3)
+        ]
+        assert results[0] == results[1] == results[2]
+
+
+class TestWorkloadReplicationEquivalence:
+    """Hot-spot and trace workloads dispatched through the replicator.
+
+    Same contract as the uniform-workload properties above: fanning the
+    replications over worker processes must be invisible in the result.
+    """
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        config=configs,
+        hot_fraction=st.sampled_from([0.0, 0.3, 0.8]),
+        base_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_hot_spot_parallel_matches_serial(
+        self, config, hot_fraction, base_seed
+    ):
+        estimator = EbwTask(
+            config=config,
+            cycles=CYCLES,
+            workload=HotSpotWorkload(hot_fraction=hot_fraction),
+        )
+        serial = replicate(estimator, 3, base_seed=base_seed)
+        parallel = ParallelReplicator(max_workers=2).run(
+            estimator, 3, base_seed=base_seed
+        )
+        assert parallel.estimates == serial.estimates
+        assert parallel.seeds == serial.seeds
+        assert parallel.mean == serial.mean
+        assert parallel.half_width == serial.half_width
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        config=configs,
+        base_seed=st.integers(min_value=0, max_value=10_000),
+        data=st.data(),
+    )
+    def test_trace_parallel_matches_serial(self, config, base_seed, data):
+        traces = tuple(
+            tuple(
+                data.draw(
+                    st.lists(
+                        st.integers(min_value=0, max_value=config.memories - 1),
+                        min_size=1,
+                        max_size=6,
+                    ),
+                    label=f"trace for processor {processor}",
+                )
+            )
+            for processor in range(config.processors)
+        )
+        estimator = EbwTask(
+            config=config, cycles=CYCLES, workload=TraceWorkload(traces)
+        )
+        serial = replicate(estimator, 3, base_seed=base_seed)
+        parallel = ParallelReplicator(max_workers=3).run(
+            estimator, 3, base_seed=base_seed
+        )
+        assert parallel.estimates == serial.estimates
+        assert parallel.seeds == serial.seeds
+
+    def test_worker_count_is_invisible_for_hot_spot(self):
+        config = SystemConfig(3, 4, 2)
+        estimator = EbwTask(
+            config=config, cycles=CYCLES, workload=HotSpotWorkload(0.4)
+        )
+        results = [
+            ParallelReplicator(max_workers=workers).run(
+                estimator, 3, base_seed=17
             )
             for workers in (1, 2, 3)
         ]

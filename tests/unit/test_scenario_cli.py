@@ -1,0 +1,117 @@
+"""Unit tests for the ``repro-experiments scenario`` subcommand."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.experiments.runner import main
+from repro.scenarios.execute import merge_reports
+
+TINY_TOML = textwrap.dedent(
+    """
+    name = "cli-tiny"
+    cycles = 300
+
+    [base]
+    processors = 2
+    memories = 2
+
+    [[grid]]
+    field = "memory_cycle_ratio"
+    values = [1, 2]
+
+    [[grid]]
+    field = "buffered"
+    values = [false, true]
+
+    [replications]
+    count = 2
+    base_seed = 5
+    """
+)
+
+
+@pytest.fixture
+def tiny_toml(tmp_path):
+    path = tmp_path / "tiny.toml"
+    path.write_text(TINY_TOML)
+    return str(path)
+
+
+class TestListing:
+    def test_bare_subcommand_lists_scenarios(self, capsys):
+        assert main(["scenario"]) == 0
+        out = capsys.readouterr().out
+        assert "available scenarios" in out
+        assert "figure2" in out
+        assert "buffer-depth-scaling" in out
+
+
+class TestRunning:
+    def test_stdout_is_unit_lines_only(self, tiny_toml, capsys):
+        assert main(["scenario", tiny_toml, "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert len(lines) == 8
+        assert all(line.startswith("unit ") for line in lines)
+        assert "units" in captured.err
+
+    def test_registered_scenario_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "buffer-depth-scaling",
+                    "--cycles",
+                    "200",
+                    "--no-cache",
+                ]
+            )
+            == 0
+        )
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 12
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["scenario", "figure9"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_shard_fails_cleanly(self, tiny_toml, capsys):
+        assert main(["scenario", tiny_toml, "--shard", "9/4"]) == 2
+        assert "shard" in capsys.readouterr().err
+
+
+class TestShardMerge:
+    def test_merged_shard_stdout_equals_unsharded(self, tiny_toml, capsys):
+        assert main(["scenario", tiny_toml, "--no-cache"]) == 0
+        full = capsys.readouterr().out
+        reports = []
+        for index in (1, 2, 3):
+            assert (
+                main(
+                    ["scenario", tiny_toml, "--no-cache", "--shard", f"{index}/3"]
+                )
+                == 0
+            )
+            reports.append(capsys.readouterr().out)
+        assert merge_reports(reports) + "\n" == full
+
+    def test_seed_override_changes_units(self, tiny_toml, capsys):
+        assert main(["scenario", tiny_toml, "--no-cache"]) == 0
+        default = capsys.readouterr().out
+        assert main(["scenario", tiny_toml, "--no-cache", "--seed", "99"]) == 0
+        reseeded = capsys.readouterr().out
+        assert default != reseeded
+        assert "seed=99" in reseeded
+
+
+class TestCaching:
+    def test_cache_serves_identical_bytes(self, tiny_toml, capsys):
+        assert main(["scenario", tiny_toml]) == 0
+        cold = capsys.readouterr()
+        assert main(["scenario", tiny_toml]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "8 from cache" in warm.err

@@ -1,0 +1,291 @@
+"""Unit tests for scenario specs, file loading, and the registry."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Priority
+from repro.scenarios.registry import (
+    all_scenarios,
+    get_scenario,
+    load_scenario,
+    load_scenario_file,
+)
+from repro.scenarios.spec import (
+    EvaluationMethod,
+    GridAxis,
+    ReplicationPlan,
+    ScenarioSpec,
+    spec_from_mapping,
+)
+from repro.workloads.spec import HotSpotWorkload, UniformWorkload
+
+
+class TestGridAxis:
+    def test_single_field_shorthand(self):
+        axis = GridAxis("memory_cycle_ratio", (2, 4, 6))
+        assert axis.fields == ("memory_cycle_ratio",)
+        assert axis.values == ((2,), (4,), (6,))
+
+    def test_joint_axis(self):
+        axis = GridAxis(("processors", "memories"), ((4, 4), (8, 8)))
+        assert axis.values == ((4, 4), (8, 8))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridAxis("bandwidth", (1, 2))
+
+    def test_workload_fields_allowed(self):
+        axis = GridAxis("workload.hot_fraction", (0.0, 0.5))
+        assert axis.fields == ("workload.hot_fraction",)
+
+    def test_value_arity_must_match_fields(self):
+        with pytest.raises(ConfigurationError):
+            GridAxis(("processors", "memories"), ((4, 4, 4),))
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridAxis("memories", ())
+
+    def test_priority_strings_coerce_to_enum(self):
+        axis = GridAxis("priority", ("processors", "memories"))
+        assert axis.values == ((Priority.PROCESSORS,), (Priority.MEMORIES,))
+
+
+class TestScenarioSpec:
+    def test_duplicate_fields_across_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                name="bad",
+                base={"processors": 2, "memories": 2},
+                grid=(
+                    GridAxis("memory_cycle_ratio", (2, 4)),
+                    GridAxis(("memory_cycle_ratio",), ((8,),)),
+                ),
+            )
+
+    def test_unknown_base_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="bad", base={"modules": 4})
+
+    def test_points_order_is_row_major(self):
+        spec = ScenarioSpec(
+            name="order",
+            base={"processors": 2},
+            grid=(
+                GridAxis("memories", (2, 4)),
+                GridAxis("memory_cycle_ratio", (1, 3)),
+            ),
+        )
+        combos = [
+            (config.memories, config.memory_cycle_ratio)
+            for config, _ in spec.points()
+        ]
+        assert combos == [(2, 1), (2, 3), (4, 1), (4, 3)]
+
+    def test_workload_axis_overrides_spec_workload(self):
+        spec = ScenarioSpec(
+            name="hot",
+            base={"processors": 2, "memories": 4, "memory_cycle_ratio": 2},
+            grid=(GridAxis("workload.hot_fraction", (0.0, 0.5)),),
+            workload=HotSpotWorkload(hot_fraction=0.0),
+        )
+        fractions = [workload.hot_fraction for _, workload in spec.points()]
+        assert fractions == [0.0, 0.5]
+
+    def test_workload_override_on_uniform_rejected(self):
+        spec = ScenarioSpec(
+            name="bad",
+            base={"processors": 2, "memories": 2, "memory_cycle_ratio": 2},
+            grid=(GridAxis("workload.hot_fraction", (0.5,)),),
+        )
+        with pytest.raises(ConfigurationError):
+            list(spec.points())
+
+    def test_underspecified_config_rejected(self):
+        spec = ScenarioSpec(name="partial", base={"processors": 2})
+        with pytest.raises(ConfigurationError):
+            list(spec.points())
+
+    def test_analytic_methods_require_uniform_workload(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(
+                name="bad",
+                base={"processors": 2, "memories": 2, "memory_cycle_ratio": 2},
+                method=EvaluationMethod.MARKOV,
+                workload=HotSpotWorkload(0.2),
+            )
+
+    def test_plan_seeds(self):
+        assert ReplicationPlan(3, 10).seeds == (10, 11, 12)
+
+    def test_payload_is_json_able(self):
+        spec = get_scenario("figure2")
+        encoded = json.dumps(spec.payload(), sort_keys=True)
+        assert "figure2" in encoded
+
+
+class TestSpecFromMapping:
+    def _mapping(self):
+        return {
+            "name": "custom",
+            "description": "a test scenario",
+            "cycles": 1_000,
+            "base": {
+                "processors": 2,
+                "memories": 4,
+                "memory_cycle_ratio": 2,
+                "priority": "memories",
+            },
+            "grid": [
+                {"field": "buffered", "values": [False, True]},
+                {"fields": ["workload.hot_fraction"], "values": [0.0, 0.4]},
+            ],
+            "workload": {"kind": "hot_spot", "hot_fraction": 0.0},
+            "replications": {"count": 2, "base_seed": 11},
+        }
+
+    def test_full_round_trip(self):
+        spec = spec_from_mapping(self._mapping())
+        assert spec.name == "custom"
+        assert spec.base["priority"] is Priority.MEMORIES
+        assert spec.plan == ReplicationPlan(2, 11)
+        assert spec.workload == HotSpotWorkload(0.0)
+        assert spec.grid_size() == 4
+
+    def test_defaults(self):
+        spec = spec_from_mapping(
+            {
+                "name": "tiny",
+                "base": {
+                    "processors": 1,
+                    "memories": 1,
+                    "memory_cycle_ratio": 1,
+                },
+            }
+        )
+        assert spec.method is EvaluationMethod.SIMULATION
+        assert spec.workload == UniformWorkload()
+        assert spec.plan == ReplicationPlan()
+
+    def test_unknown_keys_rejected(self):
+        data = self._mapping()
+        data["shards"] = 4
+        with pytest.raises(ConfigurationError):
+            spec_from_mapping(data)
+
+    def test_unknown_method_rejected(self):
+        data = self._mapping()
+        data["method"] = "quantum"
+        with pytest.raises(ConfigurationError):
+            spec_from_mapping(data)
+
+    def test_axis_needs_field_and_values(self):
+        data = self._mapping()
+        data["grid"] = [{"values": [1, 2]}]
+        with pytest.raises(ConfigurationError):
+            spec_from_mapping(data)
+
+
+class TestFileLoading:
+    TOML = textwrap.dedent(
+        """
+        name = "from-toml"
+        cycles = 2000
+
+        [base]
+        processors = 2
+        memories = 2
+        memory_cycle_ratio = 2
+
+        [[grid]]
+        field = "request_probability"
+        values = [0.5, 1.0]
+
+        [replications]
+        count = 2
+        base_seed = 3
+        """
+    )
+
+    def test_toml_file(self, tmp_path):
+        path = tmp_path / "scenario.toml"
+        path.write_text(self.TOML)
+        spec = load_scenario_file(path)
+        assert spec.name == "from-toml"
+        assert spec.grid_size() == 2
+        assert spec.plan.seeds == (3, 4)
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "scenario.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "name": "from-json",
+                    "base": {
+                        "processors": 2,
+                        "memories": 2,
+                        "memory_cycle_ratio": 2,
+                    },
+                }
+            )
+        )
+        assert load_scenario_file(path).name == "from-json"
+
+    def test_malformed_toml_reports_cleanly(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("name = [unclosed")
+        with pytest.raises(ConfigurationError):
+            load_scenario_file(path)
+
+    def test_unknown_extension_rejected(self, tmp_path):
+        path = tmp_path / "scenario.yaml"
+        path.write_text("name: nope")
+        with pytest.raises(ConfigurationError):
+            load_scenario_file(path)
+
+    def test_load_scenario_dispatches_name_vs_path(self, tmp_path):
+        assert load_scenario("figure2").name == "figure2"
+        path = tmp_path / "file.toml"
+        path.write_text(self.TOML)
+        assert load_scenario(str(path)).name == "from-toml"
+
+
+class TestRegistry:
+    PAPER_NAMES = {
+        "figure2",
+        "figure3",
+        "figure5",
+        "figure6",
+        "table3a",
+        "table3b",
+        "table4",
+        "hot_spot",
+    }
+    EXTENSION_NAMES = {
+        "hot-spot-severity",
+        "buffer-depth-scaling",
+        "heterogeneous-p",
+        "saturation-stress",
+        "product-form-mva",
+    }
+
+    def test_builtin_scenarios_registered(self):
+        names = {spec.name for spec in all_scenarios()}
+        assert self.PAPER_NAMES <= names
+        assert self.EXTENSION_NAMES <= names
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ConfigurationError, match="figure2"):
+            get_scenario("figure9")
+
+    def test_every_builtin_compiles(self):
+        from repro.scenarios.compiler import compile_scenario
+
+        for spec in all_scenarios():
+            units = compile_scenario(spec)
+            assert len(units) == spec.grid_size() * spec.plan.replications
