@@ -29,6 +29,7 @@ def simulate(
     warmup: int | None = None,
     targets: TargetSampler | None = None,
     request_probabilities=None,
+    collect_latency: bool = False,
 ) -> SimulationResult:
     """Build a :class:`MultiplexedBusSystem` and run it once.
 
@@ -42,13 +43,17 @@ def simulate(
 
     ``request_probabilities`` optionally gives each processor its own
     request probability (heterogeneous ``p``); ``None`` reproduces the
-    paper's homogeneous hypothesis (f) exactly.
+    paper's homogeneous hypothesis (f) exactly.  ``collect_latency``
+    attaches streaming wait/service/total latency summaries
+    (:mod:`repro.metrics`) to the result without touching any random
+    stream - identical seeds keep producing identical counters.
     """
     system = MultiplexedBusSystem(
         config,
         seed=seed,
         targets=targets,
         request_probabilities=request_probabilities,
+        collect_latency=collect_latency,
     )
     return system.run(cycles, warmup=warmup)
 

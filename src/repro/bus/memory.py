@@ -40,6 +40,25 @@ class PendingRequest:
     """Cycle at which the processor first made the request eligible."""
 
 
+@dataclasses.dataclass(frozen=True)
+class CompletedAccess:
+    """A finished access waiting in (or leaving) the output stage.
+
+    Carries the per-request service timestamps the latency pipeline
+    needs: ``service_start``/``service_end`` are the first and last bus
+    cycles the access stage worked on the request, so the service time
+    is ``service_end - service_start + 1`` and the pre-service wait is
+    ``service_start - issue_cycle - 1`` (the ``- 1`` excludes the
+    request's own bus-transfer cycle).
+    """
+
+    request: PendingRequest
+    ready_cycle: int
+    """Cycle from which the result is eligible for a response transfer."""
+    service_start: int
+    service_end: int
+
+
 class MemoryModule:
     """One memory module.
 
@@ -89,13 +108,15 @@ class MemoryModule:
         # Access stage: the request in service and remaining cycles.
         self._in_service: PendingRequest | None = None
         self._remaining = 0
+        # First cycle the access stage worked on the in-service request
+        # (stamped by the first tick; None until then).
+        self._service_start: int | None = None
         # Completed access whose result cannot move to the output stage
-        # yet (possible in buffered mode only).
+        # yet (possible in buffered mode only), with its service span.
         self._stalled: PendingRequest | None = None
+        self._stalled_span: tuple[int, int] | None = None
         self._input: collections.deque[PendingRequest] = collections.deque()
-        self._output: collections.deque[tuple[PendingRequest, int]] = (
-            collections.deque()
-        )
+        self._output: collections.deque[CompletedAccess] = collections.deque()
         # Instrumentation.
         self.busy_cycles = 0
         self.stall_cycles = 0
@@ -127,7 +148,7 @@ class MemoryModule:
         """Cycle at which the oldest ready result became eligible."""
         if not self._output:
             raise SimulationError(f"module {self.index} has no ready response")
-        return self._output[0][1]
+        return self._output[0].ready_cycle
 
     @property
     def input_backlog(self) -> int:
@@ -180,33 +201,48 @@ class MemoryModule:
             # Waiting for output space; a response transfer may have
             # drained the output buffer at the end of the last cycle.
             self.stall_cycles += 1
-            self._try_finish(self._stalled, cycle)
+            assert self._stalled_span is not None
+            start, end = self._stalled_span
+            self._try_finish(self._stalled, cycle, start, end)
             return
         if self._in_service is None:
             return
+        if self._service_start is None:
+            self._service_start = cycle
         self.busy_cycles += 1
         self._remaining -= 1
         if self._remaining == 0:
             finished = self._in_service
+            start = self._service_start
             self._in_service = None
-            self._try_finish(finished, cycle)
+            self._service_start = None
+            self._try_finish(finished, cycle, start, cycle)
 
     def take_response(self) -> PendingRequest:
         """Remove and return the oldest ready result (FIFO, Section 6
         hypothesis 2) for a response bus transfer."""
+        return self.take_response_record().request
+
+    def take_response_record(self) -> CompletedAccess:
+        """Like :meth:`take_response`, but keeps the service timestamps.
+
+        The system-level simulator uses this form to decompose each
+        completed request's latency into wait/service/total for the
+        :mod:`repro.metrics` pipeline.
+        """
         if not self._output:
             raise SimulationError(
                 f"module {self.index} has no response ready to transfer"
             )
-        response, _ = self._output.popleft()
         # Freeing an output slot may unblock a stalled access stage; the
         # unblocking happens on the next tick, keeping cycle accounting
         # explicit.
-        return response
+        return self._output.popleft()
 
     # ------------------------------------------------------------------
     def _start(self, request: PendingRequest) -> None:
         self._in_service = request
+        self._service_start = None  # stamped by the first tick
         if self._access_sampler is None:
             self._remaining = self.access_cycles
         else:
@@ -218,16 +254,31 @@ class MemoryModule:
             self._remaining = duration
         self.services_started += 1
 
-    def _try_finish(self, finished: PendingRequest, cycle: int) -> None:
+    def _try_finish(
+        self,
+        finished: PendingRequest,
+        cycle: int,
+        service_start: int,
+        service_end: int,
+    ) -> None:
         """Move a completed access to the output stage if space allows."""
         capacity = self.output_depth if self.buffered else 1
         if len(self._output) < capacity:
-            self._output.append((finished, cycle + 1))
+            self._output.append(
+                CompletedAccess(
+                    request=finished,
+                    ready_cycle=cycle + 1,
+                    service_start=service_start,
+                    service_end=service_end,
+                )
+            )
             self._stalled = None
+            self._stalled_span = None
             if self.buffered and self._input:
                 self._start(self._input.popleft())
         else:
             self._stalled = finished
+            self._stalled_span = (service_start, service_end)
 
     # ------------------------------------------------------------------
     def in_flight(self) -> int:

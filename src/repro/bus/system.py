@@ -76,6 +76,14 @@ class MultiplexedBusSystem:
         ``p``), one value per processor, overriding the single
         ``config.request_probability`` of hypothesis (f).  ``None``
         keeps the paper's homogeneous behaviour bit-for-bit.
+    collect_latency:
+        When true, every completed request's wait/service/total latency
+        feeds a :class:`repro.metrics.LatencyTracker` (O(1) memory,
+        streaming percentiles); :meth:`run` then attaches the resulting
+        :class:`~repro.metrics.LatencyReport` to the
+        :class:`~repro.core.results.SimulationResult`.  Collection is
+        pure bookkeeping - it draws no random numbers - so enabling it
+        never changes any simulated counter.
     """
 
     def __init__(
@@ -86,10 +94,16 @@ class MultiplexedBusSystem:
         trace: TraceSink | None = None,
         geometric_access_times: bool = False,
         request_probabilities: Sequence[float] | None = None,
+        collect_latency: bool = False,
     ) -> None:
         self.config = config
         self.seed = seed
         self._trace = trace if trace is not None else NullTrace()
+        self.latency = None
+        if collect_latency:
+            from repro.metrics import LatencyTracker
+
+            self.latency = LatencyTracker()
         streams = StreamFactory(seed)
         if targets is None:
             targets = UniformTargets(config.memories, streams.get("targets"))
@@ -184,8 +198,19 @@ class MultiplexedBusSystem:
             raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
         if batches < 0:
             raise ConfigurationError(f"batches must be >= 0, got {batches}")
+        collecting = self.latency is not None
+        if collecting:
+            # Warm-up completions are discarded anyway; don't pay the
+            # streaming-estimator cost for them.
+            self.latency = None
         for _ in range(warmup):
             self.step()
+        if collecting:
+            # Fresh collectors: summaries cover the measurement window
+            # only, mirroring every other counter's warm-up exclusion.
+            from repro.metrics import LatencyTracker
+
+            self.latency = LatencyTracker()
         start_cycle = self.cycle
         start_completions = self.completions
         start_requests = self.request_transfers
@@ -227,6 +252,7 @@ class MultiplexedBusSystem:
             seed=self.seed,
             warmup_cycles=warmup,
             batch_ebws=tuple(batch_ebws),
+            latency=self.latency.report() if self.latency is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -285,11 +311,22 @@ class MultiplexedBusSystem:
 
     def _complete_response_transfer(self, grant: Grant, cycle: int) -> None:
         module = self.modules[grant.module]
-        request = module.take_response()
+        record = module.take_response_record()
+        request = record.request
         self.processors[request.processor].response_received(cycle)
         self.completions += 1
         self.response_transfers += 1
-        self.total_latency += cycle - request.issue_cycle + 1
+        total = cycle - request.issue_cycle + 1
+        self.total_latency += total
+        if self.latency is not None:
+            # wait: issue to access start, minus the request transfer
+            # cycle itself; service: cycles the access stage worked on
+            # the request; total: the paper's issue-to-response latency.
+            self.latency.record(
+                record.service_start - request.issue_cycle - 1,
+                record.service_end - record.service_start + 1,
+                total,
+            )
         self._trace.record(
             TraceEvent(
                 cycle,
@@ -357,5 +394,5 @@ def _module_requests(module: MemoryModule) -> list[PendingRequest]:
         requests.append(module._in_service)
     if module._stalled is not None:
         requests.append(module._stalled)
-    requests.extend(request for request, _ in module._output)
+    requests.extend(entry.request for entry in module._output)
     return requests

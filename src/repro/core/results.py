@@ -17,10 +17,13 @@ from __future__ import annotations
 import dataclasses
 import math
 import statistics
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core import metrics
 from repro.core.config import SystemConfig
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metrics import LatencyReport
 
 
 @dataclasses.dataclass(frozen=True)
@@ -48,6 +51,10 @@ class SimulationResult:
     warmup_cycles: int
     batch_ebws: tuple[float, ...] = ()
     """Per-batch EBW estimates used for the confidence interval."""
+    latency: "LatencyReport | None" = None
+    """Streaming wait/service/total latency-distribution summaries
+    (populated when the run collected latency metrics; see
+    :mod:`repro.metrics`)."""
 
     # ------------------------------------------------------------------
     @property

@@ -10,9 +10,12 @@ from repro.des.engine import Engine
 from repro.des.events import Event, EventHandle
 from repro.des.processes import Acquire, FifoResource, ProcessRunner, Timeout
 from repro.des.replications import (
+    LatencyReplication,
     ReplicationResult,
     ebw_estimator,
+    latency_estimator,
     replicate,
+    replicate_latency,
     replicate_until,
     replication_seeds,
 )
@@ -35,8 +38,11 @@ __all__ = [
     "Acquire",
     "Timeout",
     "ReplicationResult",
+    "LatencyReplication",
     "replicate",
+    "replicate_latency",
     "replicate_until",
     "replication_seeds",
+    "latency_estimator",
     "ebw_estimator",
 ]

@@ -12,6 +12,7 @@ enough, the standard stopping rule in simulation methodology.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import math
 from typing import Callable, Sequence
 
@@ -170,6 +171,81 @@ def replicate_until(
     return ReplicationResult(
         estimates=tuple(estimates), seeds=tuple(seeds), confidence=confidence
     )
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyReplication:
+    """Latency-distribution aggregate of independent replications.
+
+    ``reports`` holds one :class:`~repro.metrics.LatencyReport` per
+    replication, ordered by seed; :attr:`merged` folds them with the
+    exactly-associative summary merge, so the aggregate is a
+    deterministic function of the per-seed reports alone - serial and
+    parallel execution produce bit-identical values.
+    """
+
+    reports: tuple  # tuple[LatencyReport, ...]
+    seeds: tuple[int, ...]
+
+    @property
+    def replications(self) -> int:
+        """Number of completed replications."""
+        return len(self.reports)
+
+    @functools.cached_property
+    def merged(self):
+        """The seed-order fold of all per-replication reports.
+
+        Computed once per instance: the fold is exact rational
+        arithmetic, which is not free for many replications.  (Caching
+        via ``__dict__`` is compatible with the frozen dataclass and
+        does not participate in equality.)
+        """
+        from repro.metrics import merge_latency_reports
+
+        return merge_latency_reports(self.reports)
+
+
+def replicate_latency(
+    estimator,
+    replications: int,
+    base_seed: int = 0,
+    parallel: bool = False,
+    max_workers: int | None = None,
+) -> LatencyReplication:
+    """Aggregate per-seed latency reports across replications.
+
+    ``estimator`` maps a seed to a :class:`~repro.metrics.LatencyReport`
+    (e.g. :class:`repro.parallel.workers.LatencyTask`).  Seeds follow
+    the canonical :func:`replication_seeds` mapping; with
+    ``parallel=True`` (or an explicit ``max_workers``) the replications
+    fan out over :class:`repro.parallel.ParallelReplicator`, whose
+    result is bit-for-bit identical to the serial loop here.
+    """
+    if parallel or max_workers is not None:
+        from repro.parallel.replicator import ParallelReplicator
+
+        return ParallelReplicator(max_workers=max_workers).run_latency(
+            estimator, replications, base_seed=base_seed
+        )
+    seeds = replication_seeds(base_seed, replications)
+    return LatencyReplication(
+        reports=tuple(estimator(seed) for seed in seeds), seeds=seeds
+    )
+
+
+def latency_estimator(
+    config: "SystemConfig",  # noqa: F821 - forward reference, see below
+    cycles: int = 20_000,
+):
+    """A seed-to-:class:`~repro.metrics.LatencyReport` estimator.
+
+    The latency analogue of :func:`ebw_estimator`: a picklable task for
+    :func:`replicate_latency`, serial or parallel alike.
+    """
+    from repro.parallel.workers import LatencyTask
+
+    return LatencyTask(config=config, cycles=cycles)
 
 
 def ebw_estimator(

@@ -1,0 +1,58 @@
+"""Streaming latency-distribution metrics.
+
+The buffering decisions this paper studies are really decisions about
+the *tail* of the waiting-time distribution; mean bandwidth alone cannot
+distinguish a buffer that shortens p99 waits from one that merely
+reorders them.  This package gives every layer of the library the same
+latency vocabulary:
+
+* :mod:`repro.metrics.quantiles` - the O(1)-memory P² streaming
+  quantile estimator with an exact small-sample fallback;
+* :mod:`repro.metrics.summary` - the mergeable
+  :class:`LatencySummary` / :class:`LatencyReport` values whose merge
+  operator is *exactly* associative and order-invariant (rational
+  arithmetic), so sharded and parallel runs combine bit-for-bit;
+* :mod:`repro.metrics.tracker` - the per-run collector the simulators
+  feed.
+
+The cycle-accurate bus simulator records wait/service/total per
+completed request (:class:`repro.bus.MultiplexedBusSystem`), the
+replication layer aggregates reports across seeds
+(:func:`repro.des.replications.replicate_latency`), and the scenario
+pipeline renders percentile columns per work unit
+(``repro-experiments scenario <name> --metrics latency``).
+"""
+
+from repro.metrics.quantiles import (
+    DEFAULT_EXACT_LIMIT,
+    P2Quantile,
+    exact_quantile,
+)
+from repro.metrics.summary import (
+    LATENCY_METRICS_TOKEN,
+    LATENCY_METRICS_VERSION,
+    LatencyReport,
+    LatencySummary,
+    merge_latency_reports,
+    merge_summaries,
+)
+from repro.metrics.tracker import (
+    TRACKED_QUANTILES,
+    LatencyTracker,
+    StreamingQuantiles,
+)
+
+__all__ = [
+    "DEFAULT_EXACT_LIMIT",
+    "P2Quantile",
+    "exact_quantile",
+    "LATENCY_METRICS_TOKEN",
+    "LATENCY_METRICS_VERSION",
+    "LatencyReport",
+    "LatencySummary",
+    "merge_latency_reports",
+    "merge_summaries",
+    "TRACKED_QUANTILES",
+    "LatencyTracker",
+    "StreamingQuantiles",
+]

@@ -1,0 +1,333 @@
+"""Mergeable latency summaries with an exactly-associative merge.
+
+A :class:`LatencySummary` is the value that travels: per work unit, per
+replication, per shard.  Its merge operator must make the distributed
+stories true - "sharded and parallel runs combine reproducibly" - which
+in this library means *bit-for-bit*, not "close enough".  Floating-point
+addition is not associative, so the summary keeps its aggregates as
+exact numbers:
+
+* ``count`` is an ``int``;
+* ``total`` (the sum of observations) and the three quantile fields are
+  :class:`fractions.Fraction` values.  Every ``float`` converts to a
+  ``Fraction`` exactly, ``Fraction`` arithmetic is exact, and the
+  count-weighted quantile merge
+
+      ``q = (n_a * q_a + n_b * q_b) / (n_a + n_b)``
+
+  therefore telescopes: merging in any order or grouping yields the
+  same ``sum(n_i * q_i) / sum(n_i)`` - the merge is associative and
+  commutative *as an exact identity*, property-tested in
+  ``tests/properties/test_quantile_properties.py``.
+
+The empty summary is the identity element, making ``merge`` a monoid;
+``merge_summaries`` folds any number of summaries deterministically.
+
+Count-weighting quantile *estimates* is of course a heuristic (the p99
+of a union is not the weighted mean of the parts' p99s); it is the
+standard mergeable-summary compromise, is exact when the parts are
+identically distributed replications - this pipeline's use case - and
+above all is reproducible.  ``count``, ``mean``, ``min`` and ``max``
+merge exactly in the strict sense as well.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from fractions import Fraction
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core.errors import ConfigurationError
+
+LATENCY_METRICS_VERSION = 1
+"""Version of the latency-summary payload format.
+
+Bumped whenever the payload schema or its semantics change; the token
+:data:`LATENCY_METRICS_TOKEN` enters content-addressed cache keys, so a
+bump can never collide with entries written by an older format (and the
+presence of the token separates metric-bearing entries from the
+pre-metrics ones, which carry no token at all).
+"""
+
+LATENCY_METRICS_TOKEN = f"latency@{LATENCY_METRICS_VERSION}"
+"""The versioned cache-key token for latency metrics."""
+
+
+def _fraction_json(value: Fraction | None) -> list[int] | None:
+    if value is None:
+        return None
+    return [value.numerator, value.denominator]
+
+
+def _fraction_from_json(value: Any, what: str) -> Fraction | None:
+    if value is None:
+        return None
+    # Accept exactly the encoder's [numerator, denominator] shape; a
+    # string like "12" would otherwise unpack char-by-char into a
+    # plausible-but-wrong fraction instead of failing the entry.
+    if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+        raise ConfigurationError(
+            f"malformed {what} in latency payload: {value!r} "
+            "(expected a [numerator, denominator] pair)"
+        )
+    try:
+        numerator, denominator = value
+        return Fraction(int(numerator), int(denominator))
+    except (TypeError, ValueError, ZeroDivisionError) as exc:
+        raise ConfigurationError(
+            f"malformed {what} in latency payload: {value!r} ({exc})"
+        ) from exc
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencySummary:
+    """count/mean/p50/p90/p99/max of one latency population.
+
+    All non-count fields are exact :class:`~fractions.Fraction` values
+    (``None`` when the summary is empty); the ``*_value`` properties
+    render them as floats for display.
+    """
+
+    count: int = 0
+    total: Fraction = Fraction(0)
+    minimum: Fraction | None = None
+    maximum: Fraction | None = None
+    p50: Fraction | None = None
+    p90: Fraction | None = None
+    p99: Fraction | None = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.count, int) or self.count < 0:
+            raise ConfigurationError(
+                f"count must be a non-negative integer, got {self.count!r}"
+            )
+        quantile_fields = (self.minimum, self.maximum, self.p50, self.p90, self.p99)
+        if self.count == 0:
+            if any(field is not None for field in quantile_fields) or self.total:
+                raise ConfigurationError(
+                    "an empty latency summary must have no statistics"
+                )
+        elif any(field is None for field in quantile_fields):
+            raise ConfigurationError(
+                "a non-empty latency summary must carry min/max/p50/p90/p99"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Mean latency (``nan`` when empty)."""
+        if self.count == 0:
+            return math.nan
+        return float(self.total / self.count)
+
+    def _float(self, value: Fraction | None) -> float:
+        return math.nan if value is None else float(value)
+
+    @property
+    def min_value(self) -> float:
+        return self._float(self.minimum)
+
+    @property
+    def max_value(self) -> float:
+        return self._float(self.maximum)
+
+    @property
+    def p50_value(self) -> float:
+        return self._float(self.p50)
+
+    @property
+    def p90_value(self) -> float:
+        return self._float(self.p90)
+
+    @property
+    def p99_value(self) -> float:
+        return self._float(self.p99)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "LatencySummary") -> "LatencySummary":
+        """Combine two summaries; exact, associative and commutative.
+
+        The empty summary is the identity.  Counts, totals and extrema
+        combine exactly; quantile estimates combine by exact
+        count-weighted mean (see module docstring for why that is the
+        right reproducibility/accuracy trade).
+        """
+        if not isinstance(other, LatencySummary):
+            raise ConfigurationError(
+                f"can only merge LatencySummary values, got {other!r}"
+            )
+        if self.count == 0:
+            return other
+        if other.count == 0:
+            return self
+        count = self.count + other.count
+
+        def weighted(a: Fraction | None, b: Fraction | None) -> Fraction:
+            assert a is not None and b is not None
+            return (self.count * a + other.count * b) / count
+
+        assert self.minimum is not None and other.minimum is not None
+        assert self.maximum is not None and other.maximum is not None
+        return LatencySummary(
+            count=count,
+            total=self.total + other.total,
+            minimum=min(self.minimum, other.minimum),
+            maximum=max(self.maximum, other.maximum),
+            p50=weighted(self.p50, other.p50),
+            p90=weighted(self.p90, other.p90),
+            p99=weighted(self.p99, other.p99),
+        )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "LatencySummary":
+        """Exact summary of a small in-memory sample (tests, references)."""
+        from repro.metrics.quantiles import exact_quantile
+
+        ordered = sorted(Fraction(v) for v in values)
+        if not ordered:
+            return cls()
+        floats = [float(v) for v in ordered]
+        return cls(
+            count=len(ordered),
+            total=sum(ordered, Fraction(0)),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=Fraction(exact_quantile(floats, 0.5)),
+            p90=Fraction(exact_quantile(floats, 0.9)),
+            p99=Fraction(exact_quantile(floats, 0.99)),
+        )
+
+    # ------------------------------------------------------------------
+    def payload(self) -> dict[str, Any]:
+        """Canonical JSON-able encoding; round-trips exactly.
+
+        Fractions encode as ``[numerator, denominator]`` integer pairs,
+        so the cache never loses precision and cached runs re-render
+        byte-identically.
+        """
+        return {
+            "count": self.count,
+            "total": _fraction_json(self.total),
+            "min": _fraction_json(self.minimum),
+            "max": _fraction_json(self.maximum),
+            "p50": _fraction_json(self.p50),
+            "p90": _fraction_json(self.p90),
+            "p99": _fraction_json(self.p99),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "LatencySummary":
+        """Invert :meth:`payload`; raises ``ConfigurationError`` on damage."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"latency summary payload must be a mapping, got {payload!r}"
+            )
+        try:
+            count = payload["count"]
+        except KeyError:
+            raise ConfigurationError(
+                "latency summary payload lacks a 'count'"
+            ) from None
+        if not isinstance(count, int) or count < 0:
+            raise ConfigurationError(
+                f"latency summary count must be a non-negative int, got {count!r}"
+            )
+        total = _fraction_from_json(payload.get("total"), "total")
+        if total is None and count > 0:
+            # The encoder always writes 'total'; a non-empty summary
+            # without one is a damaged entry, and defaulting it to zero
+            # would serve wrong means from cache instead of recomputing.
+            raise ConfigurationError(
+                "latency summary payload lacks a 'total' for a "
+                f"non-empty summary (count={count})"
+            )
+        return cls(
+            count=count,
+            total=total if total is not None else Fraction(0),
+            minimum=_fraction_from_json(payload.get("min"), "min"),
+            maximum=_fraction_from_json(payload.get("max"), "max"),
+            p50=_fraction_from_json(payload.get("p50"), "p50"),
+            p90=_fraction_from_json(payload.get("p90"), "p90"),
+            p99=_fraction_from_json(payload.get("p99"), "p99"),
+        )
+
+
+def merge_summaries(summaries: Iterable[LatencySummary]) -> LatencySummary:
+    """Fold :meth:`LatencySummary.merge` over ``summaries``.
+
+    Associativity and commutativity of the merge make the result
+    independent of iteration order *exactly*, but callers should still
+    pass a canonical order (e.g. seed order) for clarity.
+    """
+    merged = LatencySummary()
+    for summary in summaries:
+        merged = merged.merge(summary)
+    return merged
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyReport:
+    """The three per-request latency populations of one run.
+
+    * ``wait`` - issue to access start, excluding the request bus
+      transfer itself: arbitration plus input-buffer queueing delay;
+    * ``service`` - cycles the access stage worked on the request;
+    * ``total`` - issue to response received (the paper's latency), so
+      ``total = wait + service + output/response delay + 2`` transfer
+      cycles.
+    """
+
+    wait: LatencySummary = LatencySummary()
+    service: LatencySummary = LatencySummary()
+    total: LatencySummary = LatencySummary()
+
+    def merge(self, other: "LatencyReport") -> "LatencyReport":
+        """Component-wise merge; inherits exact associativity."""
+        return LatencyReport(
+            wait=self.wait.merge(other.wait),
+            service=self.service.merge(other.service),
+            total=self.total.merge(other.total),
+        )
+
+    def payload(self) -> dict[str, Any]:
+        """Canonical JSON-able encoding of all three summaries."""
+        return {
+            "version": LATENCY_METRICS_VERSION,
+            "wait": self.wait.payload(),
+            "service": self.service.payload(),
+            "total": self.total.payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "LatencyReport":
+        """Invert :meth:`payload`; rejects unknown versions."""
+        if not isinstance(payload, Mapping):
+            raise ConfigurationError(
+                f"latency report payload must be a mapping, got {payload!r}"
+            )
+        version = payload.get("version")
+        if version != LATENCY_METRICS_VERSION:
+            raise ConfigurationError(
+                f"unsupported latency payload version {version!r} "
+                f"(this build reads version {LATENCY_METRICS_VERSION})"
+            )
+        return cls(
+            wait=LatencySummary.from_payload(payload.get("wait", {})),
+            service=LatencySummary.from_payload(payload.get("service", {})),
+            total=LatencySummary.from_payload(payload.get("total", {})),
+        )
+
+
+def merge_latency_reports(reports: Iterable[LatencyReport]) -> LatencyReport:
+    """Fold :meth:`LatencyReport.merge` over ``reports``.
+
+    Named distinctly from :func:`repro.scenarios.execute.merge_reports`
+    (which merges shard *stdout* reports) - the two routinely appear in
+    the same sharded-latency workflow and must not be confusable.
+    """
+    merged = LatencyReport()
+    for report in reports:
+        merged = merged.merge(report)
+    return merged

@@ -1,0 +1,184 @@
+"""Streaming per-request latency collection for the simulators.
+
+:class:`StreamingQuantiles` is the O(1)-memory collector behind one
+latency population: exact ``count``/``total``/``min``/``max`` plus one
+shared exact prefix buffer that, once outgrown, seeds one
+:class:`~repro.metrics.quantiles.P2Quantile` estimator per tracked
+quantile (p50/p90/p99).  :class:`LatencyTracker` bundles the
+three populations the bus simulator measures (wait/service/total) and
+renders them as a :class:`~repro.metrics.summary.LatencyReport`.
+
+Integer observations (bus cycles) accumulate in a plain ``int`` total -
+exact and fast; float observations (the event-driven exponential
+simulator's times) accumulate in an exact :class:`~fractions.Fraction`.
+Either way the resulting :class:`LatencySummary` is exact where the
+merge contract needs it to be.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.quantiles import DEFAULT_EXACT_LIMIT, P2Quantile, exact_quantile
+from repro.metrics.summary import LatencyReport, LatencySummary
+
+TRACKED_QUANTILES = (0.5, 0.9, 0.99)
+"""The quantiles every latency summary reports (p50, p90, p99)."""
+
+
+class StreamingQuantiles:
+    """One latency population: exact aggregates + streaming percentiles.
+
+    The exact prefix is held *once*, in this collector; while the
+    stream fits it, queries cost one buffer and one sort per summary
+    instead of one per tracked quantile.  When the stream outgrows the
+    prefix, a one-time transition replays it into the three
+    :class:`P2Quantile` estimators (each briefly re-buffering it to
+    seed its markers), after which everything is O(1) streaming.
+    """
+
+    __slots__ = ("exact_limit", "count", "_int_total", "_frac_total",
+                 "_minimum", "_maximum", "_buffer", "_estimators")
+
+    def __init__(self, exact_limit: int = DEFAULT_EXACT_LIMIT) -> None:
+        self.exact_limit = exact_limit
+        self.count = 0
+        self._int_total = 0
+        self._frac_total: Fraction | None = None
+        self._minimum: float | None = None
+        self._maximum: float | None = None
+        self._buffer: list[float] | None = []
+        self._estimators: tuple[P2Quantile, ...] | None = None
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Consume one observation (int bus cycles or float time)."""
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"latency observations must be numbers, got {value!r}"
+            )
+        if value < 0:
+            raise ConfigurationError(
+                f"latency observations must be >= 0, got {value!r}"
+            )
+        self.count += 1
+        if isinstance(value, int):
+            self._int_total += value
+        else:
+            if self._frac_total is None:
+                self._frac_total = Fraction(0)
+            self._frac_total += Fraction(value)
+        numeric = float(value)
+        if self._minimum is None or numeric < self._minimum:
+            self._minimum = numeric
+        if self._maximum is None or numeric > self._maximum:
+            self._maximum = numeric
+        if self._estimators is None:
+            assert self._buffer is not None
+            if len(self._buffer) < self.exact_limit:
+                self._buffer.append(numeric)
+                return
+            # The stream just outgrew the exact range: build the
+            # estimators by replaying the shared prefix, then stream.
+            self._estimators = tuple(
+                P2Quantile(q, exact_limit=self.exact_limit)
+                for q in TRACKED_QUANTILES
+            )
+            for estimator in self._estimators:
+                for buffered in self._buffer:
+                    estimator.add(buffered)
+            self._buffer = None
+        for estimator in self._estimators:
+            estimator.add(numeric)
+
+    def quantile(self, q: float) -> float:
+        """Current estimate of quantile ``q`` (must be a tracked one)."""
+        if q not in TRACKED_QUANTILES:
+            raise ConfigurationError(
+                f"quantile {q} is not tracked; tracked: {TRACKED_QUANTILES}"
+            )
+        if self.count == 0:
+            raise ConfigurationError("no observations recorded")
+        if self._buffer is not None:
+            return exact_quantile(sorted(self._buffer), q)
+        assert self._estimators is not None
+        return self._estimators[TRACKED_QUANTILES.index(q)].estimate()
+
+    @property
+    def exact(self) -> bool:
+        """True while all estimates are still exact (small samples)."""
+        return self._estimators is None
+
+    def summary(self) -> LatencySummary:
+        """Freeze the current state into a mergeable summary value."""
+        if self.count == 0:
+            return LatencySummary()
+        total = Fraction(self._int_total)
+        if self._frac_total is not None:
+            total += self._frac_total
+        assert self._minimum is not None and self._maximum is not None
+        if self._buffer is not None:
+            ordered = sorted(self._buffer)
+            p50, p90, p99 = (
+                Fraction(exact_quantile(ordered, q)) for q in TRACKED_QUANTILES
+            )
+        else:
+            assert self._estimators is not None
+            p50, p90, p99 = (
+                Fraction(estimator.estimate())
+                for estimator in self._estimators
+            )
+        return LatencySummary(
+            count=self.count,
+            total=total,
+            minimum=Fraction(self._minimum),
+            maximum=Fraction(self._maximum),
+            p50=p50,
+            p90=p90,
+            p99=p99,
+        )
+
+
+class LatencyTracker:
+    """Wait/service/total collection for one simulation run.
+
+    The bus simulator calls :meth:`record` once per completed request;
+    :meth:`report` freezes the three populations.  A fresh tracker is
+    installed at the start of the measurement window, so summaries never
+    mix warm-up requests with measured ones.
+    """
+
+    __slots__ = ("wait", "service", "total")
+
+    def __init__(self, exact_limit: int = DEFAULT_EXACT_LIMIT) -> None:
+        self.wait = StreamingQuantiles(exact_limit)
+        self.service = StreamingQuantiles(exact_limit)
+        self.total = StreamingQuantiles(exact_limit)
+
+    def record(self, wait: float, service: float, total: float) -> None:
+        """Record one completed request's latency decomposition."""
+        self.wait.add(wait)
+        self.service.add(service)
+        self.total.add(total)
+
+    @property
+    def count(self) -> int:
+        """Completed requests recorded so far."""
+        return self.total.count
+
+    def report(self) -> LatencyReport:
+        """Freeze the tracked populations into a mergeable report."""
+        return LatencyReport(
+            wait=self.wait.summary(),
+            service=self.service.summary(),
+            total=self.total.summary(),
+        )
+
+
+__all__ = [
+    "StreamingQuantiles",
+    "LatencyTracker",
+    "TRACKED_QUANTILES",
+    "exact_quantile",
+]

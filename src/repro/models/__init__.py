@@ -11,7 +11,12 @@
 """
 
 from repro.models.approx_memory_priority import approximate_memory_priority_ebw
-from repro.models.bandwidth import ebw_from_busy_distribution, ebw_weight
+from repro.models.bandwidth import (
+    combinational_bandwidth_ebw,
+    combinational_busy_pmf,
+    ebw_from_busy_distribution,
+    ebw_weight,
+)
 from repro.models.crossbar import crossbar_approximate_ebw, crossbar_exact_ebw
 from repro.models.exact_memory_priority import exact_memory_priority_ebw
 from repro.models.multiple_bus import (
@@ -38,4 +43,6 @@ __all__ = [
     "minimum_buses_matching_rate",
     "ebw_weight",
     "ebw_from_busy_distribution",
+    "combinational_busy_pmf",
+    "combinational_bandwidth_ebw",
 ]

@@ -13,9 +13,13 @@ modules into an EBW through the same weights:
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.core.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import SystemConfig
+    from repro.core.results import ModelResult
 
 
 def ebw_weight(busy_modules: int, memory_cycle_ratio: int) -> float:
@@ -52,4 +56,75 @@ def ebw_from_busy_distribution(
     return sum(
         probability * ebw_weight(x, memory_cycle_ratio)
         for x, probability in busy_pmf.items()
+    )
+
+
+def combinational_busy_pmf(config: "SystemConfig") -> dict[int, float]:
+    """Busy-module distribution of the Section 3.2 combinational model.
+
+    The memoryless request profile: each of the ``n`` processors submits
+    a request with probability ``p`` (hypothesis (f)), requesters choose
+    modules independently and uniformly (hypothesis (e)), and the number
+    of busy modules is the number of *distinct* modules addressed.
+    Mixing the classic distinct-modules distribution over the binomial
+    number of requesters generalises the paper's ``p = 1`` expression to
+    partial load:
+
+        ``P(x) = sum_j C(n, j) p^j (1-p)^(n-j) P(x | j requests)``
+
+    with ``P(x | j)`` from
+    :func:`repro.models.combinatorics.distinct_modules_pmf`.  At
+    ``p = 1`` this is exactly ``distinct_modules_pmf(n, m)``.
+    """
+    from math import comb
+
+    from repro.models.combinatorics import distinct_modules_pmf
+
+    n = config.processors
+    m = config.memories
+    p = config.request_probability
+    pmf: dict[int, float] = {}
+    if p < 1.0:
+        pmf[0] = (1.0 - p) ** n
+    for requests in range(1, n + 1):
+        weight = comb(n, requests) * p**requests * (1.0 - p) ** (n - requests)
+        if weight == 0.0:
+            continue
+        for busy, probability in distinct_modules_pmf(requests, m).items():
+            pmf[busy] = pmf.get(busy, 0.0) + weight * probability
+    return pmf
+
+
+def combinational_bandwidth_ebw(config: "SystemConfig") -> "ModelResult":
+    """The paper's combinational EBW model as a first-class evaluation.
+
+    Builds the Section 3.2 busy-module profile
+    (:func:`combinational_busy_pmf`) and weights it through the Section
+    3 useful-cycle formula (:func:`ebw_from_busy_distribution`).  A
+    deterministic function of the configuration alone - no seed, no
+    cycle count - which is why its scenario cache keys ignore both (see
+    :meth:`repro.scenarios.compiler.WorkUnit.payload`).
+
+    The model describes the *unbuffered* machine (its weights assume a
+    module is released only by a response transfer), so buffered
+    configurations are rejected.
+    """
+    from repro.core.results import ModelResult
+
+    if config.buffered:
+        raise ConfigurationError(
+            "the combinational bandwidth model covers the unbuffered "
+            "system (Section 3.2); use simulation for buffered EBW"
+        )
+    busy_pmf = combinational_busy_pmf(config)
+    ebw = ebw_from_busy_distribution(busy_pmf, config.memory_cycle_ratio)
+    return ModelResult(
+        config=config,
+        ebw=ebw,
+        method="combinational-bandwidth",
+        details={
+            "busy_states": float(len(busy_pmf)),
+            "idle_probability": busy_pmf.get(0, 0.0),
+            "mean_busy_modules": sum(x * q for x, q in busy_pmf.items()),
+        },
     )

@@ -46,6 +46,7 @@ from repro.parallel.pool import map_ordered, resolve_workers
 from repro.parallel.replicator import ParallelReplicator
 from repro.parallel.workers import (
     EbwTask,
+    LatencyTask,
     SimulationCase,
     run_case,
     simulate_cases,
@@ -56,6 +57,7 @@ __all__ = [
     "ResultCache",
     "CacheStats",
     "EbwTask",
+    "LatencyTask",
     "SimulationCase",
     "run_case",
     "simulate_cases",

@@ -77,16 +77,30 @@ def case_payload(case) -> dict[str, Any]:
     a uniform-workload entry for the same configuration and seed
     (``workload=None`` and an explicit uniform spec intentionally share
     a key: they execute identically).
+
+    A latency-collecting case additionally carries a **versioned
+    metrics field** (``"metrics": ["latency@1"]``): its cached value
+    holds latency-distribution payloads a metric-less entry lacks, so
+    the two must never share a key - and a future change to the latency
+    payload format bumps the version token, which retires every older
+    metric-bearing entry instead of misreading it.  Cases without
+    metrics keep the exact pre-metrics payload shape (no ``metrics``
+    key at all).
     """
     from repro.workloads.spec import workload_payload
 
-    return {
+    payload = {
         "config": config_payload(case.config),
         "cycles": case.cycles,
         "seed": case.seed,
         "warmup": case.warmup,
         "workload": workload_payload(case.workload),
     }
+    if getattr(case, "collect_latency", False):
+        from repro.metrics import LATENCY_METRICS_TOKEN
+
+        payload["metrics"] = [LATENCY_METRICS_TOKEN]
+    return payload
 
 
 def code_version_tag() -> str:

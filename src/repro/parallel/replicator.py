@@ -25,6 +25,7 @@ import pickle
 from repro.core.errors import ConfigurationError
 from repro.des.replications import (
     Estimator,
+    LatencyReplication,
     ReplicationResult,
     replication_seeds,
 )
@@ -74,6 +75,35 @@ class ParallelReplicator:
         return ReplicationResult(
             estimates=estimates, seeds=seeds, confidence=confidence
         )
+
+    def run_latency(
+        self,
+        estimator,
+        replications: int,
+        base_seed: int = 0,
+    ) -> LatencyReplication:
+        """Fan latency-report replications over the pool.
+
+        ``estimator`` maps a seed to a
+        :class:`~repro.metrics.LatencyReport` (e.g.
+        :class:`repro.parallel.workers.LatencyTask`).  Per-seed reports
+        come back in seed order and merge with the exactly-associative
+        summary merge, so the result equals
+        :func:`repro.des.replications.replicate_latency` bit-for-bit
+        regardless of the worker count.
+        """
+        seeds = replication_seeds(base_seed, replications)
+        if min(resolve_workers(self.max_workers), replications) > 1:
+            self._require_picklable(estimator)
+        reports = tuple(
+            map_ordered(
+                estimator,
+                seeds,
+                max_workers=self.max_workers,
+                mp_context=self.mp_context,
+            )
+        )
+        return LatencyReplication(reports=reports, seeds=seeds)
 
     @staticmethod
     def _require_picklable(estimator: Estimator) -> None:

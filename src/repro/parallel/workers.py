@@ -39,7 +39,12 @@ class SimulationCase:
     ``workload=None`` means the paper's uniform workload and follows the
     exact code path (and random-stream layout) of a plain
     ``simulate(config, ...)`` call, so adding the field changed no
-    existing result bytes.
+    existing result bytes.  ``collect_latency`` attaches streaming
+    wait/service/total latency summaries (:mod:`repro.metrics`) to the
+    result; it draws no random numbers, so every simulated counter stays
+    bit-identical either way - but it *is* part of the case's cache
+    identity (see :func:`repro.parallel.cache.case_payload`), because
+    the cached value carries extra fields when it is set.
     """
 
     config: SystemConfig
@@ -47,6 +52,7 @@ class SimulationCase:
     seed: int
     warmup: int | None = None
     workload: WorkloadSpec | None = None
+    collect_latency: bool = False
 
 
 def run_case(case: SimulationCase) -> SimulationResult:
@@ -66,6 +72,7 @@ def run_case(case: SimulationCase) -> SimulationResult:
         warmup=case.warmup,
         targets=targets,
         request_probabilities=request_probabilities,
+        collect_latency=case.collect_latency,
     )
 
 
@@ -104,3 +111,34 @@ class EbwTask:
         return run_case(
             SimulationCase(self.config, self.cycles, seed, workload=self.workload)
         ).ebw
+
+
+@dataclasses.dataclass(frozen=True)
+class LatencyTask:
+    """A picklable seed-to-:class:`~repro.metrics.LatencyReport` estimator.
+
+    The latency counterpart of :class:`EbwTask`: calling it with a seed
+    runs the seeded simulation with latency collection enabled and
+    returns the run's wait/service/total summaries.  Used by
+    :func:`repro.des.replications.replicate_latency` and
+    :meth:`repro.parallel.replicator.ParallelReplicator.run_latency`,
+    whose results are bit-for-bit identical because both merge the same
+    per-seed reports in the same seed order.
+    """
+
+    config: SystemConfig
+    cycles: int = 20_000
+    workload: WorkloadSpec | None = None
+
+    def __call__(self, seed: int):
+        result = run_case(
+            SimulationCase(
+                self.config,
+                self.cycles,
+                seed,
+                workload=self.workload,
+                collect_latency=True,
+            )
+        )
+        assert result.latency is not None
+        return result.latency

@@ -18,12 +18,16 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+from typing import TYPE_CHECKING
 
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
 from repro.des.engine import Engine
 from repro.des.processes import Acquire, FifoResource, ProcessRunner, Timeout
-from repro.des.rng import RandomStream, StreamFactory
+from repro.des.rng import StreamFactory
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metrics import LatencyReport
 
 
 class ServiceDistribution(enum.Enum):
@@ -42,6 +46,9 @@ class CentralServerResult:
     completions: int
     duration: float
     seed: int
+    latency: "LatencyReport | None" = None
+    """Streaming wait/service/total summaries over the measured
+    requests (populated when the run collected latency metrics)."""
 
     @property
     def throughput(self) -> float:
@@ -64,10 +71,16 @@ class CentralServerSimulator:
         config: SystemConfig,
         distribution: ServiceDistribution,
         seed: int = 0,
+        collect_latency: bool = False,
     ) -> None:
         self.config = config
         self.distribution = distribution
         self.seed = seed
+        self.latency = None
+        if collect_latency:
+            from repro.metrics import LatencyTracker
+
+            self.latency = LatencyTracker()
         self._engine = Engine()
         self._runner = ProcessRunner(self._engine)
         self._bus = self._runner.resource("bus")
@@ -97,23 +110,39 @@ class CentralServerSimulator:
     def _processor(self, index: int):
         memories = self._memories
         bus = self._bus
+        engine = self._engine
         r = float(self.config.memory_cycle_ratio)
         while True:
             think = self._think_time()
             if think > 0.0:
                 yield Timeout(think)
             target = memories[self._target_stream.uniform_index(len(memories))]
+            # Timestamps bracket each phase; every random draw below
+            # happens at exactly the position it did before latency
+            # tracking existed, so seeded runs are bit-identical.
+            issued = engine.now
             yield Acquire(bus)
-            yield Timeout(self._service(1.0))
+            request_transfer = self._service(1.0)
+            yield Timeout(request_transfer)
             bus.release()
             yield Acquire(target)
-            yield Timeout(self._service(r))
+            service_start = engine.now
+            service = self._service(r)
+            yield Timeout(service)
             target.release()
             yield Acquire(bus)
             yield Timeout(self._service(1.0))
             bus.release()
             if self._measuring:
                 self.completions += 1
+                if self.latency is not None:
+                    # wait: pure queueing delay before the memory access
+                    # (bus queue + memory queue, excluding the request
+                    # transfer itself) - the analogue of the bus
+                    # simulator's wait component.
+                    wait = service_start - issued - request_transfer
+                    total = engine.now - issued
+                    self.latency.record(max(wait, 0.0), service, total)
 
     # ------------------------------------------------------------------
     def run(self, duration: float, warmup: float | None = None) -> CentralServerResult:
@@ -129,6 +158,11 @@ class CentralServerSimulator:
         self._engine.run(until=warmup)
         self._measuring = True
         self.completions = 0
+        if self.latency is not None:
+            # Fresh collectors: summaries cover the measurement window.
+            from repro.metrics import LatencyTracker
+
+            self.latency = LatencyTracker()
         self._engine.run(until=warmup + duration)
         return CentralServerResult(
             config=self.config,
@@ -136,6 +170,7 @@ class CentralServerSimulator:
             completions=self.completions,
             duration=duration,
             seed=self.seed,
+            latency=self.latency.report() if self.latency is not None else None,
         )
 
 
@@ -144,7 +179,10 @@ def simulate_central_server(
     distribution: ServiceDistribution = ServiceDistribution.EXPONENTIAL,
     duration: float = 200_000.0,
     seed: int = 0,
+    collect_latency: bool = False,
 ) -> CentralServerResult:
     """One-call wrapper used by experiments and tests."""
-    simulator = CentralServerSimulator(config, distribution, seed)
+    simulator = CentralServerSimulator(
+        config, distribution, seed, collect_latency=collect_latency
+    )
     return simulator.run(duration)

@@ -286,6 +286,47 @@ SATURATION_STRESS = register_scenario(
     )
 )
 
+LATENCY_TAIL = register_scenario(
+    ScenarioSpec(
+        name="latency-tail",
+        description="Wait/service/total latency percentiles (p50/p90/p99) "
+        "with and without Section 6 buffers: the tail-latency view of "
+        "the buffering decision",
+        base={
+            "processors": 8,
+            "memories": 8,
+            "priority": Priority.PROCESSORS,
+        },
+        grid=(
+            GridAxis("buffered", (False, True)),
+            GridAxis("memory_cycle_ratio", (2, 4, 8, 16)),
+            GridAxis("request_probability", (0.5, 1.0)),
+        ),
+        metrics=("latency",),
+        cycles=30_000,
+        plan=ReplicationPlan(3, PAPER_SEED),
+    )
+)
+
+BANDWIDTH_VS_SIMULATION = register_scenario(
+    ScenarioSpec(
+        name="bandwidth-vs-simulation",
+        description="Section 3.2 combinational bandwidth model over the "
+        "Table 3 (m, r) grid - diff against 'table3a' to see the "
+        "memoryless profile's error",
+        base={
+            "processors": paper_data.TABLE3_PROCESSORS,
+            "priority": Priority.PROCESSORS,
+        },
+        grid=(
+            GridAxis("memories", paper_data.TABLE3_M_VALUES),
+            GridAxis("memory_cycle_ratio", paper_data.TABLE3_R_VALUES),
+        ),
+        method=EvaluationMethod.BANDWIDTH,
+        plan=ReplicationPlan(1, PAPER_SEED),
+    )
+)
+
 PRODUCT_FORM_MVA = register_scenario(
     ScenarioSpec(
         name="product-form-mva",

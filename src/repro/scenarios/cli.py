@@ -86,6 +86,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="override the spec's replication base seed",
     )
     parser.add_argument(
+        "--metrics",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="collect an extra per-unit metric family (repeatable); "
+        "'latency' adds streaming wait/service/total percentile columns "
+        "to every unit line (simulation scenarios only)",
+    )
+    parser.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -107,6 +116,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         spec = load_scenario(args.scenario)
         if args.cycles is not None:
             spec = dataclasses.replace(spec, cycles=args.cycles)
+        if args.metrics is not None:
+            spec = dataclasses.replace(
+                spec, metrics=spec.metrics + tuple(args.metrics)
+            )
         if args.seed is not None:
             spec = dataclasses.replace(
                 spec,

@@ -47,6 +47,24 @@ class WorkUnit:
     warmup: int | None
     seed: int
     replication: int
+    metrics: tuple[str, ...] = ()
+    """Extra metric families this unit collects (e.g. ``("latency",)``)."""
+
+    @property
+    def collects_latency(self) -> bool:
+        """Whether this unit records per-request latency distributions."""
+        return "latency" in self.metrics
+
+    def case(self) -> SimulationCase:
+        """The :class:`SimulationCase` a simulation unit executes."""
+        return SimulationCase(
+            config=self.config,
+            cycles=self.cycles,
+            seed=self.seed,
+            warmup=self.warmup,
+            workload=self.workload,
+            collect_latency=self.collects_latency,
+        )
 
     def payload(self) -> dict[str, Any]:
         """Content-addressed identity of the computation.
@@ -55,22 +73,18 @@ class WorkUnit:
         that perform the same computation hash identically wherever they
         appear, which is what lets shards and unrelated scenarios share
         cache entries.  Simulation units share the library-wide
-        :func:`~repro.parallel.cache.case_payload` encoding; analytic
+        :func:`~repro.parallel.cache.case_payload` encoding - which adds
+        a **versioned metrics field** for latency-collecting units, so a
+        metric-bearing cache entry (whose value carries latency
+        payloads) can never collide with a metric-less one, nor with
+        entries written under an older metrics format.  Analytic
         methods are deterministic functions of the configuration alone,
         so their keys exclude seed/cycles/warmup - replications and
         ``--cycles`` overrides then hit the same entry instead of
         recomputing the identical closed-form value.
         """
         if self.method is EvaluationMethod.SIMULATION:
-            payload = case_payload(
-                SimulationCase(
-                    config=self.config,
-                    cycles=self.cycles,
-                    seed=self.seed,
-                    warmup=self.warmup,
-                    workload=self.workload,
-                )
-            )
+            payload = case_payload(self.case())
         else:
             payload = {
                 "config": config_payload(self.config),
@@ -103,6 +117,7 @@ def compile_scenario(spec: ScenarioSpec) -> tuple[WorkUnit, ...]:
                     warmup=spec.warmup,
                     seed=seed,
                     replication=replication,
+                    metrics=spec.metrics,
                 )
             )
             index += 1

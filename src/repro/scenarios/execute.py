@@ -23,8 +23,9 @@ import dataclasses
 from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ConfigurationError, ExperimentError
+from repro.metrics import LatencyReport
 from repro.parallel.pool import map_ordered
-from repro.parallel.workers import SimulationCase, run_case
+from repro.parallel.workers import run_case
 from repro.scenarios.compiler import WorkUnit, compile_scenario, shard_units
 from repro.scenarios.spec import EvaluationMethod, ScenarioSpec
 
@@ -40,30 +41,30 @@ class UnitResult:
     processor_utilization: float
     bus_utilization: float
     cached: bool = False
+    latency: LatencyReport | None = None
+    """Wait/service/total latency summaries (latency-metric units only)."""
 
 
-def evaluate_unit(unit: WorkUnit) -> dict[str, float]:
+def evaluate_unit(unit: WorkUnit) -> dict[str, Any]:
     """Evaluate one work unit (module-level, hence pool-safe).
 
     Returns a plain JSON-able metrics mapping so the value can be cached
     verbatim; floats round-trip exactly through JSON, so cached and
-    freshly-computed runs are byte-identical.
+    freshly-computed runs are byte-identical.  Latency-metric units add
+    a ``"latency"`` entry holding the exact (rational-encoded)
+    wait/service/total summaries, which also round-trip exactly.
     """
     if unit.method is EvaluationMethod.SIMULATION:
-        result = run_case(
-            SimulationCase(
-                config=unit.config,
-                cycles=unit.cycles,
-                seed=unit.seed,
-                warmup=unit.warmup,
-                workload=unit.workload,
-            )
-        )
-        return {
+        result = run_case(unit.case())
+        metrics: dict[str, Any] = {
             "ebw": result.ebw,
             "processor_utilization": result.processor_utilization,
             "bus_utilization": result.bus_utilization,
         }
+        if unit.collects_latency:
+            assert result.latency is not None
+            metrics["latency"] = result.latency.payload()
+        return metrics
     if unit.method is EvaluationMethod.MARKOV:
         from repro.core.policy import Priority
         from repro.models.exact_memory_priority import exact_memory_priority_ebw
@@ -91,6 +92,10 @@ def evaluate_unit(unit: WorkUnit) -> dict[str, float]:
         from repro.models.crossbar import crossbar_exact_ebw
 
         model = crossbar_exact_ebw(unit.config)
+    elif unit.method is EvaluationMethod.BANDWIDTH:
+        from repro.models.bandwidth import combinational_bandwidth_ebw
+
+        model = combinational_bandwidth_ebw(unit.config)
     else:  # pragma: no cover - enum is closed
         raise ConfigurationError(f"unknown evaluation method {unit.method!r}")
     return {
@@ -104,14 +109,21 @@ def _result_from_metrics(
     unit: WorkUnit, metrics: Any, cached: bool
 ) -> UnitResult:
     try:
+        latency = None
+        if unit.collects_latency:
+            # A cached entry without the latency payload (or with a
+            # stale format) is malformed for this unit and triggers a
+            # recompute, exactly like a missing ebw would.
+            latency = LatencyReport.from_payload(metrics["latency"])
         return UnitResult(
             unit=unit,
             ebw=float(metrics["ebw"]),
             processor_utilization=float(metrics["processor_utilization"]),
             bus_utilization=float(metrics["bus_utilization"]),
             cached=cached,
+            latency=latency,
         )
-    except (KeyError, TypeError, ValueError) as exc:
+    except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
         raise ExperimentError(
             f"malformed metrics payload for unit {unit.index}: {exc!r}"
         ) from exc
@@ -214,22 +226,45 @@ def _describe_config(unit: WorkUnit) -> str:
     )
 
 
+def _summary_columns(prefix: str, summary) -> str:
+    """Fixed-format percentile columns for one latency population."""
+    return (
+        f"{prefix}_mean={summary.mean:.6f} "
+        f"{prefix}_p50={summary.p50_value:.6f} "
+        f"{prefix}_p90={summary.p90_value:.6f} "
+        f"{prefix}_p99={summary.p99_value:.6f} "
+        f"{prefix}_max={summary.max_value:.6f}"
+    )
+
+
 def unit_line(result: UnitResult) -> str:
     """One deterministic, self-contained report line for one unit.
 
     The leading ``unit <index:06d>`` token gives the line its global
     position, which is the whole sharding contract: shard outputs sorted
-    on that token equal the unsharded output.
+    on that token equal the unsharded output.  Latency-metric units
+    append the percentile columns (``lat_count`` plus
+    mean/p50/p90/p99/max for each of wait/service/total); units without
+    metrics render the exact pre-metrics bytes.
     """
     unit = result.unit
     workload = unit.workload.describe() if unit.workload is not None else "uniform"
-    return (
+    line = (
         f"unit {unit.index:06d} {_describe_config(unit)} "
         f"workload={workload} method={unit.method} seed={unit.seed} "
         f"cycles={unit.cycles} ebw={result.ebw:.6f} "
         f"putil={result.processor_utilization:.6f} "
         f"butil={result.bus_utilization:.6f}"
     )
+    if result.latency is not None:
+        report = result.latency
+        line += (
+            f" lat_count={report.total.count} "
+            f"{_summary_columns('wait', report.wait)} "
+            f"{_summary_columns('serv', report.service)} "
+            f"{_summary_columns('lat', report.total)}"
+        )
+    return line
 
 
 def render_report(results: Iterable[UnitResult]) -> str:

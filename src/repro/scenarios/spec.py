@@ -9,9 +9,11 @@ design-space exploration: it composes
   (:class:`GridAxis`),
 * a *workload* spec (:mod:`repro.workloads.spec`),
 * an *evaluation method* (:class:`EvaluationMethod`: cycle-accurate bus
-  simulation, reduced Markov chain, product-form MVA, or the closed-form
-  crossbar model), and
-* a *replication plan* (:class:`ReplicationPlan`: how many seeds).
+  simulation, reduced Markov chain, product-form MVA, the closed-form
+  crossbar model, or the Section 3.2 combinational bandwidth model),
+* a *replication plan* (:class:`ReplicationPlan`: how many seeds), and
+* optional extra *metrics* (currently ``latency``: streaming
+  wait/service/total percentile summaries per work unit).
 
 Every figure and table of the paper is one such sweep; so are the
 non-paper studies (hot-spot severity, buffer-depth scaling, ...).  The
@@ -61,13 +63,26 @@ class EvaluationMethod(enum.Enum):
     CROSSBAR = "crossbar"
     """Closed-form exact crossbar EBW (:mod:`repro.models.crossbar`)."""
 
+    BANDWIDTH = "bandwidth"
+    """The paper's Section 3.2 combinational bandwidth model: the
+    distinct-modules busy distribution (:mod:`repro.models.combinatorics`)
+    weighted through :func:`repro.models.bandwidth.ebw_from_busy_distribution`."""
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
 
 
 _ANALYTIC_METHODS = frozenset(
-    {EvaluationMethod.MARKOV, EvaluationMethod.MVA, EvaluationMethod.CROSSBAR}
+    {
+        EvaluationMethod.MARKOV,
+        EvaluationMethod.MVA,
+        EvaluationMethod.CROSSBAR,
+        EvaluationMethod.BANDWIDTH,
+    }
 )
+
+KNOWN_METRICS: frozenset[str] = frozenset({"latency"})
+"""Metric families a scenario may request (currently only latency)."""
 
 
 def _coerce_config_value(field: str, value: Any) -> Any:
@@ -218,6 +233,10 @@ class ScenarioSpec:
     warmup: int | None = None
     plan: ReplicationPlan = ReplicationPlan()
     description: str = ""
+    metrics: tuple[str, ...] = ()
+    """Extra per-unit metric families (:data:`KNOWN_METRICS`), e.g.
+    ``("latency",)`` for streaming wait/service/total percentiles.
+    Stored sorted and deduplicated so equal requests hash equally."""
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name.strip():
@@ -270,6 +289,38 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"plan must be a ReplicationPlan, got {self.plan!r}"
             )
+        if isinstance(self.metrics, str):
+            raise ConfigurationError(
+                "metrics must be a sequence of metric names, not a string"
+            )
+        if isinstance(self.metrics, Mapping):
+            # A TOML inline table like `metrics = {latency = false}`
+            # would otherwise iterate into its keys and silently ENABLE
+            # the metric the user tried to toggle off.
+            raise ConfigurationError(
+                f"metrics must be a sequence of metric names, got the "
+                f"table {dict(self.metrics)!r}"
+            )
+        try:
+            raw_metrics = tuple(self.metrics)
+        except TypeError:
+            raise ConfigurationError(
+                f"metrics must be a sequence of metric names, got "
+                f"{self.metrics!r}"
+            ) from None
+        for metric in raw_metrics:
+            if not isinstance(metric, str) or metric not in KNOWN_METRICS:
+                raise ConfigurationError(
+                    f"unknown metric {metric!r}; known: "
+                    f"{', '.join(sorted(KNOWN_METRICS))}"
+                )
+        metrics = tuple(sorted(set(raw_metrics)))
+        if metrics and self.method is not EvaluationMethod.SIMULATION:
+            raise ConfigurationError(
+                f"metrics {', '.join(metrics)} need per-request simulation; "
+                f"method {self.method} is analytic"
+            )
+        object.__setattr__(self, "metrics", metrics)
         if self.method in _ANALYTIC_METHODS:
             workload_fields = [
                 field
@@ -346,6 +397,7 @@ class ScenarioSpec:
             "cycles": self.cycles,
             "warmup": self.warmup,
             "plan": self.plan.payload(),
+            "metrics": list(self.metrics),
         }
 
 
@@ -399,6 +451,7 @@ def spec_from_mapping(data: Mapping[str, Any]) -> ScenarioSpec:
         "grid",
         "workload",
         "replications",
+        "metrics",
     }
     unknown = sorted(set(data) - known)
     if unknown:
@@ -432,6 +485,12 @@ def spec_from_mapping(data: Mapping[str, Any]) -> ScenarioSpec:
             replications=plan_data.get("count", 1),
             base_seed=plan_data.get("base_seed", 0),
         )
+    metrics = data.get("metrics", ())
+    if isinstance(metrics, str):
+        raise ConfigurationError(
+            "the 'metrics' key takes a list of metric names, "
+            f"got the string {metrics!r}"
+        )
     kwargs: dict[str, Any] = {
         "name": data["name"],
         "base": data.get("base", {}),
@@ -440,6 +499,8 @@ def spec_from_mapping(data: Mapping[str, Any]) -> ScenarioSpec:
         "method": method,
         "plan": plan,
         "description": data.get("description", ""),
+        # Validated (shape and names) by ScenarioSpec itself.
+        "metrics": metrics,
     }
     if "cycles" in data:
         kwargs["cycles"] = data["cycles"]

@@ -1,0 +1,161 @@
+"""Integration tests for ``EvaluationMethod.BANDWIDTH``.
+
+The combinational bandwidth model is wired through the scenario layer as
+a first-class analytic method.  These tests close the loop end to end:
+
+* scenario results equal :func:`repro.models.bandwidth.ebw_from_busy_distribution`
+  applied to the Section 3.2 busy distribution directly;
+* like the other analytic methods, its cache keys ignore seed and cycle
+  count, so replications and ``--cycles`` overrides share one entry;
+* the model tracks the cycle-accurate simulator within the accuracy the
+  paper attributes to the combinational approximation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.models.bandwidth import (
+    combinational_bandwidth_ebw,
+    combinational_busy_pmf,
+    ebw_from_busy_distribution,
+)
+from repro.models.combinatorics import distinct_modules_pmf
+from repro.parallel.cache import ResultCache, fingerprint
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.execute import run_units
+from repro.scenarios.registry import get_scenario
+from repro.scenarios.spec import (
+    EvaluationMethod,
+    GridAxis,
+    ReplicationPlan,
+    ScenarioSpec,
+)
+
+
+def bandwidth_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="bandwidth-test",
+        base={"processors": 4},
+        grid=(
+            GridAxis("memories", (2, 4)),
+            GridAxis("memory_cycle_ratio", (2, 4)),
+        ),
+        method=EvaluationMethod.BANDWIDTH,
+        plan=ReplicationPlan(1, 7),
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestScenarioMatchesDirectModel:
+    def test_results_equal_ebw_from_busy_distribution(self):
+        results = run_units(compile_scenario(bandwidth_spec()))
+        assert len(results) == 4
+        for result in results:
+            config = result.unit.config
+            # p = 1: the busy profile is exactly the classic
+            # distinct-modules distribution.
+            expected = ebw_from_busy_distribution(
+                distinct_modules_pmf(config.processors, config.memories),
+                config.memory_cycle_ratio,
+            )
+            assert result.ebw == expected
+
+    def test_partial_load_matches_direct_model(self):
+        spec = bandwidth_spec(
+            base={
+                "processors": 4,
+                "memory_cycle_ratio": 3,
+                "request_probability": 0.6,
+            },
+            grid=(GridAxis("memories", (2, 4)),),
+        )
+        for result in run_units(compile_scenario(spec)):
+            config = result.unit.config
+            expected = ebw_from_busy_distribution(
+                combinational_busy_pmf(config), config.memory_cycle_ratio
+            )
+            assert result.ebw == expected
+
+    def test_registered_study_runs(self):
+        spec = get_scenario("bandwidth-vs-simulation")
+        assert spec.method is EvaluationMethod.BANDWIDTH
+        results = run_units(compile_scenario(spec))
+        assert len(results) == spec.grid_size()
+        assert all(0.0 < r.ebw <= r.unit.config.max_ebw for r in results)
+
+
+class TestBandwidthCacheSharing:
+    def test_payload_ignores_seed_and_cycles(self):
+        spec_a = bandwidth_spec(plan=ReplicationPlan(1, 7), cycles=50_000)
+        spec_b = bandwidth_spec(plan=ReplicationPlan(1, 999), cycles=123)
+        for unit_a, unit_b in zip(
+            compile_scenario(spec_a), compile_scenario(spec_b)
+        ):
+            assert unit_a.seed != unit_b.seed
+            assert fingerprint(unit_a.payload()) == fingerprint(unit_b.payload())
+
+    def test_cache_entries_shared_across_seeds(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path, version_tag="test")
+        first = run_units(compile_scenario(bandwidth_spec()), cache=cache)
+        reseeded = bandwidth_spec(plan=ReplicationPlan(2, 4242), cycles=77)
+        second = run_units(compile_scenario(reseeded), cache=cache)
+        # Every reseeded/re-cycled unit is served from the entries the
+        # first run stored - and replications collapse onto one key.
+        assert all(result.cached for result in second)
+        assert len(cache) == len(first)
+        by_config = {
+            (r.unit.config.memories, r.unit.config.memory_cycle_ratio): r.ebw
+            for r in first
+        }
+        for result in second:
+            key = (
+                result.unit.config.memories,
+                result.unit.config.memory_cycle_ratio,
+            )
+            assert result.ebw == by_config[key]
+
+    def test_simulation_payloads_still_depend_on_seed(self):
+        spec = bandwidth_spec(method=EvaluationMethod.SIMULATION)
+        unit = compile_scenario(spec)[0]
+        other = dataclasses.replace(unit, seed=unit.seed + 1)
+        assert fingerprint(unit.payload()) != fingerprint(other.payload())
+
+
+class TestModelProperties:
+    def test_rejects_buffered_configurations(self):
+        with pytest.raises(ConfigurationError):
+            combinational_bandwidth_ebw(SystemConfig(4, 4, 2, buffered=True))
+        # Through the scenario layer the rejection surfaces at
+        # evaluation time, as a curated library error.
+        spec = bandwidth_spec(base={"processors": 4, "buffered": True})
+        with pytest.raises(ConfigurationError):
+            run_units(compile_scenario(spec))
+
+    def test_busy_pmf_is_a_distribution(self):
+        for p in (0.3, 0.7, 1.0):
+            config = SystemConfig(5, 3, 2, request_probability=p)
+            pmf = combinational_busy_pmf(config)
+            assert sum(pmf.values()) == pytest.approx(1.0)
+            assert all(0.0 <= value <= 1.0 for value in pmf.values())
+            assert all(0 <= busy <= config.memories for busy in pmf)
+            if p == 1.0:
+                assert 0 not in pmf
+
+    @pytest.mark.slow
+    def test_tracks_simulated_ebw(self):
+        from repro.bus import simulate
+
+        # The paper presents the combinational model as a usable
+        # approximation of the unbuffered machine; hold it to a
+        # generous-but-meaningful accuracy band.
+        for n, m, r in ((4, 4, 2), (8, 8, 4), (8, 16, 8)):
+            config = SystemConfig(n, m, r)
+            model = combinational_bandwidth_ebw(config).ebw
+            simulated = simulate(config, cycles=40_000, seed=1985).ebw
+            assert model == pytest.approx(simulated, rel=0.30)

@@ -1,10 +1,18 @@
-"""Stateful property test of the memory-module state machine.
+"""Stateful property tests of the memory-module and bus-system machines.
 
 Hypothesis drives random but legal sequences of the three external
 operations (deliver a request, advance a cycle, take a response) against
 a :class:`~repro.bus.memory.MemoryModule` and cross-checks it against a
 simple reference model of what must hold: FIFO ordering, request
 conservation, capacity limits and service-time lower bounds.
+
+:class:`BusSystemAuditMachine` promotes the system-level
+:meth:`~repro.bus.system.MultiplexedBusSystem.audit` invariants - which
+used to be exercised only implicitly by example-based tests - into a
+stateful property: after *every* step of a random schedule over a fleet
+of diverse systems, every conservation invariant must hold, the bus
+accounting must balance, and the latency tracker must agree with the
+completion counter.
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ from hypothesis.stateful import (
 from hypothesis import strategies as st
 
 from repro.bus.memory import MemoryModule, PendingRequest
+from repro.bus.system import MultiplexedBusSystem
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
 
 
 class MemoryModuleMachine(RuleBasedStateMachine):
@@ -147,4 +158,73 @@ class UnbufferedModuleMachine(RuleBasedStateMachine):
 TestUnbufferedModuleStateMachine = UnbufferedModuleMachine.TestCase
 TestUnbufferedModuleStateMachine.settings = settings(
     max_examples=30, stateful_step_count=50, deadline=None
+)
+
+
+AUDIT_CONFIGS = (
+    SystemConfig(2, 2, 2),
+    SystemConfig(4, 2, 3, request_probability=0.6),
+    SystemConfig(3, 4, 2, priority=Priority.MEMORIES),
+    SystemConfig(4, 4, 4, buffered=True),
+    SystemConfig(2, 3, 5, request_probability=0.4, buffered=True, buffer_depth=2),
+)
+"""Diverse fleet: unbuffered/buffered, both priorities, partial load."""
+
+
+class BusSystemAuditMachine(RuleBasedStateMachine):
+    """Random schedules over whole systems; audit() after every step."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.systems = [
+            MultiplexedBusSystem(config, seed=11 + index, collect_latency=True)
+            for index, config in enumerate(AUDIT_CONFIGS)
+        ]
+
+    @rule(
+        system=st.integers(min_value=0, max_value=len(AUDIT_CONFIGS) - 1),
+        steps=st.integers(min_value=1, max_value=7),
+    )
+    def advance(self, system: int, steps: int) -> None:
+        machine = self.systems[system]
+        for _ in range(steps):
+            machine.step()
+            # The conservation invariants must hold after *every* bus
+            # cycle, not just at quiescent points.
+            machine.audit()
+
+    @invariant()
+    def audits_pass(self) -> None:
+        for machine in self.systems:
+            machine.audit()
+
+    @invariant()
+    def bus_accounting_balances(self) -> None:
+        for machine in self.systems:
+            # Every completion is exactly one response transfer, and no
+            # response can outrun its request transfer.
+            assert machine.completions == machine.response_transfers
+            assert machine.response_transfers <= machine.request_transfers
+            # The request/response gap equals the requests currently
+            # inside the modules.
+            in_flight = sum(module.in_flight() for module in machine.modules)
+            assert (
+                machine.request_transfers - machine.response_transfers
+                == in_flight
+            )
+
+    @invariant()
+    def latency_tracker_agrees(self) -> None:
+        for machine in self.systems:
+            assert machine.latency is not None
+            assert machine.latency.count == machine.completions
+            if machine.completions:
+                r = machine.config.memory_cycle_ratio
+                summary = machine.latency.total.summary()
+                assert summary.min_value >= r + 2
+
+
+TestBusSystemAuditMachine = BusSystemAuditMachine.TestCase
+TestBusSystemAuditMachine.settings = settings(
+    max_examples=20, stateful_step_count=40, deadline=None
 )

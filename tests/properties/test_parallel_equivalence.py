@@ -20,8 +20,13 @@ from hypothesis import strategies as st
 from repro.analysis.sweeps import sweep_p, sweep_r
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
-from repro.des.replications import ebw_estimator, replicate
-from repro.parallel import EbwTask, ParallelReplicator
+from repro.des.replications import (
+    ebw_estimator,
+    latency_estimator,
+    replicate,
+    replicate_latency,
+)
+from repro.parallel import EbwTask, LatencyTask, ParallelReplicator
 from repro.workloads.spec import HotSpotWorkload, TraceWorkload
 
 CYCLES = 400
@@ -144,6 +149,59 @@ class TestWorkloadReplicationEquivalence:
             for workers in (1, 2, 3)
         ]
         assert results[0] == results[1] == results[2]
+
+
+class TestLatencyReplicationEquivalence:
+    """Latency-distribution aggregation is pool-invariant.
+
+    The percentile pipeline's contract is stricter than "same means":
+    the merged wait/service/total summaries - counts, exact totals,
+    extrema and every quantile estimate - must be bit-identical whether
+    the replications ran serially or on any number of workers.
+    """
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        config=configs,
+        replications=st.integers(min_value=2, max_value=4),
+        base_seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_parallel_latency_matches_serial(
+        self, config, replications, base_seed
+    ):
+        estimator = latency_estimator(config, cycles=CYCLES)
+        serial = replicate_latency(estimator, replications, base_seed=base_seed)
+        parallel = ParallelReplicator(max_workers=2).run_latency(
+            estimator, replications, base_seed=base_seed
+        )
+        assert parallel == serial
+        assert parallel.merged == serial.merged
+        assert parallel.merged.total.count == sum(
+            report.total.count for report in serial.reports
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        config=configs,
+        hot_fraction=st.sampled_from([0.0, 0.4]),
+        base_seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_hot_spot_latency_worker_count_invisible(
+        self, config, hot_fraction, base_seed
+    ):
+        estimator = LatencyTask(
+            config=config,
+            cycles=CYCLES,
+            workload=HotSpotWorkload(hot_fraction=hot_fraction),
+        )
+        results = [
+            ParallelReplicator(max_workers=workers).run_latency(
+                estimator, 3, base_seed=base_seed
+            )
+            for workers in (1, 2, 3)
+        ]
+        assert results[0] == results[1] == results[2]
+        assert results[0].merged == results[1].merged == results[2].merged
 
 
 class TestSeededGridEquivalence:

@@ -26,7 +26,11 @@ CYCLES = 200
 
 
 def build_spec(
-    r_count: int, replications: int, base_seed: int, hot: bool
+    r_count: int,
+    replications: int,
+    base_seed: int,
+    hot: bool,
+    metrics: tuple[str, ...] = (),
 ) -> ScenarioSpec:
     workload = HotSpotWorkload(hot_fraction=0.0) if hot else None
     grid = [
@@ -44,6 +48,7 @@ def build_spec(
         grid=tuple(grid),
         cycles=CYCLES,
         plan=ReplicationPlan(replications, base_seed),
+        metrics=metrics,
         **kwargs,
     )
 
@@ -55,15 +60,23 @@ class TestShardUnionProperty:
         replications=st.integers(min_value=1, max_value=3),
         base_seed=st.integers(min_value=0, max_value=1_000),
         hot=st.booleans(),
+        with_latency=st.booleans(),
         shard_count=st.integers(min_value=1, max_value=5),
         data=st.data(),
     )
     def test_merged_shards_equal_unsharded_run(
-        self, r_count, replications, base_seed, hot, shard_count, data
+        self, r_count, replications, base_seed, hot, with_latency, shard_count, data
     ):
-        spec = build_spec(r_count, replications, base_seed, hot)
+        metrics = ("latency",) if with_latency else ()
+        spec = build_spec(r_count, replications, base_seed, hot, metrics)
         units = compile_scenario(spec)
         unsharded = render_report(run_units(units))
+        if with_latency:
+            # The byte-identity contract must cover the percentile
+            # columns, not just the mean-bandwidth ones.
+            assert "lat_p99=" in unsharded and "wait_p50=" in unsharded
+        else:
+            assert "lat_" not in unsharded
 
         # Shards execute in an arbitrary machine order.
         order = data.draw(
@@ -75,6 +88,18 @@ class TestShardUnionProperty:
             for index in order
         ]
         assert merge_reports(reports) == unsharded
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        r_count=st.integers(min_value=1, max_value=2),
+        base_seed=st.integers(min_value=0, max_value=1_000),
+    )
+    def test_worker_count_invisible_in_latency_columns(self, r_count, base_seed):
+        spec = build_spec(r_count, 2, base_seed, hot=False, metrics=("latency",))
+        units = compile_scenario(spec)
+        serial = render_report(run_units(units, jobs=1))
+        pooled = render_report(run_units(units, jobs=3))
+        assert serial == pooled
 
     @settings(max_examples=12, deadline=None)
     @given(

@@ -1,0 +1,258 @@
+"""Unit tests for :mod:`repro.metrics` and the simulator plumbing."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.bus import simulate
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.metrics import (
+    LATENCY_METRICS_TOKEN,
+    LATENCY_METRICS_VERSION,
+    LatencyReport,
+    LatencySummary,
+    LatencyTracker,
+    P2Quantile,
+    StreamingQuantiles,
+    exact_quantile,
+    merge_latency_reports,
+)
+from repro.queueing.exponential_sim import (
+    ServiceDistribution,
+    simulate_central_server,
+)
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ConfigurationError):
+            P2Quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            P2Quantile(1.0)
+        with pytest.raises(ConfigurationError):
+            P2Quantile(0.5, exact_limit=4)
+
+    def test_estimate_requires_observations(self):
+        with pytest.raises(ConfigurationError):
+            P2Quantile(0.5).estimate()
+
+    def test_constant_stream_is_exact_forever(self):
+        estimator = P2Quantile(0.9, exact_limit=5)
+        for _ in range(500):
+            estimator.add(7.0)
+        assert estimator.estimate() == 7.0
+
+    def test_monotone_stream_estimate_is_reasonable(self):
+        estimator = P2Quantile(0.5, exact_limit=5)
+        for value in range(1, 1001):
+            estimator.add(float(value))
+        assert 400.0 <= estimator.estimate() <= 600.0
+
+
+class TestExactQuantile:
+    def test_validates_inputs(self):
+        with pytest.raises(ConfigurationError):
+            exact_quantile([], 0.5)
+        with pytest.raises(ConfigurationError):
+            exact_quantile([1.0], 1.5)
+
+    def test_endpoints(self):
+        assert exact_quantile([1.0, 2.0, 3.0], 0.0) == 1.0
+        assert exact_quantile([1.0, 2.0, 3.0], 1.0) == 3.0
+        assert exact_quantile([5.0], 0.5) == 5.0
+
+
+class TestStreamingQuantiles:
+    def test_rejects_bad_observations(self):
+        collector = StreamingQuantiles()
+        with pytest.raises(ConfigurationError):
+            collector.add(-1)
+        with pytest.raises(ConfigurationError):
+            collector.add("fast")  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            collector.add(True)  # type: ignore[arg-type]
+
+    def test_untracked_quantile_rejected(self):
+        collector = StreamingQuantiles()
+        collector.add(1)
+        with pytest.raises(ConfigurationError):
+            collector.quantile(0.75)
+
+    def test_integer_totals_stay_exact(self):
+        collector = StreamingQuantiles()
+        for value in (3, 5, 7):
+            collector.add(value)
+        summary = collector.summary()
+        assert summary.total == Fraction(15)
+        assert summary.mean == 5.0
+
+    def test_mixed_int_float_totals_are_exact(self):
+        collector = StreamingQuantiles()
+        collector.add(1)
+        collector.add(0.5)
+        assert collector.summary().total == Fraction(3, 2)
+
+    def test_empty_summary(self):
+        summary = StreamingQuantiles().summary()
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+        assert math.isnan(summary.p99_value)
+
+
+class TestLatencySummary:
+    def test_empty_must_be_empty(self):
+        with pytest.raises(ConfigurationError):
+            LatencySummary(count=0, total=Fraction(3))
+        with pytest.raises(ConfigurationError):
+            LatencySummary(count=2, total=Fraction(3))  # missing quantiles
+
+    def test_merge_type_checked(self):
+        with pytest.raises(ConfigurationError):
+            LatencySummary().merge("nope")  # type: ignore[arg-type]
+
+    def test_payload_round_trips_through_json_exactly(self):
+        summary = LatencySummary.from_values([1, 2, 0.3, 10])
+        encoded = json.dumps(summary.payload())
+        assert LatencySummary.from_payload(json.loads(encoded)) == summary
+
+    def test_from_payload_rejects_damage(self):
+        good = LatencySummary.from_values([1.0, 2.0]).payload()
+        with pytest.raises(ConfigurationError):
+            LatencySummary.from_payload("nope")  # type: ignore[arg-type]
+        with pytest.raises(ConfigurationError):
+            LatencySummary.from_payload({})
+        bad = dict(good)
+        bad["p50"] = [1, 0]  # zero denominator
+        with pytest.raises(ConfigurationError):
+            LatencySummary.from_payload(bad)
+        bad = dict(good)
+        bad["count"] = -3
+        with pytest.raises(ConfigurationError):
+            LatencySummary.from_payload(bad)
+        # A non-empty summary without its total is a damaged entry, not
+        # a summary with mean zero.
+        bad = dict(good)
+        del bad["total"]
+        with pytest.raises(ConfigurationError):
+            LatencySummary.from_payload(bad)
+        # A numeric string must not unpack character-by-character into a
+        # plausible fraction.
+        bad = dict(good)
+        bad["total"] = "12"
+        with pytest.raises(ConfigurationError):
+            LatencySummary.from_payload(bad)
+
+
+class TestLatencyReport:
+    def test_version_token_shape(self):
+        assert LATENCY_METRICS_TOKEN == f"latency@{LATENCY_METRICS_VERSION}"
+
+    def test_round_trip_and_version_rejection(self):
+        tracker = LatencyTracker()
+        for i in range(10):
+            tracker.record(i, 4, i + 6)
+        report = tracker.report()
+        payload = json.loads(json.dumps(report.payload()))
+        assert LatencyReport.from_payload(payload) == report
+        payload["version"] = LATENCY_METRICS_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            LatencyReport.from_payload(payload)
+
+    def test_merge_latency_reports_folds_componentwise(self):
+        a = LatencyTracker()
+        b = LatencyTracker()
+        a.record(1, 2, 5)
+        b.record(3, 2, 7)
+        merged = merge_latency_reports([a.report(), b.report()])
+        assert merged.total.count == 2
+        assert merged.wait.minimum == Fraction(1)
+        assert merged.wait.maximum == Fraction(3)
+
+
+class TestBusLatencyCollection:
+    CONFIG = SystemConfig(4, 4, 4, request_probability=0.7, buffered=True)
+
+    def test_off_by_default(self):
+        result = simulate(self.CONFIG, cycles=500, seed=1)
+        assert result.latency is None
+
+    def test_collection_never_changes_counters(self):
+        base = simulate(self.CONFIG, cycles=1_500, seed=3)
+        tracked = simulate(self.CONFIG, cycles=1_500, seed=3, collect_latency=True)
+        assert dataclasses.replace(tracked, latency=None) == base
+
+    def test_decomposition_invariants(self):
+        result = simulate(self.CONFIG, cycles=2_000, seed=5, collect_latency=True)
+        report = result.latency
+        assert report is not None
+        assert report.total.count == result.completions
+        assert report.wait.count == report.service.count == report.total.count
+        # Constant access times (hypothesis (c)): service is exactly r.
+        r = self.CONFIG.memory_cycle_ratio
+        assert report.service.min_value == report.service.max_value == float(r)
+        # Every request needs >= r + 2 cycles; wait + service + the two
+        # transfers can never exceed the total.
+        assert report.total.min_value >= r + 2
+        assert report.total.mean >= report.wait.mean + report.service.mean + 2 - 1e-9
+        # The streaming total must agree with the simulator's own
+        # aggregate latency counter exactly.
+        assert report.total.total == Fraction(result.total_latency)
+
+    def test_unbuffered_wait_tracks_module_contention(self):
+        result = simulate(
+            SystemConfig(2, 2, 2), cycles=2_000, seed=1, collect_latency=True
+        )
+        report = result.latency
+        assert report is not None
+        assert report.total.min_value >= 4.0
+        assert report.wait.min_value >= 0.0
+
+    def test_warmup_excluded_from_summaries(self):
+        result = simulate(
+            self.CONFIG, cycles=400, warmup=400, seed=9, collect_latency=True
+        )
+        assert result.latency is not None
+        # Counts cover only the measurement window's completions.
+        assert result.latency.total.count == result.completions
+
+
+class TestCentralServerLatencyCollection:
+    CONFIG = SystemConfig(3, 3, 2)
+
+    def test_collection_never_changes_counters(self):
+        base = simulate_central_server(
+            self.CONFIG, ServiceDistribution.EXPONENTIAL, duration=1_000, seed=5
+        )
+        tracked = simulate_central_server(
+            self.CONFIG,
+            ServiceDistribution.EXPONENTIAL,
+            duration=1_000,
+            seed=5,
+            collect_latency=True,
+        )
+        assert tracked.completions == base.completions
+        assert tracked.ebw == base.ebw
+        assert base.latency is None
+        assert tracked.latency is not None
+        assert tracked.latency.total.count == tracked.completions
+
+    def test_deterministic_service_times_are_constant(self):
+        result = simulate_central_server(
+            self.CONFIG,
+            ServiceDistribution.DETERMINISTIC,
+            duration=1_000,
+            seed=2,
+            collect_latency=True,
+        )
+        report = result.latency
+        assert report is not None
+        r = float(self.CONFIG.memory_cycle_ratio)
+        assert report.service.min_value == report.service.max_value == r
+        # total >= wait + service + two unit bus transfers
+        assert report.total.mean >= report.wait.mean + r + 2.0 - 1e-9

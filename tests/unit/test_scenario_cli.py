@@ -115,3 +115,111 @@ class TestCaching:
         warm = capsys.readouterr()
         assert warm.out == cold.out
         assert "8 from cache" in warm.err
+
+
+GOLDEN_TINY_FIRST_LINE = (
+    "unit 000000 n=2 m=2 r=1 p=1 priority=processors unbuffered tie=random "
+    "workload=uniform method=simulation seed=5 cycles=300 ebw=1.320000 "
+    "putil=0.660000 butil=0.880000"
+)
+"""Pre-metrics stdout of ``tiny.toml``'s first unit, captured before the
+latency pipeline existed.  Guards the acceptance criterion that scenario
+output without ``--metrics`` stays byte-identical."""
+
+
+class TestLatencyMetricsFlag:
+    def test_no_metrics_output_matches_pre_metrics_bytes(self, tiny_toml, capsys):
+        assert main(["scenario", tiny_toml, "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == GOLDEN_TINY_FIRST_LINE
+        assert "lat_" not in out
+
+    def test_metrics_flag_appends_percentile_columns(self, tiny_toml, capsys):
+        assert (
+            main(["scenario", tiny_toml, "--no-cache", "--metrics", "latency"])
+            == 0
+        )
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 8
+        for line in lines:
+            # The pre-metrics prefix is unchanged; percentile columns
+            # are appended after it.
+            assert " lat_count=" in line
+            for column in (
+                "wait_mean=", "wait_p50=", "wait_p90=", "wait_p99=",
+                "wait_max=", "serv_mean=", "serv_p50=", "serv_p90=",
+                "serv_p99=", "serv_max=", "lat_mean=", "lat_p50=",
+                "lat_p90=", "lat_p99=", "lat_max=",
+            ):
+                assert column in line
+        assert lines[0].startswith(GOLDEN_TINY_FIRST_LINE + " lat_count=")
+
+    def test_metrics_rejected_for_analytic_scenarios(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario",
+                    "bandwidth-vs-simulation",
+                    "--no-cache",
+                    "--metrics",
+                    "latency",
+                ]
+            )
+            == 2
+        )
+        assert "analytic" in capsys.readouterr().err
+
+    def test_unknown_metric_rejected(self, tiny_toml, capsys):
+        assert (
+            main(["scenario", tiny_toml, "--no-cache", "--metrics", "power"])
+            == 2
+        )
+        assert "unknown metric" in capsys.readouterr().err
+
+    def test_metric_and_plain_runs_share_no_cache_entries(
+        self, tiny_toml, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["scenario", tiny_toml]) == 0
+        plain_cold = capsys.readouterr().out
+        # A metric run after a plain run must not be served from the
+        # plain entries (they carry no latency payloads)...
+        assert main(["scenario", tiny_toml, "--metrics", "latency"]) == 0
+        metric_cold = capsys.readouterr()
+        assert "0 from cache" in metric_cold.err
+        # ...and both warm reruns serve their own entries byte-identically.
+        assert main(["scenario", tiny_toml]) == 0
+        plain_warm = capsys.readouterr()
+        assert plain_warm.out == plain_cold
+        assert "8 from cache" in plain_warm.err
+        assert main(["scenario", tiny_toml, "--metrics", "latency"]) == 0
+        metric_warm = capsys.readouterr()
+        assert metric_warm.out == metric_cold.out
+        assert "8 from cache" in metric_warm.err
+
+    def test_sharded_metric_output_merges_byte_identically(
+        self, tiny_toml, capsys
+    ):
+        assert (
+            main(["scenario", tiny_toml, "--no-cache", "--metrics", "latency"])
+            == 0
+        )
+        full = capsys.readouterr().out
+        reports = []
+        for index in (1, 2, 3):
+            assert (
+                main(
+                    [
+                        "scenario",
+                        tiny_toml,
+                        "--no-cache",
+                        "--metrics",
+                        "latency",
+                        "--shard",
+                        f"{index}/3",
+                    ]
+                )
+                == 0
+            )
+            reports.append(capsys.readouterr().out)
+        assert merge_reports(reports) + "\n" == full

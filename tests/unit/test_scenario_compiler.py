@@ -208,3 +208,77 @@ class TestReportMerging:
     def test_merge_reports_rejects_garbage(self):
         with pytest.raises(ConfigurationError):
             merge_reports(["not a unit line"])
+
+
+class TestVersionedMetricsCacheKeys:
+    """Acceptance criterion: metric-bearing cache entries can never
+    collide with pre-metrics entries, enforced by a versioned field in
+    the content-addressed payload."""
+
+    def test_latency_units_carry_versioned_metrics_field(self):
+        from repro.metrics import LATENCY_METRICS_TOKEN
+
+        spec = tiny_spec()
+        metric_spec = ScenarioSpec(
+            name=spec.name,
+            base=spec.base,
+            grid=spec.grid,
+            cycles=spec.cycles,
+            plan=spec.plan,
+            metrics=("latency",),
+        )
+        plain_unit = compile_scenario(spec)[0]
+        metric_unit = compile_scenario(metric_spec)[0]
+        assert "metrics" not in plain_unit.payload()
+        assert metric_unit.payload()["metrics"] == [LATENCY_METRICS_TOKEN]
+        assert fingerprint(plain_unit.payload()) != fingerprint(
+            metric_unit.payload()
+        )
+
+    def test_plain_payload_shape_matches_pre_metrics_format(self):
+        # The exact key set the pre-metrics compiler produced: hitting
+        # (not missing) old-format cache entries for metric-less runs is
+        # part of the compatibility story.
+        payload = compile_scenario(tiny_spec())[0].payload()
+        assert set(payload) == {
+            "config",
+            "cycles",
+            "seed",
+            "warmup",
+            "workload",
+            "method",
+        }
+
+    def test_version_bump_would_retire_entries(self):
+        from repro.metrics import LATENCY_METRICS_VERSION
+
+        spec = ScenarioSpec(
+            name="versioned",
+            base={"processors": 2, "memories": 2, "memory_cycle_ratio": 1},
+            metrics=("latency",),
+        )
+        payload = compile_scenario(spec)[0].payload()
+        current = fingerprint(payload)
+        future = dict(payload)
+        future["metrics"] = [f"latency@{LATENCY_METRICS_VERSION + 1}"]
+        assert fingerprint(future) != current
+
+    def test_malformed_cached_latency_entry_triggers_recompute(self, tmp_path):
+        spec = ScenarioSpec(
+            name="damaged",
+            base={"processors": 2, "memories": 2, "memory_cycle_ratio": 1},
+            cycles=200,
+            metrics=("latency",),
+        )
+        unit = compile_scenario(spec)[0]
+        cache = ResultCache(cache_dir=tmp_path, version_tag="t")
+        # Poison the cache with a pre-metrics-shaped value under the
+        # metric unit's key (simulating a corrupted or hand-edited
+        # entry); execution must recompute, not crash.
+        cache.put(
+            cache.key(unit.payload()),
+            {"ebw": 1.0, "processor_utilization": 0.5, "bus_utilization": 0.5},
+        )
+        [result] = run_units([unit], cache=cache)
+        assert not result.cached
+        assert result.latency is not None

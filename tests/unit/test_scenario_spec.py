@@ -289,3 +289,105 @@ class TestRegistry:
         for spec in all_scenarios():
             units = compile_scenario(spec)
             assert len(units) == spec.grid_size() * spec.plan.replications
+
+
+class TestMetricsField:
+    BASE = {"processors": 2, "memories": 2, "memory_cycle_ratio": 2}
+
+    def test_default_is_empty(self):
+        assert ScenarioSpec(name="s", base=self.BASE).metrics == ()
+
+    def test_sorted_and_deduplicated(self):
+        spec = ScenarioSpec(
+            name="s", base=self.BASE, metrics=("latency", "latency")
+        )
+        assert spec.metrics == ("latency",)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            ScenarioSpec(name="s", base=self.BASE, metrics=("power",))
+
+    def test_string_metrics_rejected(self):
+        with pytest.raises(ConfigurationError, match="not a string"):
+            ScenarioSpec(name="s", base=self.BASE, metrics="latency")
+
+    def test_non_iterable_metrics_rejected_as_config_error(self):
+        with pytest.raises(ConfigurationError, match="sequence of metric"):
+            ScenarioSpec(name="s", base=self.BASE, metrics=5)
+
+    def test_mapping_metrics_rejected_as_config_error(self):
+        # A TOML inline table must not iterate into its keys and
+        # silently enable the metric the user tried to toggle off.
+        with pytest.raises(ConfigurationError, match="table"):
+            ScenarioSpec(name="s", base=self.BASE, metrics={"latency": False})
+
+    def test_non_string_metric_entries_rejected_as_config_error(self):
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            ScenarioSpec(name="s", base=self.BASE, metrics=("latency", 1))
+
+    @pytest.mark.parametrize(
+        "method",
+        [
+            EvaluationMethod.MARKOV,
+            EvaluationMethod.MVA,
+            EvaluationMethod.CROSSBAR,
+            EvaluationMethod.BANDWIDTH,
+        ],
+    )
+    def test_metrics_require_simulation(self, method):
+        with pytest.raises(ConfigurationError, match="analytic"):
+            ScenarioSpec(
+                name="s", base=self.BASE, method=method, metrics=("latency",)
+            )
+
+    def test_payload_lists_metrics(self):
+        spec = ScenarioSpec(name="s", base=self.BASE, metrics=("latency",))
+        assert spec.payload()["metrics"] == ["latency"]
+
+    def test_mapping_round_trip(self):
+        spec = spec_from_mapping(
+            {
+                "name": "with-metrics",
+                "base": dict(self.BASE),
+                "metrics": ["latency"],
+            }
+        )
+        assert spec.metrics == ("latency",)
+        with pytest.raises(ConfigurationError, match="list of metric names"):
+            spec_from_mapping(
+                {"name": "bad", "base": dict(self.BASE), "metrics": "latency"}
+            )
+
+
+class TestBandwidthMethod:
+    def test_parsed_from_mapping(self):
+        spec = spec_from_mapping(
+            {
+                "name": "bw",
+                "method": "bandwidth",
+                "base": {
+                    "processors": 2,
+                    "memories": 2,
+                    "memory_cycle_ratio": 2,
+                },
+            }
+        )
+        assert spec.method is EvaluationMethod.BANDWIDTH
+
+    def test_analytic_restrictions_apply(self):
+        with pytest.raises(ConfigurationError, match="analytic"):
+            ScenarioSpec(
+                name="bw",
+                base={"processors": 2, "memories": 2, "memory_cycle_ratio": 2},
+                method=EvaluationMethod.BANDWIDTH,
+                workload=HotSpotWorkload(hot_fraction=0.5),
+            )
+
+    def test_new_studies_registered(self):
+        names = {spec.name for spec in all_scenarios()}
+        assert {"latency-tail", "bandwidth-vs-simulation"} <= names
+        assert get_scenario("latency-tail").metrics == ("latency",)
+        assert (
+            get_scenario("bandwidth-vs-simulation").method
+            is EvaluationMethod.BANDWIDTH
+        )
