@@ -1,13 +1,17 @@
 """Microbenchmarks of the computational kernels.
 
-These measure the cost of the building blocks (simulator cycle loop,
-chain construction, stationary solve, event engine) so performance
-regressions are visible independently of the experiment wrappers.
+These measure the cost of the building blocks (simulator cycle loops -
+reference and fast - chain construction, stationary solve, event engine)
+so performance regressions are visible independently of the experiment
+wrappers.  The ``*_fast_*`` benchmarks pair one-to-one with the
+reference-loop ones; ``benchmarks/run_benchmarks.py`` records the same
+pairs (plus the speedup ratios) in ``BENCH_kernels.json`` for CI.
 """
 
 from __future__ import annotations
 
 from repro.bus import MultiplexedBusSystem
+from repro.bus.kernel import FastBusKernel
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
 from repro.des.engine import Engine
@@ -18,7 +22,7 @@ from repro.queueing.network import buffered_bus_network
 
 
 def test_kernel_simulator_cycles(benchmark):
-    """Raw cycle throughput of the 8x16 machine."""
+    """Raw cycle throughput of the 8x16 machine (reference loop)."""
     config = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS)
     system = MultiplexedBusSystem(config, seed=1)
 
@@ -30,8 +34,20 @@ def test_kernel_simulator_cycles(benchmark):
     benchmark(run_block)
 
 
+def test_kernel_fast_simulator_cycles(benchmark):
+    """Raw cycle throughput of the 8x16 machine (fast kernel)."""
+    config = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS)
+    kernel = FastBusKernel(config, seed=1)
+
+    def run_block():
+        kernel.advance(2_000)
+        return kernel.cycle
+
+    benchmark(run_block)
+
+
 def test_kernel_buffered_simulator_cycles(benchmark):
-    """Raw cycle throughput with buffered modules."""
+    """Raw cycle throughput with buffered modules (reference loop)."""
     config = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS, buffered=True)
     system = MultiplexedBusSystem(config, seed=1)
 
@@ -39,6 +55,32 @@ def test_kernel_buffered_simulator_cycles(benchmark):
         for _ in range(2_000):
             system.step()
         return system.cycle
+
+    benchmark(run_block)
+
+
+def test_kernel_fast_buffered_simulator_cycles(benchmark):
+    """Raw cycle throughput with buffered modules (fast kernel)."""
+    config = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS, buffered=True)
+    kernel = FastBusKernel(config, seed=1)
+
+    def run_block():
+        kernel.advance(2_000)
+        return kernel.cycle
+
+    benchmark(run_block)
+
+
+def test_kernel_fast_partial_load_cycles(benchmark):
+    """Fast kernel under partial load (think-time wake calendar path)."""
+    config = SystemConfig(
+        8, 16, 8, request_probability=0.5, priority=Priority.PROCESSORS
+    )
+    kernel = FastBusKernel(config, seed=1)
+
+    def run_block():
+        kernel.advance(2_000)
+        return kernel.cycle
 
     benchmark(run_block)
 

@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""Record kernel and figure timings in a stable JSON schema.
+
+The benchmark trajectory file (``BENCH_kernels.json``) gives future PRs
+a perf baseline: CI runs this script on every build and uploads the JSON
+as an artifact, so a hot-path regression shows up as a ratio change
+between two artifacts rather than an anecdote.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py --json BENCH_kernels.json
+    python benchmarks/run_benchmarks.py --json out.json --quick
+
+Schema (``repro-bench-kernels@1``)::
+
+    {
+      "schema": "repro-bench-kernels@1",
+      "python": "3.12.x ...",
+      "parameters": {"cycles": ..., "repeat": ..., "figure_cycles": ...},
+      "results": [{"name": ..., "seconds": ..., "meta": {...}}, ...],
+      "speedups": {"<pair>": <reference seconds / fast seconds>, ...}
+    }
+
+``results`` names are stable identifiers; ``seconds`` is the best of
+``--repeat`` runs (wall clock, :func:`time.perf_counter`).  Timings are
+machine-dependent; the *speedups* are the portable signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable
+
+from repro.bus import simulate
+from repro.core.config import SystemConfig
+from repro.core.policy import Priority
+from repro.workloads.spec import HotSpotWorkload
+
+SCHEMA = "repro-bench-kernels@1"
+
+
+def best_of(repeat: int, func: Callable[[], object]) -> float:
+    """Minimum wall-clock seconds of ``repeat`` invocations."""
+    best = float("inf")
+    for _ in range(repeat):
+        started = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def kernel_pairs():
+    """The benchmarked (name, config, workload) kernel comparisons."""
+    uniform = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS)
+    yield "unbuffered_8x16_r8", uniform, None
+    yield "buffered_8x16_r8", uniform.with_buffers(), None
+    yield (
+        "hot_spot_8x16_r8",
+        uniform,
+        HotSpotWorkload(hot_fraction=0.3),
+    )
+    yield (
+        "partial_load_8x16_r8_p05",
+        SystemConfig(8, 16, 8, request_probability=0.5,
+                     priority=Priority.PROCESSORS),
+        None,
+    )
+
+
+def time_simulation(
+    config, workload, cycles: int, kernel: str
+) -> Callable[[], object]:
+    from repro.parallel.workers import SimulationCase, run_case
+
+    def run():
+        return run_case(
+            SimulationCase(config, cycles, seed=1, workload=workload,
+                           kernel=kernel)
+        )
+
+    return run
+
+
+def time_figure2(cycles: int, kernel: str) -> Callable[[], object]:
+    import dataclasses
+
+    from repro.scenarios.execute import run_scenario
+    from repro.scenarios.registry import get_scenario
+
+    spec = dataclasses.replace(get_scenario("figure2"), cycles=cycles)
+
+    def run():
+        return run_scenario(spec, kernel=kernel)
+
+    return run
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the simulation kernels and the figure2 scenario, "
+        "writing a stable-schema JSON perf baseline."
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default="BENCH_kernels.json",
+        help="output file (default BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--cycles",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="simulated cycles per kernel benchmark (default 100000)",
+    )
+    parser.add_argument(
+        "--figure-cycles",
+        type=int,
+        default=4_000,
+        metavar="N",
+        help="cycles per figure2 scenario unit (default 4000)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        metavar="K",
+        help="runs per benchmark; best is recorded (default 3)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized run: fewer cycles, single repetition",
+    )
+    args = parser.parse_args(argv)
+    cycles = 20_000 if args.quick else args.cycles
+    figure_cycles = 1_500 if args.quick else args.figure_cycles
+    repeat = 1 if args.quick else args.repeat
+
+    results = []
+    speedups = {}
+    for name, config, workload in kernel_pairs():
+        pair = {}
+        for kernel in ("reference", "fast"):
+            seconds = best_of(
+                repeat, time_simulation(config, workload, cycles, kernel)
+            )
+            pair[kernel] = seconds
+            results.append(
+                {
+                    "name": f"kernel_{kernel}_{name}",
+                    "seconds": seconds,
+                    "meta": {
+                        "cycles": cycles,
+                        "kernel": kernel,
+                        "config": config.describe(),
+                        "workload": workload.describe() if workload else "uniform",
+                    },
+                }
+            )
+        speedups[name] = pair["reference"] / pair["fast"]
+        print(
+            f"{name}: reference {pair['reference']:.3f}s, "
+            f"fast {pair['fast']:.3f}s, speedup {speedups[name]:.2f}x",
+            file=sys.stderr,
+        )
+    for kernel in ("reference", "fast"):
+        seconds = best_of(1, time_figure2(figure_cycles, kernel))
+        results.append(
+            {
+                "name": f"scenario_figure2_{kernel}",
+                "seconds": seconds,
+                "meta": {"cycles": figure_cycles, "kernel": kernel},
+            }
+        )
+        print(f"scenario_figure2_{kernel}: {seconds:.3f}s", file=sys.stderr)
+    reference, fast = results[-2]["seconds"], results[-1]["seconds"]
+    speedups["scenario_figure2"] = reference / fast
+
+    payload = {
+        "schema": SCHEMA,
+        "python": sys.version,
+        "parameters": {
+            "cycles": cycles,
+            "figure_cycles": figure_cycles,
+            "repeat": repeat,
+        },
+        "results": results,
+        "speedups": speedups,
+    }
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,10 @@ Public API tour
 * :class:`SystemConfig` describes a system (n, m, r, p, priority,
   buffering);
 * :func:`simulate` runs the cycle-accurate machine simulator;
+* :mod:`repro.engine` is the unified evaluation layer: every method
+  (simulation, markov, mva, crossbar, bandwidth, bounds, approx) behind
+  one evaluator registry with capability declarations - see
+  ``ARCHITECTURE.md``;
 * :mod:`repro.models` evaluates the paper's analytical models;
 * :mod:`repro.queueing` solves the Section 6 product-form comparison;
 * :mod:`repro.experiments` regenerates every table and figure

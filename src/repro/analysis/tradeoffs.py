@@ -23,7 +23,6 @@ from repro.bus import simulate
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
 from repro.core.policy import Priority
-from repro.models.crossbar import crossbar_exact_ebw
 
 
 @dataclasses.dataclass(frozen=True)
@@ -42,7 +41,11 @@ class EquivalenceSearchResult:
 
 def crossbar_target(processors: int, memories: int) -> float:
     """The exact EBW of a ``processors x memories`` crossbar."""
-    return crossbar_exact_ebw(SystemConfig(processors, memories, 1)).ebw
+    from repro.engine import EvaluationMethod, evaluate_config
+
+    return evaluate_config(
+        SystemConfig(processors, memories, 1), EvaluationMethod.CROSSBAR
+    ).ebw
 
 
 def find_crossbar_equivalent(

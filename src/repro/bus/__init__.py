@@ -18,6 +18,7 @@ from repro.bus.trace import (
     TraceSink,
 )
 from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
 from repro.core.results import SimulationResult
 from repro.workloads.generators import TargetSampler
 
@@ -30,6 +31,7 @@ def simulate(
     targets: TargetSampler | None = None,
     request_probabilities=None,
     collect_latency: bool = False,
+    kernel: str = "reference",
 ) -> SimulationResult:
     """Build a :class:`MultiplexedBusSystem` and run it once.
 
@@ -47,7 +49,32 @@ def simulate(
     attaches streaming wait/service/total latency summaries
     (:mod:`repro.metrics`) to the result without touching any random
     stream - identical seeds keep producing identical counters.
+
+    ``kernel`` selects the cycle-loop implementation: ``"reference"``
+    runs the component-object machine above, ``"fast"`` runs the
+    flattened preallocated-array loop of :mod:`repro.bus.kernel`, which
+    is property-tested bit-identical (counters, latency summaries, RNG
+    consumption) and several times faster.  The fast kernel covers the
+    library's own target samplers (uniform/hot-spot/trace); a custom
+    :class:`TargetSampler` object requires the reference kernel.
     """
+    if kernel == "fast":
+        from repro.bus.kernel import run_fast
+
+        return run_fast(
+            config,
+            cycles=cycles,
+            seed=seed,
+            warmup=warmup,
+            targets=targets,
+            request_probabilities=request_probabilities,
+            collect_latency=collect_latency,
+        )
+    if kernel != "reference":
+        raise ConfigurationError(
+            f"unknown simulation kernel {kernel!r}; "
+            "known kernels: reference, fast"
+        )
     system = MultiplexedBusSystem(
         config,
         seed=seed,

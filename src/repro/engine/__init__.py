@@ -1,0 +1,72 @@
+"""The unified evaluation-engine layer.
+
+One abstraction for every way the library attaches numbers to a
+configuration: evaluators declare capabilities, serve
+``EvalRequest -> EvalResult``, and contribute versioned engine tokens to
+cache keys.  See :mod:`repro.engine.base` for the value types,
+:mod:`repro.engine.evaluators` for the built-in machines and
+:mod:`repro.engine.registry` for the dispatch point, and
+``ARCHITECTURE.md`` at the repository root for how the layer sits
+between workloads/scenarios above and kernels/models below.
+"""
+
+from __future__ import annotations
+
+from repro.engine.base import (
+    ALL_WORKLOAD_KINDS,
+    EvalRequest,
+    EvalResult,
+    EvaluationMethod,
+    Evaluator,
+    EvaluatorCapabilities,
+    LITTLES_LAW_TOKEN,
+    LittlesLawLatency,
+    UNIFORM_ONLY,
+)
+from repro.engine.registry import (
+    all_evaluators,
+    get_evaluator,
+    register_evaluator,
+)
+
+
+def evaluate(request: EvalRequest, method: EvaluationMethod | str) -> EvalResult:
+    """Validate ``request`` against ``method``'s capabilities and run it.
+
+    The one-call convenience the experiment modules use for reference
+    values (crossbar lines, table models); scenario execution goes
+    through :func:`repro.scenarios.execute.evaluate_unit`, which adds
+    caching and pooling around the same registry dispatch.
+    """
+    evaluator = get_evaluator(method)
+    evaluator.capabilities.check(request)
+    return evaluator.evaluate(request)
+
+
+def evaluate_config(
+    config, method: EvaluationMethod | str, **kwargs
+) -> EvalResult:
+    """Shorthand: evaluate a bare configuration under ``method``.
+
+    Keyword arguments populate the :class:`EvalRequest` (``seed``,
+    ``cycles``, ``workload``, ...).
+    """
+    return evaluate(EvalRequest(config=config, **kwargs), method)
+
+
+__all__ = [
+    "ALL_WORKLOAD_KINDS",
+    "EvalRequest",
+    "EvalResult",
+    "EvaluationMethod",
+    "Evaluator",
+    "EvaluatorCapabilities",
+    "LITTLES_LAW_TOKEN",
+    "LittlesLawLatency",
+    "UNIFORM_ONLY",
+    "all_evaluators",
+    "evaluate",
+    "evaluate_config",
+    "get_evaluator",
+    "register_evaluator",
+]

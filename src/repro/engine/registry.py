@@ -1,0 +1,73 @@
+"""The evaluator registry: one dispatch point for every layer.
+
+The registry maps method names (the string values of
+:class:`~repro.engine.base.EvaluationMethod`) to
+:class:`~repro.engine.base.Evaluator` instances.  The scenario executor,
+the sweep helpers and the experiment modules all resolve methods here,
+so replacing or extending an evaluation machine is one
+:func:`register_evaluator` call - no dispatch site changes.
+
+Built-in evaluators self-register on import.  A custom evaluator may be
+registered under a new name (reachable through
+:func:`repro.engine.evaluate`) or may *replace* a built-in one
+(``replace=True``), e.g. to wrap simulation with instrumentation while
+keeping every scenario byte-compatible.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.errors import ConfigurationError
+from repro.engine.base import EvaluationMethod, Evaluator
+from repro.engine.evaluators import BUILTIN_EVALUATORS
+
+_REGISTRY: dict[str, Evaluator] = {}
+
+
+def _method_name(method: EvaluationMethod | str) -> str:
+    return method.value if isinstance(method, EvaluationMethod) else str(method)
+
+
+def register_evaluator(evaluator: Evaluator, replace: bool = False) -> Evaluator:
+    """Register ``evaluator`` under its declared method name.
+
+    Raises :class:`ConfigurationError` on a duplicate name unless
+    ``replace`` is set.  Returns the evaluator for decorator-ish use.
+    """
+    capabilities = getattr(evaluator, "capabilities", None)
+    if capabilities is None or not hasattr(evaluator, "evaluate"):
+        raise ConfigurationError(
+            f"{evaluator!r} is not an Evaluator: it needs a 'capabilities' "
+            "declaration and an 'evaluate' method"
+        )
+    name = _method_name(capabilities.method)
+    if not replace and name in _REGISTRY:
+        raise ConfigurationError(
+            f"an evaluator for method {name!r} is already registered; "
+            "pass replace=True to substitute it"
+        )
+    _REGISTRY[name] = evaluator
+    return evaluator
+
+
+def get_evaluator(method: EvaluationMethod | str) -> Evaluator:
+    """The registered evaluator for ``method``; raises if unknown."""
+    name = _method_name(method)
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"no evaluator registered for method {name!r}; known: {known}"
+        ) from None
+
+
+def all_evaluators() -> Iterable[Evaluator]:
+    """Every registered evaluator, sorted by method name."""
+    return tuple(_REGISTRY[name] for name in sorted(_REGISTRY))
+
+
+for _evaluator in BUILTIN_EVALUATORS:
+    register_evaluator(_evaluator)
+del _evaluator

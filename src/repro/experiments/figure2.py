@@ -16,9 +16,9 @@ import dataclasses
 
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
+from repro.engine import EvaluationMethod, evaluate_config
 from repro.experiments import paper_data
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
-from repro.models.crossbar import crossbar_exact_ebw
 from repro.scenarios.compiler import compile_scenario
 from repro.scenarios.execute import run_units
 from repro.scenarios.registry import get_scenario
@@ -59,7 +59,9 @@ def run(
                 measured[(label, f"r={r}")] = ebw[(n, m, priority, r)]
         crossbar_label = f"{n}x{m} crossbar"
         rows.append(crossbar_label)
-        crossbar = crossbar_exact_ebw(SystemConfig(n, m, 1)).ebw
+        crossbar = evaluate_config(
+            SystemConfig(n, m, 1), EvaluationMethod.CROSSBAR
+        ).ebw
         for r in paper_data.FIGURE2_R_VALUES:
             # The crossbar's basic cycle is (r+2)t, so its EBW per
             # processor cycle is flat in r.

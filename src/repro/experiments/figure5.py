@@ -11,9 +11,9 @@ from __future__ import annotations
 import dataclasses
 
 from repro.core.config import SystemConfig
+from repro.engine import EvaluationMethod, evaluate_config
 from repro.experiments import paper_data
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
-from repro.models.crossbar import crossbar_exact_ebw
 from repro.scenarios.compiler import compile_scenario
 from repro.scenarios.execute import run_units
 from repro.scenarios.registry import get_scenario
@@ -49,7 +49,9 @@ def run(
                 measured[(label, f"r={r}")] = ebw[(n, m, buffered, r)]
         crossbar_label = f"{n}x{m} crossbar"
         rows.append(crossbar_label)
-        crossbar = crossbar_exact_ebw(SystemConfig(n, m, 1)).ebw
+        crossbar = evaluate_config(
+            SystemConfig(n, m, 1), EvaluationMethod.CROSSBAR
+        ).ebw
         for r in paper_data.FIGURE5_R_VALUES:
             measured[(crossbar_label, f"r={r}")] = crossbar
     return ExperimentResult(

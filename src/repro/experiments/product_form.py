@@ -34,8 +34,8 @@ from __future__ import annotations
 from repro.bus import MultiplexedBusSystem
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
+from repro.engine import EvaluationMethod, evaluate_config
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
-from repro.queueing.mva import product_form_ebw
 
 _M_VALUES = (4, 6, 8, 16)
 _R_VALUES = (4, 8, 12, 16)
@@ -63,17 +63,18 @@ def run(cycles: int = 60_000, seed: int = 1985) -> ExperimentResult:
             )
             row = f"m={m} r={r}"
             rows.append(row)
-            machine = (
-                MultiplexedBusSystem(config, seed=seed)
-                .run(cycles)
-                .ebw
-            )
+            machine = evaluate_config(
+                config, EvaluationMethod.SIMULATION, cycles=cycles, seed=seed
+            ).ebw
+            # Geometric access times are a reference-machine-only lever
+            # (outside the engine's declarative surface), so this column
+            # instantiates the machine directly.
             geometric = (
                 MultiplexedBusSystem(config, seed=seed, geometric_access_times=True)
                 .run(cycles)
                 .ebw
             )
-            mva = product_form_ebw(config)
+            mva = evaluate_config(config, EvaluationMethod.MVA).ebw
             exponential_ebw = min(geometric, mva)
             measured[(row, "machine")] = machine
             measured[(row, "geom-machine")] = geometric

@@ -4,15 +4,19 @@ from __future__ import annotations
 
 from repro.core.config import SystemConfig
 from repro.core.policy import Priority
+from repro.engine import EvaluationMethod, evaluate_config
 from repro.experiments import paper_data
 from repro.experiments.registry import ExperimentResult, ExperimentSpec, register
-from repro.models.exact_memory_priority import exact_memory_priority_ebw
 
 _SIZES = (2, 4, 6, 8)
 
 
 def run() -> ExperimentResult:
-    """Evaluate the Section 3.1.1 exact chain over the Table 1 grid."""
+    """Evaluate the Section 3.1.1 exact chain over the Table 1 grid.
+
+    Dispatches through the engine registry: the ``markov`` evaluator
+    resolves priority-to-memories configurations to the exact chain.
+    """
     measured: dict[tuple[str, str], float] = {}
     reference: dict[tuple[str, str], float] = {}
     for n in _SIZES:
@@ -24,7 +28,9 @@ def run() -> ExperimentResult:
                 priority=Priority.MEMORIES,
             )
             key = (f"n={n}", f"m={m}")
-            measured[key] = exact_memory_priority_ebw(config).ebw
+            measured[key] = evaluate_config(
+                config, EvaluationMethod.MARKOV
+            ).ebw
             reference[key] = paper_data.TABLE1_EXACT_MEMORY_PRIORITY[(n, m)]
     return ExperimentResult(
         experiment_id="table1",

@@ -17,6 +17,7 @@ merge contract needs it to be.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 
 from repro.core.errors import ConfigurationError
@@ -42,6 +43,12 @@ class StreamingQuantiles:
                  "_minimum", "_maximum", "_buffer", "_estimators")
 
     def __init__(self, exact_limit: int = DEFAULT_EXACT_LIMIT) -> None:
+        # Validate up front, exactly like P2Quantile does: a too-small
+        # limit must fail here, not mid-run at the P2 transition.
+        if not isinstance(exact_limit, int) or exact_limit < 5:
+            raise ConfigurationError(
+                f"exact_limit must be an integer >= 5, got {exact_limit!r}"
+            )
         self.exact_limit = exact_limit
         self.count = 0
         self._int_total = 0
@@ -57,6 +64,10 @@ class StreamingQuantiles:
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             raise ConfigurationError(
                 f"latency observations must be numbers, got {value!r}"
+            )
+        if not math.isfinite(value):
+            raise ConfigurationError(
+                f"latency observations must be finite, got {value!r}"
             )
         if value < 0:
             raise ConfigurationError(

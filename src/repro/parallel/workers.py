@@ -53,6 +53,11 @@ class SimulationCase:
     warmup: int | None = None
     workload: WorkloadSpec | None = None
     collect_latency: bool = False
+    kernel: str = "reference"
+    """Simulation-loop implementation (``"reference"`` or ``"fast"``).
+    The two loops are property-tested bit-identical, so the kernel is an
+    execution lever - it is deliberately **not** part of
+    :func:`repro.parallel.cache.case_payload`."""
 
 
 def run_case(case: SimulationCase) -> SimulationResult:
@@ -73,6 +78,7 @@ def run_case(case: SimulationCase) -> SimulationResult:
         targets=targets,
         request_probabilities=request_probabilities,
         collect_latency=case.collect_latency,
+        kernel=case.kernel,
     )
 
 

@@ -86,3 +86,38 @@ def product_form_ebw(config: SystemConfig) -> float:
     """
     solution = solve_mva(buffered_bus_network(config))
     return solution.throughput * config.processor_cycle
+
+
+def solve_littles_law(config: SystemConfig):
+    """Analytic mean-wait/queue-length metrics of the product-form model.
+
+    Applies Little's law ``N = X R`` to the solved central-server
+    network: the mean issue-to-response residence time is the closed
+    cycle time minus the think (delay-station) time, the mean wait is
+    residence minus the per-request service demand ``r + 2`` (two bus
+    transfers plus one memory access), and the queue lengths come
+    straight from the MVA recursion.  These are the exact means of the
+    exponential model - the columns ``--metrics latency`` emits for the
+    ``mva`` method where the simulator would emit percentile summaries.
+    """
+    from repro.engine.base import LittlesLawLatency
+
+    solution = solve_mva(buffered_bus_network(config))
+    think = sum(
+        station.demand
+        for station in solution.network.stations
+        if station.kind is StationKind.DELAY
+    )
+    total_mean = config.processors / solution.throughput - think
+    service = 2.0 + config.memory_cycle_ratio
+    memory_queues = [
+        length
+        for name, length in solution.queue_lengths.items()
+        if name.startswith("memory-")
+    ]
+    return LittlesLawLatency(
+        wait_mean=total_mean - service,
+        total_mean=total_mean,
+        queue_bus=solution.queue_lengths["bus"],
+        queue_memory=sum(memory_queues) / len(memory_queues),
+    )

@@ -345,3 +345,42 @@ PRODUCT_FORM_MVA = register_scenario(
         plan=ReplicationPlan(1, PAPER_SEED),
     )
 )
+
+BOUNDS_ENVELOPE = register_scenario(
+    ScenarioSpec(
+        name="bounds-envelope",
+        description="Balanced-job bound midpoints over the product-form "
+        "grid - the zero-cost envelope a designer checks before "
+        "simulating anything",
+        base={
+            "processors": paper_data.TABLE4_PROCESSORS,
+            "priority": Priority.PROCESSORS,
+            "buffered": True,
+        },
+        grid=(
+            GridAxis("memories", (4, 8, 16)),
+            GridAxis("memory_cycle_ratio", (6, 12, 24)),
+        ),
+        method=EvaluationMethod.BOUNDS,
+        plan=ReplicationPlan(1, PAPER_SEED),
+    )
+)
+
+APPROX_VS_EXACT = register_scenario(
+    ScenarioSpec(
+        name="approx-vs-exact",
+        description="Section 3.2/4 approximations over the Table 1 grid, "
+        "priority to memories - diff against the markov method to see "
+        "the combinational profile's error",
+        base={
+            "memory_cycle_ratio": 9,
+            "priority": Priority.MEMORIES,
+        },
+        grid=(
+            GridAxis("processors", (2, 4, 6, 8)),
+            GridAxis("memories", (2, 4, 6, 8)),
+        ),
+        method=EvaluationMethod.APPROX,
+        plan=ReplicationPlan(1, PAPER_SEED),
+    )
+)

@@ -95,6 +95,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "to every unit line (simulation scenarios only)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("reference", "fast"),
+        default="reference",
+        help="simulation-loop implementation; 'fast' runs the flattened "
+        "bit-identical kernel (repro.bus.kernel) - same bytes, less time",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="shorthand for --kernel fast",
+    )
+    parser.add_argument(
         "--cache",
         action=argparse.BooleanOptionalAction,
         default=True,
@@ -109,6 +121,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be a positive integer")
+    kernel = "fast" if args.fast else args.kernel
     if args.scenario is None:
         print(list_scenarios())
         return 0
@@ -125,7 +138,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 spec,
                 plan=ReplicationPlan(spec.plan.replications, args.seed),
             )
-        units = compile_scenario(spec)
+        units = compile_scenario(spec, kernel=kernel)
         total = len(units)
         if args.shard is not None:
             shard_index, shard_count = parse_shard(args.shard)

@@ -26,12 +26,16 @@ from typing import Any, Iterable, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
-from repro.parallel.cache import case_payload, config_payload
+from repro.engine.base import EvalRequest
+from repro.engine.registry import get_evaluator
 from repro.parallel.workers import SimulationCase
 from repro.scenarios.spec import EvaluationMethod, ScenarioSpec
-from repro.workloads.spec import WorkloadSpec, workload_payload
+from repro.workloads.spec import WorkloadSpec
 
 _SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
+
+DEFAULT_KERNEL = "reference"
+"""Simulation-loop implementation units run under by default."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -49,62 +53,83 @@ class WorkUnit:
     replication: int
     metrics: tuple[str, ...] = ()
     """Extra metric families this unit collects (e.g. ``("latency",)``)."""
+    kernel: str = DEFAULT_KERNEL
+    """Simulation-loop implementation (``"reference"`` or ``"fast"``).
+    Both are property-tested bit-identical, so the kernel is an
+    execution lever like ``--jobs`` - it never enters :meth:`payload`."""
 
     @property
     def collects_latency(self) -> bool:
         """Whether this unit records per-request latency distributions."""
         return "latency" in self.metrics
 
+    def request(self) -> EvalRequest:
+        """The engine-layer request this unit evaluates."""
+        return EvalRequest(
+            config=self.config,
+            workload=self.workload,
+            cycles=self.cycles,
+            warmup=self.warmup,
+            seed=self.seed,
+            metrics=self.metrics,
+            kernel=self.kernel,
+        )
+
     def case(self) -> SimulationCase:
         """The :class:`SimulationCase` a simulation unit executes."""
-        return SimulationCase(
-            config=self.config,
-            cycles=self.cycles,
-            seed=self.seed,
-            warmup=self.warmup,
-            workload=self.workload,
-            collect_latency=self.collects_latency,
-        )
+        return self.request().case()
 
     def payload(self) -> dict[str, Any]:
         """Content-addressed identity of the computation.
 
-        Excludes ``index``, ``scenario`` and ``replication``: two units
-        that perform the same computation hash identically wherever they
-        appear, which is what lets shards and unrelated scenarios share
-        cache entries.  Simulation units share the library-wide
-        :func:`~repro.parallel.cache.case_payload` encoding - which adds
-        a **versioned metrics field** for latency-collecting units, so a
-        metric-bearing cache entry (whose value carries latency
-        payloads) can never collide with a metric-less one, nor with
-        entries written under an older metrics format.  Analytic
-        methods are deterministic functions of the configuration alone,
-        so their keys exclude seed/cycles/warmup - replications and
-        ``--cycles`` overrides then hit the same entry instead of
-        recomputing the identical closed-form value.
+        Excludes ``index``, ``scenario``, ``replication`` and
+        ``kernel``: two units that perform the same computation hash
+        identically wherever they appear, which is what lets shards and
+        unrelated scenarios share cache entries.  The encoding is
+        delegated to the unit's evaluator
+        (:meth:`repro.engine.base.Evaluator.cache_payload`), which adds
+        its versioned engine token: simulation units cover the full case
+        (config, workload, seed, cycles, warmup, versioned metrics
+        field); analytic methods are deterministic functions of the
+        configuration alone, so their keys exclude seed/cycles/warmup -
+        replications and ``--cycles`` overrides then hit the same entry
+        instead of recomputing the identical closed-form value.
         """
-        if self.method is EvaluationMethod.SIMULATION:
-            payload = case_payload(self.case())
-        else:
-            payload = {
-                "config": config_payload(self.config),
-                "workload": workload_payload(self.workload),
-            }
-        payload["method"] = str(self.method)
-        return payload
+        return get_evaluator(self.method).cache_payload(self.request())
 
 
-def compile_scenario(spec: ScenarioSpec) -> tuple[WorkUnit, ...]:
+def compile_scenario(
+    spec: ScenarioSpec, kernel: str = DEFAULT_KERNEL
+) -> tuple[WorkUnit, ...]:
     """Lower ``spec`` into its canonical ordered work-unit tuple.
 
     The order is total and reproducible: grid points in the spec's
     row-major axis order, and within each point the replication seeds in
     plan order.  Compiling the same spec twice yields equal tuples.
+
+    Every grid point is validated against the method's evaluator
+    capabilities (:class:`~repro.engine.base.EvaluatorCapabilities`), so
+    a sweep that would fail mid-run - e.g. the combinational bandwidth
+    model over a buffered configuration - is rejected here, at scenario
+    load time, with a message naming the offending point.
+
+    ``kernel`` selects the simulation-loop implementation for every
+    compiled unit (``"reference"`` or ``"fast"``); the two are
+    bit-identical, so the choice affects wall-clock only.
     """
+    capabilities = get_evaluator(spec.method).capabilities
     units: list[WorkUnit] = []
     seeds = spec.plan.seeds
     index = 0
     for config, workload in spec.points():
+        try:
+            capabilities.check_workload_kind(workload.kind)
+            capabilities.check_config(config)
+        except ConfigurationError as exc:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} grid point {config.describe()} "
+                f"is not evaluable: {exc}"
+            ) from exc
         for replication, seed in enumerate(seeds):
             units.append(
                 WorkUnit(
@@ -118,6 +143,7 @@ def compile_scenario(spec: ScenarioSpec) -> tuple[WorkUnit, ...]:
                     seed=seed,
                     replication=replication,
                     metrics=spec.metrics,
+                    kernel=kernel,
                 )
             )
             index += 1

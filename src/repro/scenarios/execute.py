@@ -23,13 +23,12 @@ import dataclasses
 from typing import Any, Iterable, Sequence
 
 from repro.core.errors import ConfigurationError, ExperimentError
+from repro.engine.base import EvalResult, EvaluationMethod, LittlesLawLatency
+from repro.engine.registry import get_evaluator
 from repro.metrics import LatencyReport
 from repro.parallel.pool import map_ordered
-from repro.parallel.workers import run_case
 from repro.scenarios.compiler import WorkUnit, compile_scenario, shard_units
-from repro.scenarios.spec import EvaluationMethod, ScenarioSpec
-
-_METRIC_KEYS = ("ebw", "processor_utilization", "bus_utilization")
+from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -43,85 +42,57 @@ class UnitResult:
     cached: bool = False
     latency: LatencyReport | None = None
     """Wait/service/total latency summaries (latency-metric units only)."""
+    littles: LittlesLawLatency | None = None
+    """Analytic Little's-law means (``mva`` units with the latency
+    metric)."""
 
 
 def evaluate_unit(unit: WorkUnit) -> dict[str, Any]:
     """Evaluate one work unit (module-level, hence pool-safe).
 
-    Returns a plain JSON-able metrics mapping so the value can be cached
-    verbatim; floats round-trip exactly through JSON, so cached and
+    Resolves the unit's method in the evaluator registry
+    (:mod:`repro.engine.registry`) and returns the evaluation's plain
+    JSON-able metrics mapping so the value can be cached verbatim;
+    floats round-trip exactly through JSON, so cached and
     freshly-computed runs are byte-identical.  Latency-metric units add
     a ``"latency"`` entry holding the exact (rational-encoded)
-    wait/service/total summaries, which also round-trip exactly.
+    wait/service/total summaries (or, for the ``mva`` method, a
+    ``"littles_law"`` entry with the analytic means), which also
+    round-trip exactly.
     """
+    return get_evaluator(unit.method).evaluate(unit.request()).payload()
+
+
+def _expectations(unit: WorkUnit) -> tuple[bool, bool]:
+    """Which latency payload flavours this unit's metrics must carry."""
+    if not unit.collects_latency:
+        return False, False
     if unit.method is EvaluationMethod.SIMULATION:
-        result = run_case(unit.case())
-        metrics: dict[str, Any] = {
-            "ebw": result.ebw,
-            "processor_utilization": result.processor_utilization,
-            "bus_utilization": result.bus_utilization,
-        }
-        if unit.collects_latency:
-            assert result.latency is not None
-            metrics["latency"] = result.latency.payload()
-        return metrics
-    if unit.method is EvaluationMethod.MARKOV:
-        from repro.core.policy import Priority
-        from repro.models.exact_memory_priority import exact_memory_priority_ebw
-        from repro.models.processor_priority import processor_priority_ebw
-
-        if unit.config.priority is Priority.PROCESSORS:
-            model = processor_priority_ebw(unit.config)
-        else:
-            model = exact_memory_priority_ebw(unit.config)
-    elif unit.method is EvaluationMethod.MVA:
-        from repro.core import metrics
-        from repro.queueing.mva import product_form_ebw
-
-        ebw = product_form_ebw(unit.config)
-        return {
-            "ebw": ebw,
-            "processor_utilization": metrics.processor_utilization(
-                ebw, unit.config
-            ),
-            "bus_utilization": metrics.bus_utilization_from_ebw(
-                ebw, unit.config.memory_cycle_ratio
-            ),
-        }
-    elif unit.method is EvaluationMethod.CROSSBAR:
-        from repro.models.crossbar import crossbar_exact_ebw
-
-        model = crossbar_exact_ebw(unit.config)
-    elif unit.method is EvaluationMethod.BANDWIDTH:
-        from repro.models.bandwidth import combinational_bandwidth_ebw
-
-        model = combinational_bandwidth_ebw(unit.config)
-    else:  # pragma: no cover - enum is closed
-        raise ConfigurationError(f"unknown evaluation method {unit.method!r}")
-    return {
-        "ebw": model.ebw,
-        "processor_utilization": model.processor_utilization,
-        "bus_utilization": model.bus_utilization,
-    }
+        return True, False
+    return False, True
 
 
 def _result_from_metrics(
     unit: WorkUnit, metrics: Any, cached: bool
 ) -> UnitResult:
+    expect_latency, expect_littles = _expectations(unit)
     try:
-        latency = None
-        if unit.collects_latency:
-            # A cached entry without the latency payload (or with a
-            # stale format) is malformed for this unit and triggers a
-            # recompute, exactly like a missing ebw would.
-            latency = LatencyReport.from_payload(metrics["latency"])
+        # A cached entry without the latency payload (or with a stale
+        # format) is malformed for this unit and triggers a recompute,
+        # exactly like a missing ebw would.
+        value = EvalResult.from_payload(
+            metrics,
+            expect_latency=expect_latency,
+            expect_littles=expect_littles,
+        )
         return UnitResult(
             unit=unit,
-            ebw=float(metrics["ebw"]),
-            processor_utilization=float(metrics["processor_utilization"]),
-            bus_utilization=float(metrics["bus_utilization"]),
+            ebw=value.ebw,
+            processor_utilization=value.processor_utilization,
+            bus_utilization=value.bus_utilization,
             cached=cached,
-            latency=latency,
+            latency=value.latency,
+            littles=value.littles,
         )
     except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
         raise ExperimentError(
@@ -200,9 +171,15 @@ def run_scenario(
     shard: tuple[int, int] | None = None,
     jobs: int | None = 1,
     cache=None,
+    kernel: str = "reference",
 ) -> list[UnitResult]:
-    """Compile ``spec``, optionally take one shard, and execute it."""
-    units = compile_scenario(spec)
+    """Compile ``spec``, optionally take one shard, and execute it.
+
+    ``kernel`` selects the simulation loop (``"reference"`` or
+    ``"fast"``); the two are bit-identical, so it changes wall-clock
+    only - exactly like ``jobs`` and ``cache``.
+    """
+    units = compile_scenario(spec, kernel=kernel)
     if shard is not None:
         shard_index, shard_count = shard
         units = shard_units(units, shard_index, shard_count)
@@ -263,6 +240,14 @@ def unit_line(result: UnitResult) -> str:
             f"{_summary_columns('wait', report.wait)} "
             f"{_summary_columns('serv', report.service)} "
             f"{_summary_columns('lat', report.total)}"
+        )
+    if result.littles is not None:
+        littles = result.littles
+        line += (
+            f" wait_mean={littles.wait_mean:.6f} "
+            f"total_mean={littles.total_mean:.6f} "
+            f"qlen_bus={littles.queue_bus:.6f} "
+            f"qlen_mem={littles.queue_memory:.6f}"
         )
     return line
 

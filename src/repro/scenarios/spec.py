@@ -32,6 +32,7 @@ from typing import Any, Iterator, Mapping, Sequence
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
 from repro.core.policy import Priority, TieBreak
+from repro.engine.base import ALL_WORKLOAD_KINDS, EvaluationMethod
 from repro.workloads.spec import (
     UniformWorkload,
     WorkloadSpec,
@@ -45,41 +46,6 @@ CONFIG_FIELDS: tuple[str, ...] = tuple(
 
 WORKLOAD_FIELD_PREFIX = "workload."
 """Axis fields starting with this prefix override workload-spec fields."""
-
-
-class EvaluationMethod(enum.Enum):
-    """How one scenario point is evaluated."""
-
-    SIMULATION = "simulation"
-    """Cycle-accurate bus simulation (:func:`repro.bus.simulate`)."""
-
-    MARKOV = "markov"
-    """Markov-chain models: the Section 4 reduced chain for priority to
-    processors, the Section 3 exact chain for priority to memories."""
-
-    MVA = "mva"
-    """Product-form Mean Value Analysis (:mod:`repro.queueing.mva`)."""
-
-    CROSSBAR = "crossbar"
-    """Closed-form exact crossbar EBW (:mod:`repro.models.crossbar`)."""
-
-    BANDWIDTH = "bandwidth"
-    """The paper's Section 3.2 combinational bandwidth model: the
-    distinct-modules busy distribution (:mod:`repro.models.combinatorics`)
-    weighted through :func:`repro.models.bandwidth.ebw_from_busy_distribution`."""
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
-
-
-_ANALYTIC_METHODS = frozenset(
-    {
-        EvaluationMethod.MARKOV,
-        EvaluationMethod.MVA,
-        EvaluationMethod.CROSSBAR,
-        EvaluationMethod.BANDWIDTH,
-    }
-)
 
 KNOWN_METRICS: frozenset[str] = frozenset({"latency"})
 """Metric families a scenario may request (currently only latency)."""
@@ -315,24 +281,28 @@ class ScenarioSpec:
                     f"{', '.join(sorted(KNOWN_METRICS))}"
                 )
         metrics = tuple(sorted(set(raw_metrics)))
-        if metrics and self.method is not EvaluationMethod.SIMULATION:
-            raise ConfigurationError(
-                f"metrics {', '.join(metrics)} need per-request simulation; "
-                f"method {self.method} is analytic"
-            )
         object.__setattr__(self, "metrics", metrics)
-        if self.method in _ANALYTIC_METHODS:
-            workload_fields = [
-                field
-                for axis in grid
-                for field in axis.fields
-                if field.startswith(WORKLOAD_FIELD_PREFIX)
-            ]
-            if not isinstance(self.workload, UniformWorkload) or workload_fields:
-                raise ConfigurationError(
-                    f"method {self.method} is analytic and supports only "
-                    "the uniform workload (hypothesis (e))"
-                )
+        # Capability validation: the evaluator registry declares what
+        # each method can evaluate, so unsupported metric families and
+        # workload kinds are rejected here - at spec-construction (hence
+        # scenario-load) time - with a message naming the constraint.
+        from repro.engine.registry import get_evaluator
+
+        capabilities = get_evaluator(self.method).capabilities
+        capabilities.check_metrics(metrics)
+        workload_fields = [
+            field
+            for axis in grid
+            for field in axis.fields
+            if field.startswith(WORKLOAD_FIELD_PREFIX)
+        ]
+        capabilities.check_workload_kind(self.workload.kind)
+        if workload_fields and capabilities.workloads != ALL_WORKLOAD_KINDS:
+            raise ConfigurationError(
+                f"method {self.method} is analytic and supports only the "
+                "uniform workload (hypothesis (e)); it cannot sweep "
+                f"workload field(s) {', '.join(workload_fields)}"
+            )
 
     # ------------------------------------------------------------------
     def points(self) -> Iterator[tuple[SystemConfig, WorkloadSpec]]:

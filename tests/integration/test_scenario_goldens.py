@@ -1,0 +1,87 @@
+"""Golden-output pin: every registered scenario through the engine layer.
+
+Runs every scenario in the registry - every evaluation method, workload
+and metric family the declarative layer exposes - in ``--fast`` mode
+(fast kernel, reduced cycles, no cache) and asserts the rendered report
+matches ``tests/golden/scenario_goldens.txt`` byte for byte.  This is
+the guard rail for the engine refactor and every future one: any change
+that perturbs dispatch, kernels, caching glue or report rendering shows
+up as a golden diff.
+
+Regenerate after an *intentional* output change with::
+
+    REPRO_REGENERATE_GOLDENS=1 python -m pytest \
+        tests/integration/test_scenario_goldens.py -q
+
+and commit the updated golden file alongside the change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+
+GOLDEN_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "golden"
+    / "scenario_goldens.txt"
+)
+GOLDEN_CYCLES = 1_200
+"""Cycles per unit: small enough for CI, long enough to exercise
+warm-up, batching and the latency pipeline."""
+
+_HEADER = "== "
+
+
+def generate_report() -> str:
+    """One deterministic text block per registered scenario."""
+    from repro.scenarios.execute import render_report, run_scenario
+    from repro.scenarios.registry import all_scenarios
+
+    blocks = []
+    for spec in all_scenarios():
+        runnable = dataclasses.replace(spec, cycles=GOLDEN_CYCLES)
+        report = render_report(run_scenario(runnable, kernel="fast"))
+        blocks.append(f"{_HEADER}{spec.name} cycles={GOLDEN_CYCLES}\n{report}")
+    return "\n".join(blocks) + "\n"
+
+
+def test_all_registered_scenarios_match_golden():
+    actual = generate_report()
+    if os.environ.get("REPRO_REGENERATE_GOLDENS"):
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(actual, encoding="utf-8")
+    expected = GOLDEN_PATH.read_text(encoding="utf-8")
+    if actual != expected:
+        actual_blocks = {
+            block.splitlines()[0]: block
+            for block in actual.split(_HEADER)
+            if block
+        }
+        expected_blocks = {
+            block.splitlines()[0]: block
+            for block in expected.split(_HEADER)
+            if block
+        }
+        changed = sorted(
+            name
+            for name in set(actual_blocks) | set(expected_blocks)
+            if actual_blocks.get(name) != expected_blocks.get(name)
+        )
+        raise AssertionError(
+            "scenario reports diverge from tests/golden/scenario_goldens.txt "
+            f"for: {', '.join(changed)}; if the change is intentional, "
+            "regenerate with REPRO_REGENERATE_GOLDENS=1 (see module docstring)"
+        )
+
+
+def test_fast_and_reference_kernels_share_report_bytes():
+    """Spot-check the kernel contract at the report level (one scenario)."""
+    from repro.scenarios.execute import render_report, run_scenario
+    from repro.scenarios.registry import get_scenario
+
+    spec = dataclasses.replace(get_scenario("hot_spot"), cycles=400)
+    fast = render_report(run_scenario(spec, kernel="fast"))
+    reference = render_report(run_scenario(spec, kernel="reference"))
+    assert fast == reference

@@ -78,6 +78,20 @@ class TestStreamingQuantiles:
         with pytest.raises(ConfigurationError):
             collector.add(True)  # type: ignore[arg-type]
 
+    def test_rejects_non_finite_observations(self):
+        collector = StreamingQuantiles()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ConfigurationError, match="finite"):
+                collector.add(bad)
+        # The guard fires before any counter moves: state stays clean.
+        assert collector.count == 0
+
+    def test_rejects_too_small_exact_limit_at_construction(self):
+        # P2Quantile needs >= 5 seed observations; the wrapper must fail
+        # here, not at the mid-run exact-to-streaming transition.
+        with pytest.raises(ConfigurationError, match="exact_limit"):
+            StreamingQuantiles(exact_limit=3)
+
     def test_untracked_quantile_rejected(self):
         collector = StreamingQuantiles()
         collector.add(1)

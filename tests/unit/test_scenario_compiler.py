@@ -235,10 +235,10 @@ class TestVersionedMetricsCacheKeys:
             metric_unit.payload()
         )
 
-    def test_plain_payload_shape_matches_pre_metrics_format(self):
-        # The exact key set the pre-metrics compiler produced: hitting
-        # (not missing) old-format cache entries for metric-less runs is
-        # part of the compatibility story.
+    def test_plain_payload_shape_is_stable(self):
+        # The pre-engine key set plus the evaluator's versioned engine
+        # token; any accidental extra/missing field would silently remap
+        # every cache key.
         payload = compile_scenario(tiny_spec())[0].payload()
         assert set(payload) == {
             "config",
@@ -247,7 +247,17 @@ class TestVersionedMetricsCacheKeys:
             "warmup",
             "workload",
             "method",
+            "engine",
         }
+        assert payload["engine"] == "simulation@1"
+
+    def test_kernel_never_enters_the_payload(self):
+        # The two kernels are bit-identical, so fast and reference units
+        # must share cache entries.
+        reference = compile_scenario(tiny_spec())[0]
+        fast = compile_scenario(tiny_spec(), kernel="fast")[0]
+        assert fast.kernel == "fast"
+        assert reference.payload() == fast.payload()
 
     def test_version_bump_would_retire_entries(self):
         from repro.metrics import LATENCY_METRICS_VERSION

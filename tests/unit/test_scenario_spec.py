@@ -329,16 +329,30 @@ class TestMetricsField:
         "method",
         [
             EvaluationMethod.MARKOV,
-            EvaluationMethod.MVA,
             EvaluationMethod.CROSSBAR,
             EvaluationMethod.BANDWIDTH,
+            EvaluationMethod.BOUNDS,
+            EvaluationMethod.APPROX,
         ],
     )
-    def test_metrics_require_simulation(self, method):
+    def test_metrics_need_a_capable_evaluator(self, method):
         with pytest.raises(ConfigurationError, match="analytic"):
             ScenarioSpec(
                 name="s", base=self.BASE, method=method, metrics=("latency",)
             )
+
+    def test_mva_supports_the_latency_metric(self):
+        # The mva evaluator serves the latency metric analytically
+        # (Little's-law mean-wait/queue-length columns).
+        base = dict(self.BASE)
+        base["buffered"] = True
+        spec = ScenarioSpec(
+            name="s",
+            base=base,
+            method=EvaluationMethod.MVA,
+            metrics=("latency",),
+        )
+        assert spec.metrics == ("latency",)
 
     def test_payload_lists_metrics(self):
         spec = ScenarioSpec(name="s", base=self.BASE, metrics=("latency",))
