@@ -10,6 +10,8 @@ pairs (plus the speedup ratios) in ``BENCH_kernels.json`` for CI.
 
 from __future__ import annotations
 
+import pytest
+
 from repro.bus import MultiplexedBusSystem
 from repro.bus.kernel import FastBusKernel
 from repro.core.config import SystemConfig
@@ -129,3 +131,23 @@ def test_kernel_event_engine(benchmark):
 
     processed = benchmark(run_events)
     assert processed == 10_000
+
+
+def test_kernel_batch_fleet_cycles(benchmark):
+    """Lockstep throughput of a 64-row fleet (batch kernel).
+
+    Measures whole-fleet cycles: divide by 64 for the per-row cost the
+    ``batch_fleet_*`` entries of BENCH_kernels.json compare across
+    kernels.
+    """
+    pytest.importorskip("numpy")
+    from repro.bus.batch import BatchBusKernel
+
+    config = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS)
+    kernel = BatchBusKernel([config] * 64, list(range(64)))
+
+    def run_block():
+        kernel.advance(500)
+        return kernel.cycle
+
+    benchmark(run_block)

@@ -10,6 +10,7 @@ Usage::
 
     python benchmarks/run_benchmarks.py --json BENCH_kernels.json
     python benchmarks/run_benchmarks.py --json out.json --quick
+    python benchmarks/run_benchmarks.py --json out.json --compare BENCH_kernels.json
 
 Schema (``repro-bench-kernels@1``)::
 
@@ -24,6 +25,23 @@ Schema (``repro-bench-kernels@1``)::
 ``results`` names are stable identifiers; ``seconds`` is the best of
 ``--repeat`` runs (wall clock, :func:`time.perf_counter`).  Timings are
 machine-dependent; the *speedups* are the portable signal.
+
+``--compare OLD.json`` prints a per-benchmark speedup/regression table
+against a previously written report and exits with status 4 when any
+same-parameter benchmark slowed down - or any speedup ratio dropped -
+by more than 25%.  Reports with different parameters (e.g. a
+``--quick`` run against the full baseline) compare *nothing* - every
+row prints "skipped (parameters differ)", because neither raw seconds
+nor the fleet speedup ratios are comparable across run sizes.  Compare
+like with like: quick runs against the committed quick baseline
+(``BENCH_kernels_quick.json``, which is what CI does), full runs
+against ``BENCH_kernels.json``.  ``--compare-only`` skips benchmarking
+and compares an already-written ``--json`` report.
+
+The ``batch_fleet_*`` entries time one figure2-shaped replication fleet
+(the (16, 16) r = 8 grid point under many seeds) through all three
+kernels; the batch entries require the optional numpy extra and are
+skipped (with a warning) when it is missing.
 """
 
 from __future__ import annotations
@@ -84,6 +102,122 @@ def time_simulation(
     return run
 
 
+FLEET_CONFIG = SystemConfig(16, 16, 8, priority=Priority.PROCESSORS)
+"""The figure2 (n, m) = (16, 16), r = 8 grid point the fleet benchmark
+replicates under many seeds."""
+
+
+def time_fleet(kernel: str, rows: int, cycles: int) -> Callable[[], object]:
+    """One whole replication fleet under ``kernel``.
+
+    The batch kernel runs the fleet as a single lockstep call
+    (:func:`repro.parallel.fleet.run_fleet`); the exact kernels run the
+    same cases one by one - which is precisely the comparison the
+    fleet-aggregation layer exists to win.
+    """
+    from repro.parallel.workers import SimulationCase, run_case
+
+    cases = [
+        SimulationCase(FLEET_CONFIG, cycles, seed, kernel=kernel)
+        for seed in range(rows)
+    ]
+
+    if kernel == "batch":
+        from repro.parallel.fleet import run_fleet
+
+        def run():
+            return run_fleet(cases)
+
+    else:
+
+        def run():
+            return [run_case(case) for case in cases]
+
+    return run
+
+
+def compare_reports(old: dict, new: dict, threshold: float = 0.25):
+    """Per-benchmark comparison of two report payloads.
+
+    Returns ``(lines, regressions)``: a printable table and the names
+    that regressed - a same-parameter benchmark more than ``threshold``
+    slower, or a speedup ratio more than ``threshold`` lower.  Entries
+    whose ``meta`` parameters differ are skipped (their seconds are not
+    comparable), and when the two reports' global ``parameters`` blocks
+    differ the speedup section is skipped too: ratios like the fleet
+    speedups depend on fleet size, so a ``--quick`` run compared
+    against a full baseline must warn about nothing rather than flag
+    phantom regressions.
+    """
+    lines = [
+        f"{'benchmark':<42} {'old':>9} {'new':>9} {'ratio':>7}  status"
+    ]
+    regressions: list[str] = []
+    old_results = {entry["name"]: entry for entry in old.get("results", ())}
+    for entry in new.get("results", ()):
+        name = entry["name"]
+        previous = old_results.get(name)
+        if previous is None:
+            lines.append(f"{name:<42} {'-':>9} {entry['seconds']:>9.3f} {'-':>7}  new")
+            continue
+        if previous.get("meta") != entry.get("meta"):
+            lines.append(
+                f"{name:<42} {previous['seconds']:>9.3f} "
+                f"{entry['seconds']:>9.3f} {'-':>7}  skipped (parameters differ)"
+            )
+            continue
+        ratio = entry["seconds"] / previous["seconds"]
+        if ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 - threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        lines.append(
+            f"{name:<42} {previous['seconds']:>9.3f} "
+            f"{entry['seconds']:>9.3f} {ratio:>6.2f}x  {status}"
+        )
+    # Benchmarks the baseline had but this run lost (e.g. batch entries
+    # skipped because numpy went missing) are regressions too: a
+    # vanished benchmark could otherwise mask a real slowdown forever.
+    new_names = {entry["name"] for entry in new.get("results", ())}
+    for name in old_results:
+        if name not in new_names:
+            lines.append(
+                f"{name:<42} {old_results[name]['seconds']:>9.3f} "
+                f"{'-':>9} {'-':>7}  MISSING from new report"
+            )
+            regressions.append(name)
+    old_speedups = old.get("speedups", {})
+    parameters_match = old.get("parameters") == new.get("parameters")
+    for key, value in sorted(new.get("speedups", {}).items()):
+        previous = old_speedups.get(key)
+        name = f"speedup:{key}"
+        if previous is None or previous <= 0:
+            lines.append(f"{name:<42} {'-':>9} {value:>8.2f}x {'-':>7}  new")
+            continue
+        if not parameters_match:
+            lines.append(
+                f"{name:<42} {previous:>8.2f}x {value:>8.2f}x {'-':>7}  "
+                "skipped (parameters differ)"
+            )
+            continue
+        ratio = value / previous
+        if ratio < 1.0 - threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        elif ratio > 1.0 + threshold:
+            status = "improved"
+        else:
+            status = "ok"
+        lines.append(
+            f"{name:<42} {previous:>8.2f}x {value:>8.2f}x "
+            f"{ratio:>6.2f}x  {status}"
+        )
+    return lines, regressions
+
+
 def time_figure2(cycles: int, kernel: str) -> Callable[[], object]:
     import dataclasses
 
@@ -135,10 +269,31 @@ def main(argv=None) -> int:
         action="store_true",
         help="CI-sized run: fewer cycles, single repetition",
     )
+    parser.add_argument(
+        "--compare",
+        metavar="OLD.json",
+        help="after running, print a speedup/regression table against a "
+        "previous report and exit 4 on a >25%% regression",
+    )
+    parser.add_argument(
+        "--compare-only",
+        action="store_true",
+        help="with --compare: skip benchmarking and compare the existing "
+        "--json report against OLD.json (e.g. a CI compare step reusing "
+        "the timings the benchmark step just wrote)",
+    )
     args = parser.parse_args(argv)
+    if args.compare_only:
+        if not args.compare:
+            parser.error("--compare-only requires --compare OLD.json")
+        with open(args.json, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return _compare_and_report(args.compare, payload)
     cycles = 20_000 if args.quick else args.cycles
     figure_cycles = 1_500 if args.quick else args.figure_cycles
     repeat = 1 if args.quick else args.repeat
+    fleet_rows = 64 if args.quick else 512
+    fleet_cycles = 800 if args.quick else 2_400
 
     results = []
     speedups = {}
@@ -180,6 +335,62 @@ def main(argv=None) -> int:
     reference, fast = results[-2]["seconds"], results[-1]["seconds"]
     speedups["scenario_figure2"] = reference / fast
 
+    # Fleet benchmark: the same figure2-shaped replication block through
+    # every kernel; the batch entries need the optional numpy extra.
+    from repro.bus.batch import numpy_available
+
+    fleet_kernels = ["reference", "fast"]
+    if numpy_available():
+        fleet_kernels.append("batch")
+    else:
+        print(
+            "warning: numpy unavailable - skipping batch_fleet_batch "
+            "(install the [batch] extra)",
+            file=sys.stderr,
+        )
+    if "batch" in fleet_kernels:
+        # Untimed warm-up: the first batch call pays one-off numpy
+        # bit-generator/allocator setup that would otherwise pollute
+        # the timed leg.
+        time_fleet("batch", 8, 200)()
+    fleet_seconds = {}
+    for kernel in fleet_kernels:
+        # The reference leg takes ~30 s per run, too long to repeat;
+        # the cheap legs get best-of-2 to shave scheduler noise.  Meta
+        # records each leg's repeat so --compare only matches like runs.
+        fleet_repeat = 1 if kernel == "reference" else 2
+        seconds = best_of(
+            fleet_repeat, time_fleet(kernel, fleet_rows, fleet_cycles)
+        )
+        fleet_seconds[kernel] = seconds
+        results.append(
+            {
+                "name": f"batch_fleet_{kernel}",
+                "seconds": seconds,
+                "meta": {
+                    "rows": fleet_rows,
+                    "cycles": fleet_cycles,
+                    "kernel": kernel,
+                    "config": FLEET_CONFIG.describe(),
+                    "repeat": fleet_repeat,
+                },
+            }
+        )
+        print(f"batch_fleet_{kernel}: {seconds:.3f}s", file=sys.stderr)
+    if "batch" in fleet_seconds:
+        speedups["batch_fleet_vs_fast"] = (
+            fleet_seconds["fast"] / fleet_seconds["batch"]
+        )
+        speedups["batch_fleet_vs_reference"] = (
+            fleet_seconds["reference"] / fleet_seconds["batch"]
+        )
+        print(
+            f"batch fleet speedup: {speedups['batch_fleet_vs_fast']:.2f}x "
+            f"over fast, {speedups['batch_fleet_vs_reference']:.2f}x over "
+            "reference",
+            file=sys.stderr,
+        )
+
     payload = {
         "schema": SCHEMA,
         "python": sys.version,
@@ -187,6 +398,8 @@ def main(argv=None) -> int:
             "cycles": cycles,
             "figure_cycles": figure_cycles,
             "repeat": repeat,
+            "fleet_rows": fleet_rows,
+            "fleet_cycles": fleet_cycles,
         },
         "results": results,
         "speedups": speedups,
@@ -195,6 +408,26 @@ def main(argv=None) -> int:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
     print(f"wrote {args.json}", file=sys.stderr)
+    if args.compare:
+        return _compare_and_report(args.compare, payload)
+    return 0
+
+
+def _compare_and_report(baseline_path: str, payload: dict) -> int:
+    """Print the comparison table; 4 when any regression crossed 25%."""
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        old = json.load(handle)
+    lines, regressions = compare_reports(old, payload)
+    print(f"comparison against {baseline_path}:")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(
+            f"{len(regressions)} regression(s) beyond 25%: "
+            + ", ".join(regressions),
+            file=sys.stderr,
+        )
+        return 4
     return 0
 
 

@@ -32,6 +32,7 @@ def simulate(
     request_probabilities=None,
     collect_latency: bool = False,
     kernel: str = "reference",
+    geometric_access_times: bool = False,
 ) -> SimulationResult:
     """Build a :class:`MultiplexedBusSystem` and run it once.
 
@@ -49,14 +50,29 @@ def simulate(
     attaches streaming wait/service/total latency summaries
     (:mod:`repro.metrics`) to the result without touching any random
     stream - identical seeds keep producing identical counters.
+    ``geometric_access_times`` replaces the constant ``r``-cycle access
+    with a geometric duration of mean ``r`` (the Section 6 product-form
+    comparison lever); it is supported by the reference and fast
+    kernels, which draw bit-identically from the same stream.
 
-    ``kernel`` selects the cycle-loop implementation: ``"reference"``
-    runs the component-object machine above, ``"fast"`` runs the
-    flattened preallocated-array loop of :mod:`repro.bus.kernel`, which
-    is property-tested bit-identical (counters, latency summaries, RNG
-    consumption) and several times faster.  The fast kernel covers the
-    library's own target samplers (uniform/hot-spot/trace); a custom
-    :class:`TargetSampler` object requires the reference kernel.
+    ``kernel`` selects the cycle-loop implementation:
+
+    * ``"reference"`` - the component-object machine above, the
+      semantic ground truth;
+    * ``"fast"`` - the flattened preallocated-array loop of
+      :mod:`repro.bus.kernel`, property-tested bit-identical (counters,
+      latency summaries, RNG consumption) and several times faster;
+    * ``"batch"`` - the vectorized lockstep kernel of
+      :mod:`repro.bus.batch` (requires the optional ``numpy`` extra).
+      Batch results are reproducible in themselves but **not**
+      bit-identical to the other kernels - they are statistically
+      equivalent and live in their own cache namespace.  The batch
+      kernel pays off when whole replication fleets run through
+      :func:`repro.parallel.fleet.run_fleet`.
+
+    The fast and batch kernels cover the library's own target samplers
+    (uniform/hot-spot/trace); a custom :class:`TargetSampler` object
+    requires the reference kernel.
     """
     if kernel == "fast":
         from repro.bus.kernel import run_fast
@@ -69,11 +85,29 @@ def simulate(
             targets=targets,
             request_probabilities=request_probabilities,
             collect_latency=collect_latency,
+            geometric_access_times=geometric_access_times,
+        )
+    if kernel == "batch":
+        from repro.bus.batch import run_batch
+
+        if geometric_access_times:
+            raise ConfigurationError(
+                "kernel='batch' does not support geometric access times; "
+                "use kernel='fast' or kernel='reference'"
+            )
+        return run_batch(
+            config,
+            cycles=cycles,
+            seed=seed,
+            warmup=warmup,
+            targets=targets,
+            request_probabilities=request_probabilities,
+            collect_latency=collect_latency,
         )
     if kernel != "reference":
         raise ConfigurationError(
             f"unknown simulation kernel {kernel!r}; "
-            "known kernels: reference, fast"
+            "known kernels: reference, fast, batch"
         )
     system = MultiplexedBusSystem(
         config,
@@ -81,6 +115,7 @@ def simulate(
         targets=targets,
         request_probabilities=request_probabilities,
         collect_latency=collect_latency,
+        geometric_access_times=geometric_access_times,
     )
     return system.run(cycles, warmup=warmup)
 

@@ -1,0 +1,1094 @@
+"""The vectorized lockstep batch kernel: whole fleets as one array program.
+
+:class:`FastBusKernel` made a *single* run roughly an order of magnitude
+faster than the reference machine, but every run still pays a
+Python-level cycle loop.  The sweeps that produce the paper's headline
+curves (Figures 2/3/5/6, Tables 3/4) simulate the *same machine shape*
+many times - across replications and across grid rows that differ only
+in seed, request probability or workload parameter - and those runs are
+embarrassingly parallel.  :class:`BatchBusKernel` executes such a fleet
+in lockstep: one NumPy array program advances every row's machine
+through the same bus cycle at once, so the per-cycle interpreter cost is
+paid once per *fleet* instead of once per *run*.
+
+State is held in arrays shaped ``(fleet, n)`` (requesting masks, wake
+cycles, targets, issue stamps) and ``(fleet, m)`` (service countdowns,
+buffer occupancy, output slots); arbitration is a masked argmin/argmax
+per fleet row; memory completions are per-row countdown comparisons.
+
+**Reproducibility contract.**  The batch kernel is *not* bit-identical
+to the reference/fast pair - vectorized sampling necessarily draws
+randomness differently (inverse-CDF geometric think times, single-draw
+hot-spot targets, counter-based bit generators).  Its contract is
+instead:
+
+* **bit-reproducible against itself**: every fleet row's randomness
+  comes from its own counter-based :class:`numpy.random.Philox` streams,
+  keyed by the library's :func:`~repro.des.rng.derive_seed` scheme on
+  the row's seed alone.  Rows never interact, so a row's result is a
+  pure function of its own ``(config, workload, seed, cycles, warmup)``
+  - independent of fleet composition, row order, ``--jobs`` and
+  ``--shard i/k`` (property-tested in
+  ``tests/properties/test_batch_invariance.py``);
+* **statistically equivalent** to the exact kernels: EBW and mean
+  latency agree within confidence bounds over a configuration fleet
+  (``tests/integration/test_batch_statistics.py``).
+
+Because the numbers differ from the exact kernels at the bit level, the
+batch kernel - unlike ``fast`` - **does enter cache keys**: its results
+are stored under the :data:`BATCH_ENGINE_TOKEN` engine namespace and can
+never collide with ``simulation@1`` entries.
+
+**Coverage.**  Declarative workloads only: uniform, hot-spot and trace
+targets, heterogeneous per-processor ``p``, both priorities, both
+tie-breaks, buffered and unbuffered modules at any depth.  Custom
+:class:`~repro.workloads.generators.TargetSampler` objects, geometric
+access times, cycle-level trace sinks and streaming latency-distribution
+metrics stay on the reference/fast machines.
+
+NumPy is an optional dependency (``pip install repro-single-bus[batch]``);
+without it every batch entry point raises a
+:class:`~repro.core.errors.ConfigurationError` naming the extra.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bus.system import (
+    _DEFAULT_BATCHES,
+    _DEFAULT_WARMUP_FRACTION,
+    _resolve_request_probabilities,
+)
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Priority, TieBreak
+from repro.core.results import SimulationResult
+from repro.des.rng import derive_seed
+from repro.workloads.generators import (
+    HotSpotTargets,
+    TargetSampler,
+    TraceTargets,
+    UniformTargets,
+)
+
+BATCH_ENGINE_TOKEN = "simulation-batch@1"
+"""Versioned engine token for batch-kernel cache entries.
+
+The batch kernel is reproducible in itself but not bit-identical to the
+exact kernels, so - unlike the ``fast`` lever - it owns a cache
+namespace: bump the version when the batch kernel's numerical semantics
+change, and only batch entries are retired."""
+
+BATCH_EXTRA = "batch"
+"""Name of the optional dependency extra that provides numpy."""
+
+SHAPE_FIELDS = (
+    "processors",
+    "memories",
+    "memory_cycle_ratio",
+    "priority",
+    "tie_break",
+    "buffered",
+    "buffer_depth",
+)
+"""The :class:`SystemConfig` fields every row of one fleet must share.
+
+Everything else - seed, request probabilities, workload parameters -
+may vary per row; rows are fully independent simulations that merely
+share the lockstep loop."""
+
+_NEVER = 1 << 30
+"""Wake/resolve sentinel: a cycle index no supported run ever reaches.
+
+Cycle-indexed state lives in ``int32`` arrays (half the memory traffic
+of ``int64`` on the hot loop), so one batch run is capped at ``2**30``
+bus cycles - six orders of magnitude beyond the paper's windows."""
+
+_CHUNK = 2048
+"""Uniform draws buffered per row and stream between Philox refills."""
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy dependency is importable."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def require_numpy():
+    """Import and return numpy, or raise naming the install extra."""
+    try:
+        import numpy
+    except ImportError:
+        raise ConfigurationError(
+            "kernel='batch' requires numpy, which is an optional "
+            "dependency of this package; install it with "
+            f"pip install 'repro-single-bus[{BATCH_EXTRA}]' "
+            "(or use kernel='fast', which is pure stdlib)"
+        ) from None
+    return numpy
+
+
+def check_batch_metrics(metrics: Sequence[str]) -> None:
+    """Reject metric families the batch kernel cannot produce.
+
+    Streaming latency-distribution summaries need per-request
+    wait/service timestamps the lockstep loop does not materialise;
+    mean latency (a plain counter) is always available.
+    """
+    if metrics:
+        raise ConfigurationError(
+            "kernel='batch' does not support metric(s) "
+            f"{', '.join(sorted(set(metrics)))}; use kernel='fast' "
+            "(bit-identical to the reference machine) for "
+            "latency-distribution metrics"
+        )
+
+
+def fleet_shape(config: SystemConfig) -> tuple:
+    """The lockstep-compatibility key of a configuration.
+
+    Two simulations can share one :class:`BatchBusKernel` exactly when
+    their shapes are equal (and their measurement windows match - see
+    :func:`repro.parallel.fleet.fleet_key`, which adds those fields).
+    """
+    return tuple(getattr(config, field) for field in SHAPE_FIELDS)
+
+
+# ----------------------------------------------------------------------
+# Per-row random streams.
+# ----------------------------------------------------------------------
+class _PhiloxLanes:
+    """Per-row sequential uniform streams with vectorized consumption.
+
+    Row ``f`` owns the counter-based Philox stream keyed by
+    ``derive_seed(seed_f, name)`` and consumes it strictly sequentially,
+    so its draw sequence is a pure function of its own seed - the
+    foundation of the fleet-composition invariance contract.  Draws are
+    buffered per row in a ``(fleet, chunk)`` block so one cycle's
+    consumption across the whole fleet is a single fancy-indexing
+    gather.
+    """
+
+    def __init__(self, np, keys: Sequence[int], chunk: int = _CHUNK) -> None:
+        self._np = np
+        self._gens = [
+            np.random.Generator(np.random.Philox(key=int(key)))
+            for key in keys
+        ]
+        self._chunk = chunk
+        fleet = len(self._gens)
+        self._buf = np.empty((fleet, chunk), dtype=np.float64)
+        for f, gen in enumerate(self._gens):
+            self._buf[f] = gen.random(chunk)
+        self._pos = np.zeros(fleet, dtype=np.int64)
+
+    def _refill(self, need_mask) -> None:
+        """Slide each flagged row's unconsumed tail down and top up."""
+        np = self._np
+        for f in np.nonzero(need_mask)[0]:
+            pos = int(self._pos[f])
+            remaining = self._chunk - pos
+            row = self._buf[f]
+            if remaining:
+                row[:remaining] = row[pos:]
+            row[remaining:] = self._gens[f].random(self._chunk - remaining)
+            self._pos[f] = 0
+
+    def take_block(self, count: int):
+        """``count`` sequential draws for every row -> (fleet, count).
+
+        Requires the per-row pointers to be in lockstep (true before
+        any :meth:`take_rows` call - the initial-condition draw), like
+        :meth:`take_all`.
+        """
+        np = self._np
+        pos = self._pos
+        if pos[0] + count > self._chunk:
+            self._refill(np.ones(len(self._gens), dtype=bool))
+        values = self._buf[:, pos[0] : pos[0] + count].copy()
+        pos += count
+        return values
+
+    def take_rows(self, rows):
+        """One draw for each listed row (rows must be unique)."""
+        pos = self._pos
+        taken = pos[rows]
+        exhausted = taken >= self._chunk
+        if exhausted.any():
+            need = self._np.zeros(len(self._gens), dtype=bool)
+            need[rows[exhausted]] = True
+            self._refill(need)
+            taken = pos[rows]
+        values = self._buf[rows, taken]
+        pos[rows] = taken + 1
+        return values
+
+    def take_all(self):
+        """One draw per row, for every row.
+
+        The all-rows pointers advance in lockstep, so consumption is a
+        cheap shared column read between refills.
+        """
+        pos = self._pos
+        if pos[0] >= self._chunk:
+            self._refill(self._np.ones(len(self._gens), dtype=bool))
+        values = self._buf[:, pos[0]]
+        pos += 1
+        return values
+
+
+# ----------------------------------------------------------------------
+# Target plans: the declarative essence of one row's workload.
+# ----------------------------------------------------------------------
+def _plan_targets(targets: TargetSampler | None, config: SystemConfig):
+    """Reduce a library sampler to ``(traces, hot_fraction, hot_module)``.
+
+    ``traces`` is ``None`` for random-target rows.  Custom sampler
+    objects are rejected - they encapsulate arbitrary Python and cannot
+    be vectorized.
+    """
+    if targets is None or isinstance(targets, UniformTargets):
+        return None, 0.0, 0
+    if isinstance(targets, HotSpotTargets):
+        return None, targets._hot_fraction, targets._hot_module
+    if isinstance(targets, TraceTargets):
+        return tuple(tuple(trace) for trace in targets._traces), 0.0, 0
+    raise ConfigurationError(
+        "the batch kernel supports the library's uniform, hot-spot "
+        f"and trace target samplers; got {type(targets).__name__} - "
+        "use kernel='reference' for custom samplers"
+    )
+
+
+class BatchBusKernel:
+    """Lockstep NumPy implementation of a fleet of bus machines.
+
+    Parameters
+    ----------
+    configs:
+        One :class:`SystemConfig` per fleet row.  All rows must share
+        the :data:`SHAPE_FIELDS`; request probabilities may differ.
+    seeds:
+        One master seed per row; each row derives its own Philox
+        streams (``targets`` / ``think`` / ``arbitration``) from it via
+        :func:`~repro.des.rng.derive_seed`.
+    targets:
+        Optional per-row target samplers (library samplers only);
+        ``None`` entries mean the paper's uniform workload.
+    request_probabilities:
+        Optional per-row heterogeneous-``p`` vectors, validated exactly
+        like the reference machine's.
+
+    :meth:`run` replicates the reference measurement protocol (warm-up
+    exclusion, batch-means windows) per row and returns one
+    :class:`~repro.core.results.SimulationResult` per row.
+    """
+
+    def __init__(
+        self,
+        configs: Sequence[SystemConfig],
+        seeds: Sequence[int],
+        targets: Sequence[TargetSampler | None] | None = None,
+        request_probabilities: Sequence[Sequence[float] | None] | None = None,
+    ) -> None:
+        np = require_numpy()
+        self._np = np
+        configs = list(configs)
+        seeds = [int(seed) for seed in seeds]
+        if not configs:
+            raise ConfigurationError("a batch fleet needs at least one row")
+        if len(seeds) != len(configs):
+            raise ConfigurationError(
+                f"fleet lists {len(configs)} configs but {len(seeds)} seeds"
+            )
+        if targets is None:
+            targets = [None] * len(configs)
+        if request_probabilities is None:
+            request_probabilities = [None] * len(configs)
+        if len(targets) != len(configs) or len(request_probabilities) != len(
+            configs
+        ):
+            raise ConfigurationError(
+                "targets and request_probabilities must list one entry "
+                "per fleet row (or be None)"
+            )
+        shape = fleet_shape(configs[0])
+        for config in configs[1:]:
+            if fleet_shape(config) != shape:
+                raise ConfigurationError(
+                    "all fleet rows must share the lockstep shape "
+                    f"{SHAPE_FIELDS}; {config.describe()} differs from "
+                    f"{configs[0].describe()}"
+                )
+        self.configs = tuple(configs)
+        self.seeds = tuple(seeds)
+
+        base = configs[0]
+        fleet = len(configs)
+        n = base.processors
+        m = base.memories
+        self._fleet = fleet
+        self._n = n
+        self._m = m
+        self._r = base.memory_cycle_ratio
+        self._pc = base.processor_cycle
+        self._buffered = base.buffered
+        self._depth = base.buffer_depth if base.buffered else 0
+        self._capacity = self._depth if self._depth > 0 else 1
+        self._proc_first = base.priority is Priority.PROCESSORS
+        self._random_tie = base.tie_break is TieBreak.RANDOM
+
+        # --- per-row request probabilities (fleet x n).
+        p_rows = [
+            _resolve_request_probabilities(config, probs)
+            for config, probs in zip(configs, request_probabilities)
+        ]
+        self._p = np.array(p_rows, dtype=np.float64)
+        self._all_p1 = bool((self._p == 1.0).all())
+        with np.errstate(divide="ignore"):
+            # log(1 - p) is -inf at p = 1, which the inverse-CDF think
+            # draw maps to 0 extra processor cycles - exactly right.
+            self._log1p_neg_p = np.log1p(-self._p)
+
+        # --- per-row target plans.
+        plans = [
+            _plan_targets(sampler, config)
+            for sampler, config in zip(targets, configs)
+        ]
+        hot_fraction = np.array([plan[1] for plan in plans])
+        hot_module = np.array([plan[2] for plan in plans], dtype=np.int32)
+        trace_rows = np.array(
+            [plan[0] is not None for plan in plans], dtype=bool
+        )
+        self._any_random = bool((~trace_rows).any())
+        self._any_trace = bool(trace_rows.any())
+        self._trace_rows = trace_rows
+        self._hot_fraction = hot_fraction
+        self._hot_module = hot_module
+        # Single-draw hot-spot sampling: u < f hits the hot module, the
+        # remainder rescales to a uniform module choice.  f = 0 is the
+        # plain uniform draw; guard the f = 1 rescale against 0/0.
+        denominator = np.where(hot_fraction < 1.0, 1.0 - hot_fraction, 1.0)
+        self._hot_rescale = 1.0 / denominator
+        if self._any_trace:
+            length_max = 1
+            for plan, config in zip(plans, configs):
+                if plan[0] is not None:
+                    if len(plan[0]) < n:
+                        raise ConfigurationError(
+                            f"trace workload records {len(plan[0])} "
+                            f"processors but the system has {n}"
+                        )
+                    length_max = max(
+                        length_max, max(len(t) for t in plan[0][:n])
+                    )
+            pad = np.zeros((fleet, n, length_max), dtype=np.int32)
+            lengths = np.ones((fleet, n), dtype=np.int64)
+            for f, plan in enumerate(plans):
+                if plan[0] is None:
+                    continue
+                for i in range(n):
+                    trace = plan[0][i]
+                    lengths[f, i] = len(trace)
+                    pad[f, i, : len(trace)] = trace
+            self._trace_pad = pad
+            self._trace_len = lengths
+            self._trace_pos = np.zeros((fleet, n), dtype=np.int64)
+        else:
+            self._trace_pad = None
+            self._trace_len = None
+            self._trace_pos = None
+
+        # --- per-row Philox streams, keyed by the derive_seed scheme.
+        self._targets_lanes = (
+            _PhiloxLanes(
+                np, [derive_seed(seed, "targets") for seed in seeds]
+            )
+            if self._any_random
+            else None
+        )
+        self._think_lanes = (
+            _PhiloxLanes(np, [derive_seed(seed, "think") for seed in seeds])
+            if not self._all_p1
+            else None
+        )
+        self._arb_lanes = (
+            _PhiloxLanes(
+                np, [derive_seed(seed, "arbitration") for seed in seeds]
+            )
+            if self._random_tie
+            else None
+        )
+
+        # --- processor state (n x fleet).  The fleet is the contiguous
+        # axis, so every per-row reduction (any/cumsum/argmax along the
+        # lane axis) runs axis-0 with a vectorized contiguous inner
+        # loop.  A processor's ``issue`` stamp freezes while its request
+        # is in flight, so module-side copies of the issue cycle are
+        # unnecessary: the response path reads it back through the
+        # owning processor's lane.
+        self._requesting = np.ones((n, fleet), dtype=bool)
+        self._target = np.zeros((n, fleet), dtype=np.int32)
+        self._issue = np.zeros((n, fleet), dtype=np.int32)
+        self._wake = np.full((n, fleet), _NEVER, dtype=np.int32)
+        # Targets doubled as precomputed flat indices (module * fleet +
+        # row) into raveled module state, maintained at each draw.
+        self._target_gidx = np.zeros((n, fleet), dtype=np.int64)
+        # With p = 1 everywhere the wake calendar degenerates: exactly
+        # the processors granted a response wake one cycle later, so the
+        # loop carries their flat lane indices instead of scanning the
+        # calendar.
+        self._pending_flat = None
+
+        # --- module state (m x fleet [, depth leading]).
+        self._svc_finish = np.full((m, fleet), _NEVER, dtype=np.int32)
+        self._svc_proc = np.zeros((m, fleet), dtype=np.int32)
+        if self._buffered:
+            depth = self._depth
+            capacity = self._capacity
+            self._svc_active = np.zeros((m, fleet), dtype=bool)
+            self._inq_proc = np.zeros((depth, m, fleet), dtype=np.int32)
+            self._inq_len = np.zeros((m, fleet), dtype=np.int32)
+            self._outq_proc = np.zeros((capacity, m, fleet), dtype=np.int32)
+            self._outq_ready = np.full(
+                (capacity, m, fleet), _NEVER, dtype=np.int32
+            )
+            self._outq_len = np.zeros((m, fleet), dtype=np.int32)
+            self._stalled = np.zeros((m, fleet), dtype=bool)
+            self._stalled_proc = np.zeros((m, fleet), dtype=np.int32)
+            self._resolve_cycle = np.full((m, fleet), _NEVER, dtype=np.int32)
+        else:
+            # Unbuffered: a module is a single request slot, so one
+            # "fully idle" mask serves the whole acceptance rule and is
+            # maintained incrementally at the two grant sites.
+            self._module_free = np.ones((m, fleet), dtype=bool)
+            self._out_full = np.zeros((m, fleet), dtype=bool)
+            self._out_proc = np.zeros((m, fleet), dtype=np.int32)
+            self._out_ready = np.full((m, fleet), _NEVER, dtype=np.int32)
+
+        # --- counters (per row).  Response transfers and completions
+        # are one and the same event in this machine, so only one
+        # counter is kept.
+        self.cycle = 0
+        self.completions = np.zeros(fleet, dtype=np.int64)
+        self.request_transfers = np.zeros(fleet, dtype=np.int64)
+        self.total_latency = np.zeros(fleet, dtype=np.int64)
+        self._busy_accum = np.zeros(fleet, dtype=np.int64)
+
+        # Flat views: the hot loop scatters and gathers through 1D
+        # fancy indexing (index = lane * fleet + row) on raveled views
+        # of the state arrays (the arrays are never reallocated, so the
+        # views stay valid for the kernel's lifetime).
+        self._requesting_flat = self._requesting.reshape(-1)
+        self._target_flat = self._target.reshape(-1)
+        self._target_gidx_flat = self._target_gidx.reshape(-1)
+        self._issue_flat = self._issue.reshape(-1)
+        self._wake_flat = self._wake.reshape(-1)
+        self._svc_finish_flat = self._svc_finish.reshape(-1)
+        self._svc_proc_flat = self._svc_proc.reshape(-1)
+        if self._buffered:
+            self._svc_active_flat = self._svc_active.reshape(-1)
+        else:
+            self._module_free_flat = self._module_free.reshape(-1)
+            self._out_full_flat = self._out_full.reshape(-1)
+            self._out_proc_flat = self._out_proc.reshape(-1)
+            self._out_ready_flat = self._out_ready.reshape(-1)
+        self._log1p_neg_p_flat = np.ascontiguousarray(
+            self._log1p_neg_p.T
+        ).reshape(-1)
+
+        # Rank scratch for the tie-break cumulative counts: int8 when
+        # lane counts fit (cumsum over one byte per element is several
+        # times faster in NumPy than the int64 default).
+        rank_dtype = np.int8 if max(n, m) <= 127 else np.int32
+        self._rank_dtype = rank_dtype
+        self._rank_n = np.empty((n, fleet), dtype=rank_dtype)
+        self._rank_m = np.empty((m, fleet), dtype=rank_dtype)
+
+        # Initial condition: every processor issues at cycle 0, its
+        # target drawn in lane order (the reference initial condition).
+        self._target[:] = self._initial_targets().T
+        self._target_gidx[:] = (
+            self._target.astype(np.int64) * fleet + np.arange(fleet)
+        )
+
+    # ------------------------------------------------------------------
+    def _initial_targets(self):
+        """Every lane's first target, drawn in lane order per row."""
+        np = self._np
+        if self._any_random:
+            u = self._targets_lanes.take_block(self._n)
+            fraction = self._hot_fraction[:, None]
+            module = np.minimum(
+                ((u - fraction) * self._hot_rescale[:, None] * self._m).astype(
+                    np.int32
+                ),
+                self._m - 1,
+            )
+            new_target = np.where(
+                u < fraction, self._hot_module[:, None], module
+            )
+        else:
+            new_target = None
+        if self._any_trace:
+            position = self._trace_pos % self._trace_len
+            traced = np.take_along_axis(
+                self._trace_pad, position[:, :, None], axis=2
+            )[:, :, 0]
+            self._trace_pos += 1
+            if new_target is None:
+                new_target = traced
+            else:
+                new_target = np.where(
+                    self._trace_rows[:, None], traced, new_target
+                )
+        return new_target
+
+    def _draw_target_rows(self, rows, lanes):
+        """Next targets for one lane of each listed row.
+
+        A row's targets are consumed strictly in its own grant order
+        (one draw per completed request), which is row-local - the draw
+        sequence never depends on fleet composition.  Drawing at
+        response-grant time (instead of at the later wake cycle) keeps
+        the hot loop free of masked 2D stream consumption.
+        """
+        np = self._np
+        if self._any_random:
+            if self._any_trace:
+                random_rows = ~self._trace_rows[rows]
+                u = np.empty(len(rows), dtype=np.float64)
+                u[random_rows] = self._targets_lanes.take_rows(
+                    rows[random_rows]
+                )
+                u[~random_rows] = 0.0
+            else:
+                u = self._targets_lanes.take_rows(rows)
+            fraction = self._hot_fraction[rows]
+            module = np.minimum(
+                ((u - fraction) * self._hot_rescale[rows] * self._m).astype(
+                    np.int32
+                ),
+                self._m - 1,
+            )
+            drawn = np.where(u < fraction, self._hot_module[rows], module)
+        else:
+            drawn = None
+        if self._any_trace:
+            position = self._trace_pos[rows, lanes]
+            traced = self._trace_pad[
+                rows, lanes, position % self._trace_len[rows, lanes]
+            ]
+            self._trace_pos[rows, lanes] = position + 1
+            if drawn is None:
+                drawn = traced
+            else:
+                drawn = np.where(self._trace_rows[rows], traced, drawn)
+        return drawn
+
+    # ----------------------------------------------------------------------
+    def _memory_busy(self):
+        """Per-row module busy cycles through the last simulated cycle.
+
+        Buffered fleets accumulate one count per module per
+        cycle-in-service; unbuffered fleets charge the full ``r`` at
+        service start and subtract the not-yet-worked remainder of
+        in-flight services here.  Both match the reference accounting
+        at every measurement boundary.
+        """
+        if self._buffered:
+            return self._busy_accum.copy()
+        np = self._np
+        through = self.cycle - 1
+        svc_finish = self._svc_finish
+        in_flight = (svc_finish > through) & (svc_finish < _NEVER)
+        remainder = np.where(in_flight, svc_finish - through, 0)
+        return self._busy_accum - remainder.sum(axis=0)
+
+    # ------------------------------------------------------------------
+    def advance(self, count: int) -> None:
+        """Advance every fleet row by ``count`` bus cycles in lockstep.
+
+        The loop body is deliberately written as a small number of
+        whole-fleet array operations - dense masked writes over
+        ``(lanes, fleet)`` blocks for the frequent events and flat 1D
+        fancy indexing for the sparse per-row grant bookkeeping - with
+        the fleet as the contiguous axis, so per-row reductions
+        vectorize across rows.  Per cycle the cost is a fixed number of
+        NumPy dispatches; per *row* it therefore shrinks roughly
+        linearly with fleet size.
+        """
+        if count <= 0:
+            return
+        if self.cycle + count >= _NEVER:
+            raise ConfigurationError(
+                f"a batch run is limited to {_NEVER} total bus cycles "
+                "(int32 cycle state); split the run or use kernel='fast'"
+            )
+        if self._buffered:
+            self._advance_buffered(count)
+        else:
+            self._advance_unbuffered(count)
+
+    def _make_arbiter(self):
+        """Build the per-cycle arbitration closure both loops share.
+
+        The closure takes the cycle's candidate state - ``eligible``
+        requests ``(n, fleet)``, ``ready`` responses ``(m, fleet)``, and
+        the FCFS inputs (``issue`` stamps, oldest-ready cycles) - and
+        returns the grant routing plus the (lazily computed) winners.
+        One definition keeps the priority/tie-break semantics of the
+        buffered and unbuffered loops from ever diverging; the closure
+        call adds a fixed sub-microsecond cost per cycle.
+        """
+        np = self._np
+        int8 = np.int8
+        rank_dtype = self._rank_dtype
+        rank_n = self._rank_n
+        rank_m = self._rank_m
+        proc_first = self._proc_first
+        random_tie = self._random_tie
+        arb_take_all = (
+            self._arb_lanes.take_all if self._arb_lanes is not None else None
+        )
+
+        def arbitrate(eligible, ready, issue, head_ready):
+            request_winner = response_winner = None
+            if random_tie:
+                # One draw per row per cycle, used by whichever grant
+                # decision (if any) the row makes - a row decides at
+                # most one grant per cycle.
+                u_arb = arb_take_all()
+            have_request = eligible.any(axis=0)
+            have_response = ready.any(axis=0)
+            if proc_first:
+                do_request = have_request
+                do_response = have_response & ~have_request
+            else:
+                do_response = have_response
+                do_request = have_request & ~have_response
+            any_request = bool(do_request.any())
+            any_response = bool(do_response.any())
+            if random_tie:
+                if any_request:
+                    ranks = eligible.view(int8).cumsum(
+                        axis=0, dtype=rank_dtype, out=rank_n
+                    )
+                    pick = (u_arb * ranks[-1]).astype(rank_dtype)
+                    request_winner = (ranks > pick[None, :]).argmax(axis=0)
+                if any_response:
+                    ranks = ready.view(int8).cumsum(
+                        axis=0, dtype=rank_dtype, out=rank_m
+                    )
+                    pick = (u_arb * ranks[-1]).astype(rank_dtype)
+                    response_winner = (ranks > pick[None, :]).argmax(axis=0)
+            else:
+                if any_request:
+                    request_winner = np.where(eligible, issue, _NEVER).argmin(
+                        axis=0
+                    )
+                if any_response:
+                    response_winner = np.where(
+                        ready, head_ready, _NEVER
+                    ).argmin(axis=0)
+            return (
+                do_request,
+                do_response,
+                any_request,
+                any_response,
+                request_winner,
+                response_winner,
+            )
+
+        return arbitrate
+
+    def _complete_responses(self, grant_rows, procs, flat_lane, cycle):
+        """Shared response-grant tail: counters, next target, wake."""
+        np = self._np
+        self.completions[grant_rows] += 1
+        self.total_latency[grant_rows] += (cycle + 1) - self._issue_flat[
+            flat_lane
+        ]
+        drawn = self._draw_target_rows(grant_rows, procs)
+        self._target_flat[flat_lane] = drawn
+        self._target_gidx_flat[flat_lane] = (
+            drawn.astype(np.int64) * self._fleet + grant_rows
+        )
+        if self._all_p1:
+            # Wakes are exactly next cycle; the caller keeps the lanes.
+            return
+        # Inverse-CDF geometric think time: one uniform per completion
+        # decides how many processor cycles the issue coin keeps
+        # failing.  Wakes past the cycle cap clamp to the (unreachable)
+        # never sentinel.
+        u_think = self._think_lanes.take_rows(grant_rows)
+        failures = (
+            np.log1p(-u_think) / self._log1p_neg_p_flat[flat_lane]
+        ).astype(np.int64)
+        self._wake_flat[flat_lane] = np.minimum(
+            cycle + 1 + failures * self._pc, _NEVER
+        )
+
+    def _advance_unbuffered(self, count: int) -> None:
+        """The lean lockstep loop for unbuffered fleets."""
+        np = self._np
+        nonzero = np.nonzero
+        fleet = self._fleet
+        r = self._r
+        all_p1 = self._all_p1
+        track_ready = not self._random_tie
+        arbitrate = self._make_arbiter()
+
+        requesting = self._requesting
+        issue = self._issue
+        wake = self._wake
+        svc_finish = self._svc_finish
+        svc_proc = self._svc_proc
+        out_full = self._out_full
+        out_proc = self._out_proc
+        out_ready = self._out_ready
+        request_transfers = self.request_transfers
+        busy_accum = self._busy_accum
+        requesting_flat = self._requesting_flat
+        target_gidx = self._target_gidx
+        target_gidx_flat = self._target_gidx_flat
+        issue_flat = self._issue_flat
+        svc_finish_flat = self._svc_finish_flat
+        svc_proc_flat = self._svc_proc_flat
+        module_free_flat = self._module_free_flat
+        out_full_flat = self._out_full_flat
+        out_proc_flat = self._out_proc_flat
+
+        pending = self._pending_flat
+        cycle = self.cycle
+        for _ in range(count):
+            # 1. processor-cycle boundaries: waking processors issue
+            #    (their targets were drawn when the wake was scheduled).
+            if all_p1:
+                if pending is not None:
+                    issue_flat[pending] = cycle
+                    requesting_flat[pending] = True
+                    pending = None
+            else:
+                waking = wake == cycle
+                if waking.any():
+                    issue[waking] = cycle
+                    requesting |= waking
+                    wake[waking] = _NEVER
+
+            # 2. arbitration on the pre-tick state.
+            eligible = requesting & module_free_flat[target_gidx]
+            (
+                do_request,
+                do_response,
+                any_request,
+                any_response,
+                request_winner,
+                response_winner,
+            ) = arbitrate(eligible, out_full, issue, out_ready)
+
+            # 3. module completions this cycle (a finish stamp matches
+            #    exactly once, so stale stamps can never re-fire).
+            finishing = svc_finish == cycle
+            if finishing.any():
+                # Unbuffered service starts on a fully idle module, so
+                # the output slot is always free here; dense masked
+                # writes beat index-list scatters.
+                out_full |= finishing
+                np.copyto(out_proc, svc_proc, where=finishing)
+                if track_ready:
+                    out_ready[finishing] = cycle + 1
+
+            # 4. the granted transfer completes at the end of the cycle.
+            if any_request:
+                grant_rows = nonzero(do_request)[0]
+                lanes = request_winner[grant_rows]
+                flat_lane = lanes * fleet + grant_rows
+                flat_mod = target_gidx_flat[flat_lane]
+                requesting_flat[flat_lane] = False
+                request_transfers[grant_rows] += 1
+                module_free_flat[flat_mod] = False
+                svc_proc_flat[flat_mod] = lanes
+                svc_finish_flat[flat_mod] = cycle + r
+                # Charge the service up front; _memory_busy subtracts
+                # the unworked tail of in-flight services.
+                busy_accum[grant_rows] += r
+            if any_response:
+                grant_rows = nonzero(do_response)[0]
+                flat_mod = response_winner[grant_rows] * fleet + grant_rows
+                procs = out_proc_flat[flat_mod]
+                out_full_flat[flat_mod] = False
+                module_free_flat[flat_mod] = True
+                flat_lane = procs * fleet + grant_rows
+                self._complete_responses(grant_rows, procs, flat_lane, cycle)
+                if all_p1:
+                    pending = flat_lane
+            cycle += 1
+        self.cycle = cycle
+        self._pending_flat = pending
+
+    def _advance_buffered(self, count: int) -> None:
+        """The lockstep loop for buffered fleets (stalls, FIFO queues)."""
+        np = self._np
+        nonzero = np.nonzero
+        fleet = self._fleet
+        r = self._r
+        depth = self._depth
+        capacity = self._capacity
+        all_p1 = self._all_p1
+        arbitrate = self._make_arbiter()
+
+        requesting = self._requesting
+        issue = self._issue
+        wake = self._wake
+        svc_active = self._svc_active
+        svc_finish = self._svc_finish
+        svc_proc = self._svc_proc
+        request_transfers = self.request_transfers
+        busy_accum = self._busy_accum
+        requesting_flat = self._requesting_flat
+        target_flat = self._target_flat
+        target_gidx = self._target_gidx
+        target_gidx_flat = self._target_gidx_flat
+        issue_flat = self._issue_flat
+        svc_active_flat = self._svc_active_flat
+        svc_finish_flat = self._svc_finish_flat
+        svc_proc_flat = self._svc_proc_flat
+        inq_proc = self._inq_proc
+        inq_len = self._inq_len
+        outq_proc = self._outq_proc
+        outq_ready = self._outq_ready
+        outq_len = self._outq_len
+        stalled = self._stalled
+        stalled_proc = self._stalled_proc
+        resolve_cycle = self._resolve_cycle
+
+        pending = self._pending_flat
+        cycle = self.cycle
+        for _ in range(count):
+            # 1. processor-cycle boundaries: waking processors issue.
+            if all_p1:
+                if pending is not None:
+                    issue_flat[pending] = cycle
+                    requesting_flat[pending] = True
+                    pending = None
+            else:
+                waking = wake == cycle
+                if waking.any():
+                    issue[waking] = cycle
+                    requesting |= waking
+                    wake[waking] = _NEVER
+
+            # Busy accounting: one count per module serving this cycle
+            # (services start after, and clear later than, this point).
+            busy_accum += svc_active.sum(axis=0)
+
+            # 2. arbitration on the pre-tick state.
+            busy = (svc_active | stalled) & ~(inq_len < depth)
+            ready = outq_len > 0
+            eligible = requesting & ~busy.reshape(-1)[target_gidx]
+            (
+                do_request,
+                do_response,
+                any_request,
+                any_response,
+                request_winner,
+                response_winner,
+            ) = arbitrate(eligible, ready, issue, outq_ready[0])
+
+            # 3. module events for this cycle.
+            resolving = resolve_cycle == cycle
+            if resolving.any():
+                mods, rows = nonzero(resolving)
+                slot = outq_len[mods, rows]
+                outq_proc[slot, mods, rows] = stalled_proc[mods, rows]
+                outq_ready[slot, mods, rows] = cycle + 1
+                outq_len[mods, rows] = slot + 1
+                stalled[mods, rows] = False
+                resolve_cycle[mods, rows] = _NEVER
+                pull = inq_len[mods, rows] > 0
+                if pull.any():
+                    mods, rows = mods[pull], rows[pull]
+                    svc_active[mods, rows] = True
+                    svc_proc[mods, rows] = inq_proc[0, mods, rows]
+                    svc_finish[mods, rows] = cycle + r
+                    inq_proc[:-1, mods, rows] = inq_proc[1:, mods, rows]
+                    inq_len[mods, rows] -= 1
+            finishing = svc_finish == cycle
+            if finishing.any():
+                mods, rows = nonzero(finishing)
+                svc_active[mods, rows] = False
+                slot = outq_len[mods, rows]
+                space = slot < capacity
+                if space.any():
+                    ms, rs, ls = mods[space], rows[space], slot[space]
+                    outq_proc[ls, ms, rs] = svc_proc[ms, rs]
+                    outq_ready[ls, ms, rs] = cycle + 1
+                    outq_len[ms, rs] = ls + 1
+                    pull = inq_len[ms, rs] > 0
+                    if pull.any():
+                        ms, rs = ms[pull], rs[pull]
+                        svc_active[ms, rs] = True
+                        svc_proc[ms, rs] = inq_proc[0, ms, rs]
+                        svc_finish[ms, rs] = cycle + r
+                        inq_proc[:-1, ms, rs] = inq_proc[1:, ms, rs]
+                        inq_len[ms, rs] -= 1
+                blocked = ~space
+                if blocked.any():
+                    mx, rx = mods[blocked], rows[blocked]
+                    stalled[mx, rx] = True
+                    stalled_proc[mx, rx] = svc_proc[mx, rx]
+
+            # 4. the granted transfer completes at the end of the cycle.
+            if any_request:
+                grant_rows = nonzero(do_request)[0]
+                lanes = request_winner[grant_rows]
+                flat_lane = lanes * fleet + grant_rows
+                flat_mod = target_gidx_flat[flat_lane]
+                mods = target_flat[flat_lane]
+                requesting_flat[flat_lane] = False
+                request_transfers[grant_rows] += 1
+                # Post-event module state decides direct service vs
+                # input buffering, exactly like the exact kernels.
+                idle = ~(
+                    svc_active_flat[flat_mod] | stalled.reshape(-1)[flat_mod]
+                )
+                idle_flat = flat_mod[idle]
+                if idle_flat.size:
+                    svc_active_flat[idle_flat] = True
+                    svc_proc_flat[idle_flat] = lanes[idle]
+                    svc_finish_flat[idle_flat] = cycle + r
+                queued = ~idle
+                if queued.any():
+                    rq, mq = grant_rows[queued], mods[queued]
+                    slot = inq_len[mq, rq]
+                    inq_proc[slot, mq, rq] = lanes[queued]
+                    inq_len[mq, rq] = slot + 1
+            if any_response:
+                grant_rows = nonzero(do_response)[0]
+                mods = response_winner[grant_rows]
+                procs = outq_proc[0, mods, grant_rows]
+                if capacity > 1:
+                    outq_proc[:-1, mods, grant_rows] = outq_proc[
+                        1:, mods, grant_rows
+                    ]
+                    outq_ready[:-1, mods, grant_rows] = outq_ready[
+                        1:, mods, grant_rows
+                    ]
+                outq_len[mods, grant_rows] -= 1
+                flat_lane = procs * fleet + grant_rows
+                self._complete_responses(grant_rows, procs, flat_lane, cycle)
+                if all_p1:
+                    pending = flat_lane
+                blocked = stalled[mods, grant_rows]
+                if blocked.any():
+                    resolve_cycle[
+                        mods[blocked], grant_rows[blocked]
+                    ] = cycle + 1
+            cycle += 1
+        self.cycle = cycle
+        self._pending_flat = pending
+
+    def run(
+        self,
+        cycles: int,
+        warmup: int | None = None,
+        batches: int = _DEFAULT_BATCHES,
+    ) -> list[SimulationResult]:
+        """Simulate ``cycles`` measured bus cycles for every row.
+
+        Parameter semantics and defaults replicate
+        :meth:`repro.bus.system.MultiplexedBusSystem.run`; the return
+        value is one result per fleet row, in row order.
+        """
+        if cycles < 1:
+            raise ConfigurationError(f"cycles must be >= 1, got {cycles}")
+        if warmup is None:
+            warmup = int(cycles * _DEFAULT_WARMUP_FRACTION)
+        if warmup < 0:
+            raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+        if batches < 0:
+            raise ConfigurationError(f"batches must be >= 0, got {batches}")
+        self.advance(warmup)
+        start_cycle = self.cycle
+        start_completions = self.completions.copy()
+        start_requests = self.request_transfers.copy()
+        start_latency = self.total_latency.copy()
+        start_memory_busy = self._memory_busy()
+
+        pc = self._pc
+        batch_ebws: list[list[float]] = [[] for _ in range(self._fleet)]
+        if batches > 1:
+            batch_length = cycles // batches
+            remainder = cycles - batch_length * batches
+            previous = self.completions.copy()
+            for index in range(batches):
+                length = batch_length + (1 if index < remainder else 0)
+                self.advance(length)
+                if length > 0:
+                    for f in range(self._fleet):
+                        batch_ebws[f].append(
+                            int(self.completions[f] - previous[f])
+                            * pc
+                            / length
+                        )
+                previous = self.completions.copy()
+        else:
+            self.advance(cycles)
+
+        measured = self.cycle - start_cycle
+        memory_busy = self._memory_busy() - start_memory_busy
+        return [
+            SimulationResult(
+                config=self.configs[f],
+                cycles=measured,
+                completions=int(self.completions[f] - start_completions[f]),
+                request_transfers=int(
+                    self.request_transfers[f] - start_requests[f]
+                ),
+                response_transfers=int(
+                    self.completions[f] - start_completions[f]
+                ),
+                memory_busy_cycles=int(memory_busy[f]),
+                total_latency=int(self.total_latency[f] - start_latency[f]),
+                seed=self.seeds[f],
+                warmup_cycles=warmup,
+                batch_ebws=tuple(batch_ebws[f]),
+            )
+            for f in range(self._fleet)
+        ]
+
+
+def run_batch(
+    config: SystemConfig,
+    cycles: int = 100_000,
+    seed: int = 0,
+    warmup: int | None = None,
+    targets: TargetSampler | None = None,
+    request_probabilities: Sequence[float] | None = None,
+    collect_latency: bool = False,
+) -> SimulationResult:
+    """Run one configuration through a single-row batch fleet.
+
+    The ``kernel="batch"`` backend of :func:`repro.bus.simulate`.  A
+    one-row fleet produces exactly the bytes the same row produces
+    inside any larger fleet (rows are independent; property-tested), so
+    cached batch results never depend on how runs were grouped.
+    """
+    if collect_latency:
+        raise ConfigurationError(
+            "kernel='batch' does not support latency-distribution "
+            "collection; use kernel='fast' (bit-identical to the "
+            "reference machine) for latency metrics"
+        )
+    kernel = BatchBusKernel(
+        [config],
+        [seed],
+        targets=[targets],
+        request_probabilities=[request_probabilities],
+    )
+    return kernel.run(cycles, warmup=warmup)[0]

@@ -36,10 +36,19 @@ cache key.
 **Coverage.**  The kernel supports the library's own target samplers
 (uniform, hot-spot, trace - hence every declarative workload, including
 heterogeneous ``p``), both priorities, both tie-breaks, buffered and
-unbuffered modules at any depth.  It does not support custom
-:class:`~repro.workloads.generators.TargetSampler` objects, geometric
-access times, or cycle-level trace sinks - those stay on the reference
-machine, which remains the semantic ground truth.
+unbuffered modules at any depth, and geometric access times (the
+Section 6 product-form comparison lever).  It does not support custom
+:class:`~repro.workloads.generators.TargetSampler` objects or
+cycle-level trace sinks - those stay on the reference machine, which
+remains the semantic ground truth.
+
+Geometric access times draw one service duration per access from the
+same ``"access-times"`` stream the reference machine uses.  Because the
+reference machine draws at service start while sweeping modules in
+index order, the kernel processes each cycle's stall-resolution and
+completion events merged in module-index order whenever the durations
+are random - with constant durations no event draws anything and the
+cheaper split processing is kept.
 """
 
 from __future__ import annotations
@@ -88,6 +97,7 @@ class FastBusKernel:
         targets: TargetSampler | None = None,
         request_probabilities: Sequence[float] | None = None,
         collect_latency: bool = False,
+        geometric_access_times: bool = False,
     ) -> None:
         from repro.bus.system import _resolve_request_probabilities
 
@@ -95,6 +105,7 @@ class FastBusKernel:
         self.seed = seed
         self._collect_latency = collect_latency
         self.latency = None
+        self._geometric = geometric_access_times
 
         n = config.processors
         m = config.memories
@@ -144,6 +155,15 @@ class FastBusKernel:
         self._target_modules = m
         self._think_rnd = _random_module.Random(derive_seed(seed, "think"))
         self._arb_rnd = _random_module.Random(derive_seed(seed, "arbitration"))
+        # Geometric access times: the reference machine's StreamFactory
+        # creates the "access-times" stream at construction; seeding is
+        # per-name (derive_seed), so creation order is irrelevant.
+        self._access_rnd = (
+            _random_module.Random(derive_seed(seed, "access-times"))
+            if geometric_access_times
+            else None
+        )
+        self._access_p = 1.0 / config.memory_cycle_ratio
 
         # --- processor state.
         self._target = [0] * n
@@ -210,6 +230,8 @@ class FastBusKernel:
         }
         if self._targets_rnd is not None:
             states["targets"] = self._targets_rnd.getstate()
+        if self._access_rnd is not None:
+            states["access-times"] = self._access_rnd.getstate()
         if self._trace_positions is not None:
             states["trace_positions"] = tuple(self._trace_positions)
         return states
@@ -269,6 +291,25 @@ class FastBusKernel:
         trace_positions = self._trace_positions
         think_random = self._think_rnd.random
         arb_randrange = self._arb_rnd.randrange
+        geometric = self._geometric
+        access_p = self._access_p
+        if geometric:
+            access_random = self._access_rnd.random
+
+            def draw_duration() -> int:
+                """One access duration: ``1 + geometric_failures(1/r)``.
+
+                Mirrors the reference sampler exactly, including the
+                ``p == 1`` (r == 1) short-circuit that draws nothing.
+                """
+                if access_p == 1.0:
+                    return 1
+                duration = 1
+                while not access_random() < access_p:
+                    duration += 1
+                return duration
+        else:
+            draw_duration = None
         target = self._target
         issue = self._issue
         requesting = self._requesting
@@ -370,43 +411,18 @@ class FastBusKernel:
                     grant_response = best
 
             # 3. module events for this cycle (MemoryModule.tick).
-            events = resolve.pop(cycle, None)
-            if events is not None:
-                for k in events:
-                    held = stalled[k]
-                    stalled[k] = None
-                    if not outq[k]:
-                        insort(ready_modules, k)
-                    outq[k].append(
-                        (held[0], held[1], cycle + 1, held[2], held[3])
-                    )
-                    if inq[k]:
-                        proc_i, issue_i = inq[k].popleft()
-                        svc_active[k] = True
-                        svc_proc[k] = proc_i
-                        svc_issue[k] = issue_i
-                        svc_start[k] = cycle + 1
-                        finish_cycle = cycle + r
-                        svc_finish[k] = finish_cycle
-                        finish.setdefault(finish_cycle, []).append(k)
-            events = finish.pop(cycle, None)
-            if events is not None:
-                for k in events:
-                    svc_active[k] = False
-                    busy_accum[k] += r
-                    if len(outq[k]) < capacity:
+            if not geometric:
+                events = resolve.pop(cycle, None)
+                if events is not None:
+                    for k in events:
+                        held = stalled[k]
+                        stalled[k] = None
                         if not outq[k]:
                             insort(ready_modules, k)
                         outq[k].append(
-                            (
-                                svc_proc[k],
-                                svc_issue[k],
-                                cycle + 1,
-                                svc_start[k],
-                                cycle,
-                            )
+                            (held[0], held[1], cycle + 1, held[2], held[3])
                         )
-                        if buffered and inq[k]:
+                        if inq[k]:
                             proc_i, issue_i = inq[k].popleft()
                             svc_active[k] = True
                             svc_proc[k] = proc_i
@@ -415,13 +431,96 @@ class FastBusKernel:
                             finish_cycle = cycle + r
                             svc_finish[k] = finish_cycle
                             finish.setdefault(finish_cycle, []).append(k)
-                    else:
-                        stalled[k] = (
-                            svc_proc[k],
-                            svc_issue[k],
-                            svc_start[k],
-                            cycle,
+                events = finish.pop(cycle, None)
+                if events is not None:
+                    for k in events:
+                        svc_active[k] = False
+                        busy_accum[k] += r
+                        if len(outq[k]) < capacity:
+                            if not outq[k]:
+                                insort(ready_modules, k)
+                            outq[k].append(
+                                (
+                                    svc_proc[k],
+                                    svc_issue[k],
+                                    cycle + 1,
+                                    svc_start[k],
+                                    cycle,
+                                )
+                            )
+                            if buffered and inq[k]:
+                                proc_i, issue_i = inq[k].popleft()
+                                svc_active[k] = True
+                                svc_proc[k] = proc_i
+                                svc_issue[k] = issue_i
+                                svc_start[k] = cycle + 1
+                                finish_cycle = cycle + r
+                                svc_finish[k] = finish_cycle
+                                finish.setdefault(finish_cycle, []).append(k)
+                        else:
+                            stalled[k] = (
+                                svc_proc[k],
+                                svc_issue[k],
+                                svc_start[k],
+                                cycle,
+                            )
+            else:
+                # Geometric durations draw at every service start, so
+                # events must replay in the reference machine's tick
+                # order: modules ascending, whatever the event kind (a
+                # module never resolves and finishes in one cycle).
+                resolve_bucket = resolve.pop(cycle, None)
+                finish_bucket = finish.pop(cycle, None)
+                merged: list[tuple[int, bool]] = []
+                if resolve_bucket is not None:
+                    merged.extend((k, True) for k in resolve_bucket)
+                if finish_bucket is not None:
+                    merged.extend((k, False) for k in finish_bucket)
+                if len(merged) > 1:
+                    merged.sort()
+                for k, is_resolve in merged:
+                    if is_resolve:
+                        held = stalled[k]
+                        stalled[k] = None
+                        if not outq[k]:
+                            insort(ready_modules, k)
+                        outq[k].append(
+                            (held[0], held[1], cycle + 1, held[2], held[3])
                         )
+                        start_next = bool(inq[k])
+                    else:
+                        svc_active[k] = False
+                        busy_accum[k] += cycle - svc_start[k] + 1
+                        start_next = False
+                        if len(outq[k]) < capacity:
+                            if not outq[k]:
+                                insort(ready_modules, k)
+                            outq[k].append(
+                                (
+                                    svc_proc[k],
+                                    svc_issue[k],
+                                    cycle + 1,
+                                    svc_start[k],
+                                    cycle,
+                                )
+                            )
+                            start_next = buffered and bool(inq[k])
+                        else:
+                            stalled[k] = (
+                                svc_proc[k],
+                                svc_issue[k],
+                                svc_start[k],
+                                cycle,
+                            )
+                    if start_next:
+                        proc_i, issue_i = inq[k].popleft()
+                        svc_active[k] = True
+                        svc_proc[k] = proc_i
+                        svc_issue[k] = issue_i
+                        svc_start[k] = cycle + 1
+                        finish_cycle = cycle + draw_duration()
+                        svc_finish[k] = finish_cycle
+                        finish.setdefault(finish_cycle, []).append(k)
 
             # 4. the granted transfer completes at the end of the cycle.
             if grant_request >= 0:
@@ -434,7 +533,10 @@ class FastBusKernel:
                     svc_proc[k] = i
                     svc_issue[k] = issue[i]
                     svc_start[k] = cycle + 1
-                    finish_cycle = cycle + r
+                    if geometric:
+                        finish_cycle = cycle + draw_duration()
+                    else:
+                        finish_cycle = cycle + r
                     svc_finish[k] = finish_cycle
                     finish.setdefault(finish_cycle, []).append(k)
                 else:
@@ -555,13 +657,16 @@ def run_fast(
     targets: TargetSampler | None = None,
     request_probabilities: Sequence[float] | None = None,
     collect_latency: bool = False,
+    geometric_access_times: bool = False,
 ) -> SimulationResult:
     """Build a :class:`FastBusKernel` and run it once.
 
     The fast-kernel counterpart of :func:`repro.bus.simulate` with
     ``kernel="reference"``; raises :class:`ConfigurationError` for
     configurations outside the kernel's coverage (custom target
-    samplers).
+    samplers).  ``geometric_access_times`` mirrors the reference
+    machine's lever of the same name bit-for-bit (same draws from the
+    same ``"access-times"`` stream).
     """
     kernel = FastBusKernel(
         config,
@@ -569,5 +674,6 @@ def run_fast(
         targets=targets,
         request_probabilities=request_probabilities,
         collect_latency=collect_latency,
+        geometric_access_times=geometric_access_times,
     )
     return kernel.run(cycles, warmup=warmup)

@@ -105,6 +105,9 @@ class MultiplexedBusSystem:
 
             self.latency = LatencyTracker()
         streams = StreamFactory(seed)
+        # Kept for the kernel-equivalence tests, which compare the
+        # final state of every consumed stream across implementations.
+        self._streams = streams
         if targets is None:
             targets = UniformTargets(config.memories, streams.get("targets"))
         per_processor_p = _resolve_request_probabilities(

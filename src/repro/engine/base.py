@@ -179,9 +179,12 @@ class EvalRequest:
     bookkeeping (index, scenario name, replication number).  ``seed``,
     ``cycles`` and ``warmup`` only matter to the simulation evaluator;
     analytic evaluators ignore them (and exclude them from cache
-    payloads).  ``kernel`` selects the simulation loop implementation
-    (``"reference"`` or ``"fast"``); both are bit-identical, so the
-    choice never enters a cache key.
+    payloads).  ``kernel`` selects the simulation loop implementation:
+    ``"reference"`` and ``"fast"`` are bit-identical, so that choice
+    never enters a cache key; ``"batch"`` (the vectorized lockstep
+    fleet kernel) is reproducible in itself but not bit-identical, so
+    batch requests cache under the distinct ``simulation-batch@1``
+    engine namespace.
     """
 
     config: SystemConfig

@@ -92,13 +92,26 @@ class SimulationEvaluator:
 
     def cache_payload(self, request: EvalRequest) -> dict[str, Any]:
         """Simulation identity: the full case (config, workload, seed,
-        cycles, warmup, metrics) - but never the kernel, whose two
-        implementations are property-tested bit-identical."""
+        cycles, warmup, metrics) plus the engine namespace.
+
+        The ``reference`` and ``fast`` kernels are property-tested
+        bit-identical, so they share the ``simulation@1`` namespace and
+        the kernel lever stays out of the key.  The ``batch`` kernel is
+        only statistically equivalent, so its requests carry the
+        distinct :data:`repro.bus.batch.BATCH_ENGINE_TOKEN` - batch
+        entries can never collide with (or be served from) exact-kernel
+        entries.
+        """
         from repro.parallel.cache import case_payload
 
         payload = case_payload(request.case())
         payload["method"] = str(self.capabilities.method)
-        payload["engine"] = self.capabilities.engine_token
+        if request.kernel == "batch":
+            from repro.bus.batch import BATCH_ENGINE_TOKEN
+
+            payload["engine"] = BATCH_ENGINE_TOKEN
+        else:
+            payload["engine"] = self.capabilities.engine_token
         return payload
 
 

@@ -5,9 +5,18 @@ renders an :class:`~repro.experiments.registry.ExperimentResult` whose
 rows are curves as a fixed-width ASCII chart, so ``python -m
 repro.experiments figure5 --chart`` shows the figure's shape directly in
 the terminal.
+
+:func:`render_percentile_chart` is the latency-distribution
+counterpart: it draws the p50/p90/p99 total-latency columns that
+``scenario <name> --metrics latency`` already emits on its unit lines
+as three curves over the executed units, so the shape of the tail is
+visible without leaving the terminal (``scenario <name> --metrics
+latency --chart``).
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 from repro.core.errors import ExperimentError
 from repro.experiments.registry import ExperimentResult
@@ -73,3 +82,55 @@ def render_chart(
     ]
     lines.append("legend: " + "   ".join(legend))
     return "\n".join(lines)
+
+
+PERCENTILE_ROWS = ("lat_p50", "lat_p90", "lat_p99")
+"""The latency percentile curves the chart draws - exactly the
+``lat_p50``/``lat_p90``/``lat_p99`` columns a latency-metric unit line
+carries (see :func:`repro.scenarios.execute.unit_line`)."""
+
+
+def render_percentile_chart(
+    results: Sequence,
+    height: int = 18,
+    width_per_column: int = 7,
+    title: str = "total latency percentiles (bus cycles) per unit",
+) -> str:
+    """Chart the p50/p90/p99 total-latency percentiles across units.
+
+    ``results`` are the :class:`~repro.scenarios.execute.UnitResult`
+    items of one scenario run executed with the ``latency`` metric;
+    units without a latency report (e.g. analytic units) are skipped.
+    Each percentile becomes one curve, the executed units (labelled by
+    their global index) the x axis - the chart is a terminal rendering
+    of columns the unit lines already print, so it adds no new
+    randomness and is byte-deterministic for a given run.
+    """
+    charted = [
+        result for result in results if getattr(result, "latency", None)
+    ]
+    if not charted:
+        raise ExperimentError(
+            "no latency-metric units to chart; run the scenario with "
+            "--metrics latency (simulation method, reference/fast kernel)"
+        )
+    columns = tuple(f"u{result.unit.index}" for result in charted)
+    measured = {}
+    for result in charted:
+        summary = result.latency.total
+        column = f"u{result.unit.index}"
+        measured[(PERCENTILE_ROWS[0], column)] = summary.p50_value
+        measured[(PERCENTILE_ROWS[1], column)] = summary.p90_value
+        measured[(PERCENTILE_ROWS[2], column)] = summary.p99_value
+    chart_result = ExperimentResult(
+        experiment_id="latency-percentiles",
+        title=title,
+        row_label="percentile",
+        column_label="unit",
+        rows=PERCENTILE_ROWS,
+        columns=columns,
+        measured=measured,
+    )
+    return render_chart(
+        chart_result, height=height, width_per_column=width_per_column
+    )

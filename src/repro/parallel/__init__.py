@@ -18,7 +18,13 @@ Three pieces cooperate:
 * :mod:`repro.parallel.pool` and :mod:`repro.parallel.workers` supply
   the order-preserving pool map and the spawn-safe picklable tasks the
   other layers (``des.replications``, ``analysis.sweeps``,
-  ``analysis.sensitivity``, ``experiments.runner``) dispatch through.
+  ``analysis.sensitivity``, ``experiments.runner``) dispatch through;
+* :mod:`repro.parallel.fleet` aggregates batch-kernel simulation cases
+  into lockstep fleets (:func:`~repro.parallel.fleet.run_fleet`,
+  :func:`~repro.parallel.fleet.replicate_batch`), handing whole
+  replication blocks to one vectorized
+  :class:`~repro.bus.batch.BatchBusKernel` call instead of pool-mapping
+  single runs.
 
 Determinism guarantee
 ---------------------
@@ -31,6 +37,12 @@ tests under ``tests/properties/test_parallel_equivalence.py`` assert
 directly.
 """
 
+from repro.parallel.fleet import (
+    fleet_key,
+    group_fleets,
+    replicate_batch,
+    run_fleet,
+)
 from repro.parallel.cache import (
     ENV_CACHE_DIR,
     CacheStats,
@@ -55,6 +67,10 @@ from repro.parallel.workers import (
 __all__ = [
     "ParallelReplicator",
     "ResultCache",
+    "fleet_key",
+    "group_fleets",
+    "replicate_batch",
+    "run_fleet",
     "CacheStats",
     "EbwTask",
     "LatencyTask",

@@ -1,0 +1,141 @@
+"""Fleet aggregation: hand whole replication blocks to one batch call.
+
+The pool map in :mod:`repro.parallel.pool` parallelises *across* runs;
+the batch kernel (:mod:`repro.bus.batch`) vectorises *within* one call.
+This module is the bridge: it groups a list of
+:class:`~repro.parallel.workers.SimulationCase` items into lockstep
+fleets - cases sharing the batch shape and measurement window - and
+executes each fleet with a single :class:`~repro.bus.batch.BatchBusKernel`
+invocation instead of pool-mapping the runs one by one.
+
+Because fleet rows are fully independent (see the batch-kernel
+reproducibility contract), *how* cases are grouped can never change any
+case's result: a case executed alone, inside its scenario's fleet, or
+inside some other fleet produces identical bytes.  Grouping is therefore
+an execution lever exactly like ``--jobs`` - with the one twist that the
+batch kernel's numbers differ from the exact kernels', which is why
+batch results carry their own engine cache token.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ConfigurationError
+from repro.core.results import SimulationResult
+from repro.parallel.workers import SimulationCase
+from repro.des.replications import ReplicationResult, replication_seeds
+from repro.workloads.spec import WorkloadSpec
+
+
+def fleet_key(case: SimulationCase) -> tuple:
+    """The lockstep-grouping key of one simulation case.
+
+    Extends :func:`repro.bus.batch.fleet_shape` with the measurement
+    window: rows of one kernel advance through identical cycle counts,
+    so ``cycles`` and ``warmup`` must match too.
+    """
+    from repro.bus.batch import fleet_shape
+
+    return fleet_shape(case.config) + (case.cycles, case.warmup)
+
+
+def group_fleets(cases: Sequence[SimulationCase]) -> list[list[int]]:
+    """Partition case positions into lockstep fleets.
+
+    Groups are keyed on :func:`fleet_key` and ordered by each key's
+    first appearance, so the grouping is a deterministic function of the
+    case list alone.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for position, case in enumerate(cases):
+        groups.setdefault(fleet_key(case), []).append(position)
+    return list(groups.values())
+
+
+def run_fleet(cases: Sequence[SimulationCase]) -> list[SimulationResult]:
+    """Execute simulation cases through lockstep batch fleets.
+
+    The batch counterpart of
+    :func:`repro.parallel.workers.simulate_cases`: results come back in
+    input order, and each case's result is independent of the grouping
+    (rows are independent; property-tested in
+    ``tests/properties/test_batch_invariance.py``).  Raises
+    :class:`ConfigurationError` for cases the batch kernel cannot run
+    (latency collection) or when numpy is unavailable.
+    """
+    from repro.bus.batch import BatchBusKernel
+
+    cases = list(cases)
+    for case in cases:
+        if case.collect_latency:
+            raise ConfigurationError(
+                "batch fleets cannot collect latency distributions; "
+                "run latency cases with kernel='fast'"
+            )
+    results: dict[int, SimulationResult] = {}
+    for positions in group_fleets(cases):
+        configs = []
+        seeds = []
+        targets = []
+        probabilities = []
+        for position in positions:
+            case = cases[position]
+            workload = case.workload
+            if workload is not None:
+                workload.validate(case.config)
+            configs.append(case.config)
+            seeds.append(case.seed)
+            targets.append(
+                workload.build_targets(case.config, case.seed)
+                if workload is not None
+                else None
+            )
+            probabilities.append(
+                workload.request_probabilities(case.config)
+                if workload is not None
+                else None
+            )
+        kernel = BatchBusKernel(
+            configs, seeds, targets=targets, request_probabilities=probabilities
+        )
+        fleet_results = kernel.run(
+            cases[positions[0]].cycles, warmup=cases[positions[0]].warmup
+        )
+        for position, result in zip(positions, fleet_results):
+            results[position] = result
+    return [results[position] for position in range(len(cases))]
+
+
+def replicate_batch(
+    config,
+    replications: int,
+    base_seed: int = 0,
+    cycles: int = 20_000,
+    workload: WorkloadSpec | None = None,
+    confidence: float = 0.95,
+) -> ReplicationResult:
+    """Estimate EBW over independent replications with one batch call.
+
+    The fleet-aggregated counterpart of
+    :func:`repro.des.replications.replicate` with an
+    :class:`~repro.parallel.workers.EbwTask`: the same canonical
+    ``base_seed + i`` seed mapping, but the whole replication block
+    advances in one lockstep kernel.  Estimates are the batch kernel's
+    (reproducible in themselves, statistically equivalent to the exact
+    kernels - not bit-identical).
+    """
+    seeds = replication_seeds(base_seed, replications)
+    results = run_fleet(
+        [
+            SimulationCase(
+                config, cycles, seed, workload=workload, kernel="batch"
+            )
+            for seed in seeds
+        ]
+    )
+    return ReplicationResult(
+        estimates=tuple(result.ebw for result in results),
+        seeds=seeds,
+        confidence=confidence,
+    )

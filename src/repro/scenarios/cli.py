@@ -96,15 +96,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--kernel",
-        choices=("reference", "fast"),
+        choices=("reference", "fast", "batch"),
         default="reference",
         help="simulation-loop implementation; 'fast' runs the flattened "
-        "bit-identical kernel (repro.bus.kernel) - same bytes, less time",
+        "bit-identical kernel (repro.bus.kernel) - same bytes, less "
+        "time; 'batch' runs whole replication fleets in one vectorized "
+        "lockstep call (repro.bus.batch; needs the numpy extra) - "
+        "reproducible in itself, statistically equivalent, own cache "
+        "namespace",
     )
     parser.add_argument(
         "--fast",
         action="store_true",
         help="shorthand for --kernel fast",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="after the unit lines, draw the p50/p90/p99 total-latency "
+        "percentile curves across units as an ASCII chart on stderr "
+        "(requires --metrics latency); stdout stays byte-reproducible",
     )
     parser.add_argument(
         "--cache",
@@ -121,6 +132,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be a positive integer")
+    if args.fast and args.kernel == "batch":
+        # fast and batch produce deliberately different bytes, so a
+        # silent precedence pick would hand back the wrong tier.
+        parser.error("--fast conflicts with --kernel batch; pick one")
     kernel = "fast" if args.fast else args.kernel
     if args.scenario is None:
         print(list_scenarios())
@@ -175,6 +190,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     for result in results:
         print(unit_line(result), flush=True)
+    if args.chart:
+        from repro.experiments.asciichart import render_percentile_chart
+
+        try:
+            print(render_percentile_chart(results), file=sys.stderr)
+        except ReproError as exc:
+            print(f"warning: no chart: {exc}", file=sys.stderr)
     elapsed = time.time() - started
     served = sum(1 for result in results if result.cached)
     print(

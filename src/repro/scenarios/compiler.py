@@ -54,9 +54,12 @@ class WorkUnit:
     metrics: tuple[str, ...] = ()
     """Extra metric families this unit collects (e.g. ``("latency",)``)."""
     kernel: str = DEFAULT_KERNEL
-    """Simulation-loop implementation (``"reference"`` or ``"fast"``).
-    Both are property-tested bit-identical, so the kernel is an
-    execution lever like ``--jobs`` - it never enters :meth:`payload`."""
+    """Simulation-loop implementation (``"reference"``, ``"fast"`` or
+    ``"batch"``).  Reference and fast are property-tested bit-identical,
+    so for them the kernel is an execution lever like ``--jobs`` and
+    never enters :meth:`payload`.  Batch results are reproducible in
+    themselves but not bit-identical, so their payloads carry the
+    ``simulation-batch@1`` engine token instead of ``simulation@1``."""
 
     @property
     def collects_latency(self) -> bool:
@@ -114,10 +117,23 @@ def compile_scenario(
     load time, with a message naming the offending point.
 
     ``kernel`` selects the simulation-loop implementation for every
-    compiled unit (``"reference"`` or ``"fast"``); the two are
-    bit-identical, so the choice affects wall-clock only.
+    compiled unit: ``"reference"`` and ``"fast"`` are bit-identical, so
+    that choice affects wall-clock only; ``"batch"`` (vectorized
+    lockstep fleets) changes bytes within statistical equivalence and
+    is validated here against its narrower capability (no
+    latency-distribution metrics).
     """
     capabilities = get_evaluator(spec.method).capabilities
+    if kernel == "batch" and spec.method is EvaluationMethod.SIMULATION:
+        from repro.bus.batch import check_batch_metrics
+
+        try:
+            check_batch_metrics(spec.metrics)
+        except ConfigurationError as exc:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} cannot run under "
+                f"kernel='batch': {exc}"
+            ) from exc
     units: list[WorkUnit] = []
     seeds = spec.plan.seeds
     index = 0

@@ -63,6 +63,88 @@ def evaluate_unit(unit: WorkUnit) -> dict[str, Any]:
     return get_evaluator(unit.method).evaluate(unit.request()).payload()
 
 
+def evaluate_fleet(units: Sequence[WorkUnit]) -> list[dict[str, Any]]:
+    """Evaluate batch-kernel simulation units as one lockstep fleet.
+
+    The fleet-aggregation fast path of :func:`run_units`: instead of
+    one evaluator dispatch per unit, the whole block of units runs
+    through a single :func:`repro.parallel.fleet.run_fleet` call.
+    Fleet rows are independent, so each unit's payload is byte-identical
+    to the payload :func:`evaluate_unit` would produce for it alone
+    (property-tested); the aggregation is purely a wall-clock lever.
+    """
+    from repro.parallel.fleet import run_fleet
+
+    results = run_fleet([unit.case() for unit in units])
+    return [
+        EvalResult(
+            ebw=result.ebw,
+            processor_utilization=result.processor_utilization,
+            bus_utilization=result.bus_utilization,
+        ).payload()
+        for result in results
+    ]
+
+
+def _evaluate_task(task) -> list[dict[str, Any]]:
+    """Pool task: one single unit or one batch fleet (module-level).
+
+    Returns a list of payloads aligned with the task's units, so single
+    units and fleets flow through one :func:`map_ordered` call.
+    """
+    kind, payload = task
+    if kind == "unit":
+        return [evaluate_unit(payload)]
+    return evaluate_fleet(payload)
+
+
+def _batchable(unit: WorkUnit) -> bool:
+    """Whether a unit can join a lockstep fleet."""
+    return (
+        unit.method is EvaluationMethod.SIMULATION
+        and unit.kernel == "batch"
+        and not unit.collects_latency
+    )
+
+
+def _evaluation_tasks(
+    units: Sequence[WorkUnit],
+) -> tuple[list[tuple], list[list[int]]]:
+    """Group units into pool tasks, fleets first-appearance ordered.
+
+    Batch-kernel simulation units sharing a lockstep fleet key travel
+    as one ``("fleet", (...units...))`` task; everything else stays a
+    ``("unit", unit)`` task.  Returns the tasks plus, aligned with
+    them, each task's member positions in ``units``.  The grouping is a
+    deterministic function of the unit list, and - because fleet rows
+    are independent - it can never change any unit's bytes.
+    """
+    from repro.parallel.fleet import fleet_key
+
+    fleets: dict[tuple, list[int]] = {}
+    order: list[tuple[str, Any]] = []
+    for position, unit in enumerate(units):
+        if _batchable(unit):
+            key = fleet_key(unit.case())
+            if key not in fleets:
+                fleets[key] = []
+                order.append(("fleet", key))
+            fleets[key].append(position)
+        else:
+            order.append(("unit", position))
+    tasks: list[tuple] = []
+    groups: list[list[int]] = []
+    for kind, content in order:
+        if kind == "unit":
+            tasks.append(("unit", units[content]))
+            groups.append([content])
+        else:
+            members = fleets[content]
+            tasks.append(("fleet", tuple(units[i] for i in members)))
+            groups.append(members)
+    return tasks, groups
+
+
 def _expectations(unit: WorkUnit) -> tuple[bool, bool]:
     """Which latency payload flavours this unit's metrics must carry."""
     if not unit.collects_latency:
@@ -143,15 +225,17 @@ def run_units(
             if keys[position] not in seen:
                 seen.add(keys[position])
                 representatives.append(position)
-        computed = map_ordered(
-            evaluate_unit,
-            [units[position] for position in representatives],
-            max_workers=jobs,
+        # Batch-kernel units aggregate into lockstep fleets (one
+        # vectorized call per fleet) while everything else dispatches
+        # per unit; both travel through the same ordered pool map.
+        tasks, groups = _evaluation_tasks(
+            [units[position] for position in representatives]
         )
-        metrics_by_key = {
-            keys[position]: metrics
-            for position, metrics in zip(representatives, computed)
-        }
+        computed_lists = map_ordered(_evaluate_task, tasks, max_workers=jobs)
+        metrics_by_key: dict[str, Any] = {}
+        for members, payloads in zip(groups, computed_lists):
+            for member, metrics in zip(members, payloads):
+                metrics_by_key[keys[representatives[member]]] = metrics
         for position in pending:
             results[position] = _result_from_metrics(
                 units[position], metrics_by_key[keys[position]], False
@@ -175,9 +259,12 @@ def run_scenario(
 ) -> list[UnitResult]:
     """Compile ``spec``, optionally take one shard, and execute it.
 
-    ``kernel`` selects the simulation loop (``"reference"`` or
-    ``"fast"``); the two are bit-identical, so it changes wall-clock
-    only - exactly like ``jobs`` and ``cache``.
+    ``kernel`` selects the simulation loop: ``"reference"`` and
+    ``"fast"`` are bit-identical, so that choice changes wall-clock
+    only - exactly like ``jobs`` and ``cache``.  ``"batch"`` runs
+    lockstep fleets whose bytes are reproducible in themselves (across
+    shards, jobs and grouping) but deliberately different from the
+    exact kernels' - never mix batch and exact shards of one sweep.
     """
     units = compile_scenario(spec, kernel=kernel)
     if shard is not None:

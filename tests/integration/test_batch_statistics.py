@@ -1,0 +1,176 @@
+"""Statistical equivalence of the batch kernel, and its cache namespace.
+
+The batch kernel is deliberately *not* bit-identical to the exact
+kernels; its acceptance contract is statistical: over a fleet of
+configurations, batch-kernel EBW and mean-latency replication means must
+agree with fast-kernel means within declared confidence bounds.  The
+runs are seeded, so the test is deterministic - the bounds document how
+close the two samplers are, they do not absorb flakiness.
+
+The second half pins the cache consequence of non-bit-identity: batch
+results live under the ``simulation-batch@1`` engine token and can never
+collide with - or be served from - ``simulation@1`` entries.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.bus.batch import BATCH_ENGINE_TOKEN  # noqa: E402
+from repro.core.config import SystemConfig  # noqa: E402
+from repro.core.policy import Priority, TieBreak  # noqa: E402
+from repro.parallel.cache import ResultCache, fingerprint  # noqa: E402
+from repro.parallel.fleet import replicate_batch, run_fleet  # noqa: E402
+from repro.parallel.workers import SimulationCase, run_case  # noqa: E402
+from repro.scenarios.compiler import compile_scenario  # noqa: E402
+from repro.scenarios.execute import run_units  # noqa: E402
+from repro.scenarios.spec import (  # noqa: E402
+    GridAxis,
+    ReplicationPlan,
+    ScenarioSpec,
+)
+
+REPLICATIONS = 8
+CYCLES = 4_000
+Z = 4.0
+"""Welch-bound multiplier: the declared confidence bound (z = 4
+corresponds to ~99.994% for a normal difference of means).  Seeded runs
+make the test deterministic; the bound documents equivalence quality."""
+
+EQUIVALENCE_FLEET = [
+    SystemConfig(4, 4, 4),
+    SystemConfig(8, 8, 8),
+    SystemConfig(16, 16, 8),
+    SystemConfig(8, 16, 8, priority=Priority.MEMORIES),
+    SystemConfig(8, 4, 6, tie_break=TieBreak.FCFS),
+    SystemConfig(8, 16, 8, request_probability=0.5),
+    SystemConfig(6, 6, 2, request_probability=0.8, priority=Priority.MEMORIES),
+    SystemConfig(8, 8, 8, buffered=True),
+    SystemConfig(4, 8, 4, buffered=True, buffer_depth=2),
+    SystemConfig(
+        8, 8, 12, buffered=True, priority=Priority.MEMORIES,
+        tie_break=TieBreak.FCFS,
+    ),
+    SystemConfig(2, 2, 3, request_probability=0.3),
+]
+"""The >= 10-configuration equivalence fleet (both priorities, both
+tie-breaks, buffering, partial load)."""
+
+
+def _welch_bound(a, b) -> float:
+    return Z * math.sqrt(
+        statistics.variance(a) / len(a) + statistics.variance(b) / len(b)
+    )
+
+
+def _means(results):
+    ebw = statistics.fmean(r.ebw for r in results)
+    latency = statistics.fmean(r.mean_latency for r in results)
+    return ebw, latency
+
+
+@pytest.mark.parametrize(
+    "config", EQUIVALENCE_FLEET, ids=lambda c: c.describe()
+)
+def test_batch_agrees_with_fast_within_confidence_bounds(config):
+    fast = [
+        run_case(SimulationCase(config, CYCLES, seed, kernel="fast"))
+        for seed in range(REPLICATIONS)
+    ]
+    batch = run_fleet(
+        [
+            SimulationCase(config, CYCLES, seed, kernel="batch")
+            for seed in range(REPLICATIONS)
+        ]
+    )
+    fast_ebw, fast_latency = _means(fast)
+    batch_ebw, batch_latency = _means(batch)
+    ebw_bound = _welch_bound(
+        [r.ebw for r in fast], [r.ebw for r in batch]
+    ) + 1e-12
+    latency_bound = _welch_bound(
+        [r.mean_latency for r in fast], [r.mean_latency for r in batch]
+    ) + 1e-9 * fast_latency
+    assert abs(fast_ebw - batch_ebw) <= ebw_bound, (
+        f"EBW means diverge: fast {fast_ebw:.6f} vs batch {batch_ebw:.6f} "
+        f"(bound {ebw_bound:.6f})"
+    )
+    assert abs(fast_latency - batch_latency) <= latency_bound, (
+        f"mean latency diverges: fast {fast_latency:.4f} vs batch "
+        f"{batch_latency:.4f} (bound {latency_bound:.4f})"
+    )
+
+
+def test_replicate_batch_matches_fleet_estimates():
+    config = SystemConfig(8, 8, 8)
+    replication = replicate_batch(
+        config, replications=5, base_seed=3, cycles=2_000
+    )
+    direct = run_fleet(
+        [
+            SimulationCase(config, 2_000, seed, kernel="batch")
+            for seed in range(3, 8)
+        ]
+    )
+    assert replication.estimates == tuple(r.ebw for r in direct)
+    assert replication.seeds == (3, 4, 5, 6, 7)
+    assert 0.0 < replication.mean <= config.max_ebw
+
+
+# ----------------------------------------------------------------------
+# Cache namespace separation.
+# ----------------------------------------------------------------------
+def _scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="batch-cache-namespace",
+        description="cache separation fixture",
+        base={"processors": 3, "memories": 3},
+        grid=(GridAxis("memory_cycle_ratio", (2, 3)),),
+        cycles=500,
+        plan=ReplicationPlan(2, 5),
+    )
+
+
+def test_batch_payloads_use_their_own_engine_token():
+    spec = _scenario()
+    exact_units = compile_scenario(spec, kernel="fast")
+    batch_units = compile_scenario(spec, kernel="batch")
+    for exact, batch in zip(exact_units, batch_units):
+        exact_payload = exact.payload()
+        batch_payload = batch.payload()
+        assert exact_payload["engine"] == "simulation@1"
+        assert batch_payload["engine"] == BATCH_ENGINE_TOKEN
+        assert fingerprint(exact_payload) != fingerprint(batch_payload)
+    reference_units = compile_scenario(spec, kernel="reference")
+    for exact, reference in zip(exact_units, reference_units):
+        assert exact.payload() == reference.payload()
+
+
+def test_batch_and_exact_entries_never_collide_in_cache(tmp_path):
+    spec = _scenario()
+    cache = ResultCache(cache_dir=tmp_path, version_tag="test")
+    exact_units = compile_scenario(spec, kernel="fast")
+    batch_units = compile_scenario(spec, kernel="batch")
+
+    exact_first = run_units(exact_units, cache=cache)
+    assert not any(result.cached for result in exact_first)
+    # Batch sees a warm cache full of exact entries - and none match.
+    batch_first = run_units(batch_units, cache=cache)
+    assert not any(result.cached for result in batch_first)
+    # Each kernel is served from its own namespace on the rerun.
+    exact_again = run_units(exact_units, cache=cache)
+    batch_again = run_units(batch_units, cache=cache)
+    assert all(result.cached for result in exact_again)
+    assert all(result.cached for result in batch_again)
+    for fresh, cached in zip(exact_first, exact_again):
+        assert fresh.ebw == cached.ebw
+    for fresh, cached in zip(batch_first, batch_again):
+        assert fresh.ebw == cached.ebw
+    # The two kernels genuinely computed different numbers somewhere;
+    # had they shared entries, the second run would have masked it.
+    assert [r.ebw for r in exact_first] != [r.ebw for r in batch_first]

@@ -1,0 +1,229 @@
+"""Property tests: batch fleet execution is composition invariant.
+
+The batch kernel's reproducibility contract (see :mod:`repro.bus.batch`)
+says a fleet row's result is a pure function of the row's own
+``(config, workload, seed, cycles, warmup)`` - never of which other rows
+share the lockstep call, in what order, or on which shard.  These
+properties drive randomized fleets through
+:class:`~repro.bus.batch.BatchBusKernel` and the scenario layer and
+assert exact equality:
+
+* permuting fleet rows permutes the results and changes no bytes;
+* splitting a fleet into single-row fleets reproduces each row exactly;
+* a batch-kernel scenario executed as ``k`` shards merges to stdout
+  byte-identical to the unsharded run, under any worker count.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+np = pytest.importorskip("numpy")
+
+from repro.bus.batch import BatchBusKernel, run_batch  # noqa: E402
+from repro.core.config import SystemConfig  # noqa: E402
+from repro.core.policy import Priority, TieBreak  # noqa: E402
+from repro.parallel.fleet import group_fleets, run_fleet  # noqa: E402
+from repro.parallel.workers import SimulationCase  # noqa: E402
+from repro.scenarios.execute import (  # noqa: E402
+    merge_reports,
+    render_report,
+    run_units,
+)
+from repro.scenarios.compiler import (  # noqa: E402
+    compile_scenario,
+    shard_units,
+)
+from repro.scenarios.spec import (  # noqa: E402
+    GridAxis,
+    ReplicationPlan,
+    ScenarioSpec,
+)
+from repro.workloads.spec import (  # noqa: E402
+    HotSpotWorkload,
+    RequestMixWorkload,
+    TraceWorkload,
+)
+
+
+def result_key(result):
+    """Every field of a batch SimulationResult that must be invariant."""
+    return (
+        result.config,
+        result.cycles,
+        result.completions,
+        result.request_transfers,
+        result.response_transfers,
+        result.memory_busy_cycles,
+        result.total_latency,
+        result.batch_ebws,
+        result.seed,
+        result.warmup_cycles,
+    )
+
+
+@st.composite
+def fleet_shapes(draw):
+    buffered = draw(st.booleans())
+    return dict(
+        processors=draw(st.integers(min_value=1, max_value=5)),
+        memories=draw(st.integers(min_value=1, max_value=5)),
+        memory_cycle_ratio=draw(st.integers(min_value=1, max_value=5)),
+        priority=draw(st.sampled_from(list(Priority))),
+        tie_break=draw(st.sampled_from(list(TieBreak))),
+        buffered=buffered,
+        buffer_depth=draw(st.sampled_from([1, 2, 3])) if buffered else 1,
+    )
+
+
+@st.composite
+def fleet_rows(draw, shape):
+    """(config, seed, workload) rows sharing one lockstep shape."""
+    rows = []
+    for _ in range(draw(st.integers(min_value=2, max_value=6))):
+        seed = draw(st.integers(min_value=0, max_value=2**31))
+        p = draw(st.sampled_from([0.3, 0.7, 1.0]))
+        config = SystemConfig(request_probability=p, **shape)
+        kind = draw(st.sampled_from(["uniform", "hot_spot", "trace", "mix"]))
+        if kind == "hot_spot":
+            workload = HotSpotWorkload(
+                hot_fraction=draw(st.sampled_from([0.0, 0.4, 1.0])),
+                hot_module=draw(
+                    st.integers(min_value=0, max_value=config.memories - 1)
+                ),
+            )
+        elif kind == "trace":
+            length = draw(st.integers(min_value=1, max_value=4))
+            workload = TraceWorkload(
+                tuple(
+                    tuple(
+                        draw(
+                            st.integers(
+                                min_value=0, max_value=config.memories - 1
+                            )
+                        )
+                        for _ in range(length)
+                    )
+                    for _ in range(config.processors)
+                )
+            )
+        elif kind == "mix":
+            workload = RequestMixWorkload(
+                tuple(
+                    draw(st.sampled_from([0.4, 0.9, 1.0]))
+                    for _ in range(config.processors)
+                )
+            )
+        else:
+            workload = None
+        rows.append((config, seed, workload))
+    return rows
+
+
+class TestFleetComposition:
+    @given(st.data(), fleet_shapes())
+    @settings(max_examples=25, deadline=None)
+    def test_permutation_and_single_row_invariance(self, data, shape):
+        rows = data.draw(fleet_rows(shape))
+        cases = [
+            SimulationCase(
+                config, 400, seed, warmup=80, workload=workload, kernel="batch"
+            )
+            for config, seed, workload in rows
+        ]
+        full = run_fleet(cases)
+        permutation = data.draw(st.permutations(range(len(cases))))
+        permuted = run_fleet([cases[i] for i in permutation])
+        for j, i in enumerate(permutation):
+            assert result_key(permuted[j]) == result_key(full[i])
+        # Single-row fleets (the simulate(kernel="batch") path) agree.
+        for case, result in zip(cases, full):
+            targets = (
+                case.workload.build_targets(case.config, case.seed)
+                if case.workload is not None
+                else None
+            )
+            probabilities = (
+                case.workload.request_probabilities(case.config)
+                if case.workload is not None
+                else None
+            )
+            single = run_batch(
+                case.config,
+                cycles=case.cycles,
+                seed=case.seed,
+                warmup=case.warmup,
+                targets=targets,
+                request_probabilities=probabilities,
+            )
+            assert result_key(single) == result_key(result)
+
+    @given(fleet_shapes(), st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_replication_block_equals_separate_kernels(self, shape, seed):
+        config = SystemConfig(**shape)
+        block = BatchBusKernel(
+            [config] * 4, [seed + i for i in range(4)]
+        ).run(300, warmup=50)
+        for i, result in enumerate(block):
+            alone = BatchBusKernel([config], [seed + i]).run(300, warmup=50)
+            assert result_key(alone[0]) == result_key(result)
+
+
+def _batch_scenario(replications: int = 3) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="batch-shard-property",
+        description="fleet invariance fixture",
+        base={"processors": 3, "memories": 4, "priority": Priority.PROCESSORS},
+        grid=(
+            GridAxis("memory_cycle_ratio", (2, 4)),
+            GridAxis("request_probability", (0.5, 1.0)),
+        ),
+        cycles=600,
+        plan=ReplicationPlan(replications, 11),
+    )
+
+
+class TestShardInvariance:
+    def test_sharded_batch_reports_merge_byte_identically(self):
+        spec = _batch_scenario()
+        units = compile_scenario(spec, kernel="batch")
+        unsharded = render_report(run_units(units, jobs=1))
+        for shard_count in (2, 3):
+            shard_reports = []
+            for shard_index in range(1, shard_count + 1):
+                shard = shard_units(units, shard_index, shard_count)
+                shard_reports.append(render_report(run_units(shard, jobs=1)))
+            assert merge_reports(shard_reports) == unsharded
+
+    def test_worker_count_changes_no_bytes(self):
+        spec = _batch_scenario()
+        units = compile_scenario(spec, kernel="batch")
+        serial = render_report(run_units(units, jobs=1))
+        pooled = render_report(run_units(units, jobs=2))
+        assert pooled == serial
+
+    def test_grouping_is_deterministic(self):
+        spec = _batch_scenario()
+        units = compile_scenario(spec, kernel="batch")
+        cases = [unit.case() for unit in units]
+        assert group_fleets(cases) == group_fleets(list(cases))
+
+
+class TestSeedStreams:
+    def test_distinct_seeds_distinct_results(self):
+        config = SystemConfig(4, 4, 4)
+        results = BatchBusKernel([config] * 3, [1, 2, 3]).run(2_000)
+        keys = {result_key(result) for result in results}
+        assert len(keys) == 3
+
+    def test_same_seed_same_result(self):
+        config = SystemConfig(4, 4, 4)
+        first, second = BatchBusKernel([config] * 2, [9, 9]).run(2_000)
+        assert result_key(
+            dataclasses.replace(first, seed=0)
+        ) == result_key(dataclasses.replace(second, seed=0))

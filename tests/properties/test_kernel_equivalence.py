@@ -162,6 +162,52 @@ class TestBitIdentical:
         fast = simulate(config, cycles=300, seed=seed, kernel="fast")
         assert result_key(reference) == result_key(fast)
 
+    @given(
+        fleet_configs(),
+        st.integers(min_value=0, max_value=2**31),
+        measurement_windows(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_geometric_access_fleet(self, config, seed, window):
+        """Geometric access times: same draws, same "access-times"
+        stream, same event ordering - bit-identical end to end."""
+        cycles, warmup, batches = window
+        reference_system = MultiplexedBusSystem(
+            config, seed=seed, geometric_access_times=True
+        )
+        reference = reference_system.run(cycles, warmup=warmup, batches=batches)
+        kernel = FastBusKernel(config, seed=seed, geometric_access_times=True)
+        fast = kernel.run(cycles, warmup=warmup, batches=batches)
+        assert result_key(reference) == result_key(fast)
+        states = kernel.rng_states()
+        streams = reference_system._streams
+        assert (
+            states["access-times"]
+            == streams.get("access-times")._random.getstate()
+        )
+        assert states["think"] == streams.get("think")._random.getstate()
+        assert (
+            states["arbitration"]
+            == streams.get("arbitration")._random.getstate()
+        )
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_simulate_entry_point_geometric(self, seed):
+        config = SystemConfig(8, 6, 5, priority=Priority.PROCESSORS,
+                              buffered=True)
+        reference = simulate(
+            config, cycles=300, seed=seed, geometric_access_times=True
+        )
+        fast = simulate(
+            config,
+            cycles=300,
+            seed=seed,
+            kernel="fast",
+            geometric_access_times=True,
+        )
+        assert result_key(reference) == result_key(fast)
+
 
 class TestCoverageBoundaries:
     def test_custom_samplers_are_rejected(self):

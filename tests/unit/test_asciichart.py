@@ -107,3 +107,71 @@ class TestRunnerChartIntegration:
         assert main(["table1", "--fast"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
+
+
+# ----------------------------------------------------------------------
+# Percentile-aware latency charts.
+# ----------------------------------------------------------------------
+import os  # noqa: E402
+import pathlib  # noqa: E402
+
+from repro.core.policy import Priority  # noqa: E402
+from repro.experiments.asciichart import render_percentile_chart  # noqa: E402
+from repro.scenarios.compiler import compile_scenario  # noqa: E402
+from repro.scenarios.execute import run_units  # noqa: E402
+from repro.scenarios.spec import (  # noqa: E402
+    GridAxis,
+    ReplicationPlan,
+    ScenarioSpec,
+)
+
+LATENCY_CHART_GOLDEN = (
+    pathlib.Path(__file__).resolve().parent.parent
+    / "golden"
+    / "latency_chart.txt"
+)
+
+
+def _latency_results():
+    spec = ScenarioSpec(
+        name="latency-chart-golden",
+        description="percentile chart fixture",
+        base={"processors": 4, "memories": 4, "priority": Priority.PROCESSORS},
+        grid=(GridAxis("memory_cycle_ratio", (2, 4, 8)),),
+        cycles=1_200,
+        plan=ReplicationPlan(2, 7),
+        metrics=("latency",),
+    )
+    return run_units(compile_scenario(spec, kernel="fast"))
+
+
+class TestRenderPercentileChart:
+    def test_matches_golden_bytes(self):
+        """The chart of a fixed seeded run is pinned byte-for-byte.
+
+        Regenerate after an intentional change with
+        ``REPRO_REGENERATE_GOLDENS=1``.
+        """
+        chart = render_percentile_chart(_latency_results()) + "\n"
+        if os.environ.get("REPRO_REGENERATE_GOLDENS"):
+            LATENCY_CHART_GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+            LATENCY_CHART_GOLDEN.write_text(chart, encoding="utf-8")
+        assert chart == LATENCY_CHART_GOLDEN.read_text(encoding="utf-8")
+
+    def test_draws_the_three_percentile_curves(self):
+        chart = render_percentile_chart(_latency_results())
+        assert "lat_p50" in chart and "lat_p90" in chart and "lat_p99" in chart
+        assert "u0" in chart and "u5" in chart
+
+    def test_units_without_latency_are_rejected(self):
+        spec = ScenarioSpec(
+            name="no-latency",
+            description="",
+            base={"processors": 2, "memories": 2},
+            grid=(GridAxis("memory_cycle_ratio", (2,)),),
+            cycles=400,
+            plan=ReplicationPlan(2, 0),
+        )
+        results = run_units(compile_scenario(spec, kernel="fast"))
+        with pytest.raises(ExperimentError, match="--metrics latency"):
+            render_percentile_chart(results)

@@ -1,0 +1,190 @@
+"""Unit tests for the batch kernel's surface and guard rails.
+
+The numerical contracts (composition invariance, statistical
+equivalence) live in ``tests/properties/test_batch_invariance.py`` and
+``tests/integration/test_batch_statistics.py``; this module covers the
+API edges: the optional-dependency error, capability rejections, fleet
+shape validation, the run protocol, and the ``simulate`` entry point.
+"""
+
+from __future__ import annotations
+
+import builtins
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.policy import Priority
+
+
+def test_missing_numpy_raises_configuration_error_naming_extra(monkeypatch):
+    """Without numpy, batch entry points name the [batch] extra."""
+    from repro.bus import batch
+
+    real_import = builtins.__import__
+
+    def no_numpy(name, *args, **kwargs):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy disabled for this test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", no_numpy)
+    assert not batch.numpy_available()
+    with pytest.raises(ConfigurationError, match=r"repro-single-bus\[batch\]"):
+        batch.require_numpy()
+    with pytest.raises(ConfigurationError, match=r"\[batch\]"):
+        batch.run_batch(SystemConfig(2, 2, 2), cycles=100)
+
+
+def test_check_batch_metrics_rejects_latency():
+    from repro.bus.batch import check_batch_metrics
+
+    check_batch_metrics(())
+    with pytest.raises(ConfigurationError, match="latency"):
+        check_batch_metrics(("latency",))
+
+
+def test_compile_scenario_rejects_batch_latency_metrics():
+    from repro.scenarios.compiler import compile_scenario
+    from repro.scenarios.spec import GridAxis, ReplicationPlan, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name="batch-latency-reject",
+        description="",
+        base={"processors": 2, "memories": 2},
+        grid=(GridAxis("memory_cycle_ratio", (2,)),),
+        cycles=200,
+        plan=ReplicationPlan(2, 0),
+        metrics=("latency",),
+    )
+    with pytest.raises(ConfigurationError, match="kernel='batch'"):
+        compile_scenario(spec, kernel="batch")
+    # The same spec compiles fine on the exact kernels.
+    assert compile_scenario(spec, kernel="fast")
+
+
+def test_simulate_batch_rejects_latency_and_geometric():
+    pytest.importorskip("numpy")
+    from repro.bus import simulate
+
+    config = SystemConfig(2, 2, 2)
+    with pytest.raises(ConfigurationError, match="latency"):
+        simulate(config, cycles=100, kernel="batch", collect_latency=True)
+    with pytest.raises(ConfigurationError, match="geometric"):
+        simulate(
+            config, cycles=100, kernel="batch", geometric_access_times=True
+        )
+
+
+def test_unknown_kernel_error_lists_batch():
+    from repro.bus import simulate
+
+    with pytest.raises(ConfigurationError, match="reference, fast, batch"):
+        simulate(SystemConfig(2, 2, 2), cycles=10, kernel="warp")
+
+
+class TestFleetValidation:
+    def setup_method(self):
+        pytest.importorskip("numpy")
+
+    def test_mismatched_shapes_are_rejected(self):
+        from repro.bus.batch import BatchBusKernel
+
+        with pytest.raises(ConfigurationError, match="lockstep shape"):
+            BatchBusKernel(
+                [SystemConfig(2, 2, 2), SystemConfig(2, 3, 2)], [0, 1]
+            )
+
+    def test_request_probability_may_differ_per_row(self):
+        from repro.bus.batch import BatchBusKernel
+
+        results = BatchBusKernel(
+            [
+                SystemConfig(2, 2, 2, request_probability=1.0),
+                SystemConfig(2, 2, 2, request_probability=0.5),
+            ],
+            [0, 0],
+        ).run(800)
+        assert results[0].completions > results[1].completions
+
+    def test_seed_config_length_mismatch(self):
+        from repro.bus.batch import BatchBusKernel
+
+        with pytest.raises(ConfigurationError, match="seeds"):
+            BatchBusKernel([SystemConfig(2, 2, 2)], [0, 1])
+
+    def test_empty_fleet_rejected(self):
+        from repro.bus.batch import BatchBusKernel
+
+        with pytest.raises(ConfigurationError, match="at least one row"):
+            BatchBusKernel([], [])
+
+    def test_custom_sampler_rejected(self):
+        from repro.bus.batch import run_batch
+
+        class Custom:
+            def next_target(self, processor):  # pragma: no cover
+                return 0
+
+        with pytest.raises(ConfigurationError, match="custom samplers"):
+            run_batch(SystemConfig(2, 2, 2), cycles=50, targets=Custom())
+
+    def test_run_validation_matches_reference_rules(self):
+        from repro.bus.batch import BatchBusKernel
+
+        config = SystemConfig(2, 2, 2)
+        for kwargs in (
+            {"cycles": 0},
+            {"cycles": 10, "warmup": -1},
+            {"cycles": 10, "batches": -2},
+        ):
+            with pytest.raises(ConfigurationError):
+                BatchBusKernel([config], [0]).run(**kwargs)
+
+    def test_cycle_cap_is_enforced(self):
+        from repro.bus.batch import _NEVER, BatchBusKernel
+
+        kernel = BatchBusKernel([SystemConfig(1, 1, 1)], [0])
+        with pytest.raises(ConfigurationError, match="limited"):
+            kernel.advance(_NEVER)
+
+
+class TestRunProtocol:
+    def setup_method(self):
+        pytest.importorskip("numpy")
+
+    def test_result_counters_are_python_ints(self):
+        from repro.bus.batch import run_batch
+
+        result = run_batch(SystemConfig(3, 3, 3), cycles=600, seed=2)
+        assert type(result.completions) is int
+        assert type(result.memory_busy_cycles) is int
+        assert type(result.total_latency) is int
+        assert result.response_transfers == result.completions
+        assert all(isinstance(b, float) for b in result.batch_ebws)
+
+    def test_default_batches_and_warmup(self):
+        from repro.bus.batch import run_batch
+
+        result = run_batch(SystemConfig(3, 3, 3), cycles=2_000, seed=1)
+        assert result.warmup_cycles == 500
+        assert result.cycles == 2_000
+        assert len(result.batch_ebws) == 20
+
+    def test_counters_stay_in_sane_ranges(self):
+        from repro.bus.batch import run_batch
+
+        config = SystemConfig(4, 4, 4, priority=Priority.MEMORIES)
+        result = run_batch(config, cycles=3_000, seed=7)
+        assert 0.0 < result.ebw <= config.max_ebw
+        assert 0.0 < result.bus_utilization <= 1.0
+        assert 0.0 < result.memory_utilization <= 1.0
+        assert result.mean_latency >= config.memory_cycle_ratio + 2
+
+    def test_deterministic_across_instances(self):
+        from repro.bus.batch import run_batch
+
+        first = run_batch(SystemConfig(3, 5, 4), cycles=1_000, seed=13)
+        second = run_batch(SystemConfig(3, 5, 4), cycles=1_000, seed=13)
+        assert first == second

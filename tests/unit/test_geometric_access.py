@@ -84,3 +84,37 @@ class TestGeometricMachine:
         for _ in range(500):
             system.step()
             system.audit()
+
+
+class TestFastKernelGeometric:
+    """The fast kernel serves geometric access times bit-identically.
+
+    The deep fleet lives in
+    ``tests/properties/test_kernel_equivalence.py``; this is the quick
+    smoke pin plus the product_form use case (buffered, seed 1985).
+    """
+
+    def test_run_fast_matches_reference(self):
+        from repro.bus import simulate
+        from repro.bus.kernel import run_fast
+
+        config = SystemConfig(
+            8, 6, 8, priority=Priority.PROCESSORS, buffered=True
+        )
+        reference = simulate(
+            config, cycles=2_000, seed=1985, geometric_access_times=True
+        )
+        fast = run_fast(
+            config, cycles=2_000, seed=1985, geometric_access_times=True
+        )
+        assert reference == fast
+
+    def test_geometric_differs_from_constant(self):
+        from repro.bus.kernel import run_fast
+
+        config = SystemConfig(4, 4, 6, buffered=True)
+        constant = run_fast(config, cycles=2_000, seed=3)
+        geometric = run_fast(
+            config, cycles=2_000, seed=3, geometric_access_times=True
+        )
+        assert constant.completions != geometric.completions

@@ -223,3 +223,51 @@ class TestLatencyMetricsFlag:
             )
             reports.append(capsys.readouterr().out)
         assert merge_reports(reports) + "\n" == full
+
+
+class TestBatchKernelCli:
+    def test_batch_kernel_runs_and_is_shard_stable(self, tiny_toml, capsys):
+        pytest.importorskip("numpy")
+        assert main(["scenario", tiny_toml, "--kernel", "batch",
+                     "--no-cache"]) == 0
+        unsharded = capsys.readouterr().out
+        assert unsharded.count("\n") == 8
+        shard_outputs = []
+        for shard in ("1/2", "2/2"):
+            assert main([
+                "scenario", tiny_toml, "--kernel", "batch", "--no-cache",
+                "--shard", shard,
+            ]) == 0
+            shard_outputs.append(capsys.readouterr().out)
+        assert merge_reports(shard_outputs) + "\n" == unsharded
+
+    def test_batch_kernel_rejects_latency_metrics(self, tiny_toml, capsys):
+        assert main(["scenario", tiny_toml, "--kernel", "batch",
+                     "--metrics", "latency", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "kernel='batch'" in err
+
+
+class TestChartFlag:
+    def test_chart_goes_to_stderr_and_stdout_is_unchanged(
+        self, tiny_toml, capsys
+    ):
+        assert main(["scenario", tiny_toml, "--no-cache"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["scenario", tiny_toml, "--no-cache", "--metrics",
+                     "latency", "--chart"]) == 0
+        captured = capsys.readouterr()
+        assert "lat_p50" in captured.err and "legend:" in captured.err
+        assert "lat_p50" not in plain
+
+    def test_chart_without_latency_warns(self, tiny_toml, capsys):
+        assert main(["scenario", tiny_toml, "--no-cache", "--chart"]) == 0
+        captured = capsys.readouterr()
+        assert "warning: no chart" in captured.err
+        assert "legend:" not in captured.err
+
+
+def test_fast_conflicts_with_kernel_batch(tiny_toml, capsys):
+    with pytest.raises(SystemExit):
+        main(["scenario", tiny_toml, "--kernel", "batch", "--fast"])
+    assert "conflicts" in capsys.readouterr().err
