@@ -29,7 +29,8 @@ machine-dependent; the *speedups* are the portable signal.
 ``--compare OLD.json`` prints a per-benchmark speedup/regression table
 against a previously written report and exits with status 4 when any
 same-parameter benchmark slowed down - or any speedup ratio dropped -
-by more than 25%.  Reports with different parameters (e.g. a
+by more than the ``--threshold`` fraction (default 0.25, i.e. 25%).
+Reports with different parameters (e.g. a
 ``--quick`` run against the full baseline) compare *nothing* - every
 row prints "skipped (parameters differ)", because neither raw seconds
 nor the fleet speedup ratios are comparable across run sizes.  Compare
@@ -40,8 +41,11 @@ and compares an already-written ``--json`` report.
 
 The ``batch_fleet_*`` entries time one figure2-shaped replication fleet
 (the (16, 16) r = 8 grid point under many seeds) through all three
-kernels; the batch entries require the optional numpy extra and are
-skipped (with a warning) when it is missing.
+kernels; the ``buffered_fleet_*`` entries time the same fleet over the
+buffered machine (fast vs batch, plus a latency-collecting batch leg
+exercising the quantile sketch).  The batch entries require the
+optional numpy extra and are skipped (with a warning) when it is
+missing.
 """
 
 from __future__ import annotations
@@ -107,7 +111,13 @@ FLEET_CONFIG = SystemConfig(16, 16, 8, priority=Priority.PROCESSORS)
 replicates under many seeds."""
 
 
-def time_fleet(kernel: str, rows: int, cycles: int) -> Callable[[], object]:
+def time_fleet(
+    kernel: str,
+    rows: int,
+    cycles: int,
+    config: SystemConfig = FLEET_CONFIG,
+    collect_latency: bool = False,
+) -> Callable[[], object]:
     """One whole replication fleet under ``kernel``.
 
     The batch kernel runs the fleet as a single lockstep call
@@ -118,7 +128,10 @@ def time_fleet(kernel: str, rows: int, cycles: int) -> Callable[[], object]:
     from repro.parallel.workers import SimulationCase, run_case
 
     cases = [
-        SimulationCase(FLEET_CONFIG, cycles, seed, kernel=kernel)
+        SimulationCase(
+            config, cycles, seed, kernel=kernel,
+            collect_latency=collect_latency,
+        )
         for seed in range(rows)
     ]
 
@@ -273,7 +286,15 @@ def main(argv=None) -> int:
         "--compare",
         metavar="OLD.json",
         help="after running, print a speedup/regression table against a "
-        "previous report and exit 4 on a >25%% regression",
+        "previous report and exit 4 on a regression beyond --threshold",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        metavar="FRACTION",
+        help="regression tolerance for --compare as a fraction "
+        "(default 0.25 = 25%%)",
     )
     parser.add_argument(
         "--compare-only",
@@ -288,7 +309,7 @@ def main(argv=None) -> int:
             parser.error("--compare-only requires --compare OLD.json")
         with open(args.json, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
-        return _compare_and_report(args.compare, payload)
+        return _compare_and_report(args.compare, payload, args.threshold)
     cycles = 20_000 if args.quick else args.cycles
     figure_cycles = 1_500 if args.quick else args.figure_cycles
     repeat = 1 if args.quick else args.repeat
@@ -391,6 +412,57 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
 
+    # Buffered fleet: the same replication block over the buffered
+    # machine - the circular-queue hot path the batch kernel vectorizes.
+    # The reference leg is omitted (minutes per run at full size); the
+    # fast kernel is the meaningful baseline.  The latency leg times the
+    # per-row quantile sketch on top of the plain batch run.
+    buffered_config = FLEET_CONFIG.with_buffers()
+    if "batch" in fleet_kernels:
+        buffered_legs = [("fast", False), ("batch", False), ("batch", True)]
+    else:
+        buffered_legs = [("fast", False)]
+    buffered_seconds = {}
+    for kernel, latency in buffered_legs:
+        leg = f"{kernel}_latency" if latency else kernel
+        seconds = best_of(
+            2,
+            time_fleet(
+                kernel, fleet_rows, fleet_cycles,
+                config=buffered_config, collect_latency=latency,
+            ),
+        )
+        buffered_seconds[leg] = seconds
+        results.append(
+            {
+                "name": f"buffered_fleet_{leg}",
+                "seconds": seconds,
+                "meta": {
+                    "rows": fleet_rows,
+                    "cycles": fleet_cycles,
+                    "kernel": kernel,
+                    "collect_latency": latency,
+                    "config": buffered_config.describe(),
+                    "repeat": 2,
+                },
+            }
+        )
+        print(f"buffered_fleet_{leg}: {seconds:.3f}s", file=sys.stderr)
+    if "batch" in buffered_seconds:
+        speedups["buffered_fleet_vs_fast"] = (
+            buffered_seconds["fast"] / buffered_seconds["batch"]
+        )
+        speedups["buffered_fleet_latency_vs_fast"] = (
+            buffered_seconds["fast"] / buffered_seconds["batch_latency"]
+        )
+        print(
+            "buffered fleet speedup: "
+            f"{speedups['buffered_fleet_vs_fast']:.2f}x over fast "
+            f"({speedups['buffered_fleet_latency_vs_fast']:.2f}x with "
+            "latency sketches)",
+            file=sys.stderr,
+        )
+
     payload = {
         "schema": SCHEMA,
         "python": sys.version,
@@ -409,21 +481,24 @@ def main(argv=None) -> int:
         handle.write("\n")
     print(f"wrote {args.json}", file=sys.stderr)
     if args.compare:
-        return _compare_and_report(args.compare, payload)
+        return _compare_and_report(args.compare, payload, args.threshold)
     return 0
 
 
-def _compare_and_report(baseline_path: str, payload: dict) -> int:
-    """Print the comparison table; 4 when any regression crossed 25%."""
+def _compare_and_report(
+    baseline_path: str, payload: dict, threshold: float = 0.25
+) -> int:
+    """Print the comparison table; 4 when any regression crossed
+    ``threshold`` (a fraction, e.g. 0.25 for 25%)."""
     with open(baseline_path, "r", encoding="utf-8") as handle:
         old = json.load(handle)
-    lines, regressions = compare_reports(old, payload)
+    lines, regressions = compare_reports(old, payload, threshold=threshold)
     print(f"comparison against {baseline_path}:")
     for line in lines:
         print(line)
     if regressions:
         print(
-            f"{len(regressions)} regression(s) beyond 25%: "
+            f"{len(regressions)} regression(s) beyond {threshold:.0%}: "
             + ", ".join(regressions),
             file=sys.stderr,
         )

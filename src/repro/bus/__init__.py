@@ -88,13 +88,11 @@ def simulate(
             geometric_access_times=geometric_access_times,
         )
     if kernel == "batch":
-        from repro.bus.batch import run_batch
+        from repro.bus.batch import check_batch_features, run_batch
 
-        if geometric_access_times:
-            raise ConfigurationError(
-                "kernel='batch' does not support geometric access times; "
-                "use kernel='fast' or kernel='reference'"
-            )
+        check_batch_features(
+            geometric_access_times=geometric_access_times, targets=targets
+        )
         return run_batch(
             config,
             cycles=cycles,

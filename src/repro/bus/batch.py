@@ -41,10 +41,21 @@ never collide with ``simulation@1`` entries.
 
 **Coverage.**  Declarative workloads only: uniform, hot-spot and trace
 targets, heterogeneous per-processor ``p``, both priorities, both
-tie-breaks, buffered and unbuffered modules at any depth.  Custom
+tie-breaks, buffered and unbuffered modules at any depth.  Latency
+distributions are collected at fleet scale through the vectorized
+per-row quantile sketch (:class:`repro.metrics.FleetQuantileSketch`);
+like every batch number they are statistically - not bit -
+equivalent to the exact kernels' streaming summaries.  Custom
 :class:`~repro.workloads.generators.TargetSampler` objects, geometric
-access times, cycle-level trace sinks and streaming latency-distribution
-metrics stay on the reference/fast machines.
+access times and cycle-level trace sinks stay on the reference/fast
+machines; :func:`check_batch_features` is the single authority that
+rejects them with a message naming the unsupported feature.
+
+**Buffered fast path.**  Input and output queues are circular-buffer
+index arrays (``(slots, m * fleet)`` rings plus per-module head/length
+counters), so a push or pop is a flat fancy-indexed scatter over the
+affected modules only - no per-cycle FIFO shifting - and stall
+bookkeeping travels through the same flat index lists.
 
 NumPy is an optional dependency (``pip install repro-single-bus[batch]``);
 without it every batch entry point raises a
@@ -132,20 +143,62 @@ def require_numpy():
     return numpy
 
 
+BATCH_METRICS = frozenset({"latency"})
+"""Metric families the batch kernel can produce.
+
+``latency`` is collected through the vectorized per-row quantile sketch
+(:class:`repro.metrics.FleetQuantileSketch`): statistically equivalent
+to the exact kernels' streaming summaries, not bit-identical - which is
+already the batch kernel's contract for every number it emits."""
+
+
 def check_batch_metrics(metrics: Sequence[str]) -> None:
     """Reject metric families the batch kernel cannot produce.
 
-    Streaming latency-distribution summaries need per-request
-    wait/service timestamps the lockstep loop does not materialise;
-    mean latency (a plain counter) is always available.
+    Latency distributions are supported (sketch-based, statistically
+    equivalent); anything else is rejected with a message naming the
+    offending family.
     """
-    if metrics:
+    unsupported = sorted(set(metrics) - BATCH_METRICS)
+    if unsupported:
         raise ConfigurationError(
             "kernel='batch' does not support metric(s) "
-            f"{', '.join(sorted(set(metrics)))}; use kernel='fast' "
-            "(bit-identical to the reference machine) for "
-            "latency-distribution metrics"
+            f"{', '.join(unsupported)}; use kernel='fast' "
+            "(bit-identical to the reference machine)"
         )
+
+
+def check_batch_features(
+    *,
+    metrics: Sequence[str] = (),
+    geometric_access_times: bool = False,
+    targets: TargetSampler | None = None,
+) -> None:
+    """The one authority on what ``kernel='batch'`` cannot run.
+
+    Raises :class:`ConfigurationError` naming the unsupported feature -
+    never a silent fallback to another kernel.  Called by
+    :func:`repro.bus.simulate` at request time and by
+    :func:`repro.scenarios.compiler.compile_scenario` at scenario load
+    time, so unsupported sweeps fail before any cycle is simulated.
+    """
+    check_batch_metrics(metrics)
+    if geometric_access_times:
+        raise ConfigurationError(
+            "kernel='batch' does not support geometric access times; "
+            "use kernel='fast' or kernel='reference'"
+        )
+    if targets is not None:
+        # Reuses the planner's type dispatch without building a plan.
+        if not isinstance(
+            targets, (UniformTargets, HotSpotTargets, TraceTargets)
+        ):
+            raise ConfigurationError(
+                "the batch kernel supports the library's uniform, "
+                "hot-spot and trace target samplers; got "
+                f"{type(targets).__name__} - use kernel='reference' "
+                "for custom samplers"
+            )
 
 
 def fleet_shape(config: SystemConfig) -> tuple:
@@ -282,6 +335,14 @@ class BatchBusKernel:
     request_probabilities:
         Optional per-row heterogeneous-``p`` vectors, validated exactly
         like the reference machine's.
+    collect_latency:
+        When true, the loop carries each request's service-start stamp
+        through the queue rings and records post-warmup wait/total
+        observations into per-row :class:`FleetQuantileSketch`
+        histograms; :meth:`run` then attaches a
+        :class:`~repro.metrics.LatencyReport` to every row's result.
+        Collection draws no randomness, so counters stay bit-identical
+        either way.
 
     :meth:`run` replicates the reference measurement protocol (warm-up
     exclusion, batch-means windows) per row and returns one
@@ -294,6 +355,7 @@ class BatchBusKernel:
         seeds: Sequence[int],
         targets: Sequence[TargetSampler | None] | None = None,
         request_probabilities: Sequence[Sequence[float] | None] | None = None,
+        collect_latency: bool = False,
     ) -> None:
         np = require_numpy()
         self._np = np
@@ -444,23 +506,58 @@ class BatchBusKernel:
         # calendar.
         self._pending_flat = None
 
-        # --- module state (m x fleet [, depth leading]).
+        # --- module state (m x fleet; queues as flat circular buffers).
+        self._collect_latency = bool(collect_latency)
+        self._sketch_wait = None
+        self._sketch_total = None
+        flat_modules = m * fleet
         self._svc_finish = np.full((m, fleet), _NEVER, dtype=np.int32)
         self._svc_proc = np.zeros((m, fleet), dtype=np.int32)
         if self._buffered:
             depth = self._depth
             capacity = self._capacity
+            track_ready = not self._random_tie
             self._svc_active = np.zeros((m, fleet), dtype=bool)
-            self._inq_proc = np.zeros((depth, m, fleet), dtype=np.int32)
+            # Queues are (slots, m * fleet) rings addressed by per-module
+            # head/length counters: a push or pop touches only the
+            # affected modules' slots (flat fancy indexing), never the
+            # whole queue - the former per-cycle FIFO shifts are gone.
+            self._inq_ring = np.zeros((depth, flat_modules), dtype=np.int32)
+            self._inq_head = np.zeros(flat_modules, dtype=np.int32)
             self._inq_len = np.zeros((m, fleet), dtype=np.int32)
-            self._outq_proc = np.zeros((capacity, m, fleet), dtype=np.int32)
-            self._outq_ready = np.full(
-                (capacity, m, fleet), _NEVER, dtype=np.int32
+            self._outq_ring = np.zeros(
+                (capacity, flat_modules), dtype=np.int32
             )
+            self._outq_head = np.zeros(flat_modules, dtype=np.int32)
             self._outq_len = np.zeros((m, fleet), dtype=np.int32)
             self._stalled = np.zeros((m, fleet), dtype=bool)
-            self._stalled_proc = np.zeros((m, fleet), dtype=np.int32)
-            self._resolve_cycle = np.full((m, fleet), _NEVER, dtype=np.int32)
+            self._stalled_proc_flat = np.zeros(flat_modules, dtype=np.int32)
+            # Modules scheduled to resolve a stall next cycle travel as
+            # a flat index list (stall resolution is always "next
+            # cycle", so no per-module resolve-cycle array is needed).
+            self._resolve_flat = None
+            if track_ready:
+                # FCFS responses need the oldest-response ready cycle:
+                # per-slot stamps in the ring plus a dense head-of-queue
+                # mirror the arbiter reads, both maintained at the
+                # sparse push/pop sites.
+                self._outq_ready_ring = np.full(
+                    (capacity, flat_modules), _NEVER, dtype=np.int32
+                )
+                self._head_ready = np.full(
+                    (m, fleet), _NEVER, dtype=np.int32
+                )
+            else:
+                self._outq_ready_ring = None
+                self._head_ready = None
+            if self._collect_latency:
+                self._svc_wait_flat = np.zeros(flat_modules, dtype=np.int32)
+                self._stalled_wait_flat = np.zeros(
+                    flat_modules, dtype=np.int32
+                )
+                self._outq_wait_ring = np.zeros(
+                    (capacity, flat_modules), dtype=np.int32
+                )
         else:
             # Unbuffered: a module is a single request slot, so one
             # "fully idle" mask serves the whole acceptance rule and is
@@ -469,6 +566,8 @@ class BatchBusKernel:
             self._out_full = np.zeros((m, fleet), dtype=bool)
             self._out_proc = np.zeros((m, fleet), dtype=np.int32)
             self._out_ready = np.full((m, fleet), _NEVER, dtype=np.int32)
+            if self._collect_latency:
+                self._out_wait_flat = np.zeros(flat_modules, dtype=np.int32)
 
         # --- counters (per row).  Response transfers and completions
         # are one and the same event in this machine, so only one
@@ -492,6 +591,9 @@ class BatchBusKernel:
         self._svc_proc_flat = self._svc_proc.reshape(-1)
         if self._buffered:
             self._svc_active_flat = self._svc_active.reshape(-1)
+            self._stalled_flat = self._stalled.reshape(-1)
+            self._inq_len_flat = self._inq_len.reshape(-1)
+            self._outq_len_flat = self._outq_len.reshape(-1)
         else:
             self._module_free_flat = self._module_free.reshape(-1)
             self._out_full_flat = self._out_full.reshape(-1)
@@ -501,13 +603,17 @@ class BatchBusKernel:
             self._log1p_neg_p.T
         ).reshape(-1)
 
-        # Rank scratch for the tie-break cumulative counts: int8 when
-        # lane counts fit (cumsum over one byte per element is several
-        # times faster in NumPy than the int64 default).
-        rank_dtype = np.int8 if max(n, m) <= 127 else np.int32
-        self._rank_dtype = rank_dtype
-        self._rank_n = np.empty((n, fleet), dtype=rank_dtype)
-        self._rank_m = np.empty((m, fleet), dtype=rank_dtype)
+        # Rank scratch for the tie-break cumulative counts, computed as
+        # a lower-triangular float32 matmul (BLAS): per column the
+        # product is the running candidate count, which NumPy's strided
+        # axis-0 cumsum computes several times slower.  Counts are small
+        # integers, exact in float32 far beyond any lane count.
+        self._tril_n = np.tril(np.ones((n, n), dtype=np.float32))
+        self._tril_m = np.tril(np.ones((m, m), dtype=np.float32))
+        self._cand_n = np.empty((n, fleet), dtype=np.float32)
+        self._cand_m = np.empty((m, fleet), dtype=np.float32)
+        self._rank_n = np.empty((n, fleet), dtype=np.float32)
+        self._rank_m = np.empty((m, fleet), dtype=np.float32)
 
         # Initial condition: every processor issues at cycle 0, its
         # target drawn in lane order (the reference initial condition).
@@ -646,8 +752,14 @@ class BatchBusKernel:
         call adds a fixed sub-microsecond cost per cycle.
         """
         np = self._np
-        int8 = np.int8
-        rank_dtype = self._rank_dtype
+        float32 = np.float32
+        matmul = np.matmul
+        copyto = np.copyto
+        floor = np.floor
+        tril_n = self._tril_n
+        tril_m = self._tril_m
+        cand_n = self._cand_n
+        cand_m = self._cand_m
         rank_n = self._rank_n
         rank_m = self._rank_m
         proc_first = self._proc_first
@@ -661,10 +773,18 @@ class BatchBusKernel:
             if random_tie:
                 # One draw per row per cycle, used by whichever grant
                 # decision (if any) the row makes - a row decides at
-                # most one grant per cycle.
+                # most one grant per cycle.  The ranks double as the
+                # candidate-count reduction (their last row).
                 u_arb = arb_take_all()
-            have_request = eligible.any(axis=0)
-            have_response = ready.any(axis=0)
+                copyto(cand_n, eligible)
+                copyto(cand_m, ready)
+                matmul(tril_n, cand_n, out=rank_n)
+                matmul(tril_m, cand_m, out=rank_m)
+                have_request = rank_n[-1] > 0
+                have_response = rank_m[-1] > 0
+            else:
+                have_request = eligible.any(axis=0)
+                have_response = ready.any(axis=0)
             if proc_first:
                 do_request = have_request
                 do_response = have_response & ~have_request
@@ -674,18 +794,16 @@ class BatchBusKernel:
             any_request = bool(do_request.any())
             any_response = bool(do_response.any())
             if random_tie:
+                # floor(u * count) picks the same k-th candidate as the
+                # old integer-cumsum path (counts are exact in float32);
+                # "#ranks <= pick" equals "first rank > pick" because
+                # ranks are nondecreasing down the lane axis.
                 if any_request:
-                    ranks = eligible.view(int8).cumsum(
-                        axis=0, dtype=rank_dtype, out=rank_n
-                    )
-                    pick = (u_arb * ranks[-1]).astype(rank_dtype)
-                    request_winner = (ranks > pick[None, :]).argmax(axis=0)
+                    pick = floor(u_arb * rank_n[-1]).astype(float32)
+                    request_winner = (rank_n <= pick[None, :]).sum(axis=0)
                 if any_response:
-                    ranks = ready.view(int8).cumsum(
-                        axis=0, dtype=rank_dtype, out=rank_m
-                    )
-                    pick = (u_arb * ranks[-1]).astype(rank_dtype)
-                    response_winner = (ranks > pick[None, :]).argmax(axis=0)
+                    pick = floor(u_arb * rank_m[-1]).astype(float32)
+                    response_winner = (rank_m <= pick[None, :]).sum(axis=0)
             else:
                 if any_request:
                     request_winner = np.where(eligible, issue, _NEVER).argmin(
@@ -706,13 +824,23 @@ class BatchBusKernel:
 
         return arbitrate
 
-    def _complete_responses(self, grant_rows, procs, flat_lane, cycle):
-        """Shared response-grant tail: counters, next target, wake."""
+    def _complete_responses(self, grant_rows, procs, flat_lane, cycle, wait=None):
+        """Shared response-grant tail: counters, next target, wake.
+
+        ``wait`` carries the per-grant arbitration-plus-queueing delays
+        (latency collection only); the total latency is derived from the
+        frozen issue stamps here either way.
+        """
         np = self._np
         self.completions[grant_rows] += 1
-        self.total_latency[grant_rows] += (cycle + 1) - self._issue_flat[
-            flat_lane
-        ]
+        total = (cycle + 1) - self._issue_flat[flat_lane]
+        self.total_latency[grant_rows] += total
+        if self._sketch_total is not None:
+            # Post-warmup only: run() creates the sketches at the
+            # measurement boundary.  Grant rows are distinct (one
+            # response per row per cycle), as the sketch requires.
+            self._sketch_total.add(grant_rows, total)
+            self._sketch_wait.add(grant_rows, wait)
         drawn = self._draw_target_rows(grant_rows, procs)
         self._target_flat[flat_lane] = drawn
         self._target_gidx_flat[flat_lane] = (
@@ -741,6 +869,8 @@ class BatchBusKernel:
         r = self._r
         all_p1 = self._all_p1
         track_ready = not self._random_tie
+        collect = self._collect_latency
+        out_wait_flat = self._out_wait_flat if collect else None
         arbitrate = self._make_arbiter()
 
         requesting = self._requesting
@@ -814,6 +944,9 @@ class BatchBusKernel:
                 module_free_flat[flat_mod] = False
                 svc_proc_flat[flat_mod] = lanes
                 svc_finish_flat[flat_mod] = cycle + r
+                if collect:
+                    # Service starts next cycle: wait = start - issue - 1.
+                    out_wait_flat[flat_mod] = cycle - issue_flat[flat_lane]
                 # Charge the service up front; _memory_busy subtracts
                 # the unworked tail of in-flight services.
                 busy_accum[grant_rows] += r
@@ -823,8 +956,11 @@ class BatchBusKernel:
                 procs = out_proc_flat[flat_mod]
                 out_full_flat[flat_mod] = False
                 module_free_flat[flat_mod] = True
+                wait = out_wait_flat[flat_mod] if collect else None
                 flat_lane = procs * fleet + grant_rows
-                self._complete_responses(grant_rows, procs, flat_lane, cycle)
+                self._complete_responses(
+                    grant_rows, procs, flat_lane, cycle, wait
+                )
                 if all_p1:
                     pending = flat_lane
             cycle += 1
@@ -832,42 +968,93 @@ class BatchBusKernel:
         self._pending_flat = pending
 
     def _advance_buffered(self, count: int) -> None:
-        """The lockstep loop for buffered fleets (stalls, FIFO queues)."""
+        """The lockstep loop for buffered fleets (stalls, FIFO queues).
+
+        Queues live in ``(slots, m * fleet)`` circular buffers: pushes
+        and pops are flat fancy-indexed scatters over the modules with
+        an event this cycle, so the per-cycle cost is a fixed number of
+        dense ``(m, fleet)`` mask operations plus sparse index-list
+        work - no per-cycle FIFO shifting, no dense stall scans (stall
+        resolutions travel as a flat index list for the next cycle).
+        """
         np = self._np
+        where = np.where
         nonzero = np.nonzero
         fleet = self._fleet
+        flat_modules = self._m * fleet
         r = self._r
         depth = self._depth
         capacity = self._capacity
         all_p1 = self._all_p1
+        track_ready = not self._random_tie
+        collect = self._collect_latency
         arbitrate = self._make_arbiter()
 
         requesting = self._requesting
         issue = self._issue
         wake = self._wake
         svc_active = self._svc_active
-        svc_finish = self._svc_finish
-        svc_proc = self._svc_proc
         request_transfers = self.request_transfers
         busy_accum = self._busy_accum
         requesting_flat = self._requesting_flat
-        target_flat = self._target_flat
         target_gidx = self._target_gidx
         target_gidx_flat = self._target_gidx_flat
         issue_flat = self._issue_flat
         svc_active_flat = self._svc_active_flat
         svc_finish_flat = self._svc_finish_flat
         svc_proc_flat = self._svc_proc_flat
-        inq_proc = self._inq_proc
-        inq_len = self._inq_len
-        outq_proc = self._outq_proc
-        outq_ready = self._outq_ready
-        outq_len = self._outq_len
         stalled = self._stalled
-        stalled_proc = self._stalled_proc
-        resolve_cycle = self._resolve_cycle
+        stalled_flat = self._stalled_flat
+        stalled_proc_flat = self._stalled_proc_flat
+        inq_len = self._inq_len
+        inq_len_flat = self._inq_len_flat
+        inq_ring_flat = self._inq_ring.reshape(-1)
+        inq_head = self._inq_head
+        outq_len = self._outq_len
+        outq_len_flat = self._outq_len_flat
+        outq_ring_flat = self._outq_ring.reshape(-1)
+        outq_head = self._outq_head
+        head_ready = self._head_ready
+        if track_ready:
+            outq_ready_flat = self._outq_ready_ring.reshape(-1)
+            head_ready_flat = head_ready.reshape(-1)
+        if collect:
+            svc_wait_flat = self._svc_wait_flat
+            stalled_wait_flat = self._stalled_wait_flat
+            outq_wait_flat = self._outq_wait_ring.reshape(-1)
+
+        def pull_input(flat):
+            """Start serving the input-queue head of each flat module."""
+            head = inq_head[flat]
+            lanes = inq_ring_flat[head * flat_modules + flat]
+            svc_active_flat[flat] = True
+            svc_proc_flat[flat] = lanes
+            svc_finish_flat[flat] = cycle + r
+            if collect:
+                svc_wait_flat[flat] = cycle - issue_flat[
+                    lanes * fleet + flat % fleet
+                ]
+            head += 1
+            inq_head[flat] = where(head >= depth, head - depth, head)
+            inq_len_flat[flat] -= 1
+
+        def push_output(flat, length, procs, waits):
+            """Append responses to the output rings of ``flat``."""
+            slot = outq_head[flat] + length
+            slot = where(slot >= capacity, slot - capacity, slot)
+            ring_index = slot * flat_modules + flat
+            outq_ring_flat[ring_index] = procs
+            if track_ready:
+                outq_ready_flat[ring_index] = cycle + 1
+                newly_headed = flat[length == 0]
+                if newly_headed.size:
+                    head_ready_flat[newly_headed] = cycle + 1
+            if collect:
+                outq_wait_flat[ring_index] = waits
+            outq_len_flat[flat] = length + 1
 
         pending = self._pending_flat
+        resolve = self._resolve_flat
         cycle = self.cycle
         for _ in range(count):
             # 1. processor-cycle boundaries: waking processors issue.
@@ -888,7 +1075,7 @@ class BatchBusKernel:
             busy_accum += svc_active.sum(axis=0)
 
             # 2. arbitration on the pre-tick state.
-            busy = (svc_active | stalled) & ~(inq_len < depth)
+            busy = (svc_active | stalled) & (inq_len >= depth)
             ready = outq_len > 0
             eligible = requesting & ~busy.reshape(-1)[target_gidx]
             (
@@ -898,50 +1085,49 @@ class BatchBusKernel:
                 any_response,
                 request_winner,
                 response_winner,
-            ) = arbitrate(eligible, ready, issue, outq_ready[0])
+            ) = arbitrate(eligible, ready, issue, head_ready)
 
-            # 3. module events for this cycle.
-            resolving = resolve_cycle == cycle
-            if resolving.any():
-                mods, rows = nonzero(resolving)
-                slot = outq_len[mods, rows]
-                outq_proc[slot, mods, rows] = stalled_proc[mods, rows]
-                outq_ready[slot, mods, rows] = cycle + 1
-                outq_len[mods, rows] = slot + 1
-                stalled[mods, rows] = False
-                resolve_cycle[mods, rows] = _NEVER
-                pull = inq_len[mods, rows] > 0
-                if pull.any():
-                    mods, rows = mods[pull], rows[pull]
-                    svc_active[mods, rows] = True
-                    svc_proc[mods, rows] = inq_proc[0, mods, rows]
-                    svc_finish[mods, rows] = cycle + r
-                    inq_proc[:-1, mods, rows] = inq_proc[1:, mods, rows]
-                    inq_len[mods, rows] -= 1
-            finishing = svc_finish == cycle
-            if finishing.any():
-                mods, rows = nonzero(finishing)
-                svc_active[mods, rows] = False
-                slot = outq_len[mods, rows]
-                space = slot < capacity
-                if space.any():
-                    ms, rs, ls = mods[space], rows[space], slot[space]
-                    outq_proc[ls, ms, rs] = svc_proc[ms, rs]
-                    outq_ready[ls, ms, rs] = cycle + 1
-                    outq_len[ms, rs] = ls + 1
-                    pull = inq_len[ms, rs] > 0
-                    if pull.any():
-                        ms, rs = ms[pull], rs[pull]
-                        svc_active[ms, rs] = True
-                        svc_proc[ms, rs] = inq_proc[0, ms, rs]
-                        svc_finish[ms, rs] = cycle + r
-                        inq_proc[:-1, ms, rs] = inq_proc[1:, ms, rs]
-                        inq_len[ms, rs] -= 1
-                blocked = ~space
-                if blocked.any():
-                    mx, rx = mods[blocked], rows[blocked]
-                    stalled[mx, rx] = True
-                    stalled_proc[mx, rx] = svc_proc[mx, rx]
+            # 3. module events for this cycle: stall resolutions (the
+            #    flat list scheduled by last cycle's response grants),
+            #    then service completions.
+            resolving = resolve
+            resolve = None
+            if resolving is not None:
+                # The response grant that scheduled the resolve freed a
+                # slot, and a stalled module finishes nothing - the push
+                # below can never overflow.
+                push_output(
+                    resolving,
+                    outq_len_flat[resolving],
+                    stalled_proc_flat[resolving],
+                    stalled_wait_flat[resolving] if collect else None,
+                )
+                stalled_flat[resolving] = False
+                pulled = resolving[inq_len_flat[resolving] > 0]
+                if pulled.size:
+                    pull_input(pulled)
+            flat = nonzero(svc_finish_flat == cycle)[0]
+            if flat.size:
+                svc_active_flat[flat] = False
+                length = outq_len_flat[flat]
+                space = length < capacity
+                free = flat[space]
+                if free.size:
+                    push_output(
+                        free,
+                        length[space],
+                        svc_proc_flat[free],
+                        svc_wait_flat[free] if collect else None,
+                    )
+                    pulled = free[inq_len_flat[free] > 0]
+                    if pulled.size:
+                        pull_input(pulled)
+                full = flat[~space]
+                if full.size:
+                    stalled_flat[full] = True
+                    stalled_proc_flat[full] = svc_proc_flat[full]
+                    if collect:
+                        stalled_wait_flat[full] = svc_wait_flat[full]
 
             # 4. the granted transfer completes at the end of the cycle.
             if any_request:
@@ -949,49 +1135,62 @@ class BatchBusKernel:
                 lanes = request_winner[grant_rows]
                 flat_lane = lanes * fleet + grant_rows
                 flat_mod = target_gidx_flat[flat_lane]
-                mods = target_flat[flat_lane]
                 requesting_flat[flat_lane] = False
                 request_transfers[grant_rows] += 1
                 # Post-event module state decides direct service vs
                 # input buffering, exactly like the exact kernels.
-                idle = ~(
-                    svc_active_flat[flat_mod] | stalled.reshape(-1)[flat_mod]
-                )
+                idle = ~(svc_active_flat[flat_mod] | stalled_flat[flat_mod])
                 idle_flat = flat_mod[idle]
                 if idle_flat.size:
                     svc_active_flat[idle_flat] = True
                     svc_proc_flat[idle_flat] = lanes[idle]
                     svc_finish_flat[idle_flat] = cycle + r
+                    if collect:
+                        svc_wait_flat[idle_flat] = cycle - issue_flat[
+                            flat_lane[idle]
+                        ]
                 queued = ~idle
-                if queued.any():
-                    rq, mq = grant_rows[queued], mods[queued]
-                    slot = inq_len[mq, rq]
-                    inq_proc[slot, mq, rq] = lanes[queued]
-                    inq_len[mq, rq] = slot + 1
+                queue_mod = flat_mod[queued]
+                if queue_mod.size:
+                    slot = inq_head[queue_mod] + inq_len_flat[queue_mod]
+                    slot = where(slot >= depth, slot - depth, slot)
+                    inq_ring_flat[slot * flat_modules + queue_mod] = lanes[
+                        queued
+                    ]
+                    inq_len_flat[queue_mod] += 1
             if any_response:
                 grant_rows = nonzero(do_response)[0]
-                mods = response_winner[grant_rows]
-                procs = outq_proc[0, mods, grant_rows]
-                if capacity > 1:
-                    outq_proc[:-1, mods, grant_rows] = outq_proc[
-                        1:, mods, grant_rows
-                    ]
-                    outq_ready[:-1, mods, grant_rows] = outq_ready[
-                        1:, mods, grant_rows
-                    ]
-                outq_len[mods, grant_rows] -= 1
+                flat_mod = response_winner[grant_rows] * fleet + grant_rows
+                head = outq_head[flat_mod]
+                ring_index = head * flat_modules + flat_mod
+                procs = outq_ring_flat[ring_index]
+                new_length = outq_len_flat[flat_mod] - 1
+                outq_len_flat[flat_mod] = new_length
+                head += 1
+                head = where(head >= capacity, head - capacity, head)
+                outq_head[flat_mod] = head
+                if track_ready:
+                    head_ready_flat[flat_mod] = where(
+                        new_length > 0,
+                        outq_ready_flat[head * flat_modules + flat_mod],
+                        _NEVER,
+                    )
+                wait = outq_wait_flat[ring_index] if collect else None
                 flat_lane = procs * fleet + grant_rows
-                self._complete_responses(grant_rows, procs, flat_lane, cycle)
+                self._complete_responses(
+                    grant_rows, procs, flat_lane, cycle, wait
+                )
                 if all_p1:
                     pending = flat_lane
-                blocked = stalled[mods, grant_rows]
-                if blocked.any():
-                    resolve_cycle[
-                        mods[blocked], grant_rows[blocked]
-                    ] = cycle + 1
+                resolving_next = flat_mod[stalled_flat[flat_mod]]
+                if resolving_next.size:
+                    # Stalled modules resolve exactly one cycle after
+                    # the response grant that freed their slot.
+                    resolve = resolving_next
             cycle += 1
         self.cycle = cycle
         self._pending_flat = pending
+        self._resolve_flat = resolve
 
     def run(
         self,
@@ -1014,6 +1213,15 @@ class BatchBusKernel:
         if batches < 0:
             raise ConfigurationError(f"batches must be >= 0, got {batches}")
         self.advance(warmup)
+        if self._collect_latency:
+            # Fresh sketches at the measurement boundary: in-flight
+            # requests keep their (pre-boundary) wait stamps, exactly
+            # like the exact kernels' trackers, but only post-warmup
+            # completions are recorded.
+            from repro.metrics import FleetQuantileSketch
+
+            self._sketch_wait = FleetQuantileSketch(self._fleet)
+            self._sketch_total = FleetQuantileSketch(self._fleet)
         start_cycle = self.cycle
         start_completions = self.completions.copy()
         start_requests = self.request_transfers.copy()
@@ -1042,6 +1250,9 @@ class BatchBusKernel:
 
         measured = self.cycle - start_cycle
         memory_busy = self._memory_busy() - start_memory_busy
+        reports = (
+            self._latency_reports() if self._collect_latency else None
+        )
         return [
             SimulationResult(
                 config=self.configs[f],
@@ -1058,9 +1269,46 @@ class BatchBusKernel:
                 seed=self.seeds[f],
                 warmup_cycles=warmup,
                 batch_ebws=tuple(batch_ebws[f]),
+                latency=None if reports is None else reports[f],
             )
             for f in range(self._fleet)
         ]
+
+    def _latency_reports(self):
+        """One :class:`LatencyReport` per row from the fleet sketches.
+
+        Wait and total populations come from the vectorized sketches;
+        the service population is synthesised exactly: batch access
+        times are always the constant ``r`` (geometric access times are
+        rejected up front), so every completed request's service summary
+        is the degenerate distribution at ``r``.
+        """
+        from fractions import Fraction
+
+        from repro.metrics import LatencyReport, LatencySummary
+
+        assert self._sketch_wait is not None
+        wait_rows = self._sketch_wait.summaries()
+        total_rows = self._sketch_total.summaries()
+        value = Fraction(self._r)
+        reports = []
+        for wait, total in zip(wait_rows, total_rows):
+            if total.count:
+                service = LatencySummary(
+                    count=total.count,
+                    total=value * total.count,
+                    minimum=value,
+                    maximum=value,
+                    p50=value,
+                    p90=value,
+                    p99=value,
+                )
+            else:
+                service = LatencySummary()
+            reports.append(
+                LatencyReport(wait=wait, service=service, total=total)
+            )
+        return reports
 
 
 def run_batch(
@@ -1078,17 +1326,16 @@ def run_batch(
     one-row fleet produces exactly the bytes the same row produces
     inside any larger fleet (rows are independent; property-tested), so
     cached batch results never depend on how runs were grouped.
+
+    ``collect_latency`` attaches the sketch-based
+    :class:`~repro.metrics.LatencyReport` (statistically - not bit -
+    equivalent to the exact kernels' streaming summaries).
     """
-    if collect_latency:
-        raise ConfigurationError(
-            "kernel='batch' does not support latency-distribution "
-            "collection; use kernel='fast' (bit-identical to the "
-            "reference machine) for latency metrics"
-        )
     kernel = BatchBusKernel(
         [config],
         [seed],
         targets=[targets],
         request_probabilities=[request_probabilities],
+        collect_latency=collect_latency,
     )
     return kernel.run(cycles, warmup=warmup)[0]

@@ -13,7 +13,13 @@ latency vocabulary:
   operator is *exactly* associative and order-invariant (rational
   arithmetic), so sharded and parallel runs combine bit-for-bit;
 * :mod:`repro.metrics.tracker` - the per-run collector the simulators
-  feed.
+  feed;
+* :mod:`repro.metrics.sketch` - the vectorized per-row
+  :class:`FleetQuantileSketch` the batch kernel feeds: a collapsing
+  power-of-two histogram with exact aggregates, exact quantiles while
+  its bucket width is 1, and a ``2*max/bins`` value-error bound after
+  collapsing; rows freeze into ordinary :class:`LatencySummary`
+  values, so every merge path downstream is unchanged.
 
 The cycle-accurate bus simulator records wait/service/total per
 completed request (:class:`repro.bus.MultiplexedBusSystem`), the
@@ -27,6 +33,10 @@ from repro.metrics.quantiles import (
     DEFAULT_EXACT_LIMIT,
     P2Quantile,
     exact_quantile,
+)
+from repro.metrics.sketch import (
+    DEFAULT_SKETCH_BINS,
+    FleetQuantileSketch,
 )
 from repro.metrics.summary import (
     LATENCY_METRICS_TOKEN,
@@ -44,6 +54,8 @@ from repro.metrics.tracker import (
 
 __all__ = [
     "DEFAULT_EXACT_LIMIT",
+    "DEFAULT_SKETCH_BINS",
+    "FleetQuantileSketch",
     "P2Quantile",
     "exact_quantile",
     "LATENCY_METRICS_TOKEN",

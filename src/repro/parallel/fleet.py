@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.errors import ConfigurationError
 from repro.core.results import SimulationResult
 from repro.parallel.workers import SimulationCase
 from repro.des.replications import ReplicationResult, replication_seeds
@@ -32,12 +31,19 @@ def fleet_key(case: SimulationCase) -> tuple:
     """The lockstep-grouping key of one simulation case.
 
     Extends :func:`repro.bus.batch.fleet_shape` with the measurement
-    window: rows of one kernel advance through identical cycle counts,
-    so ``cycles`` and ``warmup`` must match too.
+    window - rows of one kernel advance through identical cycle counts,
+    so ``cycles`` and ``warmup`` must match too - and with
+    ``collect_latency``, because latency collection is a whole-kernel
+    lever (one sketch pair per fleet): latency and non-latency cases
+    never share a kernel.
     """
     from repro.bus.batch import fleet_shape
 
-    return fleet_shape(case.config) + (case.cycles, case.warmup)
+    return fleet_shape(case.config) + (
+        case.cycles,
+        case.warmup,
+        case.collect_latency,
+    )
 
 
 def group_fleets(cases: Sequence[SimulationCase]) -> list[list[int]]:
@@ -60,19 +66,14 @@ def run_fleet(cases: Sequence[SimulationCase]) -> list[SimulationResult]:
     :func:`repro.parallel.workers.simulate_cases`: results come back in
     input order, and each case's result is independent of the grouping
     (rows are independent; property-tested in
-    ``tests/properties/test_batch_invariance.py``).  Raises
-    :class:`ConfigurationError` for cases the batch kernel cannot run
-    (latency collection) or when numpy is unavailable.
+    ``tests/properties/test_batch_invariance.py``).  Latency-collecting
+    cases run through per-row quantile sketches and come back with
+    sketch-based :class:`~repro.metrics.LatencyReport` values attached;
+    raises :class:`ConfigurationError` when numpy is unavailable.
     """
     from repro.bus.batch import BatchBusKernel
 
     cases = list(cases)
-    for case in cases:
-        if case.collect_latency:
-            raise ConfigurationError(
-                "batch fleets cannot collect latency distributions; "
-                "run latency cases with kernel='fast'"
-            )
     results: dict[int, SimulationResult] = {}
     for positions in group_fleets(cases):
         configs = []
@@ -97,7 +98,11 @@ def run_fleet(cases: Sequence[SimulationCase]) -> list[SimulationResult]:
                 else None
             )
         kernel = BatchBusKernel(
-            configs, seeds, targets=targets, request_probabilities=probabilities
+            configs,
+            seeds,
+            targets=targets,
+            request_probabilities=probabilities,
+            collect_latency=cases[positions[0]].collect_latency,
         )
         fleet_results = kernel.run(
             cases[positions[0]].cycles, warmup=cases[positions[0]].warmup

@@ -37,6 +37,12 @@ _SHARD_RE = re.compile(r"^(\d+)/(\d+)$")
 DEFAULT_KERNEL = "reference"
 """Simulation-loop implementation units run under by default."""
 
+KNOWN_KERNELS = ("reference", "fast", "batch")
+"""Every simulation-loop implementation the library ships.
+
+:func:`compile_scenario` validates its ``kernel`` argument against this
+tuple so a typo fails at scenario load time, not mid-sweep."""
+
 
 @dataclasses.dataclass(frozen=True)
 class WorkUnit:
@@ -120,15 +126,23 @@ def compile_scenario(
     compiled unit: ``"reference"`` and ``"fast"`` are bit-identical, so
     that choice affects wall-clock only; ``"batch"`` (vectorized
     lockstep fleets) changes bytes within statistical equivalence and
-    is validated here against its narrower capability (no
-    latency-distribution metrics).
+    is validated here against its capability set
+    (:func:`repro.bus.batch.check_batch_features`) - e.g. latency
+    metrics compile (sketch-based percentiles), geometric access times
+    do not.  Unknown kernel names are rejected here too, so a typo
+    fails at scenario load time instead of mid-sweep.
     """
+    if kernel not in KNOWN_KERNELS:
+        raise ConfigurationError(
+            f"unknown simulation kernel {kernel!r}; "
+            f"known kernels: {', '.join(KNOWN_KERNELS)}"
+        )
     capabilities = get_evaluator(spec.method).capabilities
     if kernel == "batch" and spec.method is EvaluationMethod.SIMULATION:
-        from repro.bus.batch import check_batch_metrics
+        from repro.bus.batch import check_batch_features
 
         try:
-            check_batch_metrics(spec.metrics)
+            check_batch_features(metrics=spec.metrics)
         except ConfigurationError as exc:
             raise ConfigurationError(
                 f"scenario {spec.name!r} cannot run under "

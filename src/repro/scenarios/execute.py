@@ -81,6 +81,7 @@ def evaluate_fleet(units: Sequence[WorkUnit]) -> list[dict[str, Any]]:
             ebw=result.ebw,
             processor_utilization=result.processor_utilization,
             bus_utilization=result.bus_utilization,
+            latency=result.latency,
         ).payload()
         for result in results
     ]
@@ -99,11 +100,16 @@ def _evaluate_task(task) -> list[dict[str, Any]]:
 
 
 def _batchable(unit: WorkUnit) -> bool:
-    """Whether a unit can join a lockstep fleet."""
+    """Whether a unit can join a lockstep fleet.
+
+    Latency-metric units qualify: the batch kernel collects wait/total
+    distributions through per-row quantile sketches, and the fleet key
+    (:func:`repro.parallel.fleet.fleet_key`) separates latency fleets
+    from plain ones.
+    """
     return (
         unit.method is EvaluationMethod.SIMULATION
         and unit.kernel == "batch"
-        and not unit.collects_latency
     )
 
 

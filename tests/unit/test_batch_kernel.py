@@ -37,20 +37,36 @@ def test_missing_numpy_raises_configuration_error_naming_extra(monkeypatch):
         batch.run_batch(SystemConfig(2, 2, 2), cycles=100)
 
 
-def test_check_batch_metrics_rejects_latency():
+def test_check_batch_metrics_accepts_latency_rejects_unknown():
     from repro.bus.batch import check_batch_metrics
 
     check_batch_metrics(())
-    with pytest.raises(ConfigurationError, match="latency"):
-        check_batch_metrics(("latency",))
+    check_batch_metrics(("latency",))
+    with pytest.raises(ConfigurationError, match="telemetry"):
+        check_batch_metrics(("latency", "telemetry"))
 
 
-def test_compile_scenario_rejects_batch_latency_metrics():
+def test_check_batch_features_names_each_unsupported_feature():
+    from repro.bus.batch import check_batch_features
+
+    check_batch_features(metrics=("latency",))
+    with pytest.raises(ConfigurationError, match="geometric"):
+        check_batch_features(geometric_access_times=True)
+
+    class CustomSampler:
+        def sample(self, processor):  # pragma: no cover - never called
+            return 0
+
+    with pytest.raises(ConfigurationError, match="CustomSampler"):
+        check_batch_features(targets=CustomSampler())
+
+
+def test_compile_scenario_accepts_batch_latency_metrics():
     from repro.scenarios.compiler import compile_scenario
     from repro.scenarios.spec import GridAxis, ReplicationPlan, ScenarioSpec
 
     spec = ScenarioSpec(
-        name="batch-latency-reject",
+        name="batch-latency-accept",
         description="",
         base={"processors": 2, "memories": 2},
         grid=(GridAxis("memory_cycle_ratio", (2,)),),
@@ -58,19 +74,38 @@ def test_compile_scenario_rejects_batch_latency_metrics():
         plan=ReplicationPlan(2, 0),
         metrics=("latency",),
     )
-    with pytest.raises(ConfigurationError, match="kernel='batch'"):
-        compile_scenario(spec, kernel="batch")
-    # The same spec compiles fine on the exact kernels.
+    units = compile_scenario(spec, kernel="batch")
+    assert all(unit.collects_latency for unit in units)
+    # The exact kernels keep compiling it too.
     assert compile_scenario(spec, kernel="fast")
 
 
-def test_simulate_batch_rejects_latency_and_geometric():
+def test_compile_scenario_rejects_unknown_kernel():
+    from repro.scenarios.compiler import compile_scenario
+    from repro.scenarios.spec import GridAxis, ReplicationPlan, ScenarioSpec
+
+    spec = ScenarioSpec(
+        name="kernel-typo",
+        description="",
+        base={"processors": 2, "memories": 2},
+        grid=(GridAxis("memory_cycle_ratio", (2,)),),
+        cycles=200,
+        plan=ReplicationPlan(1, 0),
+    )
+    with pytest.raises(
+        ConfigurationError, match="reference, fast, batch"
+    ):
+        compile_scenario(spec, kernel="bacth")
+
+
+def test_simulate_batch_collects_latency_but_rejects_geometric():
     pytest.importorskip("numpy")
     from repro.bus import simulate
 
     config = SystemConfig(2, 2, 2)
-    with pytest.raises(ConfigurationError, match="latency"):
-        simulate(config, cycles=100, kernel="batch", collect_latency=True)
+    result = simulate(config, cycles=400, kernel="batch", collect_latency=True)
+    assert result.latency is not None
+    assert result.latency.total.count == result.completions
     with pytest.raises(ConfigurationError, match="geometric"):
         simulate(
             config, cycles=100, kernel="batch", geometric_access_times=True

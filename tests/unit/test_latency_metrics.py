@@ -91,6 +91,39 @@ class TestStreamingQuantiles:
         # here, not at the mid-run exact-to-streaming transition.
         with pytest.raises(ConfigurationError, match="exact_limit"):
             StreamingQuantiles(exact_limit=3)
+        with pytest.raises(ConfigurationError, match="exact_limit"):
+            StreamingQuantiles(exact_limit=4)
+
+    def test_exact_limit_boundary_at_minimum(self):
+        # exact_limit=5 is the smallest legal value.  The collector must
+        # stay in exact mode through the fifth observation and hand the
+        # buffered values to the P^2 estimators only on the sixth.
+        collector = StreamingQuantiles(exact_limit=5)
+        values = [9, 1, 7, 3, 5]
+        for value in values:
+            collector.add(value)
+        assert collector.exact
+        ordered = sorted(values)
+        for q in (0.5, 0.9, 0.99):
+            assert collector.quantile(q) == exact_quantile(ordered, q)
+        collector.add(11)
+        assert not collector.exact
+        assert collector.count == 6
+        # Estimates remain inside the observed range after the handoff.
+        for q in (0.5, 0.9, 0.99):
+            assert 1 <= collector.quantile(q) <= 11
+
+    def test_rejected_observation_mid_stream_leaves_state_intact(self):
+        # A NaN arriving after real observations must not corrupt the
+        # already-accumulated state - totals and quantiles are unchanged.
+        collector = StreamingQuantiles()
+        for value in (2, 4, 6):
+            collector.add(value)
+        before = (collector.count, collector.quantile(0.5))
+        with pytest.raises(ConfigurationError, match="finite"):
+            collector.add(float("nan"))
+        assert (collector.count, collector.quantile(0.5)) == before
+        assert collector.summary().total == Fraction(12)
 
     def test_untracked_quantile_rejected(self):
         collector = StreamingQuantiles()

@@ -241,11 +241,15 @@ class TestBatchKernelCli:
             shard_outputs.append(capsys.readouterr().out)
         assert merge_reports(shard_outputs) + "\n" == unsharded
 
-    def test_batch_kernel_rejects_latency_metrics(self, tiny_toml, capsys):
+    def test_batch_kernel_renders_latency_percentiles(
+        self, tiny_toml, capsys
+    ):
+        pytest.importorskip("numpy")
         assert main(["scenario", tiny_toml, "--kernel", "batch",
-                     "--metrics", "latency", "--no-cache"]) == 2
-        err = capsys.readouterr().err
-        assert "kernel='batch'" in err
+                     "--metrics", "latency", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        for column in ("lat_count=", "wait_p90=", "lat_p50=", "lat_p99="):
+            assert column in out
 
 
 class TestChartFlag:
