@@ -151,3 +151,25 @@ def test_kernel_batch_fleet_cycles(benchmark):
         return kernel.cycle
 
     benchmark(run_block)
+
+
+def test_kernel_batch_fleet_cycles_numba(benchmark):
+    """The same 64-row fleet on the numba backend (JIT cycle loop).
+
+    Pairs with :func:`test_kernel_batch_fleet_cycles` the way the fast
+    benchmarks pair with the reference ones; the one-off JIT compile
+    lands in the untimed setup call, not the measurement.
+    """
+    pytest.importorskip("numpy")
+    pytest.importorskip("numba")
+    from repro.bus.batch import BatchBusKernel
+
+    config = SystemConfig(8, 16, 8, priority=Priority.PROCESSORS)
+    kernel = BatchBusKernel([config] * 64, list(range(64)), backend="numba")
+    kernel.advance(1)  # trigger the JIT compile outside the timing loop
+
+    def run_block():
+        kernel.advance(500)
+        return kernel.cycle
+
+    benchmark(run_block)

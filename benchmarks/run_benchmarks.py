@@ -12,19 +12,29 @@ Usage::
     python benchmarks/run_benchmarks.py --json out.json --quick
     python benchmarks/run_benchmarks.py --json out.json --compare BENCH_kernels.json
 
-Schema (``repro-bench-kernels@1``)::
+Schema (``repro-bench-kernels@2``)::
 
     {
-      "schema": "repro-bench-kernels@1",
+      "schema": "repro-bench-kernels@2",
       "python": "3.12.x ...",
-      "parameters": {"cycles": ..., "repeat": ..., "figure_cycles": ...},
-      "results": [{"name": ..., "seconds": ..., "meta": {...}}, ...],
+      "parameters": {"cycles": ..., "repeat": ..., "warmup": ...,
+                     "figure_cycles": ...},
+      "results": [{"name": ..., "seconds": ..., "mean": ...,
+                   "meta": {...}}, ...],
       "speedups": {"<pair>": <reference seconds / fast seconds>, ...}
     }
 
-``results`` names are stable identifiers; ``seconds`` is the best of
-``--repeat`` runs (wall clock, :func:`time.perf_counter`).  Timings are
-machine-dependent; the *speedups* are the portable signal.
+``results`` names are stable identifiers; every benchmark runs
+``--warmup`` untimed iterations first (cache/allocator/JIT effects land
+there, not in the measurement), then ``--repeat`` timed ones.
+``seconds`` is the minimum timed run (the low-noise signal the compare
+gate reads) and ``mean`` the average (the dispersion hint: a mean far
+above the min means a noisy host).  Timings are machine-dependent; the
+*speedups* are the portable signal.  Batch-kernel fleet entries carry
+the array backend in their ``meta`` (``"backend"``), and when the
+optional numba/cupy backends are importable the fleet block grows
+``batch_fleet_batch_<backend>`` entries timing the identical fleet on
+that substrate.
 
 ``--compare OLD.json`` prints a per-benchmark speedup/regression table
 against a previously written report and exits with status 4 when any
@@ -61,17 +71,34 @@ from repro.core.config import SystemConfig
 from repro.core.policy import Priority
 from repro.workloads.spec import HotSpotWorkload
 
-SCHEMA = "repro-bench-kernels@1"
+SCHEMA = "repro-bench-kernels@2"
 
 
-def best_of(repeat: int, func: Callable[[], object]) -> float:
-    """Minimum wall-clock seconds of ``repeat`` invocations."""
-    best = float("inf")
+def best_of(
+    repeat: int, func: Callable[[], object], warmup: int = 0
+) -> tuple[float, float]:
+    """``(min, mean)`` wall-clock seconds over ``repeat`` timed runs.
+
+    ``warmup`` untimed invocations run first, so one-off costs (page
+    faults, allocator growth, JIT compilation on the numba backend)
+    land outside the measurement window.  The minimum is the low-noise
+    statistic the regression gate compares; the mean travels alongside
+    as a dispersion hint.
+    """
+    for _ in range(warmup):
+        func()
+    timings = []
     for _ in range(repeat):
         started = time.perf_counter()
         func()
-        best = min(best, time.perf_counter() - started)
-    return best
+        timings.append(time.perf_counter() - started)
+    return min(timings), sum(timings) / len(timings)
+
+
+def _entry(name: str, timing: tuple[float, float], meta: dict) -> dict:
+    """One schema-@2 result entry from a :func:`best_of` measurement."""
+    seconds, mean = timing
+    return {"name": name, "seconds": seconds, "mean": mean, "meta": meta}
 
 
 def kernel_pairs():
@@ -117,20 +144,21 @@ def time_fleet(
     cycles: int,
     config: SystemConfig = FLEET_CONFIG,
     collect_latency: bool = False,
+    backend: str = "numpy",
 ) -> Callable[[], object]:
-    """One whole replication fleet under ``kernel``.
+    """One whole replication fleet under ``kernel`` (and ``backend``).
 
     The batch kernel runs the fleet as a single lockstep call
-    (:func:`repro.parallel.fleet.run_fleet`); the exact kernels run the
-    same cases one by one - which is precisely the comparison the
-    fleet-aggregation layer exists to win.
+    (:func:`repro.parallel.fleet.run_fleet`) on the selected array
+    backend; the exact kernels run the same cases one by one - which is
+    precisely the comparison the fleet-aggregation layer exists to win.
     """
     from repro.parallel.workers import SimulationCase, run_case
 
     cases = [
         SimulationCase(
             config, cycles, seed, kernel=kernel,
-            collect_latency=collect_latency,
+            collect_latency=collect_latency, backend=backend,
         )
         for seed in range(rows)
     ]
@@ -275,7 +303,17 @@ def main(argv=None) -> int:
         type=int,
         default=3,
         metavar="K",
-        help="runs per benchmark; best is recorded (default 3)",
+        help="timed runs per benchmark; min and mean are recorded "
+        "(default 3)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        metavar="K",
+        help="untimed warm-up runs before the timed repeats (default 1; "
+        "the expensive reference fleet leg always skips warm-up, and "
+        "JIT-backend legs always take at least one)",
     )
     parser.add_argument(
         "--quick",
@@ -310,9 +348,12 @@ def main(argv=None) -> int:
         with open(args.json, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
         return _compare_and_report(args.compare, payload, args.threshold)
+    if args.warmup < 0:
+        parser.error("--warmup must be >= 0")
     cycles = 20_000 if args.quick else args.cycles
     figure_cycles = 1_500 if args.quick else args.figure_cycles
     repeat = 1 if args.quick else args.repeat
+    warmup = args.warmup
     fleet_rows = 64 if args.quick else 512
     fleet_cycles = 800 if args.quick else 2_400
 
@@ -321,21 +362,22 @@ def main(argv=None) -> int:
     for name, config, workload in kernel_pairs():
         pair = {}
         for kernel in ("reference", "fast"):
-            seconds = best_of(
-                repeat, time_simulation(config, workload, cycles, kernel)
+            timing = best_of(
+                repeat, time_simulation(config, workload, cycles, kernel),
+                warmup=warmup,
             )
-            pair[kernel] = seconds
+            pair[kernel] = timing[0]
             results.append(
-                {
-                    "name": f"kernel_{kernel}_{name}",
-                    "seconds": seconds,
-                    "meta": {
+                _entry(
+                    f"kernel_{kernel}_{name}",
+                    timing,
+                    {
                         "cycles": cycles,
                         "kernel": kernel,
                         "config": config.describe(),
                         "workload": workload.describe() if workload else "uniform",
                     },
-                }
+                )
             )
         speedups[name] = pair["reference"] / pair["fast"]
         print(
@@ -344,15 +386,17 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
     for kernel in ("reference", "fast"):
-        seconds = best_of(1, time_figure2(figure_cycles, kernel))
-        results.append(
-            {
-                "name": f"scenario_figure2_{kernel}",
-                "seconds": seconds,
-                "meta": {"cycles": figure_cycles, "kernel": kernel},
-            }
+        timing = best_of(
+            1, time_figure2(figure_cycles, kernel), warmup=warmup
         )
-        print(f"scenario_figure2_{kernel}: {seconds:.3f}s", file=sys.stderr)
+        results.append(
+            _entry(
+                f"scenario_figure2_{kernel}",
+                timing,
+                {"cycles": figure_cycles, "kernel": kernel},
+            )
+        )
+        print(f"scenario_figure2_{kernel}: {timing[0]:.3f}s", file=sys.stderr)
     reference, fast = results[-2]["seconds"], results[-1]["seconds"]
     speedups["scenario_figure2"] = reference / fast
 
@@ -376,28 +420,27 @@ def main(argv=None) -> int:
         time_fleet("batch", 8, 200)()
     fleet_seconds = {}
     for kernel in fleet_kernels:
-        # The reference leg takes ~30 s per run, too long to repeat;
-        # the cheap legs get best-of-2 to shave scheduler noise.  Meta
-        # records each leg's repeat so --compare only matches like runs.
+        # The reference leg takes ~30 s per run, too long to repeat
+        # (and to warm up); the cheap legs get best-of-2 to shave
+        # scheduler noise.  Meta records each leg's repeat so
+        # --compare only matches like runs.
         fleet_repeat = 1 if kernel == "reference" else 2
-        seconds = best_of(
-            fleet_repeat, time_fleet(kernel, fleet_rows, fleet_cycles)
+        meta = {
+            "rows": fleet_rows,
+            "cycles": fleet_cycles,
+            "kernel": kernel,
+            "config": FLEET_CONFIG.describe(),
+            "repeat": fleet_repeat,
+        }
+        if kernel == "batch":
+            meta["backend"] = "numpy"
+        timing = best_of(
+            fleet_repeat, time_fleet(kernel, fleet_rows, fleet_cycles),
+            warmup=0 if kernel == "reference" else warmup,
         )
-        fleet_seconds[kernel] = seconds
-        results.append(
-            {
-                "name": f"batch_fleet_{kernel}",
-                "seconds": seconds,
-                "meta": {
-                    "rows": fleet_rows,
-                    "cycles": fleet_cycles,
-                    "kernel": kernel,
-                    "config": FLEET_CONFIG.describe(),
-                    "repeat": fleet_repeat,
-                },
-            }
-        )
-        print(f"batch_fleet_{kernel}: {seconds:.3f}s", file=sys.stderr)
+        fleet_seconds[kernel] = timing[0]
+        results.append(_entry(f"batch_fleet_{kernel}", timing, meta))
+        print(f"batch_fleet_{kernel}: {timing[0]:.3f}s", file=sys.stderr)
     if "batch" in fleet_seconds:
         speedups["batch_fleet_vs_fast"] = (
             fleet_seconds["fast"] / fleet_seconds["batch"]
@@ -412,6 +455,55 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
 
+    # Per-backend fleet legs: the identical batch fleet on every
+    # optional array substrate importable here.  A missing backend is
+    # skipped with a warning naming its extra - never silently retimed
+    # on numpy - so the baseline only ever contains entries this host
+    # actually produced.
+    if "batch" in fleet_seconds:
+        from repro.bus.backends import get_backend
+
+        for backend_name in ("numba", "cupy"):
+            backend = get_backend(backend_name)
+            if not backend.available():
+                print(
+                    f"warning: {backend_name} unavailable - skipping "
+                    f"batch_fleet_batch_{backend_name} (install the "
+                    f"[{backend.extra}] extra)",
+                    file=sys.stderr,
+                )
+                continue
+            # At least one warm-up run: the numba leg's first call pays
+            # the JIT compile, which must stay outside the measurement.
+            timing = best_of(
+                2,
+                time_fleet(
+                    "batch", fleet_rows, fleet_cycles, backend=backend_name
+                ),
+                warmup=max(warmup, 1),
+            )
+            results.append(
+                _entry(
+                    f"batch_fleet_batch_{backend_name}",
+                    timing,
+                    {
+                        "rows": fleet_rows,
+                        "cycles": fleet_cycles,
+                        "kernel": "batch",
+                        "backend": backend_name,
+                        "config": FLEET_CONFIG.describe(),
+                        "repeat": 2,
+                    },
+                )
+            )
+            key = f"{backend_name}_fleet_vs_numpy"
+            speedups[key] = fleet_seconds["batch"] / timing[0]
+            print(
+                f"batch_fleet_batch_{backend_name}: {timing[0]:.3f}s "
+                f"({speedups[key]:.2f}x over the numpy backend)",
+                file=sys.stderr,
+            )
+
     # Buffered fleet: the same replication block over the buffered
     # machine - the circular-queue hot path the batch kernel vectorizes.
     # The reference leg is omitted (minutes per run at full size); the
@@ -425,29 +517,27 @@ def main(argv=None) -> int:
     buffered_seconds = {}
     for kernel, latency in buffered_legs:
         leg = f"{kernel}_latency" if latency else kernel
-        seconds = best_of(
+        meta = {
+            "rows": fleet_rows,
+            "cycles": fleet_cycles,
+            "kernel": kernel,
+            "collect_latency": latency,
+            "config": buffered_config.describe(),
+            "repeat": 2,
+        }
+        if kernel == "batch":
+            meta["backend"] = "numpy"
+        timing = best_of(
             2,
             time_fleet(
                 kernel, fleet_rows, fleet_cycles,
                 config=buffered_config, collect_latency=latency,
             ),
+            warmup=warmup,
         )
-        buffered_seconds[leg] = seconds
-        results.append(
-            {
-                "name": f"buffered_fleet_{leg}",
-                "seconds": seconds,
-                "meta": {
-                    "rows": fleet_rows,
-                    "cycles": fleet_cycles,
-                    "kernel": kernel,
-                    "collect_latency": latency,
-                    "config": buffered_config.describe(),
-                    "repeat": 2,
-                },
-            }
-        )
-        print(f"buffered_fleet_{leg}: {seconds:.3f}s", file=sys.stderr)
+        buffered_seconds[leg] = timing[0]
+        results.append(_entry(f"buffered_fleet_{leg}", timing, meta))
+        print(f"buffered_fleet_{leg}: {timing[0]:.3f}s", file=sys.stderr)
     if "batch" in buffered_seconds:
         speedups["buffered_fleet_vs_fast"] = (
             buffered_seconds["fast"] / buffered_seconds["batch"]
@@ -470,6 +560,7 @@ def main(argv=None) -> int:
             "cycles": cycles,
             "figure_cycles": figure_cycles,
             "repeat": repeat,
+            "warmup": warmup,
             "fleet_rows": fleet_rows,
             "fleet_cycles": fleet_cycles,
         },

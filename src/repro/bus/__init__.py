@@ -33,6 +33,7 @@ def simulate(
     collect_latency: bool = False,
     kernel: str = "reference",
     geometric_access_times: bool = False,
+    backend: str = "numpy",
 ) -> SimulationResult:
     """Build a :class:`MultiplexedBusSystem` and run it once.
 
@@ -73,7 +74,18 @@ def simulate(
     The fast and batch kernels cover the library's own target samplers
     (uniform/hot-spot/trace); a custom :class:`TargetSampler` object
     requires the reference kernel.
+
+    ``backend`` selects the batch kernel's array substrate
+    (:mod:`repro.bus.backends`): ``"numpy"`` (default), ``"numba"``
+    (JIT, bit-identical to numpy) or ``"cupy"`` (GPU, statistically
+    equivalent).  Non-default backends require ``kernel="batch"`` -
+    the other kernels have no array substrate to swap - and a missing
+    optional backend raises naming its install extra.
     """
+    if backend != "numpy" and kernel != "batch":
+        from repro.bus.backends import check_backend
+
+        check_backend(kernel, backend)
     if kernel == "fast":
         from repro.bus.kernel import run_fast
 
@@ -91,7 +103,10 @@ def simulate(
         from repro.bus.batch import check_batch_features, run_batch
 
         check_batch_features(
-            geometric_access_times=geometric_access_times, targets=targets
+            metrics=("latency",) if collect_latency else (),
+            geometric_access_times=geometric_access_times,
+            targets=targets,
+            backend=backend,
         )
         return run_batch(
             config,
@@ -101,6 +116,8 @@ def simulate(
             targets=targets,
             request_probabilities=request_probabilities,
             collect_latency=collect_latency,
+            geometric_access_times=geometric_access_times,
+            backend=backend,
         )
     if kernel != "reference":
         raise ConfigurationError(

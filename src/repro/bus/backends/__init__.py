@@ -1,0 +1,120 @@
+"""Pluggable array backends for the batch kernel.
+
+The batch kernel is a pure array program over ``(lanes, fleet)`` state;
+this package supplies the substrates it can execute on, selected the
+way kernels are today - by name, validated at compile time against the
+:data:`KNOWN_BACKENDS` table, rejected loudly when the substrate or a
+requested capability is missing (never a silent fallback):
+
+``numpy``
+    The default: the kernel's native vectorized program.  Defines the
+    ``simulation-batch@1`` cache namespace.
+``numba``
+    JIT-compiled scalar cycle loop over the same state arrays
+    (``[batch-jit]`` extra).  **Bit-identical** to numpy - proven by
+    ``tests/properties/test_backend_equivalence.py`` - so it shares the
+    ``simulation-batch@1`` namespace: cached entries are
+    interchangeable between the two.
+``cupy``
+    The same array program on GPU device arrays (``[batch-gpu]``
+    extra).  Statistically - not bit - equivalent (different Philox
+    implementation), so it owns the ``simulation-batch-cupy@1``
+    namespace and is gated by the Welch machinery.
+
+:func:`get_backend` also passes :class:`BatchBackend` instances
+through, so callers can inject configured instances (the equivalence
+suite runs ``NumbaBackend(jit=False)`` to prove bit-identity without
+numba installed).
+"""
+
+from __future__ import annotations
+
+from repro.bus.backends.base import (
+    BATCH_ENGINE_TOKEN,
+    CUPY_ENGINE_TOKEN,
+    BatchBackend,
+)
+from repro.bus.backends.cupy_backend import CupyBackend
+from repro.bus.backends.numba_backend import NumbaBackend
+from repro.bus.backends.numpy_backend import NumpyBackend
+from repro.core.errors import ConfigurationError
+
+__all__ = [
+    "BATCH_ENGINE_TOKEN",
+    "CUPY_ENGINE_TOKEN",
+    "DEFAULT_BACKEND",
+    "KNOWN_BACKENDS",
+    "BatchBackend",
+    "CupyBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "backend_engine_token",
+    "check_backend",
+    "get_backend",
+]
+
+DEFAULT_BACKEND = "numpy"
+"""The backend every batch entry point uses unless told otherwise."""
+
+KNOWN_BACKENDS = ("numpy", "numba", "cupy")
+"""Every registered backend name, in documentation order.
+
+The compile-time validation table: ``compile_scenario`` and the
+``scenario`` CLI reject names outside this tuple before any work unit
+exists, mirroring ``KNOWN_KERNELS``."""
+
+_REGISTRY: dict[str, BatchBackend] = {
+    "numpy": NumpyBackend(),
+    "numba": NumbaBackend(),
+    "cupy": CupyBackend(),
+}
+
+
+def get_backend(backend: str | BatchBackend) -> BatchBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    Unknown names raise :class:`ConfigurationError` naming the known
+    table - resolution never guesses or falls back.
+    """
+    if isinstance(backend, BatchBackend):
+        return backend
+    try:
+        return _REGISTRY[backend]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown batch backend {backend!r}; "
+            f"known backends: {', '.join(KNOWN_BACKENDS)}"
+        ) from None
+
+
+def backend_engine_token(backend: str | BatchBackend) -> str:
+    """The cache namespace a backend's results land in.
+
+    Bit-identical backends (numpy, numba) share
+    :data:`BATCH_ENGINE_TOKEN`; statistically-equivalent ones own their
+    token, so cache entries can never cross the equivalence boundary.
+    """
+    return get_backend(backend).engine_token
+
+
+def check_backend(
+    kernel: str,
+    backend: str | BatchBackend,
+    metrics=(),
+) -> None:
+    """Compile-time backend validation shared by CLI and compiler.
+
+    Rejects unknown names, a non-default backend on a non-batch kernel
+    (backends are the batch kernel's array substrate - other kernels
+    have none to swap), and capability mismatches (cupy cannot feed the
+    host-side latency sketches).
+    """
+    resolved = get_backend(backend)
+    if resolved.name != DEFAULT_BACKEND and kernel != "batch":
+        raise ConfigurationError(
+            f"backend='{resolved.name}' selects the batch kernel's "
+            f"array substrate and requires kernel='batch'; "
+            f"got kernel={kernel!r}"
+        )
+    if kernel == "batch":
+        resolved.check_features(metrics=metrics)

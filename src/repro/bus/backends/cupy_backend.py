@@ -1,0 +1,64 @@
+"""The GPU batch backend: the same array program on CuPy device arrays.
+
+CuPy is a drop-in for the numpy namespace, so the kernel's vectorized
+loop runs unmodified; what changes is *where* the arrays live and which
+Philox implementation feeds the per-row streams.  CuPy's counter-based
+generator (``Philox4x3210``) is not numpy's bit generator, so cupy
+results are **statistically - not bit - equivalent** to the numpy/numba
+pair: they are gated by the same Welch machinery that compares the
+batch kernel against the exact kernels
+(``tests/integration/test_batch_statistics.py``), and their cache
+entries live in the separate :data:`CUPY_ENGINE_TOKEN` namespace.
+
+Latency collection is declared unsupported: the per-row quantile
+sketches are host-side numpy structures, and streaming every completion
+through a device->host copy would forfeit the throughput the backend
+exists for.  ``check_features`` rejects the combination loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.bus.backends.base import CUPY_ENGINE_TOKEN, BatchBackend
+from repro.core.errors import ConfigurationError
+
+
+class CupyBackend(BatchBackend):
+    """GPU substrate (optional ``[batch-gpu]`` extra, Welch-gated)."""
+
+    name = "cupy"
+    extra = "batch-gpu"
+    bitwise = False
+    engine_token = CUPY_ENGINE_TOKEN
+    supports_latency = False
+
+    def available(self) -> bool:
+        try:
+            import cupy  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def require(self):
+        try:
+            import cupy
+        except ImportError:
+            self._missing("cupy")
+        return cupy
+
+    def philox_generators(self, keys: Sequence[int]):
+        cupy = self.require()
+        philox = getattr(cupy.random, "Philox4x3210", None)
+        if philox is None:
+            raise ConfigurationError(
+                "backend='cupy' needs cupy's counter-based Philox4x3210 "
+                "bit generator, which this cupy build does not provide; "
+                "use backend='numpy' or backend='numba'"
+            )
+        return [
+            cupy.random.Generator(philox(seed=int(key))) for key in keys
+        ]
+
+    def asnumpy(self, array):
+        return self.require().asnumpy(array)

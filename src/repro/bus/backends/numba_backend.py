@@ -1,0 +1,895 @@
+"""The JIT batch backend: the cycle loop compiled to machine code.
+
+The numpy backend pays a fixed number of array-op dispatches per cycle;
+for the fleet sizes the paper's figures need, most of that is still
+interpreter overhead.  This backend replaces the per-cycle dispatch
+sequence with two self-contained scalar loops (one per buffering mode)
+that ``numba.njit`` compiles to native code operating on **the exact
+same state arrays** the numpy program uses.
+
+**Bit-identity contract.**  The scalar loops are written to consume the
+per-row Philox streams in exactly the numpy program's order and to
+reproduce its arithmetic exactly (left-associative hot-spot products,
+truncating inverse-CDF casts, first-minimum FCFS scans, ``floor(u *
+count)`` tie-break picks), so every counter, EBW, latency sketch and
+RNG end-state is bit-identical to the numpy backend - proven by
+``tests/properties/test_backend_equivalence.py`` - and the two share
+the ``simulation-batch@1`` cache namespace.
+
+The loops are also valid plain Python: ``NumbaBackend(jit=False)`` runs
+them interpreted, so the bit-identity suite executes even where numba
+is not installed (the registry's default instance always JITs and
+raises a :class:`ConfigurationError` naming the ``[batch-jit]`` extra
+when numba is missing).
+
+**Stream re-entry.**  The numpy program refills a row's uniform buffer
+lazily at each draw site; the scalar loops instead check a conservative
+per-stream headroom margin at each cycle boundary and return to the
+Python driver, which refills the depleted rows and re-enters.  Because
+``Generator.random(k)`` splits compose sequentially, refill granularity
+never changes the values drawn - only *when* host work happens.
+Latency observations are spilled to preallocated event buffers inside
+the loop and replayed into the host-side sketches between segments, in
+the same per-cycle grouping the numpy program uses.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bus.backends.base import BATCH_ENGINE_TOKEN, BatchBackend
+from repro.core.errors import ConfigurationError
+
+_NEVER = 1 << 30
+
+
+# ----------------------------------------------------------------------
+# The scalar cycle loops.  Each is one self-contained function (njit
+# cannot call back into plain Python) covering every feature flag via
+# branches on loop-invariant booleans; absent features receive dummy
+# arrays that the guarded branches never touch.  Both return
+# ``(cycles_done, events_recorded)`` so the driver can refill streams /
+# drain events and re-enter.
+# ----------------------------------------------------------------------
+def _unbuffered_loop(
+    count,
+    cycle0,
+    n,
+    m,
+    fleet,
+    r,
+    pc,
+    proc_first,
+    random_tie,
+    track_ready,
+    collect,
+    record,
+    geometric,
+    requesting,
+    target,
+    issue,
+    wake,
+    svc_finish,
+    svc_proc,
+    module_free,
+    out_full,
+    out_proc,
+    out_ready,
+    out_wait,
+    completions,
+    request_transfers,
+    total_latency,
+    busy_accum,
+    trace_rows,
+    trace_pad,
+    trace_len,
+    trace_pos,
+    hot_fraction,
+    hot_module,
+    hot_rescale,
+    log1p_neg_p,
+    log_access,
+    chunk,
+    has_targets,
+    targets_buf,
+    targets_pos,
+    has_think,
+    think_buf,
+    think_pos,
+    arb_buf,
+    arb_pos,
+    access_buf,
+    access_pos,
+    ev_cycle,
+    ev_row,
+    ev_wait,
+    ev_total,
+    ev_cap,
+):
+    done = 0
+    nev = 0
+    cycle = cycle0
+    while done < count:
+        # Segment boundary: stop while every stream still has enough
+        # buffered draws for one full cycle (at most one draw per row
+        # per stream here) and the event buffer can hold a full cycle.
+        stop = False
+        for f in range(fleet):
+            if random_tie and arb_pos[f] + 1 > chunk:
+                stop = True
+                break
+            if has_targets and targets_pos[f] + 1 > chunk:
+                stop = True
+                break
+            if has_think and think_pos[f] + 1 > chunk:
+                stop = True
+                break
+            if geometric and access_pos[f] + 1 > chunk:
+                stop = True
+                break
+        if stop:
+            break
+        if record and nev + fleet > ev_cap:
+            break
+
+        for f in range(fleet):
+            # 1. processor-cycle boundaries: waking processors issue.
+            for i in range(n):
+                if wake[i, f] == cycle:
+                    issue[i, f] = cycle
+                    requesting[i, f] = True
+                    wake[i, f] = _NEVER
+
+            # 2. arbitration on the pre-tick state (winners are fixed
+            #    before this cycle's completions mutate the slots).
+            n_count = 0
+            for i in range(n):
+                if requesting[i, f] and module_free[target[i, f], f]:
+                    n_count += 1
+            m_count = 0
+            for k in range(m):
+                if out_full[k, f]:
+                    m_count += 1
+            u_arb = 0.0
+            if random_tie:
+                # One draw per row per cycle, consumed unconditionally
+                # (the numpy arbiter's take_all does the same).
+                u_arb = arb_buf[f, arb_pos[f]]
+                arb_pos[f] += 1
+            if proc_first:
+                do_request = n_count > 0
+                do_response = m_count > 0 and n_count == 0
+            else:
+                do_response = m_count > 0
+                do_request = n_count > 0 and m_count == 0
+            win_i = 0
+            if do_request:
+                if random_tie:
+                    pick = int(u_arb * n_count)
+                    seen = 0
+                    for i in range(n):
+                        if requesting[i, f] and module_free[target[i, f], f]:
+                            if seen == pick:
+                                win_i = i
+                                break
+                            seen += 1
+                else:
+                    best = _NEVER
+                    for i in range(n):
+                        if (
+                            requesting[i, f]
+                            and module_free[target[i, f], f]
+                            and issue[i, f] < best
+                        ):
+                            best = issue[i, f]
+                            win_i = i
+            win_k = 0
+            if do_response:
+                if random_tie:
+                    pick = int(u_arb * m_count)
+                    seen = 0
+                    for k in range(m):
+                        if out_full[k, f]:
+                            if seen == pick:
+                                win_k = k
+                                break
+                            seen += 1
+                else:
+                    best = _NEVER
+                    for k in range(m):
+                        if out_full[k, f] and out_ready[k, f] < best:
+                            best = out_ready[k, f]
+                            win_k = k
+
+            # 3. module completions this cycle.
+            for k in range(m):
+                if svc_finish[k, f] == cycle:
+                    out_full[k, f] = True
+                    out_proc[k, f] = svc_proc[k, f]
+                    if track_ready:
+                        out_ready[k, f] = cycle + 1
+
+            # 4. the granted transfer completes at the end of the cycle.
+            if do_request:
+                i = win_i
+                k = target[i, f]
+                requesting[i, f] = False
+                request_transfers[f] += 1
+                module_free[k, f] = False
+                svc_proc[k, f] = i
+                if geometric:
+                    u = access_buf[f, access_pos[f]]
+                    access_pos[f] += 1
+                    dur = 1 + int(math.log1p(-u) / log_access)
+                else:
+                    dur = r
+                svc_finish[k, f] = cycle + dur
+                if collect:
+                    out_wait[k, f] = cycle - issue[i, f]
+                busy_accum[f] += dur
+            if do_response:
+                k = win_k
+                i = out_proc[k, f]
+                out_full[k, f] = False
+                module_free[k, f] = True
+                completions[f] += 1
+                total = (cycle + 1) - issue[i, f]
+                total_latency[f] += total
+                if record:
+                    ev_cycle[nev] = cycle
+                    ev_row[nev] = f
+                    ev_wait[nev] = out_wait[k, f]
+                    ev_total[nev] = total
+                    nev += 1
+                if trace_rows[f]:
+                    position = trace_pos[f, i]
+                    tgt = trace_pad[f, i, position % trace_len[f, i]]
+                    trace_pos[f, i] = position + 1
+                else:
+                    u = targets_buf[f, targets_pos[f]]
+                    targets_pos[f] += 1
+                    fraction = hot_fraction[f]
+                    if u < fraction:
+                        tgt = hot_module[f]
+                    else:
+                        drawn = int((u - fraction) * hot_rescale[f] * m)
+                        if drawn > m - 1:
+                            drawn = m - 1
+                        tgt = drawn
+                target[i, f] = tgt
+                if has_think:
+                    u = think_buf[f, think_pos[f]]
+                    think_pos[f] += 1
+                    failures = int(math.log1p(-u) / log1p_neg_p[f, i])
+                    w = cycle + 1 + failures * pc
+                    if w > _NEVER:
+                        w = _NEVER
+                    wake[i, f] = w
+                else:
+                    wake[i, f] = cycle + 1
+        cycle += 1
+        done += 1
+    return done, nev
+
+
+def _buffered_loop(
+    count,
+    cycle0,
+    n,
+    m,
+    fleet,
+    r,
+    pc,
+    depth,
+    capacity,
+    proc_first,
+    random_tie,
+    track_ready,
+    collect,
+    record,
+    geometric,
+    requesting,
+    target,
+    issue,
+    wake,
+    svc_finish,
+    svc_proc,
+    svc_active,
+    stalled,
+    stalled_proc,
+    resolve,
+    inq_ring,
+    inq_head,
+    inq_len,
+    outq_ring,
+    outq_head,
+    outq_len,
+    outq_ready,
+    head_ready,
+    svc_wait,
+    stalled_wait,
+    outq_wait,
+    completions,
+    request_transfers,
+    total_latency,
+    busy_accum,
+    trace_rows,
+    trace_pad,
+    trace_len,
+    trace_pos,
+    hot_fraction,
+    hot_module,
+    hot_rescale,
+    log1p_neg_p,
+    log_access,
+    chunk,
+    has_targets,
+    targets_buf,
+    targets_pos,
+    has_think,
+    think_buf,
+    think_pos,
+    arb_buf,
+    arb_pos,
+    access_buf,
+    access_pos,
+    ev_cycle,
+    ev_row,
+    ev_wait,
+    ev_total,
+    ev_cap,
+):
+    done = 0
+    nev = 0
+    cycle = cycle0
+    # A row can draw up to one access time per module (resolve or
+    # finish pulls) plus one direct service per cycle.
+    access_margin = m + 2
+    while done < count:
+        stop = False
+        for f in range(fleet):
+            if random_tie and arb_pos[f] + 1 > chunk:
+                stop = True
+                break
+            if has_targets and targets_pos[f] + 1 > chunk:
+                stop = True
+                break
+            if has_think and think_pos[f] + 1 > chunk:
+                stop = True
+                break
+            if geometric and access_pos[f] + access_margin > chunk:
+                stop = True
+                break
+        if stop:
+            break
+        if record and nev + fleet > ev_cap:
+            break
+
+        for f in range(fleet):
+            # 1. processor-cycle boundaries: waking processors issue.
+            for i in range(n):
+                if wake[i, f] == cycle:
+                    issue[i, f] = cycle
+                    requesting[i, f] = True
+                    wake[i, f] = _NEVER
+
+            # Busy accounting: one count per module serving this cycle
+            # (pre-tick, like the vector loop's svc_active reduction).
+            active = 0
+            for k in range(m):
+                if svc_active[k, f]:
+                    active += 1
+            busy_accum[f] += active
+
+            # 2. arbitration on the pre-tick state.
+            n_count = 0
+            for i in range(n):
+                k = target[i, f]
+                if requesting[i, f] and not (
+                    (svc_active[k, f] or stalled[k, f])
+                    and inq_len[k, f] >= depth
+                ):
+                    n_count += 1
+            m_count = 0
+            for k in range(m):
+                if outq_len[k, f] > 0:
+                    m_count += 1
+            u_arb = 0.0
+            if random_tie:
+                u_arb = arb_buf[f, arb_pos[f]]
+                arb_pos[f] += 1
+            if proc_first:
+                do_request = n_count > 0
+                do_response = m_count > 0 and n_count == 0
+            else:
+                do_response = m_count > 0
+                do_request = n_count > 0 and m_count == 0
+            win_i = 0
+            if do_request:
+                if random_tie:
+                    pick = int(u_arb * n_count)
+                    seen = 0
+                    for i in range(n):
+                        k = target[i, f]
+                        if requesting[i, f] and not (
+                            (svc_active[k, f] or stalled[k, f])
+                            and inq_len[k, f] >= depth
+                        ):
+                            if seen == pick:
+                                win_i = i
+                                break
+                            seen += 1
+                else:
+                    best = _NEVER
+                    for i in range(n):
+                        k = target[i, f]
+                        if (
+                            requesting[i, f]
+                            and not (
+                                (svc_active[k, f] or stalled[k, f])
+                                and inq_len[k, f] >= depth
+                            )
+                            and issue[i, f] < best
+                        ):
+                            best = issue[i, f]
+                            win_i = i
+            win_k = 0
+            if do_response:
+                if random_tie:
+                    pick = int(u_arb * m_count)
+                    seen = 0
+                    for k in range(m):
+                        if outq_len[k, f] > 0:
+                            if seen == pick:
+                                win_k = k
+                                break
+                            seen += 1
+                else:
+                    best = _NEVER
+                    for k in range(m):
+                        if outq_len[k, f] > 0 and head_ready[k, f] < best:
+                            best = head_ready[k, f]
+                            win_k = k
+
+            # 3. module events: stall resolutions scheduled by last
+            #    cycle's response grants, then service completions.
+            for k in range(m):
+                if resolve[k, f]:
+                    resolve[k, f] = False
+                    length = outq_len[k, f]
+                    slot = outq_head[k, f] + length
+                    if slot >= capacity:
+                        slot -= capacity
+                    outq_ring[slot, k, f] = stalled_proc[k, f]
+                    if track_ready:
+                        outq_ready[slot, k, f] = cycle + 1
+                        if length == 0:
+                            head_ready[k, f] = cycle + 1
+                    if collect:
+                        outq_wait[slot, k, f] = stalled_wait[k, f]
+                    outq_len[k, f] = length + 1
+                    stalled[k, f] = False
+                    if inq_len[k, f] > 0:
+                        head = inq_head[k, f]
+                        lane = inq_ring[head, k, f]
+                        svc_active[k, f] = True
+                        svc_proc[k, f] = lane
+                        if geometric:
+                            u = access_buf[f, access_pos[f]]
+                            access_pos[f] += 1
+                            dur = 1 + int(math.log1p(-u) / log_access)
+                        else:
+                            dur = r
+                        svc_finish[k, f] = cycle + dur
+                        if collect:
+                            svc_wait[k, f] = cycle - issue[lane, f]
+                        head += 1
+                        if head >= depth:
+                            head -= depth
+                        inq_head[k, f] = head
+                        inq_len[k, f] -= 1
+            for k in range(m):
+                if svc_finish[k, f] == cycle:
+                    svc_active[k, f] = False
+                    length = outq_len[k, f]
+                    if length < capacity:
+                        slot = outq_head[k, f] + length
+                        if slot >= capacity:
+                            slot -= capacity
+                        outq_ring[slot, k, f] = svc_proc[k, f]
+                        if track_ready:
+                            outq_ready[slot, k, f] = cycle + 1
+                            if length == 0:
+                                head_ready[k, f] = cycle + 1
+                        if collect:
+                            outq_wait[slot, k, f] = svc_wait[k, f]
+                        outq_len[k, f] = length + 1
+                        if inq_len[k, f] > 0:
+                            head = inq_head[k, f]
+                            lane = inq_ring[head, k, f]
+                            svc_active[k, f] = True
+                            svc_proc[k, f] = lane
+                            if geometric:
+                                u = access_buf[f, access_pos[f]]
+                                access_pos[f] += 1
+                                dur = 1 + int(math.log1p(-u) / log_access)
+                            else:
+                                dur = r
+                            svc_finish[k, f] = cycle + dur
+                            if collect:
+                                svc_wait[k, f] = cycle - issue[lane, f]
+                            head += 1
+                            if head >= depth:
+                                head -= depth
+                            inq_head[k, f] = head
+                            inq_len[k, f] -= 1
+                    else:
+                        stalled[k, f] = True
+                        stalled_proc[k, f] = svc_proc[k, f]
+                        if collect:
+                            stalled_wait[k, f] = svc_wait[k, f]
+
+            # 4. the granted transfer completes at the end of the cycle.
+            if do_request:
+                i = win_i
+                k = target[i, f]
+                requesting[i, f] = False
+                request_transfers[f] += 1
+                # Post-event module state decides direct service vs
+                # input buffering, exactly like the vector loop.
+                if not (svc_active[k, f] or stalled[k, f]):
+                    svc_active[k, f] = True
+                    svc_proc[k, f] = i
+                    if geometric:
+                        u = access_buf[f, access_pos[f]]
+                        access_pos[f] += 1
+                        dur = 1 + int(math.log1p(-u) / log_access)
+                    else:
+                        dur = r
+                    svc_finish[k, f] = cycle + dur
+                    if collect:
+                        svc_wait[k, f] = cycle - issue[i, f]
+                else:
+                    slot = inq_head[k, f] + inq_len[k, f]
+                    if slot >= depth:
+                        slot -= depth
+                    inq_ring[slot, k, f] = i
+                    inq_len[k, f] += 1
+            if do_response:
+                k = win_k
+                head = outq_head[k, f]
+                i = outq_ring[head, k, f]
+                new_length = outq_len[k, f] - 1
+                outq_len[k, f] = new_length
+                nhead = head + 1
+                if nhead >= capacity:
+                    nhead -= capacity
+                outq_head[k, f] = nhead
+                if track_ready:
+                    if new_length > 0:
+                        head_ready[k, f] = outq_ready[nhead, k, f]
+                    else:
+                        head_ready[k, f] = _NEVER
+                completions[f] += 1
+                total = (cycle + 1) - issue[i, f]
+                total_latency[f] += total
+                if record:
+                    ev_cycle[nev] = cycle
+                    ev_row[nev] = f
+                    ev_wait[nev] = outq_wait[head, k, f]
+                    ev_total[nev] = total
+                    nev += 1
+                if trace_rows[f]:
+                    position = trace_pos[f, i]
+                    tgt = trace_pad[f, i, position % trace_len[f, i]]
+                    trace_pos[f, i] = position + 1
+                else:
+                    u = targets_buf[f, targets_pos[f]]
+                    targets_pos[f] += 1
+                    fraction = hot_fraction[f]
+                    if u < fraction:
+                        tgt = hot_module[f]
+                    else:
+                        drawn = int((u - fraction) * hot_rescale[f] * m)
+                        if drawn > m - 1:
+                            drawn = m - 1
+                        tgt = drawn
+                target[i, f] = tgt
+                if has_think:
+                    u = think_buf[f, think_pos[f]]
+                    think_pos[f] += 1
+                    failures = int(math.log1p(-u) / log1p_neg_p[f, i])
+                    w = cycle + 1 + failures * pc
+                    if w > _NEVER:
+                        w = _NEVER
+                    wake[i, f] = w
+                else:
+                    wake[i, f] = cycle + 1
+                if stalled[k, f]:
+                    # Stalled modules resolve exactly one cycle after
+                    # the response grant that freed their slot.
+                    resolve[k, f] = True
+        cycle += 1
+        done += 1
+    return done, nev
+
+
+_JIT_LOOPS = None
+
+
+def _jit_loops():
+    """Compile the scalar loops once per process (shared by instances)."""
+    global _JIT_LOOPS
+    if _JIT_LOOPS is None:
+        import numba
+
+        jit = numba.njit(cache=False, nogil=True)
+        _JIT_LOOPS = (jit(_unbuffered_loop), jit(_buffered_loop))
+    return _JIT_LOOPS
+
+
+class NumbaBackend(BatchBackend):
+    """JIT substrate (optional ``[batch-jit]`` extra, bit-identical).
+
+    ``jit=False`` runs the same loop source interpreted - slower than
+    the numpy program, but byte-for-byte the same results, which is how
+    the equivalence suite exercises this backend without numba.
+    """
+
+    name = "numba"
+    extra = "batch-jit"
+    bitwise = True
+    engine_token = BATCH_ENGINE_TOKEN
+    supports_latency = True
+
+    def __init__(self, jit: bool = True) -> None:
+        self._jit = bool(jit)
+
+    def available(self) -> bool:
+        try:
+            import numba  # noqa: F401
+            import numpy  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    def require(self):
+        from repro.bus.batch import require_numpy
+
+        np = require_numpy()
+        if self._jit:
+            try:
+                import numba  # noqa: F401
+            except ImportError:
+                self._missing("numba")
+        return np
+
+    def _loops(self):
+        if self._jit:
+            return _jit_loops()
+        return (_unbuffered_loop, _buffered_loop)
+
+    # ------------------------------------------------------------------
+    def advance(self, kernel, count: int) -> None:
+        """Run ``count`` cycles through the scalar loop in segments."""
+        np = kernel._np
+        unbuffered_fn, buffered_fn = self._loops()
+        fleet = kernel._fleet
+        m = kernel._m
+        collect = kernel._collect_latency
+        record = kernel._sketch_total is not None
+        geometric = kernel._geometric
+        random_tie = kernel._random_tie
+        track_ready = not random_tie
+
+        lanes_list = [
+            (kernel._targets_lanes, 1),
+            (kernel._think_lanes, 1),
+            (kernel._arb_lanes, 1),
+            (kernel._access_lanes, 1 if not kernel._buffered else m + 2),
+        ]
+        streams = [(ln, margin) for ln, margin in lanes_list if ln is not None]
+        chunk = streams[0][0]._chunk if streams else 1
+        if geometric and kernel._buffered and m + 2 > chunk:
+            raise ConfigurationError(
+                f"backend='numba' cannot buffer geometric access draws "
+                f"for {m} memories (needs {m + 2} > {chunk} slots); use "
+                "backend='numpy'"
+            )
+
+        dummy_buf = np.zeros((1, 1), dtype=np.float64)
+        dummy_pos = np.zeros(1, dtype=np.int64)
+
+        def stream_args(lanes):
+            if lanes is None:
+                return dummy_buf, dummy_pos
+            return lanes._buf, lanes._pos
+
+        targets_buf, targets_pos = stream_args(kernel._targets_lanes)
+        think_buf, think_pos = stream_args(kernel._think_lanes)
+        arb_buf, arb_pos = stream_args(kernel._arb_lanes)
+        access_buf, access_pos = stream_args(kernel._access_lanes)
+
+        if kernel._trace_pad is not None:
+            trace_pad = kernel._trace_pad
+            trace_len = kernel._trace_len
+            trace_pos = kernel._trace_pos
+        else:
+            trace_pad = np.zeros((1, 1, 1), dtype=np.int32)
+            trace_len = np.ones((1, 1), dtype=np.int64)
+            trace_pos = np.zeros((1, 1), dtype=np.int64)
+
+        if record:
+            ev_cap = max(fleet, 16384)
+            events = getattr(kernel, "_nb_events", None)
+            if events is None or len(events[0]) < ev_cap:
+                events = tuple(
+                    np.empty(ev_cap, dtype=np.int64) for _ in range(4)
+                )
+                kernel._nb_events = events
+        else:
+            ev_cap = 1
+            events = tuple(np.empty(1, dtype=np.int64) for _ in range(4))
+        ev_cycle, ev_row, ev_wait, ev_total = events
+
+        workload_args = (
+            kernel._trace_rows,
+            trace_pad,
+            trace_len,
+            trace_pos,
+            kernel._hot_fraction,
+            kernel._hot_module,
+            kernel._hot_rescale,
+            kernel._log1p_neg_p,
+            kernel._log1p_neg_access,
+            chunk,
+            kernel._targets_lanes is not None,
+            targets_buf,
+            targets_pos,
+            kernel._think_lanes is not None,
+            think_buf,
+            think_pos,
+            arb_buf,
+            arb_pos,
+            access_buf,
+            access_pos,
+            ev_cycle,
+            ev_row,
+            ev_wait,
+            ev_total,
+            ev_cap,
+        )
+        counter_args = (
+            kernel.completions,
+            kernel.request_transfers,
+            kernel.total_latency,
+            kernel._busy_accum,
+        )
+        proc_args = (
+            kernel._requesting,
+            kernel._target,
+            kernel._issue,
+            kernel._wake,
+        )
+        if kernel._buffered:
+            capacity = kernel._capacity
+            depth = kernel._depth
+            resolve = getattr(kernel, "_nb_resolve", None)
+            if resolve is None:
+                resolve = np.zeros((m, fleet), dtype=bool)
+                kernel._nb_resolve = resolve
+            dummy_ring = np.zeros((1, 1, 1), dtype=np.int32)
+            dummy_mf = np.zeros((1, 1), dtype=np.int32)
+            loop = buffered_fn
+            static = (
+                kernel._n,
+                m,
+                fleet,
+                kernel._r,
+                kernel._pc,
+                depth,
+                capacity,
+                kernel._proc_first,
+                random_tie,
+                track_ready,
+                collect,
+                record,
+                geometric,
+                *proc_args,
+                kernel._svc_finish,
+                kernel._svc_proc,
+                kernel._svc_active,
+                kernel._stalled,
+                kernel._stalled_proc_flat.reshape(m, fleet),
+                resolve,
+                kernel._inq_ring.reshape(depth, m, fleet),
+                kernel._inq_head.reshape(m, fleet),
+                kernel._inq_len,
+                kernel._outq_ring.reshape(capacity, m, fleet),
+                kernel._outq_head.reshape(m, fleet),
+                kernel._outq_len,
+                kernel._outq_ready_ring.reshape(capacity, m, fleet)
+                if track_ready
+                else dummy_ring,
+                kernel._head_ready if track_ready else dummy_mf,
+                kernel._svc_wait_flat.reshape(m, fleet)
+                if collect
+                else dummy_mf,
+                kernel._stalled_wait_flat.reshape(m, fleet)
+                if collect
+                else dummy_mf,
+                kernel._outq_wait_ring.reshape(capacity, m, fleet)
+                if collect
+                else dummy_ring,
+                *counter_args,
+                *workload_args,
+            )
+        else:
+            dummy_mf = np.zeros((1, 1), dtype=np.int32)
+            loop = unbuffered_fn
+            static = (
+                kernel._n,
+                m,
+                fleet,
+                kernel._r,
+                kernel._pc,
+                kernel._proc_first,
+                random_tie,
+                track_ready,
+                collect,
+                record,
+                geometric,
+                *proc_args,
+                kernel._svc_finish,
+                kernel._svc_proc,
+                kernel._module_free,
+                kernel._out_full,
+                kernel._out_proc,
+                kernel._out_ready,
+                kernel._out_wait_flat.reshape(m, fleet)
+                if collect
+                else dummy_mf,
+                *counter_args,
+                *workload_args,
+            )
+
+        done = 0
+        while done < count:
+            ran, nev = loop(count - done, kernel.cycle, *static)
+            ran = int(ran)
+            nev = int(nev)
+            kernel.cycle += ran
+            done += ran
+            if nev:
+                self._replay_events(kernel, events, nev)
+            if done < count:
+                refilled = False
+                for lanes, margin in streams:
+                    need = lanes._pos > lanes._chunk - margin
+                    if need.any():
+                        lanes._refill(need)
+                        refilled = True
+                if ran == 0 and nev == 0 and not refilled:
+                    raise RuntimeError(
+                        "numba batch loop made no progress; this is a bug"
+                    )
+
+    @staticmethod
+    def _replay_events(kernel, events, nev):
+        """Feed spilled latency events into the host-side sketches.
+
+        Replays exactly the per-cycle add-call sequence the numpy
+        program performs (grant rows ascending, total then wait), so
+        sketch contents stay bit-identical.
+        """
+        np = kernel._np
+        ev_cycle, ev_row, ev_wait, ev_total = events
+        sketch_total = kernel._sketch_total
+        sketch_wait = kernel._sketch_wait
+        boundaries = np.flatnonzero(np.diff(ev_cycle[:nev])) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+        ends = np.concatenate((boundaries, np.array([nev], dtype=np.int64)))
+        for start, end in zip(starts, ends):
+            rows = ev_row[start:end]
+            sketch_total.add(rows, ev_total[start:end])
+            sketch_wait.add(rows, ev_wait[start:end])

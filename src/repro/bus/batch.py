@@ -41,15 +41,28 @@ never collide with ``simulation@1`` entries.
 
 **Coverage.**  Declarative workloads only: uniform, hot-spot and trace
 targets, heterogeneous per-processor ``p``, both priorities, both
-tie-breaks, buffered and unbuffered modules at any depth.  Latency
-distributions are collected at fleet scale through the vectorized
-per-row quantile sketch (:class:`repro.metrics.FleetQuantileSketch`);
-like every batch number they are statistically - not bit -
-equivalent to the exact kernels' streaming summaries.  Custom
-:class:`~repro.workloads.generators.TargetSampler` objects, geometric
-access times and cycle-level trace sinks stay on the reference/fast
-machines; :func:`check_batch_features` is the single authority that
-rejects them with a message naming the unsupported feature.
+tie-breaks, buffered and unbuffered modules at any depth, constant or
+geometric access times (geometric draws come from the per-row
+``"access-times"`` Philox stream via the inverse CDF - statistically
+equivalent to the exact kernels' coin-flip loop, which is already the
+batch contract).  Latency distributions are collected at fleet scale
+through the vectorized per-row quantile sketch
+(:class:`repro.metrics.FleetQuantileSketch`); like every batch number
+they are statistically - not bit - equivalent to the exact kernels'
+streaming summaries.  Custom
+:class:`~repro.workloads.generators.TargetSampler` objects, cycle-level
+trace sinks, and the geometric-plus-latency combination (the sketch's
+service population assumes the constant ``r``) stay on the
+reference/fast machines; :func:`check_batch_features` is the single
+authority that rejects them with a message naming the unsupported
+feature.
+
+**Backends.**  The lockstep program runs on a pluggable array substrate
+(:mod:`repro.bus.backends`): ``numpy`` (default), ``numba`` (the same
+state arrays driven by a JIT-compiled scalar loop, bit-identical to
+numpy) or ``cupy`` (GPU, statistically equivalent).  Bit-identical
+backends share the :data:`BATCH_ENGINE_TOKEN` cache namespace; cupy
+owns its own.
 
 **Buffered fast path.**  Input and output queues are circular-buffer
 index arrays (``(slots, m * fleet)`` rings plus per-module head/length
@@ -66,6 +79,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.bus.backends import (
+    BATCH_ENGINE_TOKEN,  # noqa: F401  (canonical home: backends.base)
+    DEFAULT_BACKEND,
+    BatchBackend,
+    get_backend,
+)
 from repro.bus.system import (
     _DEFAULT_BATCHES,
     _DEFAULT_WARMUP_FRACTION,
@@ -82,14 +101,6 @@ from repro.workloads.generators import (
     TraceTargets,
     UniformTargets,
 )
-
-BATCH_ENGINE_TOKEN = "simulation-batch@1"
-"""Versioned engine token for batch-kernel cache entries.
-
-The batch kernel is reproducible in itself but not bit-identical to the
-exact kernels, so - unlike the ``fast`` lever - it owns a cache
-namespace: bump the version when the batch kernel's numerical semantics
-change, and only batch entries are retired."""
 
 BATCH_EXTRA = "batch"
 """Name of the optional dependency extra that provides numpy."""
@@ -173,20 +184,26 @@ def check_batch_features(
     metrics: Sequence[str] = (),
     geometric_access_times: bool = False,
     targets: TargetSampler | None = None,
+    backend: str | BatchBackend = DEFAULT_BACKEND,
 ) -> None:
     """The one authority on what ``kernel='batch'`` cannot run.
 
     Raises :class:`ConfigurationError` naming the unsupported feature -
-    never a silent fallback to another kernel.  Called by
+    never a silent fallback to another kernel or backend.  Called by
     :func:`repro.bus.simulate` at request time and by
     :func:`repro.scenarios.compiler.compile_scenario` at scenario load
     time, so unsupported sweeps fail before any cycle is simulated.
+    Unknown backend names and backend capability mismatches (cupy
+    cannot feed the host-side latency sketches) are rejected here too.
     """
     check_batch_metrics(metrics)
-    if geometric_access_times:
+    get_backend(backend).check_features(metrics=metrics)
+    if geometric_access_times and "latency" in metrics:
         raise ConfigurationError(
-            "kernel='batch' does not support geometric access times; "
-            "use kernel='fast' or kernel='reference'"
+            "kernel='batch' cannot combine geometric access times with "
+            "latency collection (the sketch's service population "
+            "assumes the constant access time); use kernel='fast' for "
+            "geometric latency distributions"
         )
     if targets is not None:
         # Reuses the planner's type dispatch without building a plan.
@@ -226,12 +243,15 @@ class _PhiloxLanes:
     gather.
     """
 
-    def __init__(self, np, keys: Sequence[int], chunk: int = _CHUNK) -> None:
+    def __init__(
+        self,
+        backend: BatchBackend,
+        keys: Sequence[int],
+        chunk: int = _CHUNK,
+    ) -> None:
+        np = backend.require()
         self._np = np
-        self._gens = [
-            np.random.Generator(np.random.Philox(key=int(key)))
-            for key in keys
-        ]
+        self._gens = backend.philox_generators(keys)
         self._chunk = chunk
         fleet = len(self._gens)
         self._buf = np.empty((fleet, chunk), dtype=np.float64)
@@ -278,6 +298,40 @@ class _PhiloxLanes:
             taken = pos[rows]
         values = self._buf[rows, taken]
         pos[rows] = taken + 1
+        return values
+
+    def take_rows_multi(self, rows):
+        """One draw per listed row, where rows may repeat.
+
+        A row listed ``k`` times receives its next ``k`` sequential
+        draws *in list order* - the geometric-access pull sites list
+        modules in ascending order per row, and the per-row draw
+        sequence must not depend on how many modules pulled this cycle.
+        """
+        np = self._np
+        pos = self._pos
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        count = len(sorted_rows)
+        new_group = np.empty(count, dtype=bool)
+        new_group[0] = True
+        new_group[1:] = sorted_rows[1:] != sorted_rows[:-1]
+        index = np.arange(count)
+        offsets = index - np.maximum.accumulate(
+            np.where(new_group, index, 0)
+        )
+        taken = pos[sorted_rows] + offsets
+        exhausted = taken >= self._chunk
+        if exhausted.any():
+            need = np.zeros(len(self._gens), dtype=bool)
+            need[sorted_rows[exhausted]] = True
+            self._refill(need)
+            taken = pos[sorted_rows] + offsets
+        values = np.empty(count, dtype=np.float64)
+        values[order] = self._buf[sorted_rows, taken]
+        # Duplicate fancy writes resolve last-wins; the last occurrence
+        # per row carries the highest pointer, which is what we want.
+        pos[sorted_rows] = taken + 1
         return values
 
     def take_all(self):
@@ -343,6 +397,19 @@ class BatchBusKernel:
         :class:`~repro.metrics.LatencyReport` to every row's result.
         Collection draws no randomness, so counters stay bit-identical
         either way.
+    geometric_access_times:
+        When true (and ``r > 1``), every service duration is an
+        inverse-CDF geometric draw with mean ``r`` from the row's
+        ``"access-times"`` Philox stream instead of the constant ``r``.
+        Applies to the whole fleet (it is a shape-level property like
+        buffering, not a per-row one).  Incompatible with
+        ``collect_latency`` - rejected loudly.
+    backend:
+        The array substrate to execute on: a registered name from
+        :data:`repro.bus.backends.KNOWN_BACKENDS` or a
+        :class:`~repro.bus.backends.BatchBackend` instance.  numpy and
+        numba produce bit-identical results; cupy is statistically
+        equivalent.  Missing substrates raise naming the install extra.
 
     :meth:`run` replicates the reference measurement protocol (warm-up
     exclusion, batch-means windows) per row and returns one
@@ -356,8 +423,21 @@ class BatchBusKernel:
         targets: Sequence[TargetSampler | None] | None = None,
         request_probabilities: Sequence[Sequence[float] | None] | None = None,
         collect_latency: bool = False,
+        geometric_access_times: bool = False,
+        backend: str | BatchBackend = DEFAULT_BACKEND,
     ) -> None:
-        np = require_numpy()
+        self._backend = get_backend(backend)
+        self._backend.check_features(
+            metrics=("latency",) if collect_latency else ()
+        )
+        if collect_latency and geometric_access_times:
+            raise ConfigurationError(
+                "kernel='batch' cannot combine geometric access times "
+                "with latency collection (the sketch's service "
+                "population assumes the constant access time); use "
+                "kernel='fast' for geometric latency distributions"
+            )
+        np = self._backend.require()
         self._np = np
         configs = list(configs)
         seeds = [int(seed) for seed in seeds]
@@ -403,6 +483,13 @@ class BatchBusKernel:
         self._capacity = self._depth if self._depth > 0 else 1
         self._proc_first = base.priority is Priority.PROCESSORS
         self._random_tie = base.tie_break is TieBreak.RANDOM
+        # r = 1 makes the geometric service distribution degenerate at
+        # one cycle - identical to the constant path, so it draws no
+        # stream (matching the exact kernels' r = 1 short-circuit).
+        self._geometric = bool(geometric_access_times) and self._r > 1
+        self._log1p_neg_access = (
+            float(np.log1p(-1.0 / self._r)) if self._geometric else 0.0
+        )
 
         # --- per-row request probabilities (fleet x n).
         p_rows = [
@@ -468,21 +555,34 @@ class BatchBusKernel:
         # --- per-row Philox streams, keyed by the derive_seed scheme.
         self._targets_lanes = (
             _PhiloxLanes(
-                np, [derive_seed(seed, "targets") for seed in seeds]
+                self._backend,
+                [derive_seed(seed, "targets") for seed in seeds],
             )
             if self._any_random
             else None
         )
         self._think_lanes = (
-            _PhiloxLanes(np, [derive_seed(seed, "think") for seed in seeds])
+            _PhiloxLanes(
+                self._backend,
+                [derive_seed(seed, "think") for seed in seeds],
+            )
             if not self._all_p1
             else None
         )
         self._arb_lanes = (
             _PhiloxLanes(
-                np, [derive_seed(seed, "arbitration") for seed in seeds]
+                self._backend,
+                [derive_seed(seed, "arbitration") for seed in seeds],
             )
             if self._random_tie
+            else None
+        )
+        self._access_lanes = (
+            _PhiloxLanes(
+                self._backend,
+                [derive_seed(seed, "access-times") for seed in seeds],
+            )
+            if self._geometric
             else None
         )
 
@@ -701,10 +801,10 @@ class BatchBusKernel:
         """Per-row module busy cycles through the last simulated cycle.
 
         Buffered fleets accumulate one count per module per
-        cycle-in-service; unbuffered fleets charge the full ``r`` at
-        service start and subtract the not-yet-worked remainder of
-        in-flight services here.  Both match the reference accounting
-        at every measurement boundary.
+        cycle-in-service; unbuffered fleets charge the full (constant
+        or drawn) service duration at service start and subtract the
+        not-yet-worked remainder of in-flight services here.  Both
+        match the reference accounting at every measurement boundary.
         """
         if self._buffered:
             return self._busy_accum.copy()
@@ -735,10 +835,10 @@ class BatchBusKernel:
                 f"a batch run is limited to {_NEVER} total bus cycles "
                 "(int32 cycle state); split the run or use kernel='fast'"
             )
-        if self._buffered:
-            self._advance_buffered(count)
-        else:
-            self._advance_unbuffered(count)
+        # The backend owns the execution strategy: numpy (and cupy) run
+        # the vectorized loops below; numba drives its compiled scalar
+        # loop over the same state arrays.
+        self._backend.advance(self, count)
 
     def _make_arbiter(self):
         """Build the per-cycle arbitration closure both loops share.
@@ -870,6 +970,11 @@ class BatchBusKernel:
         all_p1 = self._all_p1
         track_ready = not self._random_tie
         collect = self._collect_latency
+        geometric = self._geometric
+        log_access = self._log1p_neg_access
+        access_take_rows = (
+            self._access_lanes.take_rows if geometric else None
+        )
         out_wait_flat = self._out_wait_flat if collect else None
         arbitrate = self._make_arbiter()
 
@@ -943,13 +1048,23 @@ class BatchBusKernel:
                 request_transfers[grant_rows] += 1
                 module_free_flat[flat_mod] = False
                 svc_proc_flat[flat_mod] = lanes
-                svc_finish_flat[flat_mod] = cycle + r
+                if geometric:
+                    # Inverse-CDF geometric service: one uniform per
+                    # grant from the per-row access-times stream.
+                    u_access = access_take_rows(grant_rows)
+                    duration = (
+                        np.log1p(-u_access) / log_access
+                    ).astype(np.int64) + 1
+                    svc_finish_flat[flat_mod] = cycle + duration
+                else:
+                    duration = r
+                    svc_finish_flat[flat_mod] = cycle + r
                 if collect:
                     # Service starts next cycle: wait = start - issue - 1.
                     out_wait_flat[flat_mod] = cycle - issue_flat[flat_lane]
                 # Charge the service up front; _memory_busy subtracts
                 # the unworked tail of in-flight services.
-                busy_accum[grant_rows] += r
+                busy_accum[grant_rows] += duration
             if any_response:
                 grant_rows = nonzero(do_response)[0]
                 flat_mod = response_winner[grant_rows] * fleet + grant_rows
@@ -988,6 +1103,11 @@ class BatchBusKernel:
         all_p1 = self._all_p1
         track_ready = not self._random_tie
         collect = self._collect_latency
+        geometric = self._geometric
+        log_access = self._log1p_neg_access
+        if geometric:
+            access_take_rows = self._access_lanes.take_rows
+            access_take_multi = self._access_lanes.take_rows_multi
         arbitrate = self._make_arbiter()
 
         requesting = self._requesting
@@ -1029,7 +1149,17 @@ class BatchBusKernel:
             lanes = inq_ring_flat[head * flat_modules + flat]
             svc_active_flat[flat] = True
             svc_proc_flat[flat] = lanes
-            svc_finish_flat[flat] = cycle + r
+            if geometric:
+                # A row may pull several modules this cycle; the multi
+                # take consumes its draws in ascending-module order.
+                u_access = access_take_multi(flat % fleet)
+                svc_finish_flat[flat] = (
+                    cycle
+                    + (np.log1p(-u_access) / log_access).astype(np.int64)
+                    + 1
+                )
+            else:
+                svc_finish_flat[flat] = cycle + r
             if collect:
                 svc_wait_flat[flat] = cycle - issue_flat[
                     lanes * fleet + flat % fleet
@@ -1144,7 +1274,17 @@ class BatchBusKernel:
                 if idle_flat.size:
                     svc_active_flat[idle_flat] = True
                     svc_proc_flat[idle_flat] = lanes[idle]
-                    svc_finish_flat[idle_flat] = cycle + r
+                    if geometric:
+                        u_access = access_take_rows(grant_rows[idle])
+                        svc_finish_flat[idle_flat] = (
+                            cycle
+                            + (np.log1p(-u_access) / log_access).astype(
+                                np.int64
+                            )
+                            + 1
+                        )
+                    else:
+                        svc_finish_flat[idle_flat] = cycle + r
                     if collect:
                         svc_wait_flat[idle_flat] = cycle - issue_flat[
                             flat_lane[idle]
@@ -1319,17 +1459,21 @@ def run_batch(
     targets: TargetSampler | None = None,
     request_probabilities: Sequence[float] | None = None,
     collect_latency: bool = False,
+    geometric_access_times: bool = False,
+    backend: str | BatchBackend = DEFAULT_BACKEND,
 ) -> SimulationResult:
     """Run one configuration through a single-row batch fleet.
 
-    The ``kernel="batch"`` backend of :func:`repro.bus.simulate`.  A
-    one-row fleet produces exactly the bytes the same row produces
+    The ``kernel="batch"`` entry point of :func:`repro.bus.simulate`.
+    A one-row fleet produces exactly the bytes the same row produces
     inside any larger fleet (rows are independent; property-tested), so
     cached batch results never depend on how runs were grouped.
 
     ``collect_latency`` attaches the sketch-based
     :class:`~repro.metrics.LatencyReport` (statistically - not bit -
     equivalent to the exact kernels' streaming summaries).
+    ``backend`` selects the array substrate; see
+    :class:`BatchBusKernel`.
     """
     kernel = BatchBusKernel(
         [config],
@@ -1337,5 +1481,7 @@ def run_batch(
         targets=[targets],
         request_probabilities=[request_probabilities],
         collect_latency=collect_latency,
+        geometric_access_times=geometric_access_times,
+        backend=backend,
     )
     return kernel.run(cycles, warmup=warmup)[0]

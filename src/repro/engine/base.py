@@ -184,7 +184,10 @@ class EvalRequest:
     never enters a cache key; ``"batch"`` (the vectorized lockstep
     fleet kernel) is reproducible in itself but not bit-identical, so
     batch requests cache under the distinct ``simulation-batch@1``
-    engine namespace.
+    engine namespace.  ``backend`` selects the batch kernel's array
+    substrate (:mod:`repro.bus.backends`); bit-identical backends
+    (numpy/numba) share the batch namespace, while others carry their
+    own engine token.
     """
 
     config: SystemConfig
@@ -194,6 +197,7 @@ class EvalRequest:
     seed: int = 0
     metrics: tuple[str, ...] = ()
     kernel: str = "reference"
+    backend: str = "numpy"
 
     @property
     def workload_kind(self) -> str:
@@ -218,6 +222,7 @@ class EvalRequest:
             workload=self.workload,
             collect_latency=self.collects_latency,
             kernel=self.kernel,
+            backend=self.backend,
         )
 
 

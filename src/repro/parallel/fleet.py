@@ -35,7 +35,10 @@ def fleet_key(case: SimulationCase) -> tuple:
     so ``cycles`` and ``warmup`` must match too - and with
     ``collect_latency``, because latency collection is a whole-kernel
     lever (one sketch pair per fleet): latency and non-latency cases
-    never share a kernel.
+    never share a kernel.  ``backend`` is part of the key for the same
+    reason - one kernel instance runs on one array substrate - even
+    though bit-identical backends would produce the same bytes either
+    way.
     """
     from repro.bus.batch import fleet_shape
 
@@ -43,6 +46,7 @@ def fleet_key(case: SimulationCase) -> tuple:
         case.cycles,
         case.warmup,
         case.collect_latency,
+        case.backend,
     )
 
 
@@ -103,6 +107,7 @@ def run_fleet(cases: Sequence[SimulationCase]) -> list[SimulationResult]:
             targets=targets,
             request_probabilities=probabilities,
             collect_latency=cases[positions[0]].collect_latency,
+            backend=cases[positions[0]].backend,
         )
         fleet_results = kernel.run(
             cases[positions[0]].cycles, warmup=cases[positions[0]].warmup

@@ -62,6 +62,12 @@ class SimulationCase:
     the engine layer caches batch results under their own
     ``simulation-batch@1`` namespace (see
     :meth:`repro.engine.evaluators.SimulationEvaluator.cache_payload`)."""
+    backend: str = "numpy"
+    """Array substrate for the batch kernel (:mod:`repro.bus.backends`).
+    Like ``kernel``, it is an execution lever and stays out of
+    :func:`repro.parallel.cache.case_payload`; backends that are not
+    bit-identical to numpy carry their own engine token, which is how
+    the cache keeps their results apart."""
 
 
 def run_case(case: SimulationCase) -> SimulationResult:
@@ -83,6 +89,7 @@ def run_case(case: SimulationCase) -> SimulationResult:
         request_probabilities=request_probabilities,
         collect_latency=case.collect_latency,
         kernel=case.kernel,
+        backend=case.backend,
     )
 
 

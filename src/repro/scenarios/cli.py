@@ -111,6 +111,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="shorthand for --kernel fast",
     )
     parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba", "cupy"),
+        default="numpy",
+        help="array substrate for the batch kernel (requires --kernel "
+        "batch): 'numpy' (default), 'numba' (JIT-compiled cycle loop, "
+        "bit-identical to numpy, [batch-jit] extra) or 'cupy' (GPU, "
+        "statistically equivalent, own cache namespace, [batch-gpu] "
+        "extra); a missing backend fails loudly naming its extra",
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="after the unit lines, draw the p50/p90/p99 total-latency "
@@ -137,6 +147,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         # silent precedence pick would hand back the wrong tier.
         parser.error("--fast conflicts with --kernel batch; pick one")
     kernel = "fast" if args.fast else args.kernel
+    if args.backend != "numpy" and kernel != "batch":
+        # Backends are the batch kernel's array substrate; silently
+        # ignoring --backend on another kernel would misreport what ran.
+        parser.error("--backend requires --kernel batch")
     if args.scenario is None:
         print(list_scenarios())
         return 0
@@ -153,7 +167,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 spec,
                 plan=ReplicationPlan(spec.plan.replications, args.seed),
             )
-        units = compile_scenario(spec, kernel=kernel)
+        units = compile_scenario(spec, kernel=kernel, backend=args.backend)
         total = len(units)
         if args.shard is not None:
             shard_index, shard_count = parse_shard(args.shard)

@@ -24,6 +24,7 @@ import dataclasses
 import re
 from typing import Any, Iterable, Sequence
 
+from repro.bus.backends import DEFAULT_BACKEND, KNOWN_BACKENDS
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
 from repro.engine.base import EvalRequest
@@ -41,7 +42,9 @@ KNOWN_KERNELS = ("reference", "fast", "batch")
 """Every simulation-loop implementation the library ships.
 
 :func:`compile_scenario` validates its ``kernel`` argument against this
-tuple so a typo fails at scenario load time, not mid-sweep."""
+tuple so a typo fails at scenario load time, not mid-sweep.  The batch
+kernel's array substrate is validated the same way against
+:data:`repro.bus.backends.KNOWN_BACKENDS`."""
 
 
 @dataclasses.dataclass(frozen=True)
@@ -66,6 +69,12 @@ class WorkUnit:
     never enters :meth:`payload`.  Batch results are reproducible in
     themselves but not bit-identical, so their payloads carry the
     ``simulation-batch@1`` engine token instead of ``simulation@1``."""
+    backend: str = DEFAULT_BACKEND
+    """Array substrate of the batch kernel (:mod:`repro.bus.backends`).
+    Like ``kernel`` it is an execution lever and stays out of
+    :meth:`payload` *except* through the engine token: bit-identical
+    backends (numpy/numba) share ``simulation-batch@1``, while
+    statistically-equivalent backends (cupy) carry their own token."""
 
     @property
     def collects_latency(self) -> bool:
@@ -82,6 +91,7 @@ class WorkUnit:
             seed=self.seed,
             metrics=self.metrics,
             kernel=self.kernel,
+            backend=self.backend,
         )
 
     def case(self) -> SimulationCase:
@@ -108,7 +118,9 @@ class WorkUnit:
 
 
 def compile_scenario(
-    spec: ScenarioSpec, kernel: str = DEFAULT_KERNEL
+    spec: ScenarioSpec,
+    kernel: str = DEFAULT_KERNEL,
+    backend: str = DEFAULT_BACKEND,
 ) -> tuple[WorkUnit, ...]:
     """Lower ``spec`` into its canonical ordered work-unit tuple.
 
@@ -128,21 +140,38 @@ def compile_scenario(
     lockstep fleets) changes bytes within statistical equivalence and
     is validated here against its capability set
     (:func:`repro.bus.batch.check_batch_features`) - e.g. latency
-    metrics compile (sketch-based percentiles), geometric access times
-    do not.  Unknown kernel names are rejected here too, so a typo
-    fails at scenario load time instead of mid-sweep.
+    metrics compile (sketch-based percentiles).  ``backend`` selects
+    the batch kernel's array substrate (:mod:`repro.bus.backends`); a
+    non-default backend requires ``kernel="batch"``.  Unknown kernel or
+    backend names are rejected here too, so a typo fails at scenario
+    load time instead of mid-sweep - never a silent fallback.
     """
     if kernel not in KNOWN_KERNELS:
         raise ConfigurationError(
             f"unknown simulation kernel {kernel!r}; "
             f"known kernels: {', '.join(KNOWN_KERNELS)}"
         )
+    if backend not in KNOWN_BACKENDS:
+        raise ConfigurationError(
+            f"unknown batch backend {backend!r}; "
+            f"known backends: {', '.join(KNOWN_BACKENDS)}"
+        )
+    if backend != DEFAULT_BACKEND:
+        from repro.bus.backends import check_backend
+
+        try:
+            check_backend(kernel, backend, metrics=spec.metrics)
+        except ConfigurationError as exc:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} cannot run under "
+                f"backend={backend!r}: {exc}"
+            ) from exc
     capabilities = get_evaluator(spec.method).capabilities
     if kernel == "batch" and spec.method is EvaluationMethod.SIMULATION:
         from repro.bus.batch import check_batch_features
 
         try:
-            check_batch_features(metrics=spec.metrics)
+            check_batch_features(metrics=spec.metrics, backend=backend)
         except ConfigurationError as exc:
             raise ConfigurationError(
                 f"scenario {spec.name!r} cannot run under "
@@ -174,6 +203,7 @@ def compile_scenario(
                     replication=replication,
                     metrics=spec.metrics,
                     kernel=kernel,
+                    backend=backend,
                 )
             )
             index += 1

@@ -262,6 +262,7 @@ def run_scenario(
     jobs: int | None = 1,
     cache=None,
     kernel: str = "reference",
+    backend: str = "numpy",
 ) -> list[UnitResult]:
     """Compile ``spec``, optionally take one shard, and execute it.
 
@@ -271,8 +272,11 @@ def run_scenario(
     lockstep fleets whose bytes are reproducible in themselves (across
     shards, jobs and grouping) but deliberately different from the
     exact kernels' - never mix batch and exact shards of one sweep.
+    ``backend`` selects the batch kernel's array substrate
+    (:mod:`repro.bus.backends`); the numpy/numba pair is bit-identical,
+    so that choice too changes wall-clock only.
     """
-    units = compile_scenario(spec, kernel=kernel)
+    units = compile_scenario(spec, kernel=kernel, backend=backend)
     if shard is not None:
         shard_index, shard_count = shard
         units = shard_units(units, shard_index, shard_count)

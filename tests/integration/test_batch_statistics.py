@@ -106,6 +106,60 @@ def test_batch_agrees_with_fast_within_confidence_bounds(config):
     )
 
 
+GEOMETRIC_FLEET = [
+    SystemConfig(4, 4, 4),
+    SystemConfig(8, 8, 8, buffered=True),
+    SystemConfig(
+        8, 16, 8, request_probability=0.5, priority=Priority.MEMORIES
+    ),
+    SystemConfig(4, 8, 6, tie_break=TieBreak.FCFS),
+]
+"""Geometric-access equivalence fleet: the Section 6 product-form lever
+through both buffering modes, partial load and FCFS."""
+
+
+@pytest.mark.parametrize(
+    "config", GEOMETRIC_FLEET, ids=lambda c: c.describe()
+)
+def test_batch_geometric_access_agrees_with_fast(config):
+    """Geometric access times through the batch kernel pass the same
+    Welch gate as the constant-access path: per-row inverse-CDF draws
+    from the dedicated ``access-times`` stream must reproduce the fast
+    kernel's EBW and mean-latency statistics, not just run."""
+    from repro.bus import simulate
+
+    fast = [
+        simulate(
+            config, cycles=CYCLES, seed=seed, kernel="fast",
+            geometric_access_times=True,
+        )
+        for seed in range(REPLICATIONS)
+    ]
+    batch = [
+        simulate(
+            config, cycles=CYCLES, seed=seed, kernel="batch",
+            geometric_access_times=True,
+        )
+        for seed in range(REPLICATIONS)
+    ]
+    fast_ebw, fast_latency = _means(fast)
+    batch_ebw, batch_latency = _means(batch)
+    ebw_bound = _welch_bound(
+        [r.ebw for r in fast], [r.ebw for r in batch]
+    ) + 1e-12
+    latency_bound = _welch_bound(
+        [r.mean_latency for r in fast], [r.mean_latency for r in batch]
+    ) + 1e-9 * fast_latency
+    assert abs(fast_ebw - batch_ebw) <= ebw_bound, (
+        f"geometric EBW means diverge: fast {fast_ebw:.6f} vs batch "
+        f"{batch_ebw:.6f} (bound {ebw_bound:.6f})"
+    )
+    assert abs(fast_latency - batch_latency) <= latency_bound, (
+        f"geometric mean latency diverges: fast {fast_latency:.4f} vs "
+        f"batch {batch_latency:.4f} (bound {latency_bound:.4f})"
+    )
+
+
 def test_replicate_batch_matches_fleet_estimates():
     config = SystemConfig(8, 8, 8)
     replication = replicate_batch(

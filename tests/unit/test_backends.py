@@ -1,0 +1,268 @@
+"""Unit tests for the pluggable batch-backend layer.
+
+Covers the registry surface (:mod:`repro.bus.backends`), the
+missing-dependency diagnostics (each optional backend must fail loudly
+naming its install extra - never fall back to numpy silently), the
+backend/kernel validation shared by ``simulate``, ``compile_scenario``
+and the ``scenario`` CLI, and the engine-token routing that keeps
+bit-identical backends in one cache namespace and statistically
+equivalent ones out of it.  The numerical numpy == numba contract lives
+in ``tests/properties/test_backend_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import builtins
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+def _block_import(monkeypatch, module: str):
+    """Make ``import <module>`` raise ImportError inside the test."""
+    real_import = builtins.__import__
+
+    def blocked(name, *args, **kwargs):
+        if name == module or name.startswith(module + "."):
+            raise ImportError(f"{module} disabled for this test")
+        return real_import(name, *args, **kwargs)
+
+    monkeypatch.setattr(builtins, "__import__", blocked)
+
+
+class TestRegistry:
+    def test_known_backends_resolve_to_singletons(self):
+        from repro.bus.backends import KNOWN_BACKENDS, get_backend
+
+        for name in KNOWN_BACKENDS:
+            backend = get_backend(name)
+            assert backend.name == name
+            assert get_backend(name) is backend
+
+    def test_unknown_backend_names_the_known_table(self):
+        from repro.bus.backends import get_backend
+
+        with pytest.raises(
+            ConfigurationError, match="numpy, numba, cupy"
+        ):
+            get_backend("torch")
+
+    def test_instances_pass_through(self):
+        from repro.bus.backends import NumbaBackend, get_backend
+
+        instance = NumbaBackend(jit=False)
+        assert get_backend(instance) is instance
+
+    def test_engine_tokens_split_on_bit_identity(self):
+        from repro.bus.backends import (
+            BATCH_ENGINE_TOKEN,
+            CUPY_ENGINE_TOKEN,
+            backend_engine_token,
+        )
+
+        # numpy and numba are proven bit-identical, so their cache
+        # entries are interchangeable: one shared namespace.
+        assert backend_engine_token("numpy") == BATCH_ENGINE_TOKEN
+        assert backend_engine_token("numba") == BATCH_ENGINE_TOKEN
+        # cupy is only statistically equivalent: its entries must never
+        # be served to (or from) the bit-identical pair.
+        assert backend_engine_token("cupy") == CUPY_ENGINE_TOKEN
+        assert CUPY_ENGINE_TOKEN != BATCH_ENGINE_TOKEN
+
+
+class TestMissingDependencies:
+    def test_missing_numba_raises_naming_batch_jit_extra(self, monkeypatch):
+        from repro.bus.backends import NumbaBackend
+
+        backend = NumbaBackend()
+        _block_import(monkeypatch, "numba")
+        assert not backend.available()
+        with pytest.raises(
+            ConfigurationError, match=r"repro-single-bus\[batch-jit\]"
+        ):
+            backend.require()
+
+    def test_missing_cupy_raises_naming_batch_gpu_extra(self, monkeypatch):
+        from repro.bus.backends import CupyBackend
+
+        backend = CupyBackend()
+        _block_import(monkeypatch, "cupy")
+        assert not backend.available()
+        with pytest.raises(
+            ConfigurationError, match=r"repro-single-bus\[batch-gpu\]"
+        ):
+            backend.require()
+
+    def test_missing_backend_surfaces_through_simulate(self, monkeypatch):
+        pytest.importorskip("numpy")
+        from repro.bus import simulate
+
+        _block_import(monkeypatch, "numba")
+        with pytest.raises(ConfigurationError, match=r"\[batch-jit\]"):
+            simulate(
+                SystemConfig(2, 2, 2),
+                cycles=100,
+                kernel="batch",
+                backend="numba",
+            )
+
+    def test_interpreted_numba_backend_needs_no_numba(self, monkeypatch):
+        """``NumbaBackend(jit=False)`` runs the same loops in plain
+        Python - the lever the equivalence suite uses on hosts without
+        numba."""
+        pytest.importorskip("numpy")
+        from repro.bus.backends import NumbaBackend
+        from repro.bus.batch import run_batch
+
+        _block_import(monkeypatch, "numba")
+        result = run_batch(
+            SystemConfig(2, 2, 2),
+            cycles=300,
+            seed=3,
+            backend=NumbaBackend(jit=False),
+        )
+        assert result.completions > 0
+
+
+class TestValidation:
+    def test_simulate_rejects_backend_without_batch_kernel(self):
+        from repro.bus import simulate
+
+        for kernel in ("reference", "fast"):
+            with pytest.raises(
+                ConfigurationError, match="requires kernel='batch'"
+            ):
+                simulate(
+                    SystemConfig(2, 2, 2),
+                    cycles=100,
+                    kernel=kernel,
+                    backend="numba",
+                )
+
+    def test_cupy_rejects_latency_collection(self):
+        from repro.bus.backends import get_backend
+
+        with pytest.raises(ConfigurationError, match="latency"):
+            get_backend("cupy").check_features(metrics=("latency",))
+        # The non-latency path passes validation (availability is a
+        # separate, later check).
+        get_backend("cupy").check_features(metrics=())
+
+    def test_check_batch_features_threads_backend(self):
+        from repro.bus.batch import check_batch_features
+
+        with pytest.raises(ConfigurationError, match="latency"):
+            check_batch_features(metrics=("latency",), backend="cupy")
+        check_batch_features(metrics=("latency",), backend="numba")
+
+
+class TestScenarioCompiler:
+    def _spec(self, metrics=()):
+        from repro.scenarios.spec import (
+            GridAxis,
+            ReplicationPlan,
+            ScenarioSpec,
+        )
+
+        return ScenarioSpec(
+            name="backend-unit",
+            description="",
+            base={"processors": 2, "memories": 2},
+            grid=(GridAxis("memory_cycle_ratio", (2,)),),
+            cycles=200,
+            plan=ReplicationPlan(2, 0),
+            metrics=metrics,
+        )
+
+    def test_units_carry_backend_and_shared_token(self):
+        from repro.scenarios.compiler import compile_scenario
+
+        numba_units = compile_scenario(
+            self._spec(), kernel="batch", backend="numba"
+        )
+        numpy_units = compile_scenario(self._spec(), kernel="batch")
+        assert all(unit.backend == "numba" for unit in numba_units)
+        # Bit-identical backends share cache identity: payloads match
+        # byte-for-byte, so a numba run is served from numpy entries.
+        for numba_unit, numpy_unit in zip(numba_units, numpy_units):
+            assert numba_unit.payload() == numpy_unit.payload()
+            assert numba_unit.payload()["engine"] == "simulation-batch@1"
+
+    def test_cupy_units_live_in_their_own_namespace(self):
+        from repro.scenarios.compiler import compile_scenario
+
+        units = compile_scenario(
+            self._spec(), kernel="batch", backend="cupy"
+        )
+        assert units[0].payload()["engine"] == "simulation-batch-cupy@1"
+
+    def test_unknown_backend_rejected_at_compile_time(self):
+        from repro.scenarios.compiler import compile_scenario
+
+        with pytest.raises(
+            ConfigurationError, match="numpy, numba, cupy"
+        ):
+            compile_scenario(self._spec(), kernel="batch", backend="mlx")
+
+    def test_backend_requires_batch_kernel(self):
+        from repro.scenarios.compiler import compile_scenario
+
+        with pytest.raises(
+            ConfigurationError, match="requires kernel='batch'"
+        ):
+            compile_scenario(self._spec(), kernel="fast", backend="numba")
+
+    def test_cupy_latency_scenario_rejected_at_compile_time(self):
+        from repro.scenarios.compiler import compile_scenario
+
+        with pytest.raises(ConfigurationError, match="latency"):
+            compile_scenario(
+                self._spec(metrics=("latency",)),
+                kernel="batch",
+                backend="cupy",
+            )
+
+
+class TestFleetGrouping:
+    def test_fleet_key_separates_backends(self):
+        pytest.importorskip("numpy")
+        from repro.parallel.fleet import fleet_key, group_fleets
+        from repro.parallel.workers import SimulationCase
+
+        config = SystemConfig(2, 2, 2)
+        numpy_case = SimulationCase(config, 500, 0, kernel="batch")
+        numba_case = SimulationCase(
+            config, 500, 0, kernel="batch", backend="numba"
+        )
+        assert fleet_key(numpy_case) != fleet_key(numba_case)
+        groups = group_fleets([numpy_case, numba_case, numpy_case])
+        assert groups == [[0, 2], [1]]
+
+
+class TestCli:
+    def test_backend_flag_requires_batch_kernel(self, capsys):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario", "figure2", "--backend", "numba"])
+        assert excinfo.value.code == 2
+        assert "--backend requires --kernel batch" in capsys.readouterr().err
+
+    def test_unknown_backend_rejected_by_argparse(self, capsys):
+        from repro.experiments.runner import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                [
+                    "scenario",
+                    "figure2",
+                    "--kernel",
+                    "batch",
+                    "--backend",
+                    "torch",
+                ]
+            )
+        assert excinfo.value.code == 2
+        assert "--backend" in capsys.readouterr().err

@@ -50,8 +50,11 @@ def test_check_batch_features_names_each_unsupported_feature():
     from repro.bus.batch import check_batch_features
 
     check_batch_features(metrics=("latency",))
+    check_batch_features(geometric_access_times=True)
     with pytest.raises(ConfigurationError, match="geometric"):
-        check_batch_features(geometric_access_times=True)
+        check_batch_features(
+            metrics=("latency",), geometric_access_times=True
+        )
 
     class CustomSampler:
         def sample(self, processor):  # pragma: no cover - never called
@@ -98,7 +101,7 @@ def test_compile_scenario_rejects_unknown_kernel():
         compile_scenario(spec, kernel="bacth")
 
 
-def test_simulate_batch_collects_latency_but_rejects_geometric():
+def test_simulate_batch_collects_latency_and_geometric_but_not_both():
     pytest.importorskip("numpy")
     from repro.bus import simulate
 
@@ -106,10 +109,31 @@ def test_simulate_batch_collects_latency_but_rejects_geometric():
     result = simulate(config, cycles=400, kernel="batch", collect_latency=True)
     assert result.latency is not None
     assert result.latency.total.count == result.completions
+    geo = simulate(
+        config, cycles=400, kernel="batch", geometric_access_times=True
+    )
+    assert geo.completions > 0
     with pytest.raises(ConfigurationError, match="geometric"):
         simulate(
-            config, cycles=100, kernel="batch", geometric_access_times=True
+            config,
+            cycles=100,
+            kernel="batch",
+            geometric_access_times=True,
+            collect_latency=True,
         )
+
+
+def test_batch_geometric_matches_exact_kernels_on_degenerate_r1():
+    """r = 1 collapses the geometric draw to the constant path: the
+    access-time stream is never consulted, so counters match the
+    constant-access batch run bit-for-bit."""
+    pytest.importorskip("numpy")
+    from repro.bus.batch import run_batch
+
+    config = SystemConfig(3, 3, 1)
+    geo = run_batch(config, cycles=1_000, seed=5, geometric_access_times=True)
+    const = run_batch(config, cycles=1_000, seed=5)
+    assert geo == const
 
 
 def test_unknown_kernel_error_lists_batch():
