@@ -9,6 +9,9 @@ Usage::
     python -m repro.experiments figure5 --chart
     python -m repro.experiments scenario       # list declarative scenarios
     python -m repro.experiments scenario figure2 --shard 1/4 --jobs 8
+    python -m repro.experiments scenario figure2 --workers 4
+    python -m repro.experiments sweep-serve figure2 --workers 4
+    python -m repro.experiments sweep-work     # one stdio protocol worker
 
 Each experiment prints the measured grid next to the paper's published
 values (when the paper printed any) in the layout of the original
@@ -35,6 +38,16 @@ Scenarios
 subsystem (:mod:`repro.scenarios`): run a registered scenario or a
 TOML/JSON spec file, optionally as one shard of a multi-machine sweep
 (``--shard i/k``); see :mod:`repro.scenarios.cli`.
+
+The sweep service
+-----------------
+``sweep-serve`` runs a scenario through the distributed sweep service
+(:mod:`repro.service`): a coordinator leases contiguous unit ranges to
+``--workers N`` subprocess workers (each a ``sweep-work`` process
+speaking newline-delimited JSON over stdio), retries the leases of
+dead or straggling workers, and merges the streamed results into
+stdout byte-identical to the serial ``scenario`` run.  ``scenario
+--workers N`` is the same machinery behind the familiar subcommand.
 """
 
 from __future__ import annotations
@@ -115,6 +128,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.scenarios.cli import main as scenario_main
 
         return scenario_main(argv[1:])
+    if argv and argv[0] == "sweep-serve":
+        from repro.service.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "sweep-work":
+        from repro.service.cli import work_main
+
+        return work_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the ISCA 1985 "

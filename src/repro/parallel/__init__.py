@@ -53,6 +53,7 @@ from repro.parallel.cache import (
     config_payload,
     default_cache_dir,
     fingerprint,
+    reset_code_version_tag,
 )
 from repro.parallel.pool import map_ordered, resolve_workers
 from repro.parallel.replicator import ParallelReplicator
@@ -84,6 +85,7 @@ __all__ = [
     "config_payload",
     "case_payload",
     "code_version_tag",
+    "reset_code_version_tag",
     "default_cache_dir",
     "ENV_CACHE_DIR",
 ]

@@ -11,11 +11,35 @@ canonical encoding of that triple:
 * the *version tag* - by default a digest over the library's own source
   files, so any code change invalidates every cached entry.
 
+Concurrent store layout
+-----------------------
 Entries are single JSON files under a configurable directory (the
 ``REPRO_CACHE_DIR`` environment variable, defaulting to
-``~/.cache/repro-single-bus``).  Writes are atomic (temp file +
-``os.replace``) and corrupted or unreadable entries are treated as
-misses and deleted, so a damaged cache can never poison results.
+``~/.cache/repro-single-bus``), fanned out into 256 two-hex-prefix
+shard subdirectories (``ab/<key>.json`` for a key starting ``ab``) so a
+fleet of workers hammering one shared cache never serializes on a
+single directory's inode lock and directory listings stay tractable at
+millions of entries.  Entries written by older releases directly under
+the cache root (the flat layout) remain readable and are transparently
+promoted into the sharded layout on first hit.
+
+The store is safe for any number of concurrent readers and writers on
+one filesystem:
+
+* **Writes are crash-safe**: a unique temp file (pid plus a random
+  token, so containerized workers sharing a pid namespace cannot
+  collide) is fully written, then atomically renamed over the entry via
+  ``os.replace``; a writer killed at any point leaves either the old
+  entry, the new entry, or an orphaned ``*.tmp`` file - never a
+  half-written entry.  Temp files are removed on any write failure, and
+  :meth:`ResultCache.clear` sweeps orphans left by killed writers.
+* **Same-key races are idempotent**: keys are content hashes, so two
+  writers racing on one key write identical bytes and last-writer-wins
+  is a no-op.
+* **Reads never destroy healthy entries**: only a *proven-corrupt*
+  entry (unparseable JSON or a failed integrity check) is evicted;
+  transient I/O errors (NFS hiccups, permission races) count as plain
+  misses and leave the entry alone for the next reader.
 """
 
 from __future__ import annotations
@@ -25,13 +49,17 @@ import hashlib
 import json
 import os
 import pathlib
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
 
 from repro.core.errors import ConfigurationError
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 """Environment variable overriding the default cache directory."""
 
+SHARD_PREFIX_LENGTH = 2
+"""Hex characters of the key that name an entry's shard subdirectory."""
+
+_SHARD_GLOB = "[0-9a-f]" * SHARD_PREFIX_LENGTH
 _CODE_VERSION: str | None = None
 
 
@@ -110,6 +138,16 @@ def code_version_tag() -> str:
     changes every cache key, which turns every lookup into a miss - the
     conservative invalidation rule for a reproduction whose numbers are
     supposed to track the code exactly.
+
+    Lifetime contract: the digest is computed on first call and cached
+    for the life of the process, which is correct for batch runs (the
+    code cannot change under a running sweep's feet without also
+    changing its results) but *stale* for long-lived processes - a
+    sweep coordinator or test harness that outlives a source edit keeps
+    stamping the old tag.  Such processes must call
+    :func:`reset_code_version_tag` after any event that may have
+    changed the installed sources (and the service coordinator does so
+    on startup, so every serve run re-reads the tree).
     """
     global _CODE_VERSION
     if _CODE_VERSION is None:
@@ -126,6 +164,18 @@ def code_version_tag() -> str:
     return _CODE_VERSION
 
 
+def reset_code_version_tag() -> None:
+    """Drop the memoized :func:`code_version_tag` digest.
+
+    The next :func:`code_version_tag` call re-hashes the package
+    sources.  Call this from long-lived processes (coordinators, test
+    harnesses, notebook kernels) whenever the installed code may have
+    changed, so freshly-constructed caches never stamp a stale tag.
+    """
+    global _CODE_VERSION
+    _CODE_VERSION = None
+
+
 @dataclasses.dataclass
 class CacheStats:
     """Hit/miss counters for one :class:`ResultCache` instance."""
@@ -134,11 +184,26 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
-    """Corrupted entries deleted on read."""
+    """Proven-corrupt entries deleted on read."""
+    transient_errors: int = 0
+    """Reads that failed on I/O (counted as misses, entry left alone)."""
+
+
+class _Read:
+    """Internal read outcomes distinguishing why an entry had no value."""
+
+    ABSENT = "absent"
+    TRANSIENT = "transient"
+    CORRUPT = "corrupt"
 
 
 class ResultCache:
-    """Content-addressed JSON store for deterministic computation results."""
+    """Content-addressed JSON store for deterministic computation results.
+
+    Safe for concurrent multi-process readers and writers sharing one
+    directory; see the module docstring for the layout and the
+    crash-safety contract.
+    """
 
     def __init__(
         self,
@@ -165,41 +230,94 @@ class ResultCache:
         return fingerprint({"payload": payload, "version": self.version_tag})
 
     def path_for(self, key: str) -> pathlib.Path:
-        """The file that does or would hold ``key``'s entry."""
+        """The sharded-layout file that does or would hold ``key``'s entry."""
+        return self.cache_dir / key[:SHARD_PREFIX_LENGTH] / f"{key}.json"
+
+    def legacy_path_for(self, key: str) -> pathlib.Path:
+        """Where the pre-sharding flat layout kept ``key``'s entry."""
         return self.cache_dir / f"{key}.json"
+
+    def _entry_paths(self) -> Iterator[pathlib.Path]:
+        """Every entry file, sharded layout first, then legacy flat files."""
+        yield from self.cache_dir.glob(f"{_SHARD_GLOB}/*.json")
+        yield from self.cache_dir.glob("*.json")
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Any | None:
         """The stored value for ``key``, or ``None`` on a miss.
 
-        A file that cannot be read, parsed, or that fails its integrity
-        check counts as a miss; the damaged entry is removed so the next
-        store rebuilds it.
+        Looks in the sharded layout first, then falls back to the
+        legacy flat layout (entries written by older releases), which a
+        hit transparently promotes into the sharded layout.  Only a
+        *proven-corrupt* file (bad JSON, failed integrity check) is
+        evicted; a file that merely cannot be read right now (transient
+        I/O error) is left for the next reader and counted as a miss -
+        deleting it would throw away work another process just paid for.
         """
         path = self.path_for(key)
+        value, state = self._read_entry(path, key)
+        if state is None:
+            self.stats.hits += 1
+            return value
+        if state == _Read.ABSENT:
+            legacy = self.legacy_path_for(key)
+            value, state = self._read_entry(legacy, key)
+            if state is None:
+                self._promote(key, legacy, value)
+                self.stats.hits += 1
+                return value
+            if state == _Read.CORRUPT:
+                self._evict(legacy)
+        elif state == _Read.CORRUPT:
+            self._evict(path)
+        self.stats.misses += 1
+        return None
+
+    def _read_entry(
+        self, path: pathlib.Path, key: str
+    ) -> tuple[Any, str | None]:
+        """Read one entry file: ``(value, None)`` or ``(None, why-not)``."""
         try:
             raw = path.read_text(encoding="utf-8")
         except FileNotFoundError:
-            self.stats.misses += 1
-            return None
+            return None, _Read.ABSENT
         except OSError:
-            self.stats.misses += 1
-            self._evict(path)
-            return None
+            self.stats.transient_errors += 1
+            return None, _Read.TRANSIENT
         try:
             entry = json.loads(raw)
             if not isinstance(entry, dict) or entry.get("key") != key:
                 raise ValueError("cache entry fails integrity check")
-            value = entry["value"]
+            return entry["value"], None
         except (ValueError, KeyError, TypeError):
-            self._evict(path)
-            self.stats.misses += 1
-            return None
-        self.stats.hits += 1
-        return value
+            return None, _Read.CORRUPT
+
+    def _promote(
+        self, key: str, legacy: pathlib.Path, value: Any
+    ) -> None:
+        """Move a flat-layout hit into the sharded layout (best effort).
+
+        Writes the sharded entry first, then unlinks the flat file, so
+        a concurrent reader always finds one complete copy; any I/O
+        failure simply leaves the entry where it was.
+        """
+        try:
+            self._write(key, value)
+            legacy.unlink(missing_ok=True)
+        except (OSError, ConfigurationError):
+            pass
 
     def put(self, key: str, value: Any) -> pathlib.Path:
         """Atomically store a JSON-serializable ``value`` under ``key``.
+
+        Crash-safe and race-safe: the entry is staged in a uniquely
+        named temp file (pid + random token) inside the target shard
+        directory and renamed into place with ``os.replace``; the temp
+        file is removed on any failure, so a full disk or a killed
+        worker can leak at worst an empty ``*.tmp`` that
+        :meth:`clear` sweeps.  Two processes racing on one key write
+        identical content (keys are content hashes), so whichever
+        rename lands last changes nothing.
 
         ``None`` is rejected: :meth:`get` returns ``None`` for a miss,
         so a stored null could never be distinguished from one.
@@ -209,13 +327,22 @@ class ResultCache:
                 "cannot cache None: a stored null is indistinguishable "
                 "from a cache miss"
             )
+        path = self._write(key, value)
+        self.stats.stores += 1
+        return path
+
+    def _write(self, key: str, value: Any) -> pathlib.Path:
         path = self.path_for(key)
         entry = {"key": key, "version": self.version_tag, "value": value}
         encoded = json.dumps(entry, sort_keys=True, indent=None)
-        temp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
-        temp.write_text(encoded, encoding="utf-8")
-        os.replace(temp, path)
-        self.stats.stores += 1
+        path.parent.mkdir(parents=True, exist_ok=True)
+        token = os.urandom(4).hex()
+        temp = path.with_name(f".{path.name}.{os.getpid()}.{token}.tmp")
+        try:
+            temp.write_text(encoded, encoding="utf-8")
+            os.replace(temp, path)
+        finally:
+            temp.unlink(missing_ok=True)
         return path
 
     def lookup(self, payload: Mapping[str, Any]) -> Any | None:
@@ -228,18 +355,43 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed.
+
+        Covers both layouts and also sweeps orphaned ``*.tmp`` staging
+        files left behind by writers killed mid-store (orphans do not
+        count toward the returned total - they were never entries).
+        """
         removed = 0
-        for path in self.cache_dir.glob("*.json"):
+        for path in self._entry_paths():
             try:
                 path.unlink()
                 removed += 1
             except OSError:  # pragma: no cover - racing deleters
                 pass
+        self.sweep_orphans()
         return removed
 
+    def sweep_orphans(self) -> int:
+        """Remove ``*.tmp`` staging files abandoned by killed writers.
+
+        Safe to run while other processes are writing only in the sense
+        that an *in-flight* temp file swept here cleanly fails that
+        writer's ``os.replace`` (the entry is simply not stored, never
+        corrupted); intended for maintenance points such as
+        :meth:`clear` or service startup, not for hot loops.
+        """
+        swept = 0
+        for pattern in (".*.tmp", f"{_SHARD_GLOB}/.*.tmp"):
+            for orphan in self.cache_dir.glob(pattern):
+                try:
+                    orphan.unlink()
+                    swept += 1
+                except OSError:  # pragma: no cover - racing deleters
+                    pass
+        return swept
+
     def __len__(self) -> int:
-        return sum(1 for _ in self.cache_dir.glob("*.json"))
+        return sum(1 for _ in self._entry_paths())
 
     def _evict(self, path: pathlib.Path) -> None:
         self.stats.evictions += 1

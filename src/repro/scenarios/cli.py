@@ -31,6 +31,29 @@ from repro.scenarios.registry import all_scenarios, load_scenario
 from repro.scenarios.spec import ReplicationPlan
 
 
+def apply_spec_overrides(
+    spec,
+    cycles: int | None = None,
+    seed: int | None = None,
+    metrics: Sequence[str] | None = None,
+):
+    """Apply the CLI's ``--cycles``/``--seed``/``--metrics`` overrides.
+
+    Shared by the ``scenario`` and ``sweep-serve`` subcommands so both
+    spell the identical spec - which is what licenses their outputs to
+    be byte-compared.
+    """
+    if cycles is not None:
+        spec = dataclasses.replace(spec, cycles=cycles)
+    if metrics is not None:
+        spec = dataclasses.replace(spec, metrics=spec.metrics + tuple(metrics))
+    if seed is not None:
+        spec = dataclasses.replace(
+            spec, plan=ReplicationPlan(spec.plan.replications, seed)
+        )
+    return spec
+
+
 def list_scenarios() -> str:
     """Human-readable table of every registered scenario."""
     lines = ["available scenarios:"]
@@ -72,6 +95,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=1,
         metavar="N",
         help="worker processes for unit execution (default 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run through the distributed sweep service with N "
+        "subprocess workers leasing unit ranges from a coordinator "
+        "(see 'sweep-serve'); stdout stays byte-identical to the "
+        "serial run",
     )
     parser.add_argument(
         "--cycles",
@@ -142,6 +175,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be a positive integer")
+    if args.workers is not None:
+        if args.workers < 1:
+            parser.error("--workers must be a positive integer")
+        if args.jobs != 1:
+            # Two parallelism levers at once would obscure which one
+            # ran; the service's workers already parallelise the sweep.
+            parser.error(
+                "--jobs and --workers conflict: --workers delegates "
+                "parallelism to the sweep service's worker fleet"
+            )
     if args.fast and args.kernel == "batch":
         # fast and batch produce deliberately different bytes, so a
         # silent precedence pick would hand back the wrong tier.
@@ -154,26 +197,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.scenario is None:
         print(list_scenarios())
         return 0
+    shard = None
     try:
         spec = load_scenario(args.scenario)
-        if args.cycles is not None:
-            spec = dataclasses.replace(spec, cycles=args.cycles)
-        if args.metrics is not None:
-            spec = dataclasses.replace(
-                spec, metrics=spec.metrics + tuple(args.metrics)
-            )
-        if args.seed is not None:
-            spec = dataclasses.replace(
-                spec,
-                plan=ReplicationPlan(spec.plan.replications, args.seed),
-            )
+        spec = apply_spec_overrides(
+            spec, cycles=args.cycles, seed=args.seed, metrics=args.metrics
+        )
         units = compile_scenario(spec, kernel=kernel, backend=args.backend)
         total = len(units)
         if args.shard is not None:
-            shard_index, shard_count = parse_shard(args.shard)
-            units = shard_units(units, shard_index, shard_count)
+            shard = parse_shard(args.shard)
+            units = shard_units(units, shard[0], shard[1])
             print(
-                f"[scenario {spec.name}: shard {shard_index}/{shard_count}, "
+                f"[scenario {spec.name}: shard {shard[0]}/{shard[1]}, "
                 f"{len(units)} of {total} units]",
                 file=sys.stderr,
             )
@@ -186,7 +222,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     cache = None
-    if args.cache:
+    if args.cache and args.workers is None:
         from repro.parallel.cache import ResultCache
 
         try:
@@ -196,7 +232,24 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"warning: caching disabled: {exc}", file=sys.stderr)
     started = time.time()
     try:
-        results = run_units(units, jobs=args.jobs, cache=cache)
+        if args.workers is not None:
+            # The distributed sweep service: a coordinator leasing
+            # contiguous unit ranges to subprocess workers that share
+            # one concurrent result store.  Byte-identical to the
+            # serial path below, property- and golden-tested.
+            from repro.service.coordinator import run_service
+
+            results = run_service(
+                spec,
+                workers=args.workers,
+                kernel=kernel,
+                backend=args.backend,
+                shard=shard,
+                cache_enabled=args.cache,
+                cache_dir=args.cache_dir,
+            )
+        else:
+            results = run_units(units, jobs=args.jobs, cache=cache)
     except ReproError as exc:
         # Covers simulation and model failures too - any library error
         # surfaces as the CLI's curated one-line diagnostic.

@@ -160,7 +160,7 @@ def _expectations(unit: WorkUnit) -> tuple[bool, bool]:
     return False, True
 
 
-def _result_from_metrics(
+def result_from_metrics(
     unit: WorkUnit, metrics: Any, cached: bool
 ) -> UnitResult:
     expect_latency, expect_littles = _expectations(unit)
@@ -217,7 +217,7 @@ def run_units(
             value = cache.get(key)
             if value is not None:
                 try:
-                    results[position] = _result_from_metrics(unit, value, True)
+                    results[position] = result_from_metrics(unit, value, True)
                 except ExperimentError:
                     # Malformed entry: recompute below.
                     results.pop(position, None)
@@ -243,7 +243,7 @@ def run_units(
             for member, metrics in zip(members, payloads):
                 metrics_by_key[keys[representatives[member]]] = metrics
         for position in pending:
-            results[position] = _result_from_metrics(
+            results[position] = result_from_metrics(
                 units[position], metrics_by_key[keys[position]], False
             )
         if cache is not None:

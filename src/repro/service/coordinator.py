@@ -1,0 +1,401 @@
+"""The sweep coordinator: compile once, lease ranges, merge exactly.
+
+The coordinator owns the canonical compiled unit list and drives any
+number of :class:`~repro.service.transports.WorkerTransport` endpoints
+through the lease protocol (:mod:`repro.service.protocol`):
+
+* work is leased as **contiguous position ranges** of the unit list,
+  carved from the low end of the outstanding set, so with healthy
+  workers every lease is one dense block (deterministic ordering means
+  no sort pass is needed at merge time - results land by position);
+* every lease carries a **deadline**; a lease whose results stop
+  arriving in time marks its worker failed, and the unfinished
+  positions are re-leased to healthy workers (per-position retry
+  budget, so a poisoned unit cannot loop forever);
+* results are recorded **idempotently by position** - duplicates from a
+  straggler that answered after being retired are accepted and ignored,
+  which is safe because unit evaluation is deterministic: any two
+  answers for one position are byte-identical;
+* the merged outcome is the exact :class:`UnitResult` list a serial
+  :func:`repro.scenarios.execute.run_units` call would produce -
+  metrics payloads round-trip exactly through JSON, so rendered report
+  lines are byte-identical whatever the worker count, lease sizing or
+  mid-run crash history (property-tested in
+  ``tests/properties/test_service_merge.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+import time
+from typing import Any, Callable, Sequence
+
+from repro.core.errors import ExperimentError
+from repro.scenarios.compiler import compile_scenario, shard_units
+from repro.scenarios.execute import UnitResult, result_from_metrics
+from repro.scenarios.spec import ScenarioSpec
+from repro.service import protocol
+from repro.service.transports import WorkerTransport
+
+DEFAULT_DEADLINE = 300.0
+"""Seconds a lease may run before its worker is declared failed."""
+
+DEFAULT_MAX_RETRIES = 3
+"""Times one position may be re-leased before the sweep aborts."""
+
+
+def default_lease_size(total_units: int, workers: int) -> int:
+    """A lease size balancing dispatch overhead against retry waste.
+
+    Four leases per worker keeps every worker busy while bounding the
+    work lost to one crash at ~1/4 of a worker's share; clamped to
+    [1, 256] so giant sweeps still stream progress.
+    """
+    return max(1, min((total_units + workers * 4 - 1) // (workers * 4), 256))
+
+
+@dataclasses.dataclass
+class _Lease:
+    lease_id: int
+    worker: int
+    start: int
+    stop: int
+    issued: float
+    remaining: set[int]
+    active: bool = True
+
+
+@dataclasses.dataclass
+class _Worker:
+    transport: WorkerTransport
+    state: str = "new"  # new -> ready -> dead
+    lease_id: int | None = None
+
+
+class Coordinator:
+    """Drive one compiled scenario across a set of worker transports."""
+
+    def __init__(
+        self,
+        spec: ScenarioSpec,
+        transports: Sequence[WorkerTransport],
+        kernel: str = "reference",
+        backend: str = "numpy",
+        shard: tuple[int, int] | None = None,
+        lease_size: int | None = None,
+        deadline: float = DEFAULT_DEADLINE,
+        max_retries: int = DEFAULT_MAX_RETRIES,
+        cache_enabled: bool = True,
+        cache_dir: str | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        poll_interval: float = 0.02,
+    ) -> None:
+        if not transports:
+            raise ExperimentError("the sweep service needs at least one worker")
+        units = compile_scenario(spec, kernel=kernel, backend=backend)
+        if shard is not None:
+            units = shard_units(units, shard[0], shard[1])
+        self.spec = spec
+        self.units = units
+        self.kernel = kernel
+        self.backend = backend
+        self.shard = shard
+        self.cache_enabled = cache_enabled
+        self.cache_dir = cache_dir
+        self.deadline = deadline
+        self.max_retries = max_retries
+        self.lease_size = (
+            lease_size
+            if lease_size is not None
+            else default_lease_size(len(units), len(transports))
+        )
+        if self.lease_size < 1:
+            raise ExperimentError(
+                f"lease size must be >= 1, got {self.lease_size}"
+            )
+        self._clock = clock
+        self._sleep = sleep
+        self._poll_interval = poll_interval
+        self._workers = [_Worker(transport) for transport in transports]
+        self._leases: dict[int, _Lease] = {}
+        self._next_lease_id = 0
+        self._todo: list[int] = list(range(len(units)))
+        self._metrics: dict[int, tuple[Any, bool]] = {}
+        self._retries: dict[int, int] = {}
+        self.leases_issued = 0
+        self.leases_retried = 0
+
+    # ------------------------------------------------------------------
+    def run(self) -> list[UnitResult]:
+        """Execute every unit and return results in canonical order."""
+        hello = protocol.hello_message(
+            self.spec,
+            self.kernel,
+            self.backend,
+            shard=self.shard,
+            cache_dir=self.cache_dir,
+            cache_enabled=self.cache_enabled,
+        )
+        self._started = self._clock()
+        for worker in self._workers:
+            worker.transport.send(hello)
+        try:
+            while len(self._metrics) < len(self.units):
+                progressed = self._drain_messages()
+                self._retire_dead_workers()
+                self._expire_leases()
+                progressed |= self._assign_leases()
+                if len(self._metrics) >= len(self.units):
+                    break
+                if not any(w.state != "dead" for w in self._workers):
+                    missing = len(self.units) - len(self._metrics)
+                    raise ExperimentError(
+                        f"all sweep workers failed with {missing} "
+                        f"unit(s) outstanding"
+                    )
+                if not progressed:
+                    self._sleep(self._poll_interval)
+        finally:
+            for worker in self._workers:
+                if worker.state != "dead":
+                    worker.transport.send(protocol.shutdown_message())
+                worker.transport.close()
+        return [
+            result_from_metrics(self.units[position], metrics, cached)
+            for position, (metrics, cached) in sorted(self._metrics.items())
+        ]
+
+    # ------------------------------------------------------------------
+    def _drain_messages(self) -> bool:
+        progressed = False
+        for worker_index, worker in enumerate(self._workers):
+            while True:
+                message = worker.transport.receive()
+                if message is None:
+                    break
+                progressed = True
+                self._handle_message(worker_index, message)
+        return progressed
+
+    def _handle_message(self, worker_index: int, message: dict) -> None:
+        worker = self._workers[worker_index]
+        kind = message["type"]
+        if kind == "ready":
+            if message["units"] != len(self.units):
+                worker.state = "dead"
+                raise ExperimentError(
+                    f"worker {worker.transport.name} compiled "
+                    f"{message['units']} units, coordinator compiled "
+                    f"{len(self.units)}: coordinator and workers run "
+                    f"different code versions"
+                )
+            if worker.state == "new":
+                worker.state = "ready"
+        elif kind == "result":
+            position = message["position"]
+            lease = self._leases.get(message["lease_id"])
+            if lease is not None:
+                lease.remaining.discard(position)
+            if position not in self._metrics:
+                # Deterministic evaluation makes duplicates (from
+                # retried leases or retired stragglers) byte-identical,
+                # so first-writer-wins is exact, not approximate.
+                self._metrics[position] = (
+                    message["metrics"],
+                    bool(message.get("cached", False)),
+                )
+        elif kind == "lease_done":
+            lease = self._leases.get(message["lease_id"])
+            if lease is not None:
+                lease.active = False
+                if lease.remaining:
+                    # A done lease with unstreamed positions is a
+                    # protocol violation; requeue rather than hang.
+                    self._requeue(lease)
+            if worker.lease_id == message["lease_id"]:
+                worker.lease_id = None
+        elif kind == "error":
+            print(
+                f"[sweep] worker {worker.transport.name} failed: "
+                f"{message.get('message', '')}",
+                file=sys.stderr,
+            )
+            self._fail_worker(worker_index)
+        # hello/lease/shutdown never travel worker -> coordinator;
+        # decode_message already rejected unknown types.
+
+    # ------------------------------------------------------------------
+    def _retire_dead_workers(self) -> None:
+        for worker_index, worker in enumerate(self._workers):
+            if worker.state != "dead" and not worker.transport.alive():
+                self._fail_worker(worker_index)
+
+    def _expire_leases(self) -> None:
+        now = self._clock()
+        # The handshake honours the same deadline: a worker that never
+        # answers hello must not stall the sweep.
+        for worker_index, worker in enumerate(self._workers):
+            if worker.state == "new" and now - self._started > self.deadline:
+                print(
+                    f"[sweep] worker {worker.transport.name} never "
+                    f"finished its handshake within {self.deadline:g}s; "
+                    f"retiring it",
+                    file=sys.stderr,
+                )
+                self._fail_worker(worker_index)
+        for lease in list(self._leases.values()):
+            if not lease.active:
+                continue
+            if now - lease.issued > self.deadline:
+                worker = self._workers[lease.worker]
+                print(
+                    f"[sweep] lease {lease.lease_id} "
+                    f"[{lease.start},{lease.stop}) on worker "
+                    f"{worker.transport.name} exceeded its "
+                    f"{self.deadline:g}s deadline; retiring worker",
+                    file=sys.stderr,
+                )
+                self._fail_worker(lease.worker)
+
+    def _fail_worker(self, worker_index: int) -> None:
+        worker = self._workers[worker_index]
+        if worker.state == "dead":
+            return
+        # Drain anything the worker streamed before dying: those
+        # results are valid, paid-for work.
+        while True:
+            message = worker.transport.receive()
+            if message is None:
+                break
+            if message["type"] in ("result", "ready", "lease_done"):
+                self._handle_message(worker_index, message)
+        worker.state = "dead"
+        worker.transport.close()
+        if worker.lease_id is not None:
+            lease = self._leases.get(worker.lease_id)
+            worker.lease_id = None
+            if lease is not None and lease.active:
+                lease.active = False
+                self._requeue(lease)
+
+    def _requeue(self, lease: _Lease) -> None:
+        requeued = [
+            position
+            for position in sorted(lease.remaining)
+            if position not in self._metrics
+        ]
+        if not requeued:
+            return
+        for position in requeued:
+            self._retries[position] = self._retries.get(position, 0) + 1
+            if self._retries[position] > self.max_retries:
+                raise ExperimentError(
+                    f"unit position {position} (index "
+                    f"{self.units[position].index}) failed after "
+                    f"{self.max_retries} lease retries"
+                )
+        self.leases_retried += 1
+        self._todo = sorted(set(self._todo).union(requeued))
+
+    def _assign_leases(self) -> bool:
+        progressed = False
+        for worker_index, worker in enumerate(self._workers):
+            if worker.state != "ready" or worker.lease_id is not None:
+                continue
+            block = self._carve_block()
+            if not block:
+                break
+            lease = _Lease(
+                lease_id=self._next_lease_id,
+                worker=worker_index,
+                start=block[0],
+                stop=block[-1] + 1,
+                issued=self._clock(),
+                remaining=set(block),
+            )
+            self._next_lease_id += 1
+            self._leases[lease.lease_id] = lease
+            worker.lease_id = lease.lease_id
+            self.leases_issued += 1
+            worker.transport.send(
+                protocol.lease_message(lease.lease_id, lease.start, lease.stop)
+            )
+            progressed = True
+        return progressed
+
+    def _carve_block(self) -> list[int]:
+        """The next contiguous run of outstanding positions to lease.
+
+        Positions that gained results while queued (idempotent
+        duplicates from retired stragglers) are skipped; the block ends
+        at the first gap so every lease is one dense ``[start, stop)``
+        range.
+        """
+        while self._todo and self._todo[0] in self._metrics:
+            self._todo.pop(0)
+        if not self._todo:
+            return []
+        block = [self._todo[0]]
+        while (
+            len(block) < self.lease_size
+            and len(block) < len(self._todo)
+            and self._todo[len(block)] == block[-1] + 1
+            and self._todo[len(block)] not in self._metrics
+        ):
+            block.append(self._todo[len(block)])
+        del self._todo[: len(block)]
+        return block
+
+
+def run_service(
+    spec: ScenarioSpec,
+    workers: int = 2,
+    kernel: str = "reference",
+    backend: str = "numpy",
+    shard: tuple[int, int] | None = None,
+    lease_size: int | None = None,
+    deadline: float = DEFAULT_DEADLINE,
+    cache_enabled: bool = True,
+    cache_dir: str | None = None,
+    chaos_kill_after: int | None = None,
+) -> list[UnitResult]:
+    """Run ``spec`` under the coordinator with local subprocess workers.
+
+    The one-call service entry point behind ``repro-experiments
+    sweep-serve`` and ``scenario --workers N``.  ``chaos_kill_after``
+    is the fault-injection hook for tests and the CI smoke job: the
+    first worker is spawned with ``--exit-after`` so it dies abruptly
+    mid-lease, exercising the retry path on a real subprocess fleet.
+    """
+    from repro.parallel.cache import reset_code_version_tag
+    from repro.service.transports import SubprocessTransport, sweep_work_argv
+
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    # A coordinator may be long-lived (or embedded in a long-lived
+    # process); never let it stamp a version tag memoized before the
+    # sources last changed.
+    reset_code_version_tag()
+    transports = [
+        SubprocessTransport(
+            sweep_work_argv(
+                exit_after=chaos_kill_after if index == 0 else None
+            ),
+            name=f"worker-{index}",
+        )
+        for index in range(workers)
+    ]
+    coordinator = Coordinator(
+        spec,
+        transports,
+        kernel=kernel,
+        backend=backend,
+        shard=shard,
+        lease_size=lease_size,
+        deadline=deadline,
+        cache_enabled=cache_enabled,
+        cache_dir=cache_dir,
+    )
+    return coordinator.run()

@@ -1,0 +1,195 @@
+"""The lease protocol between sweep coordinator and workers.
+
+One protocol, any transport.  Messages are single-line canonical JSON
+objects with a ``"type"`` tag, so any byte pipe that can carry newline
+delimited text - a subprocess's stdio, an ssh channel, a spool
+directory of numbered files, a message queue - can carry the protocol
+unchanged.  The conversation is deliberately tiny:
+
+== ==================== ============================================
+→  ``hello``             coordinator → worker: the full scenario spec
+                         (file-schema mapping), kernel/backend, the
+                         optional shard designator and the shared
+                         cache configuration.  The worker compiles the
+                         *same* deterministic unit list locally, so
+                         leases can name positions instead of shipping
+                         units.
+←  ``ready``             worker → coordinator: unit count (checked
+                         against the coordinator's own compile - a
+                         mismatch means version skew) and the worker
+                         pid.
+→  ``lease``             a contiguous position range ``[start, stop)``
+                         of the compiled unit list, with a lease id.
+←  ``result``            one evaluated unit: lease id, position,
+                         global unit index, the evaluator's JSON
+                         metrics payload (exact float round-trip, so
+                         merged output is byte-identical to a serial
+                         run) and whether it was served from cache.
+←  ``lease_done``        the whole range has been streamed.
+←  ``error``             the worker failed; the message is diagnostic
+                         and the coordinator re-leases remaining work.
+→  ``shutdown``          coordinator → worker: drain and exit.
+== ==================== ============================================
+
+Every constructor validates its fields; :func:`decode_message` rejects
+anything that is not a JSON object with a known ``type`` so a corrupt
+transport fails loudly instead of silently dropping work.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.core.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec, spec_from_mapping
+
+PROTOCOL_VERSION = 1
+"""Bumped on any incompatible message-shape change; ``hello`` carries
+it and workers reject mismatches, so mixed-version fleets fail fast."""
+
+MESSAGE_TYPES = frozenset(
+    {"hello", "ready", "lease", "result", "lease_done", "error", "shutdown"}
+)
+
+
+def encode_message(message: Mapping[str, Any]) -> str:
+    """One protocol message as one newline-free JSON line."""
+    encoded = json.dumps(
+        message, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    if "\n" in encoded:  # pragma: no cover - ensure_ascii forbids this
+        raise ConfigurationError("protocol message encodes to multiple lines")
+    return encoded
+
+
+def decode_message(line: str) -> dict[str, Any]:
+    """Parse and validate one protocol line."""
+    try:
+        message = json.loads(line)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"undecodable protocol line: {line[:200]!r}"
+        ) from exc
+    if not isinstance(message, dict) or "type" not in message:
+        raise ConfigurationError(
+            f"protocol messages are JSON objects with a 'type', got "
+            f"{line[:200]!r}"
+        )
+    if message["type"] not in MESSAGE_TYPES:
+        raise ConfigurationError(
+            f"unknown protocol message type {message['type']!r}"
+        )
+    return message
+
+
+# ----------------------------------------------------------------------
+# Scenario specs on the wire.
+# ----------------------------------------------------------------------
+def spec_to_mapping(spec: ScenarioSpec) -> dict[str, Any]:
+    """Encode ``spec`` in the TOML/JSON file schema.
+
+    The inverse of :func:`repro.scenarios.spec.spec_from_mapping`, so a
+    worker rebuilds an *identical* spec (hence, by compiler determinism,
+    an identical unit list) from the ``hello`` message alone - no shared
+    filesystem or registry state required.
+    """
+    payload = spec.payload()
+    mapping: dict[str, Any] = {
+        "name": payload["name"],
+        "description": spec.description,
+        "method": payload["method"],
+        "cycles": payload["cycles"],
+        "base": payload["base"],
+        "grid": payload["grid"],
+        "workload": payload["workload"],
+        "replications": {
+            "count": spec.plan.replications,
+            "base_seed": spec.plan.base_seed,
+        },
+        "metrics": payload["metrics"],
+    }
+    if payload["warmup"] is not None:
+        mapping["warmup"] = payload["warmup"]
+    return mapping
+
+
+def spec_from_wire(mapping: Mapping[str, Any]) -> ScenarioSpec:
+    """Rebuild the scenario spec a ``hello`` message carries."""
+    return spec_from_mapping(mapping)
+
+
+# ----------------------------------------------------------------------
+# Message constructors.
+# ----------------------------------------------------------------------
+def hello_message(
+    spec: ScenarioSpec,
+    kernel: str,
+    backend: str,
+    shard: tuple[int, int] | None = None,
+    cache_dir: str | None = None,
+    cache_enabled: bool = True,
+) -> dict[str, Any]:
+    """The coordinator's opening message."""
+    return {
+        "type": "hello",
+        "protocol": PROTOCOL_VERSION,
+        "spec": spec_to_mapping(spec),
+        "kernel": kernel,
+        "backend": backend,
+        "shard": list(shard) if shard is not None else None,
+        "cache": {"enabled": bool(cache_enabled), "dir": cache_dir},
+    }
+
+
+def ready_message(units: int, pid: int) -> dict[str, Any]:
+    """The worker's handshake reply: how many units it compiled."""
+    return {"type": "ready", "units": int(units), "pid": int(pid)}
+
+
+def lease_message(lease_id: int, start: int, stop: int) -> dict[str, Any]:
+    """Lease positions ``[start, stop)`` of the compiled unit list."""
+    if not 0 <= start < stop:
+        raise ConfigurationError(
+            f"lease range must satisfy 0 <= start < stop, got "
+            f"[{start}, {stop})"
+        )
+    return {
+        "type": "lease",
+        "lease_id": int(lease_id),
+        "start": int(start),
+        "stop": int(stop),
+    }
+
+
+def result_message(
+    lease_id: int,
+    position: int,
+    index: int,
+    metrics: Mapping[str, Any],
+    cached: bool,
+) -> dict[str, Any]:
+    """One evaluated unit's metrics payload."""
+    return {
+        "type": "result",
+        "lease_id": int(lease_id),
+        "position": int(position),
+        "index": int(index),
+        "metrics": dict(metrics),
+        "cached": bool(cached),
+    }
+
+
+def lease_done_message(lease_id: int) -> dict[str, Any]:
+    """Every position of the lease has been streamed."""
+    return {"type": "lease_done", "lease_id": int(lease_id)}
+
+
+def error_message(message: str) -> dict[str, Any]:
+    """A worker-side failure report."""
+    return {"type": "error", "message": str(message)}
+
+
+def shutdown_message() -> dict[str, Any]:
+    """The coordinator's drain-and-exit request."""
+    return {"type": "shutdown"}

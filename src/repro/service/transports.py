@@ -1,0 +1,203 @@
+"""Worker transports: how lease-protocol messages reach a worker.
+
+The coordinator speaks to abstract :class:`WorkerTransport` endpoints -
+``send`` a message, ``receive`` whatever has arrived, ``alive`` to
+detect death - and never learns how bytes move.  Two implementations
+ship:
+
+* :class:`SubprocessTransport` spawns ``repro-experiments sweep-work``
+  locally and carries the protocol over the child's stdin/stdout as
+  newline-delimited JSON (a daemon reader thread keeps receipt
+  non-blocking).  Because the byte format is plain JSON lines, an ssh
+  or batch-queue transport is the same class pointed at a different
+  argv - nothing in coordinator or worker changes.
+* :class:`LoopbackTransport` runs a real :class:`WorkerSession`
+  in-process and synchronously.  It exists for tests: it makes
+  coordinator scheduling deterministic and lets a "worker" be killed
+  after exactly k results (``fail_after_results``), which is how the
+  lease-retry property tests explore crash timings far faster than
+  real subprocesses could.
+"""
+
+from __future__ import annotations
+
+import queue
+import subprocess
+import sys
+import threading
+from typing import Any, Mapping, Protocol, Sequence
+
+from repro.core.errors import ReproError
+from repro.service import protocol
+from repro.service.worker import WorkerSession
+
+
+class WorkerTransport(Protocol):
+    """One worker endpoint, whatever carries its bytes."""
+
+    name: str
+
+    def send(self, message: Mapping[str, Any]) -> None:
+        """Deliver one message; silently drop if the worker is gone
+        (the coordinator discovers death through :meth:`alive`)."""
+
+    def receive(self) -> dict[str, Any] | None:
+        """The next pending message from the worker, or ``None``."""
+
+    def alive(self) -> bool:
+        """Whether the worker can still produce messages."""
+
+    def close(self) -> None:
+        """Release resources; idempotent."""
+
+
+def sweep_work_argv(exit_after: int | None = None) -> list[str]:
+    """The argv that starts a local stdio worker in this environment."""
+    argv = [sys.executable, "-m", "repro.experiments", "sweep-work"]
+    if exit_after is not None:
+        argv += ["--exit-after", str(exit_after)]
+    return argv
+
+
+class SubprocessTransport:
+    """A local ``sweep-work`` subprocess speaking JSON lines on stdio."""
+
+    def __init__(
+        self, argv: Sequence[str] | None = None, name: str = "worker"
+    ) -> None:
+        self.name = name
+        self._inbox: queue.Queue[dict[str, Any]] = queue.Queue()
+        self._closed = False
+        self._proc = subprocess.Popen(
+            list(argv) if argv is not None else sweep_work_argv(),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # worker diagnostics join the coordinator's stderr
+            text=True,
+            bufsize=1,
+        )
+        self._reader = threading.Thread(
+            target=self._drain_stdout, name=f"{name}-reader", daemon=True
+        )
+        self._reader.start()
+
+    def _drain_stdout(self) -> None:
+        assert self._proc.stdout is not None
+        for line in self._proc.stdout:
+            if not line.strip():
+                continue
+            try:
+                self._inbox.put(protocol.decode_message(line))
+            except ReproError:
+                # A corrupt line means a broken worker; surface it as a
+                # protocol error message so the coordinator retires the
+                # worker instead of hanging.
+                self._inbox.put(
+                    protocol.error_message(
+                        f"undecodable worker output: {line[:200]!r}"
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    def send(self, message: Mapping[str, Any]) -> None:
+        if self._closed or self._proc.stdin is None:
+            return
+        try:
+            self._proc.stdin.write(protocol.encode_message(message) + "\n")
+            self._proc.stdin.flush()
+        except (BrokenPipeError, OSError, ValueError):
+            # Dead or closing worker; alive() will report it.
+            pass
+
+    def receive(self) -> dict[str, Any] | None:
+        try:
+            return self._inbox.get_nowait()
+        except queue.Empty:
+            return None
+
+    def alive(self) -> bool:
+        # Queued messages from an already-dead process still count: the
+        # coordinator must consume results a worker streamed before
+        # dying.
+        return not self._inbox.empty() or (
+            not self._closed and self._proc.poll() is None
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._proc.stdin is not None:
+                self._proc.stdin.close()
+        except OSError:  # pragma: no cover - already-broken pipe
+            pass
+        try:
+            self._proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover - hung worker
+            self._proc.kill()
+            self._proc.wait()
+        self._reader.join(timeout=5)
+
+
+class LoopbackTransport:
+    """An in-process worker executing leases synchronously on ``send``.
+
+    ``fail_after_results`` simulates a worker killed mid-lease: the
+    session stops after streaming that many results in total - messages
+    already "sent" stay delivered (a real pipe would have carried them),
+    nothing later arrives, and :meth:`alive` turns ``False``.
+    """
+
+    def __init__(
+        self,
+        name: str = "loopback",
+        fail_after_results: int | None = None,
+    ) -> None:
+        self.name = name
+        self._inbox: list[dict[str, Any]] = []
+        self._dead = False
+        self._fail_after = fail_after_results
+
+        def deliver(message: Mapping[str, Any]) -> None:
+            if not self._dead:
+                self._inbox.append(dict(message))
+
+        def maybe_die(results_sent: int) -> None:
+            if self._fail_after is not None and results_sent >= self._fail_after:
+                self._dead = True
+                raise _SimulatedKill()
+
+        self._session = WorkerSession(deliver, result_hook=maybe_die)
+
+    def send(self, message: Mapping[str, Any]) -> None:
+        if self._dead:
+            return
+        try:
+            if not self._session.handle(message):
+                self._dead = True
+        except _SimulatedKill:
+            self._dead = True
+        except ReproError as exc:
+            self._inbox.append(protocol.error_message(str(exc)))
+            self._dead = True
+
+    def receive(self) -> dict[str, Any] | None:
+        if self._inbox:
+            return self._inbox.pop(0)
+        return None
+
+    def alive(self) -> bool:
+        return bool(self._inbox) or not self._dead
+
+    def close(self) -> None:
+        self._dead = True
+
+
+class _SimulatedKill(BaseException):
+    """Raised inside a loopback worker to mimic SIGKILL mid-lease.
+
+    Derives from ``BaseException`` so no library ``except Exception``
+    can swallow it - like the real signal, nothing in the worker gets
+    to handle it.
+    """

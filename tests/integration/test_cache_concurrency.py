@@ -1,0 +1,242 @@
+"""Concurrent-store contract tests for :class:`ResultCache`.
+
+The sweep service points any number of worker processes at one shared
+cache directory, so the store must guarantee, under real multi-process
+concurrency:
+
+* a reader never observes a torn or corrupt entry, even mid-
+  ``os.replace`` (atomic rename semantics);
+* writers racing on one key are idempotent (content-addressed keys
+  make the bytes identical, so last-writer-wins changes nothing);
+* a writer killed between temp-file write and rename leaves no
+  readable corruption and no permanent litter (``clear`` sweeps the
+  orphan);
+* entries written by the old flat layout stay readable through the new
+  sharded store.
+
+The stress tests drive real subprocesses (not threads) because the
+bugs these protect against - torn reads, leaked temp files, eviction
+of healthy entries - only manifest across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+
+from repro.parallel.cache import ResultCache
+
+
+def _run_python(source: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-c", textwrap.dedent(source), *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+_HAMMER_SOURCE = """
+    import sys
+
+    from repro.parallel.cache import ResultCache
+
+    cache_dir, worker_id, rounds, keys = (
+        sys.argv[1], int(sys.argv[2]), int(sys.argv[3]), int(sys.argv[4])
+    )
+    cache = ResultCache(cache_dir=cache_dir, version_tag="stress")
+
+    def expected(slot):
+        # Deterministic value per key: every writer writes identical
+        # content, so any successful read has exactly one legal answer.
+        return {"slot": slot, "payload": [slot * 0.5, "x" * 64]}
+
+    for round_number in range(rounds):
+        slot = (worker_id + round_number) % keys
+        key = cache.key({"slot": slot})
+        value = cache.get(key)
+        if value is not None and value != expected(slot):
+            print(f"CORRUPT READ: slot {slot} gave {value!r}")
+            sys.exit(1)
+        cache.put(key, expected(slot))
+        value = cache.get(key)
+        if value != expected(slot):
+            print(f"CORRUPT READ-AFTER-WRITE: slot {slot} gave {value!r}")
+            sys.exit(1)
+    sys.exit(0)
+"""
+
+
+class TestMultiprocessStress:
+    def test_overlapping_writers_and_readers_never_corrupt(self, tmp_path):
+        """>= 4 processes hammering overlapping keys: zero corrupt
+        reads, zero evictions, zero leaked temp files."""
+        cache_dir = tmp_path / "shared"
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    textwrap.dedent(_HAMMER_SOURCE),
+                    str(cache_dir),
+                    str(worker_id),
+                    "120",
+                    "7",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for worker_id in range(5)
+        ]
+        for worker in workers:
+            stdout, stderr = worker.communicate(timeout=120)
+            assert worker.returncode == 0, f"worker failed: {stdout}{stderr}"
+        # No staging litter, and every entry left behind is readable
+        # and exact.
+        assert list(cache_dir.rglob("*.tmp")) == []
+        survivor = ResultCache(cache_dir=cache_dir, version_tag="stress")
+        for slot in range(7):
+            key = survivor.key({"slot": slot})
+            value = survivor.get(key)
+            assert value == {"slot": slot, "payload": [slot * 0.5, "x" * 64]}
+        assert survivor.stats.evictions == 0
+
+    def test_reader_mid_replace_sees_old_or_new_never_torn(self, tmp_path):
+        """One writer rewrites a key in a tight loop while a reader
+        polls it; the reader must only ever see a complete entry."""
+        cache_dir = tmp_path / "shared"
+        cache = ResultCache(cache_dir=cache_dir, version_tag="stress")
+        key = cache.key({"slot": 0})
+        cache.put(key, {"slot": 0, "payload": [0.0, "x" * 64]})
+        writer = subprocess.Popen(
+            [
+                sys.executable,
+                "-c",
+                textwrap.dedent(_HAMMER_SOURCE),
+                str(cache_dir),
+                "0",
+                "400",
+                "1",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        torn = 0
+        while writer.poll() is None:
+            value = cache.get(key)
+            if value is not None and value != {
+                "slot": 0,
+                "payload": [0.0, "x" * 64],
+            }:
+                torn += 1
+        stdout, stderr = writer.communicate(timeout=60)
+        assert writer.returncode == 0, f"writer failed: {stdout}{stderr}"
+        assert torn == 0
+        assert cache.stats.evictions == 0
+
+
+class TestCrashInjection:
+    def test_writer_killed_between_temp_write_and_replace(self, tmp_path):
+        """Kill a worker in the narrowest window - temp file fully
+        written, rename not yet issued.  No corrupt entry may ever be
+        readable, and the orphan is swept by clear()."""
+        cache_dir = tmp_path / "shared"
+        crash = _run_python(
+            """
+            import os
+            import sys
+
+            from repro.parallel.cache import ResultCache
+
+            cache = ResultCache(cache_dir=sys.argv[1], version_tag="stress")
+            key = cache.key({"slot": "crash"})
+
+            def killed_mid_store(src, dst):
+                os._exit(9)  # SIGKILL-equivalent: no cleanup runs
+
+            os.replace = killed_mid_store
+            cache.put(key, {"big": "value"})
+            """,
+            str(cache_dir),
+        )
+        assert crash.returncode == 9
+        cache = ResultCache(cache_dir=cache_dir, version_tag="stress")
+        key = cache.key({"slot": "crash"})
+        # The orphaned temp file exists but is invisible to readers.
+        orphans = list(cache_dir.rglob("*.tmp"))
+        assert len(orphans) == 1
+        assert cache.get(key) is None
+        assert cache.stats.evictions == 0  # nothing to destroy
+        # Maintenance sweeps the litter; the key stores cleanly after.
+        cache.clear()
+        assert list(cache_dir.rglob("*.tmp")) == []
+        cache.put(key, {"big": "value"})
+        assert cache.get(key) == {"big": "value"}
+
+    def test_writer_killed_mid_temp_write_leaves_no_readable_entry(
+        self, tmp_path
+    ):
+        """Kill during the temp write itself (partial JSON on disk)."""
+        cache_dir = tmp_path / "shared"
+        crash = _run_python(
+            """
+            import os
+            import pathlib
+            import sys
+
+            from repro.parallel.cache import ResultCache
+
+            cache = ResultCache(cache_dir=sys.argv[1], version_tag="stress")
+            key = cache.key({"slot": "partial"})
+            real_write_text = pathlib.Path.write_text
+
+            def killed_mid_write(self, text, **kwargs):
+                real_write_text(self, text[: len(text) // 2], **kwargs)
+                os._exit(9)
+
+            pathlib.Path.write_text = killed_mid_write
+            cache.put(key, {"big": "value"})
+            """,
+            str(cache_dir),
+        )
+        assert crash.returncode == 9
+        cache = ResultCache(cache_dir=cache_dir, version_tag="stress")
+        key = cache.key({"slot": "partial"})
+        assert cache.get(key) is None
+        assert cache.stats.evictions == 0
+        assert cache.sweep_orphans() == 1
+
+
+class TestLegacyLayout:
+    def test_flat_entries_survive_concurrent_era(self, tmp_path):
+        """A cache directory populated by the pre-sharding release
+        keeps serving hits through the new store."""
+        cache_dir = tmp_path / "shared"
+        cache_dir.mkdir()
+        old_entries = {}
+        writer = ResultCache(cache_dir=cache_dir, version_tag="legacy")
+        for slot in range(6):
+            key = writer.key({"slot": slot})
+            value = {"slot": slot, "ebw": slot * 1.25}
+            # Write exactly what the old flat layout wrote.
+            (cache_dir / f"{key}.json").write_text(
+                json.dumps(
+                    {"key": key, "version": "legacy", "value": value},
+                    sort_keys=True,
+                ),
+                encoding="utf-8",
+            )
+            old_entries[key] = value
+        reader = ResultCache(cache_dir=cache_dir, version_tag="legacy")
+        assert len(reader) == 6
+        for key, value in old_entries.items():
+            assert reader.get(key) == value
+        assert reader.stats.hits == 6
+        # All promoted into the sharded layout, none double counted.
+        assert len(reader) == 6
+        assert list(cache_dir.glob("*.json")) == []
+        assert len(list(cache_dir.glob("[0-9a-f][0-9a-f]/*.json"))) == 6

@@ -318,11 +318,11 @@ class TestScenarioIntegration:
         assert results[0].littles is not None
 
     def test_malformed_payload_is_an_experiment_error(self):
-        from repro.scenarios.execute import _result_from_metrics
+        from repro.scenarios.execute import result_from_metrics
 
         unit = compile_scenario(self.mva_spec())[0]
         with pytest.raises(ExperimentError, match="malformed"):
-            _result_from_metrics(unit, {"ebw": "not-a-number"}, cached=False)
+            result_from_metrics(unit, {"ebw": "not-a-number"}, cached=False)
 
     def test_new_methods_compile_and_run(self):
         for method in (EvaluationMethod.BOUNDS, EvaluationMethod.APPROX):

@@ -86,7 +86,7 @@ class TestRunnerCache:
 
     def test_corrupted_cache_entry_recomputes(self, cache):
         cold = run_experiments(["table1"], cache=cache)
-        for path in cache.cache_dir.glob("*.json"):
+        for path in cache.cache_dir.rglob("*.json"):
             path.write_text("corrupted!", encoding="utf-8")
         again = run_experiments(["table1"], cache=cache)
         assert again == cold
@@ -121,7 +121,7 @@ class TestMainFlags:
         target = tmp_path / "explicit"
         assert main(["table1", "--cache-dir", str(target)]) == 0
         capsys.readouterr()
-        assert list(target.glob("*.json"))
+        assert list(target.rglob("*.json"))
 
     def test_cached_rerun_identical_stdout(self, capsys, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "c2"))

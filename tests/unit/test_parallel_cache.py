@@ -17,6 +17,7 @@ from repro.parallel.cache import (
     config_payload,
     default_cache_dir,
     fingerprint,
+    reset_code_version_tag,
 )
 
 
@@ -112,6 +113,17 @@ class TestInvalidation:
         # Deterministic within a process.
         assert code_version_tag() == tag
 
+    def test_reset_code_version_tag_forces_recompute(self, monkeypatch):
+        """Long-lived processes can drop the memoized tag explicitly."""
+        from repro.parallel import cache as cache_module
+
+        tag = code_version_tag()
+        # Simulate a stale memo from before a code edit.
+        monkeypatch.setattr(cache_module, "_CODE_VERSION", "stale-tag")
+        assert code_version_tag() == "stale-tag"
+        reset_code_version_tag()
+        assert code_version_tag() == tag
+
 
 class TestCorruptionRecovery:
     def test_unparseable_file_is_miss_and_removed(self, cache):
@@ -127,21 +139,170 @@ class TestCorruptionRecovery:
         key_b = cache.key({"x": 2})
         cache.put(key_a, 1.0)
         # Simulate a renamed/moved entry: contents claim a different key.
+        cache.path_for(key_b).parent.mkdir(parents=True, exist_ok=True)
         os.replace(cache.path_for(key_a), cache.path_for(key_b))
         assert cache.get(key_b) is None
         assert not cache.path_for(key_b).exists()
 
     def test_wrong_schema_is_miss(self, cache):
         key = cache.key({"x": 1})
-        cache.path_for(key).write_text('["a", "list"]', encoding="utf-8")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('["a", "list"]', encoding="utf-8")
         assert cache.get(key) is None
 
     def test_recovers_by_restoring_after_eviction(self, cache):
         key = cache.key({"x": 1})
-        cache.path_for(key).write_text("garbage", encoding="utf-8")
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("garbage", encoding="utf-8")
         assert cache.get(key) is None
         cache.put(key, "fresh")
         assert cache.get(key) == "fresh"
+
+    def test_transient_read_error_is_miss_without_eviction(
+        self, cache, monkeypatch
+    ):
+        """A healthy entry must survive a transient I/O failure.
+
+        Before the fix, *any* OSError on read deleted the entry - so an
+        NFS hiccup evicted work another process had just paid to
+        compute.  Now only proven corruption evicts.
+        """
+        import pathlib
+
+        key = cache.key({"x": 1})
+        cache.put(key, {"value": 7})
+        real_read_text = pathlib.Path.read_text
+
+        def flaky_read_text(self, *args, **kwargs):
+            if self.name.endswith(".json"):
+                raise PermissionError("transient NFS glitch")
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "read_text", flaky_read_text)
+        assert cache.get(key) is None
+        monkeypatch.undo()
+        # The entry is still there and readable.
+        assert cache.get(key) == {"value": 7}
+        assert cache.stats.evictions == 0
+        assert cache.stats.transient_errors == 1
+
+
+class TestCrashSafety:
+    def test_put_failure_never_leaks_tmp_files(self, cache, monkeypatch):
+        """A write that dies mid-store must clean up its staging file."""
+        import pathlib
+
+        key = cache.key({"x": 1})
+        real_write_text = pathlib.Path.write_text
+
+        def exploding_write_text(self, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                real_write_text(self, *args, **kwargs)  # partial progress
+                raise OSError(28, "No space left on device")
+            return real_write_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "write_text", exploding_write_text)
+        with pytest.raises(OSError):
+            cache.put(key, [1, 2, 3])
+        monkeypatch.undo()
+        leaked = list(cache.cache_dir.rglob("*.tmp"))
+        assert leaked == []
+        assert cache.get(key) is None  # nothing half-stored
+
+    def test_tmp_names_are_unique_within_one_pid(self, cache, monkeypatch):
+        """Two stores in one process (or two containers sharing a pid
+        namespace) must stage under different names; the random token
+        beyond the pid guarantees it."""
+        import pathlib
+
+        seen = []
+        real_write_text = pathlib.Path.write_text
+
+        def recording_write_text(self, *args, **kwargs):
+            if self.name.endswith(".tmp"):
+                seen.append(self.name)
+            return real_write_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "write_text", recording_write_text)
+        key = cache.key({"x": 1})
+        cache.put(key, 1)
+        cache.put(key, 1)
+        assert len(seen) == 2 and seen[0] != seen[1]
+        assert all(str(os.getpid()) in name for name in seen)
+
+    def test_clear_sweeps_orphaned_tmp_files(self, cache):
+        key = cache.key({"x": 1})
+        cache.put(key, 1)
+        orphan = cache.path_for(key).with_name(".dead.12345.abcd.tmp")
+        orphan.write_text("partial", encoding="utf-8")
+        root_orphan = cache.cache_dir / ".old.999.tmp"
+        root_orphan.write_text("partial", encoding="utf-8")
+        assert cache.clear() == 1  # orphans are not entries
+        assert not orphan.exists()
+        assert not root_orphan.exists()
+        assert list(cache.cache_dir.rglob("*.tmp")) == []
+
+    def test_sweep_orphans_counts(self, cache):
+        (cache.cache_dir / ".a.1.tmp").write_text("x", encoding="utf-8")
+        shard = cache.cache_dir / "ab"
+        shard.mkdir()
+        (shard / ".b.2.tmp").write_text("y", encoding="utf-8")
+        assert cache.sweep_orphans() == 2
+
+
+class TestShardedLayout:
+    def test_entries_fan_out_into_two_hex_shards(self, cache):
+        key = cache.key({"x": 1})
+        cache.put(key, 1)
+        path = cache.path_for(key)
+        assert path.parent.name == key[:2]
+        assert path.parent.parent == cache.cache_dir
+        assert path.exists()
+
+    def test_legacy_flat_entries_remain_readable(self, cache):
+        """Entries written by the old flat layout still hit."""
+        key = cache.key({"x": 1})
+        legacy = cache.legacy_path_for(key)
+        legacy.write_text(
+            json.dumps({"key": key, "version": "v-test", "value": 41}),
+            encoding="utf-8",
+        )
+        assert cache.get(key) == 41
+        assert cache.stats.hits == 1
+
+    def test_legacy_hit_promotes_into_sharded_layout(self, cache):
+        key = cache.key({"x": 1})
+        legacy = cache.legacy_path_for(key)
+        legacy.write_text(
+            json.dumps({"key": key, "version": "v-test", "value": 41}),
+            encoding="utf-8",
+        )
+        assert cache.get(key) == 41
+        assert cache.path_for(key).exists()
+        assert not legacy.exists()
+        assert len(cache) == 1  # never double counted
+        assert cache.get(key) == 41  # now served from the sharded path
+
+    def test_corrupt_legacy_entry_is_evicted(self, cache):
+        key = cache.key({"x": 1})
+        cache.legacy_path_for(key).write_text("garbage", encoding="utf-8")
+        assert cache.get(key) is None
+        assert not cache.legacy_path_for(key).exists()
+        assert cache.stats.evictions == 1
+
+    def test_len_and_clear_cover_both_layouts(self, cache):
+        sharded_key = cache.key({"x": 1})
+        cache.put(sharded_key, 1)
+        legacy_key = cache.key({"x": 2})
+        cache.legacy_path_for(legacy_key).write_text(
+            json.dumps({"key": legacy_key, "version": "v-test", "value": 2}),
+            encoding="utf-8",
+        )
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
 
 
 class TestDirectories:
