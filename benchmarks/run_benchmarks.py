@@ -12,10 +12,10 @@ Usage::
     python benchmarks/run_benchmarks.py --json out.json --quick
     python benchmarks/run_benchmarks.py --json out.json --compare BENCH_kernels.json
 
-Schema (``repro-bench-kernels@2``)::
+Schema (``repro-bench-kernels@3``)::
 
     {
-      "schema": "repro-bench-kernels@2",
+      "schema": "repro-bench-kernels@3",
       "python": "3.12.x ...",
       "parameters": {"cycles": ..., "repeat": ..., "warmup": ...,
                      "figure_cycles": ...},
@@ -56,6 +56,17 @@ buffered machine (fast vs batch, plus a latency-collecting batch leg
 exercising the quantile sketch).  The batch entries require the
 optional numpy extra and are skipped (with a warning) when it is
 missing.
+
+The ``sweep_*`` entries time the distributed sweep service itself:
+``sweep_workers_{1,2,4,8}`` run figure2 end-to-end over real
+subprocess workers (the scaling curve), ``sweep_cache_{cold,warm}``
+run the same sweep twice against one result store (the ``warm``
+leg is served entirely from the coordinator's pre-lease probe -
+the ``warm_cache_collapse`` speedup), and
+``sweep_plan_{affine,contiguous}`` drive a fragmented
+interleaved-shape batch grid through loopback workers under both
+planner modes (the ``affine_vs_contiguous`` speedup: fleet-affine
+leases keep batchable rows in one lockstep call).
 """
 
 from __future__ import annotations
@@ -71,7 +82,7 @@ from repro.core.config import SystemConfig
 from repro.core.policy import Priority
 from repro.workloads.spec import HotSpotWorkload
 
-SCHEMA = "repro-bench-kernels@2"
+SCHEMA = "repro-bench-kernels@3"
 
 
 def best_of(
@@ -96,7 +107,7 @@ def best_of(
 
 
 def _entry(name: str, timing: tuple[float, float], meta: dict) -> dict:
-    """One schema-@2 result entry from a :func:`best_of` measurement."""
+    """One schema-@3 result entry from a :func:`best_of` measurement."""
     seconds, mean = timing
     return {"name": name, "seconds": seconds, "mean": mean, "meta": meta}
 
@@ -257,6 +268,88 @@ def compare_reports(old: dict, new: dict, threshold: float = 0.25):
             f"{ratio:>6.2f}x  {status}"
         )
     return lines, regressions
+
+
+def time_sweep_service(workers: int, cycles: int) -> Callable[[], object]:
+    """Figure2 end-to-end through the sweep service over ``workers``
+    real subprocess workers, cache disabled (pure scheduling signal)."""
+    import dataclasses
+
+    from repro.scenarios.registry import get_scenario
+    from repro.service.coordinator import run_service
+
+    spec = dataclasses.replace(get_scenario("figure2"), cycles=cycles)
+
+    def run():
+        return run_service(
+            spec, workers=workers, kernel="fast", cache_enabled=False
+        )
+
+    return run
+
+
+def time_cached_sweep(store: str, cycles: int) -> Callable[[], object]:
+    """The same figure2 sweep against one shared result store: the
+    first call populates it, every later call is resolved entirely by
+    the coordinator's pre-lease probe."""
+    import dataclasses
+
+    from repro.scenarios.registry import get_scenario
+    from repro.service.coordinator import run_service
+
+    spec = dataclasses.replace(get_scenario("figure2"), cycles=cycles)
+
+    def run():
+        return run_service(
+            spec,
+            workers=2,
+            kernel="fast",
+            cache_enabled=True,
+            cache_dir=store,
+        )
+
+    return run
+
+
+def time_planned_sweep(
+    plan_mode: str, replications: int, cycles: int
+) -> Callable[[], object]:
+    """A fragmented batch grid through loopback workers under one
+    planner mode.
+
+    The grid interleaves fleet shapes (the ``buffered`` axis varies
+    fastest), so contiguous leases split every batchable group across
+    lease boundaries while affine leases reunite them into single
+    lockstep batch calls - the wall-clock difference is the planner's
+    whole value proposition.
+    """
+    from repro.scenarios.spec import GridAxis, ReplicationPlan, ScenarioSpec
+    from repro.service.coordinator import Coordinator
+    from repro.service.transports import LoopbackTransport
+
+    spec = ScenarioSpec(
+        name="bench-fragmented-grid",
+        base={"processors": 16, "memories": 16, "memory_cycle_ratio": 8},
+        grid=(
+            GridAxis("request_probability", (0.25, 0.5, 0.75, 1.0)),
+            GridAxis("buffered", (False, True)),
+        ),
+        cycles=cycles,
+        plan=ReplicationPlan(replications=replications, base_seed=7),
+        description="interleaved fleet shapes for planner benchmarks",
+    )
+
+    def run():
+        coordinator = Coordinator(
+            spec,
+            [LoopbackTransport(f"w{index}") for index in range(2)],
+            kernel="batch",
+            plan_mode=plan_mode,
+            cache_enabled=False,
+        )
+        return coordinator.run()
+
+    return run
 
 
 def time_figure2(cycles: int, kernel: str) -> Callable[[], object]:
@@ -463,7 +556,7 @@ def main(argv=None) -> int:
     if "batch" in fleet_seconds:
         from repro.bus.backends import get_backend
 
-        for backend_name in ("numba", "cupy"):
+        for backend_name in ("numba", "numba-parallel", "cupy"):
             backend = get_backend(backend_name)
             if not backend.available():
                 print(
@@ -553,6 +646,122 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
 
+    # Sweep-service legs: worker scaling, the warm-cache collapse, and
+    # the planner's affine-vs-contiguous lease composition.
+    # Full-size sweeps carry enough per-unit work for the scaling
+    # curve to reflect scheduling rather than subprocess startup; the
+    # quick legs only guard that the service path keeps working.
+    sweep_cycles = 400 if args.quick else 20_000
+    sweep_seconds = {}
+    for workers in (1, 2, 4, 8):
+        timing = best_of(
+            1, time_sweep_service(workers, sweep_cycles), warmup=0
+        )
+        sweep_seconds[workers] = timing[0]
+        results.append(
+            _entry(
+                f"sweep_workers_{workers}",
+                timing,
+                {
+                    "scenario": "figure2",
+                    "workers": workers,
+                    "cycles": sweep_cycles,
+                    "kernel": "fast",
+                    "repeat": 1,
+                },
+            )
+        )
+        print(
+            f"sweep_workers_{workers}: {timing[0]:.3f}s", file=sys.stderr
+        )
+    speedups["sweep_workers_4_vs_1"] = sweep_seconds[1] / sweep_seconds[4]
+    print(
+        f"sweep worker scaling: {speedups['sweep_workers_4_vs_1']:.2f}x "
+        "at 4 workers",
+        file=sys.stderr,
+    )
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as store:
+        # The cold leg must run exactly once into the fresh store (any
+        # warm-up or repeat would pre-populate it); the warm leg is
+        # idempotent and gets best-of-2.
+        cold = best_of(1, time_cached_sweep(store, sweep_cycles), warmup=0)
+        warm = best_of(2, time_cached_sweep(store, sweep_cycles), warmup=0)
+    cache_meta = {
+        "scenario": "figure2",
+        "workers": 2,
+        "cycles": sweep_cycles,
+        "kernel": "fast",
+    }
+    results.append(
+        _entry(
+            "sweep_cache_cold", cold, {**cache_meta, "cache": "cold",
+                                       "repeat": 1}
+        )
+    )
+    results.append(
+        _entry(
+            "sweep_cache_warm", warm, {**cache_meta, "cache": "warm",
+                                       "repeat": 2}
+        )
+    )
+    speedups["warm_cache_collapse"] = cold[0] / warm[0]
+    print(
+        f"sweep_cache_cold: {cold[0]:.3f}s, sweep_cache_warm: "
+        f"{warm[0]:.3f}s (collapse "
+        f"{speedups['warm_cache_collapse']:.2f}x)",
+        file=sys.stderr,
+    )
+
+    if numpy_available():
+        plan_replications = 4 if args.quick else 16
+        plan_cycles = 300 if args.quick else 1_200
+        plan_seconds = {}
+        for plan_mode in ("affine", "contiguous"):
+            timing = best_of(
+                2,
+                time_planned_sweep(
+                    plan_mode, plan_replications, plan_cycles
+                ),
+                warmup=warmup,
+            )
+            plan_seconds[plan_mode] = timing[0]
+            results.append(
+                _entry(
+                    f"sweep_plan_{plan_mode}",
+                    timing,
+                    {
+                        "plan_mode": plan_mode,
+                        "replications": plan_replications,
+                        "cycles": plan_cycles,
+                        "kernel": "batch",
+                        "workers": 2,
+                        "repeat": 2,
+                    },
+                )
+            )
+            print(
+                f"sweep_plan_{plan_mode}: {timing[0]:.3f}s",
+                file=sys.stderr,
+            )
+        speedups["affine_vs_contiguous"] = (
+            plan_seconds["contiguous"] / plan_seconds["affine"]
+        )
+        print(
+            "affine lease planning: "
+            f"{speedups['affine_vs_contiguous']:.2f}x over contiguous "
+            "on the fragmented grid",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            "warning: numpy unavailable - skipping sweep_plan_* "
+            "(install the [batch] extra)",
+            file=sys.stderr,
+        )
+
     payload = {
         "schema": SCHEMA,
         "python": sys.version,
@@ -563,6 +772,7 @@ def main(argv=None) -> int:
             "warmup": warmup,
             "fleet_rows": fleet_rows,
             "fleet_cycles": fleet_cycles,
+            "sweep_cycles": sweep_cycles,
         },
         "results": results,
         "speedups": speedups,

@@ -15,6 +15,13 @@ requested capability is missing (never a silent fallback):
     ``tests/properties/test_backend_equivalence.py`` - so it shares the
     ``simulation-batch@1`` namespace: cached entries are
     interchangeable between the two.
+``numba-parallel``
+    The same JIT loop bodies distributed over fleet rows with
+    ``numba.prange`` (``[batch-jit]`` extra).  Fleet rows are fully
+    independent, so each thread replays the serial statement sequence
+    for its rows exactly: still **bit-identical**, still the
+    ``simulation-batch@1`` namespace.  ``NUMBA_NUM_THREADS`` bounds
+    the pool.
 ``cupy``
     The same array program on GPU device arrays (``[batch-gpu]``
     extra).  Statistically - not bit - equivalent (different Philox
@@ -36,6 +43,7 @@ from repro.bus.backends.base import (
 )
 from repro.bus.backends.cupy_backend import CupyBackend
 from repro.bus.backends.numba_backend import NumbaBackend
+from repro.bus.backends.numba_parallel_backend import NumbaParallelBackend
 from repro.bus.backends.numpy_backend import NumpyBackend
 from repro.core.errors import ConfigurationError
 
@@ -47,6 +55,7 @@ __all__ = [
     "BatchBackend",
     "CupyBackend",
     "NumbaBackend",
+    "NumbaParallelBackend",
     "NumpyBackend",
     "backend_engine_token",
     "check_backend",
@@ -56,7 +65,7 @@ __all__ = [
 DEFAULT_BACKEND = "numpy"
 """The backend every batch entry point uses unless told otherwise."""
 
-KNOWN_BACKENDS = ("numpy", "numba", "cupy")
+KNOWN_BACKENDS = ("numpy", "numba", "numba-parallel", "cupy")
 """Every registered backend name, in documentation order.
 
 The compile-time validation table: ``compile_scenario`` and the
@@ -66,6 +75,7 @@ exists, mirroring ``KNOWN_KERNELS``."""
 _REGISTRY: dict[str, BatchBackend] = {
     "numpy": NumpyBackend(),
     "numba": NumbaBackend(),
+    "numba-parallel": NumbaParallelBackend(),
     "cupy": CupyBackend(),
 }
 

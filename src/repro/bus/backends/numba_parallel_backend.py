@@ -1,57 +1,65 @@
-"""The JIT batch backend: the cycle loop compiled to machine code.
+"""The row-parallel JIT backend: fleet rows under ``numba.prange``.
 
-The numpy backend pays a fixed number of array-op dispatches per cycle;
-for the fleet sizes the paper's figures need, most of that is still
-interpreter overhead.  This backend replaces the per-cycle dispatch
-sequence with two self-contained scalar loops (one per buffering mode)
-that ``numba.njit`` compiles to native code operating on **the exact
-same state arrays** the numpy program uses.
+The serial numba backend compiles the cycle loop but still walks the
+fleet one row at a time, so a 512-row fleet burns one core.  Fleet rows
+are **fully independent** by the reproducibility contract - each row
+owns its counter-based Philox streams, its buffers and positions, and
+every state array is row-indexed - so the loop nest can be interchanged
+(rows outermost) and the row loop distributed over threads with
+``prange``.  Each thread then executes, for its rows, *exactly* the
+statement sequence the serial loop executes for those rows, which is
+what keeps this backend **bit-identical** to numpy and numba (proven by
+``tests/properties/test_backend_equivalence.py``) and lets it share the
+``simulation-batch@1`` cache namespace with no token bump.
 
-**Bit-identity contract.**  The scalar loops are written to consume the
-per-row Philox streams in exactly the numpy program's order and to
-reproduce its arithmetic exactly (left-associative hot-spot products,
-truncating inverse-CDF casts, first-minimum FCFS scans, ``floor(u *
-count)`` tie-break picks), so every counter, EBW, latency sketch and
-RNG end-state is bit-identical to the numpy backend - proven by
-``tests/properties/test_backend_equivalence.py`` - and the two share
-the ``simulation-batch@1`` cache namespace.
+Loop interchange needs one structural change: the serial loops check
+stream headroom and event capacity *per cycle* and bail back to the
+Python driver, a global early-exit that rows running concurrently
+cannot coordinate.  The parallel driver instead **precomputes** the
+largest segment every row can run safely - ``min((chunk - pos) //
+margin)`` over rows and streams, capped by the per-row event stride -
+refills the short rows first, and enters the loop with no in-loop stop
+conditions at all.  Because ``Generator.random(k)`` splits compose
+sequentially, moving refills earlier never changes the values drawn.
 
-The loops are also valid plain Python: ``NumbaBackend(jit=False)`` runs
-them interpreted, so the bit-identity suite executes even where numba
-is not installed (the registry's default instance always JITs and
-raises a :class:`ConfigurationError` naming the ``[batch-jit]`` extra
-when numba is missing).
+Latency events are spilled into **per-row slices** of a flat buffer
+(row ``f`` owns ``[f * stride, f * stride + row_nev[f])``), so threads
+never contend on one cursor; the host replay gathers the slices in
+ascending-row order, stable-sorts by cycle, and feeds the sketches the
+exact per-cycle, rows-ascending, total-then-wait add sequence the numpy
+program performs.
 
-**Stream re-entry.**  The numpy program refills a row's uniform buffer
-lazily at each draw site; the scalar loops instead check a conservative
-per-stream headroom margin at each cycle boundary and return to the
-Python driver, which refills the depleted rows and re-enters.  Because
-``Generator.random(k)`` splits compose sequentially, refill granularity
-never changes the values drawn - only *when* host work happens.
-Latency observations are spilled to preallocated event buffers inside
-the loop and replayed into the host-side sketches between segments, in
-the same per-cycle grouping the numpy program uses.
+Like the serial backend, the loops are valid plain Python:
+``numba.prange`` degrades to ``range`` outside JIT compilation (and a
+plain ``range`` stands in where numba is not importable), so
+``NumbaParallelBackend(jit=False)`` runs interpreted for the
+equivalence suite on hosts without numba.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.bus.backends.base import BATCH_ENGINE_TOKEN, BatchBackend
-from repro.core.errors import ConfigurationError
+from repro.bus.backends.numba_backend import NumbaBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import prange
+except ImportError:  # numba.prange behaves as range outside JIT anyway
+    prange = range
 
 _NEVER = 1 << 30
 
 
 # ----------------------------------------------------------------------
-# The scalar cycle loops.  Each is one self-contained function (njit
-# cannot call back into plain Python) covering every feature flag via
-# branches on loop-invariant booleans; absent features receive dummy
-# arrays that the guarded branches never touch.  Both return
-# ``(cycles_done, events_recorded)`` so the driver can refill streams /
-# drain events and re-enter.
+# Row-parallel scalar loops.  The per-row bodies are verbatim copies of
+# the serial loops' bodies (see numba_backend.py) with the loop nest
+# interchanged; the last five arguments replace the serial event tail
+# (ev_cycle, ev_row, ev_wait, ev_total, ev_cap) with per-row-sliced
+# buffers (ev_cycle, ev_wait, ev_total, ev_stride, row_nev).  The
+# driver guarantees the segment fits every stream and event slice, so
+# there are no in-loop stop checks.
 # ----------------------------------------------------------------------
-def _unbuffered_loop(
+def _unbuffered_loop_rows(
     count,
     cycle0,
     n,
@@ -101,38 +109,16 @@ def _unbuffered_loop(
     access_buf,
     access_pos,
     ev_cycle,
-    ev_row,
     ev_wait,
     ev_total,
-    ev_cap,
+    ev_stride,
+    row_nev,
 ):
-    done = 0
-    nev = 0
-    cycle = cycle0
-    while done < count:
-        # Segment boundary: stop while every stream still has enough
-        # buffered draws for one full cycle (at most one draw per row
-        # per stream here) and the event buffer can hold a full cycle.
-        stop = False
-        for f in range(fleet):
-            if random_tie and arb_pos[f] + 1 > chunk:
-                stop = True
-                break
-            if has_targets and targets_pos[f] + 1 > chunk:
-                stop = True
-                break
-            if has_think and think_pos[f] + 1 > chunk:
-                stop = True
-                break
-            if geometric and access_pos[f] + 1 > chunk:
-                stop = True
-                break
-        if stop:
-            break
-        if record and nev + fleet > ev_cap:
-            break
-
-        for f in range(fleet):
+    for f in prange(fleet):
+        nev = 0
+        base = f * ev_stride
+        cycle = cycle0
+        for _ in range(count):
             # 1. processor-cycle boundaries: waking processors issue.
             for i in range(n):
                 if wake[i, f] == cycle:
@@ -236,10 +222,9 @@ def _unbuffered_loop(
                 total = (cycle + 1) - issue[i, f]
                 total_latency[f] += total
                 if record:
-                    ev_cycle[nev] = cycle
-                    ev_row[nev] = f
-                    ev_wait[nev] = out_wait[k, f]
-                    ev_total[nev] = total
+                    ev_cycle[base + nev] = cycle
+                    ev_wait[base + nev] = out_wait[k, f]
+                    ev_total[base + nev] = total
                     nev += 1
                 if trace_rows[f]:
                     position = trace_pos[f, i]
@@ -267,12 +252,11 @@ def _unbuffered_loop(
                     wake[i, f] = w
                 else:
                     wake[i, f] = cycle + 1
-        cycle += 1
-        done += 1
-    return done, nev
+            cycle += 1
+        row_nev[f] = nev
 
 
-def _buffered_loop(
+def _buffered_loop_rows(
     count,
     cycle0,
     n,
@@ -334,38 +318,16 @@ def _buffered_loop(
     access_buf,
     access_pos,
     ev_cycle,
-    ev_row,
     ev_wait,
     ev_total,
-    ev_cap,
+    ev_stride,
+    row_nev,
 ):
-    done = 0
-    nev = 0
-    cycle = cycle0
-    # A row can draw up to one access time per module (resolve or
-    # finish pulls) plus one direct service per cycle.
-    access_margin = m + 2
-    while done < count:
-        stop = False
-        for f in range(fleet):
-            if random_tie and arb_pos[f] + 1 > chunk:
-                stop = True
-                break
-            if has_targets and targets_pos[f] + 1 > chunk:
-                stop = True
-                break
-            if has_think and think_pos[f] + 1 > chunk:
-                stop = True
-                break
-            if geometric and access_pos[f] + access_margin > chunk:
-                stop = True
-                break
-        if stop:
-            break
-        if record and nev + fleet > ev_cap:
-            break
-
-        for f in range(fleet):
+    for f in prange(fleet):
+        nev = 0
+        base = f * ev_stride
+        cycle = cycle0
+        for _ in range(count):
             # 1. processor-cycle boundaries: waking processors issue.
             for i in range(n):
                 if wake[i, f] == cycle:
@@ -574,10 +536,9 @@ def _buffered_loop(
                 total = (cycle + 1) - issue[i, f]
                 total_latency[f] += total
                 if record:
-                    ev_cycle[nev] = cycle
-                    ev_row[nev] = f
-                    ev_wait[nev] = outq_wait[head, k, f]
-                    ev_total[nev] = total
+                    ev_cycle[base + nev] = cycle
+                    ev_wait[base + nev] = outq_wait[head, k, f]
+                    ev_total[base + nev] = total
                     nev += 1
                 if trace_rows[f]:
                     position = trace_pos[f, i]
@@ -609,243 +570,50 @@ def _buffered_loop(
                     # Stalled modules resolve exactly one cycle after
                     # the response grant that freed their slot.
                     resolve[k, f] = True
-        cycle += 1
-        done += 1
-    return done, nev
+            cycle += 1
+        row_nev[f] = nev
 
 
-_JIT_LOOPS = None
+_JIT_PARALLEL_LOOPS = None
+
+EVENT_STRIDE = 1024
+"""Latency events each row can spill per segment (one per cycle max,
+so segments are capped at this many cycles when recording)."""
 
 
-def _jit_loops():
-    """Compile the scalar loops once per process (shared by instances)."""
-    global _JIT_LOOPS
-    if _JIT_LOOPS is None:
+def _jit_parallel_loops():
+    """Compile the row-parallel loops once per process."""
+    global _JIT_PARALLEL_LOOPS
+    if _JIT_PARALLEL_LOOPS is None:
         import numba
 
-        jit = numba.njit(cache=False, nogil=True)
-        _JIT_LOOPS = (jit(_unbuffered_loop), jit(_buffered_loop))
-    return _JIT_LOOPS
+        jit = numba.njit(parallel=True, cache=False, nogil=True)
+        _JIT_PARALLEL_LOOPS = (
+            jit(_unbuffered_loop_rows),
+            jit(_buffered_loop_rows),
+        )
+    return _JIT_PARALLEL_LOOPS
 
 
-class NumbaBackend(BatchBackend):
-    """JIT substrate (optional ``[batch-jit]`` extra, bit-identical).
+class NumbaParallelBackend(NumbaBackend):
+    """Threaded JIT substrate (``[batch-jit]`` extra, bit-identical).
 
-    ``jit=False`` runs the same loop source interpreted - slower than
-    the numpy program, but byte-for-byte the same results, which is how
-    the equivalence suite exercises this backend without numba.
+    Inherits the serial numba backend's availability, token and feature
+    surface - the two differ only in the loop bodies (``prange`` over
+    rows) and the driver (precomputed segments, per-row event slices).
+    ``NUMBA_NUM_THREADS`` bounds the thread pool as usual.
     """
 
-    name = "numba"
-    extra = "batch-jit"
-    bitwise = True
-    engine_token = BATCH_ENGINE_TOKEN
-    supports_latency = True
-
-    def __init__(self, jit: bool = True) -> None:
-        self._jit = bool(jit)
-
-    def available(self) -> bool:
-        try:
-            import numba  # noqa: F401
-            import numpy  # noqa: F401
-        except ImportError:
-            return False
-        return True
-
-    def require(self):
-        from repro.bus.batch import require_numpy
-
-        np = require_numpy()
-        if self._jit:
-            try:
-                import numba  # noqa: F401
-            except ImportError:
-                self._missing("numba")
-        return np
+    name = "numba-parallel"
 
     def _loops(self):
         if self._jit:
-            return _jit_loops()
-        return (_unbuffered_loop, _buffered_loop)
+            return _jit_parallel_loops()
+        return (_unbuffered_loop_rows, _buffered_loop_rows)
 
     # ------------------------------------------------------------------
-    def _segment_state(self, kernel):
-        """The chunked driver's shared state: streams plus the static
-        argument prefix.
-
-        Both scalar-loop signatures end with the same five event-buffer
-        arguments; everything before them is identical between the
-        serial driver and the row-parallel driver
-        (:class:`~repro.bus.backends.numba_parallel_backend.NumbaParallelBackend`),
-        so this helper builds that shared prefix once and each driver
-        appends its own event tail.  Returns ``(streams, prefix)``
-        where ``streams`` is the ``(lanes, per-cycle margin)`` list the
-        driver refills between segments.
-        """
-        np = kernel._np
-        fleet = kernel._fleet
-        m = kernel._m
-        collect = kernel._collect_latency
-        record = kernel._sketch_total is not None
-        geometric = kernel._geometric
-        random_tie = kernel._random_tie
-        track_ready = not random_tie
-
-        lanes_list = [
-            (kernel._targets_lanes, 1),
-            (kernel._think_lanes, 1),
-            (kernel._arb_lanes, 1),
-            (kernel._access_lanes, 1 if not kernel._buffered else m + 2),
-        ]
-        streams = [(ln, margin) for ln, margin in lanes_list if ln is not None]
-        chunk = streams[0][0]._chunk if streams else 1
-        if geometric and kernel._buffered and m + 2 > chunk:
-            raise ConfigurationError(
-                f"backend='{self.name}' cannot buffer geometric access "
-                f"draws for {m} memories (needs {m + 2} > {chunk} "
-                "slots); use backend='numpy'"
-            )
-
-        dummy_buf = np.zeros((1, 1), dtype=np.float64)
-        dummy_pos = np.zeros(1, dtype=np.int64)
-
-        def stream_args(lanes):
-            if lanes is None:
-                return dummy_buf, dummy_pos
-            return lanes._buf, lanes._pos
-
-        targets_buf, targets_pos = stream_args(kernel._targets_lanes)
-        think_buf, think_pos = stream_args(kernel._think_lanes)
-        arb_buf, arb_pos = stream_args(kernel._arb_lanes)
-        access_buf, access_pos = stream_args(kernel._access_lanes)
-
-        if kernel._trace_pad is not None:
-            trace_pad = kernel._trace_pad
-            trace_len = kernel._trace_len
-            trace_pos = kernel._trace_pos
-        else:
-            trace_pad = np.zeros((1, 1, 1), dtype=np.int32)
-            trace_len = np.ones((1, 1), dtype=np.int64)
-            trace_pos = np.zeros((1, 1), dtype=np.int64)
-
-        workload_args = (
-            kernel._trace_rows,
-            trace_pad,
-            trace_len,
-            trace_pos,
-            kernel._hot_fraction,
-            kernel._hot_module,
-            kernel._hot_rescale,
-            kernel._log1p_neg_p,
-            kernel._log1p_neg_access,
-            chunk,
-            kernel._targets_lanes is not None,
-            targets_buf,
-            targets_pos,
-            kernel._think_lanes is not None,
-            think_buf,
-            think_pos,
-            arb_buf,
-            arb_pos,
-            access_buf,
-            access_pos,
-        )
-        counter_args = (
-            kernel.completions,
-            kernel.request_transfers,
-            kernel.total_latency,
-            kernel._busy_accum,
-        )
-        proc_args = (
-            kernel._requesting,
-            kernel._target,
-            kernel._issue,
-            kernel._wake,
-        )
-        if kernel._buffered:
-            capacity = kernel._capacity
-            depth = kernel._depth
-            resolve = getattr(kernel, "_nb_resolve", None)
-            if resolve is None:
-                resolve = np.zeros((m, fleet), dtype=bool)
-                kernel._nb_resolve = resolve
-            dummy_ring = np.zeros((1, 1, 1), dtype=np.int32)
-            dummy_mf = np.zeros((1, 1), dtype=np.int32)
-            prefix = (
-                kernel._n,
-                m,
-                fleet,
-                kernel._r,
-                kernel._pc,
-                depth,
-                capacity,
-                kernel._proc_first,
-                random_tie,
-                track_ready,
-                collect,
-                record,
-                geometric,
-                *proc_args,
-                kernel._svc_finish,
-                kernel._svc_proc,
-                kernel._svc_active,
-                kernel._stalled,
-                kernel._stalled_proc_flat.reshape(m, fleet),
-                resolve,
-                kernel._inq_ring.reshape(depth, m, fleet),
-                kernel._inq_head.reshape(m, fleet),
-                kernel._inq_len,
-                kernel._outq_ring.reshape(capacity, m, fleet),
-                kernel._outq_head.reshape(m, fleet),
-                kernel._outq_len,
-                kernel._outq_ready_ring.reshape(capacity, m, fleet)
-                if track_ready
-                else dummy_ring,
-                kernel._head_ready if track_ready else dummy_mf,
-                kernel._svc_wait_flat.reshape(m, fleet)
-                if collect
-                else dummy_mf,
-                kernel._stalled_wait_flat.reshape(m, fleet)
-                if collect
-                else dummy_mf,
-                kernel._outq_wait_ring.reshape(capacity, m, fleet)
-                if collect
-                else dummy_ring,
-                *counter_args,
-                *workload_args,
-            )
-        else:
-            dummy_mf = np.zeros((1, 1), dtype=np.int32)
-            prefix = (
-                kernel._n,
-                m,
-                fleet,
-                kernel._r,
-                kernel._pc,
-                kernel._proc_first,
-                random_tie,
-                track_ready,
-                collect,
-                record,
-                geometric,
-                *proc_args,
-                kernel._svc_finish,
-                kernel._svc_proc,
-                kernel._module_free,
-                kernel._out_full,
-                kernel._out_proc,
-                kernel._out_ready,
-                kernel._out_wait_flat.reshape(m, fleet)
-                if collect
-                else dummy_mf,
-                *counter_args,
-                *workload_args,
-            )
-        return streams, prefix
-
     def advance(self, kernel, count: int) -> None:
-        """Run ``count`` cycles through the scalar loop in segments."""
+        """Run ``count`` cycles in driver-precomputed parallel segments."""
         np = kernel._np
         unbuffered_fn, buffered_fn = self._loops()
         loop = buffered_fn if kernel._buffered else unbuffered_fn
@@ -853,56 +621,107 @@ class NumbaBackend(BatchBackend):
         record = kernel._sketch_total is not None
         streams, prefix = self._segment_state(kernel)
 
+        row_nev = getattr(kernel, "_nbp_row_nev", None)
+        if row_nev is None or len(row_nev) != fleet:
+            row_nev = np.zeros(fleet, dtype=np.int64)
+            kernel._nbp_row_nev = row_nev
         if record:
-            ev_cap = max(fleet, 16384)
-            events = getattr(kernel, "_nb_events", None)
-            if events is None or len(events[0]) < ev_cap:
+            ev_stride = EVENT_STRIDE
+            events = getattr(kernel, "_nbp_events", None)
+            if events is None or len(events[0]) != fleet * ev_stride:
                 events = tuple(
-                    np.empty(ev_cap, dtype=np.int64) for _ in range(4)
+                    np.empty(fleet * ev_stride, dtype=np.int64)
+                    for _ in range(3)
                 )
-                kernel._nb_events = events
+                kernel._nbp_events = events
         else:
-            ev_cap = 1
-            events = tuple(np.empty(1, dtype=np.int64) for _ in range(4))
-        static = prefix + (*events, ev_cap)
+            ev_stride = 1
+            events = tuple(np.empty(1, dtype=np.int64) for _ in range(3))
+        ev_cycle, ev_wait, ev_total = events
 
         done = 0
         while done < count:
-            ran, nev = loop(count - done, kernel.cycle, *static)
-            ran = int(ran)
-            nev = int(nev)
-            kernel.cycle += ran
-            done += ran
-            if nev:
-                self._replay_events(kernel, events, nev)
-            if done < count:
-                refilled = False
-                for lanes, margin in streams:
-                    need = lanes._pos > lanes._chunk - margin
-                    if need.any():
-                        lanes._refill(need)
-                        refilled = True
-                if ran == 0 and nev == 0 and not refilled:
-                    raise RuntimeError(
-                        "numba batch loop made no progress; this is a bug"
-                    )
+            # Refill rows without headroom for even one cycle, then run
+            # the largest segment every stream can sustain (the serial
+            # loops' per-cycle stop checks, hoisted into the driver so
+            # rows need no global coordination).
+            seg = count - done
+            for lanes, margin in streams:
+                need = lanes._pos > lanes._chunk - margin
+                if need.any():
+                    lanes._refill(need)
+                per_row = (lanes._chunk - lanes._pos) // margin
+                seg = min(seg, int(per_row.min()))
+            if record:
+                seg = min(seg, ev_stride)
+            if seg <= 0:
+                raise RuntimeError(
+                    "numba-parallel batch loop made no progress; "
+                    "this is a bug"
+                )
+            loop(
+                seg,
+                kernel.cycle,
+                *prefix,
+                ev_cycle,
+                ev_wait,
+                ev_total,
+                ev_stride,
+                row_nev,
+            )
+            kernel.cycle += seg
+            done += seg
+            if record:
+                self._replay_row_events(
+                    kernel, ev_cycle, ev_wait, ev_total, ev_stride, row_nev
+                )
 
     @staticmethod
-    def _replay_events(kernel, events, nev):
-        """Feed spilled latency events into the host-side sketches.
+    def _replay_row_events(
+        kernel, ev_cycle, ev_wait, ev_total, ev_stride, row_nev
+    ):
+        """Feed the per-row event slices into the host-side sketches.
 
-        Replays exactly the per-cycle add-call sequence the numpy
-        program performs (grant rows ascending, total then wait), so
-        sketch contents stay bit-identical.
+        Gathers slices in ascending-row order and stable-sorts by
+        cycle, which reproduces the serial replay's exact add sequence:
+        cycles increasing, rows ascending within each cycle (each row
+        records at most one event per cycle, so rows stay distinct per
+        add call), totals before waits.
         """
         np = kernel._np
-        ev_cycle, ev_row, ev_wait, ev_total = events
+        total_events = int(row_nev.sum())
+        if total_events == 0:
+            return
+        pieces = [
+            (f, int(row_nev[f]))
+            for f in range(kernel._fleet)
+            if row_nev[f] > 0
+        ]
+        rows = np.repeat(
+            np.array([f for f, _ in pieces], dtype=np.int64),
+            np.array([count for _, count in pieces], dtype=np.int64),
+        )
+        cycles = np.concatenate(
+            [ev_cycle[f * ev_stride : f * ev_stride + c] for f, c in pieces]
+        )
+        waits = np.concatenate(
+            [ev_wait[f * ev_stride : f * ev_stride + c] for f, c in pieces]
+        )
+        totals = np.concatenate(
+            [ev_total[f * ev_stride : f * ev_stride + c] for f, c in pieces]
+        )
+        order = np.argsort(cycles, kind="stable")
+        cycles = cycles[order]
+        rows = rows[order]
+        waits = waits[order]
+        totals = totals[order]
+        boundaries = np.flatnonzero(np.diff(cycles)) + 1
+        starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
+        ends = np.concatenate(
+            (boundaries, np.array([len(cycles)], dtype=np.int64))
+        )
         sketch_total = kernel._sketch_total
         sketch_wait = kernel._sketch_wait
-        boundaries = np.flatnonzero(np.diff(ev_cycle[:nev])) + 1
-        starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
-        ends = np.concatenate((boundaries, np.array([nev], dtype=np.int64)))
         for start, end in zip(starts, ends):
-            rows = ev_row[start:end]
-            sketch_total.add(rows, ev_total[start:end])
-            sketch_wait.add(rows, ev_wait[start:end])
+            sketch_total.add(rows[start:end], totals[start:end])
+            sketch_wait.add(rows[start:end], waits[start:end])

@@ -345,6 +345,29 @@ class ResultCache:
             temp.unlink(missing_ok=True)
         return path
 
+    def get_many(self, keys) -> dict[str, Any]:
+        """Probe many keys at once; returns ``{key: value}`` for hits only.
+
+        The bulk front door for sweep planners: one call resolves every
+        already-cached unit of a compiled sweep before any dispatch.
+        Repeated keys (replication-deduplicated analytic units) are
+        probed once - one hit or one miss in :attr:`stats` per *unique*
+        key, matching what the per-unit loop it replaces would have
+        charged after its own dedup.  Misses are simply absent from the
+        result; per-key semantics (legacy promotion, corrupt eviction,
+        transient-as-miss) are exactly those of :meth:`get`.
+        """
+        found: dict[str, Any] = {}
+        probed: set[str] = set()
+        for key in keys:
+            if key in probed:
+                continue
+            probed.add(key)
+            value = self.get(key)
+            if value is not None:
+                found[key] = value
+        return found
+
     def lookup(self, payload: Mapping[str, Any]) -> Any | None:
         """:meth:`get` keyed directly on a payload mapping."""
         return self.get(self.key(payload))

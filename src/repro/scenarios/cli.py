@@ -102,9 +102,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=None,
         metavar="N",
         help="run through the distributed sweep service with N "
-        "subprocess workers leasing unit ranges from a coordinator "
-        "(see 'sweep-serve'); stdout stays byte-identical to the "
-        "serial run",
+        "subprocess workers leasing planned position lists from a "
+        "coordinator (see 'sweep-serve'); stdout stays byte-identical "
+        "to the serial run",
+    )
+    parser.add_argument(
+        "--lease-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="units per service lease (requires --workers; default: "
+        "cost-weighted planner sizing)",
     )
     parser.add_argument(
         "--cycles",
@@ -145,13 +153,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("numpy", "numba", "cupy"),
+        choices=("numpy", "numba", "numba-parallel", "cupy"),
         default="numpy",
         help="array substrate for the batch kernel (requires --kernel "
         "batch): 'numpy' (default), 'numba' (JIT-compiled cycle loop, "
-        "bit-identical to numpy, [batch-jit] extra) or 'cupy' (GPU, "
-        "statistically equivalent, own cache namespace, [batch-gpu] "
-        "extra); a missing backend fails loudly naming its extra",
+        "bit-identical to numpy, [batch-jit] extra), 'numba-parallel' "
+        "(same loop under prange over fleet rows, bit-identical, "
+        "[batch-jit] extra) or 'cupy' (GPU, statistically equivalent, "
+        "own cache namespace, [batch-gpu] extra); a missing backend "
+        "fails loudly naming its extra",
     )
     parser.add_argument(
         "--chart",
@@ -172,6 +182,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         help="cache directory (default $REPRO_CACHE_DIR or "
         "~/.cache/repro-single-bus)",
     )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="after the run, print the cache's hit/miss/store counters "
+        "on stderr (for --workers runs: the coordinator's pre-lease "
+        "probe counters plus units dispatched), so planner skip-rates "
+        "are observable",
+    )
     args = parser.parse_args(argv)
     if args.jobs < 1:
         parser.error("--jobs must be a positive integer")
@@ -185,6 +203,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "--jobs and --workers conflict: --workers delegates "
                 "parallelism to the sweep service's worker fleet"
             )
+    if args.lease_size is not None:
+        if args.workers is None:
+            parser.error("--lease-size requires --workers")
+        if args.lease_size < 1:
+            parser.error("--lease-size must be a positive integer")
     if args.fast and args.kernel == "batch":
         # fast and batch produce deliberately different bytes, so a
         # silent precedence pick would hand back the wrong tier.
@@ -231,12 +254,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             # A broken cache location must never block the science run.
             print(f"warning: caching disabled: {exc}", file=sys.stderr)
     started = time.time()
+    telemetry: dict = {}
     try:
         if args.workers is not None:
-            # The distributed sweep service: a coordinator leasing
-            # contiguous unit ranges to subprocess workers that share
-            # one concurrent result store.  Byte-identical to the
-            # serial path below, property- and golden-tested.
+            # The distributed sweep service: a coordinator probing the
+            # shared store, then leasing planned position lists to
+            # subprocess workers.  Byte-identical to the serial path
+            # below, property- and golden-tested.
             from repro.service.coordinator import run_service
 
             results = run_service(
@@ -245,8 +269,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 kernel=kernel,
                 backend=args.backend,
                 shard=shard,
+                lease_size=args.lease_size,
                 cache_enabled=args.cache,
                 cache_dir=args.cache_dir,
+                telemetry=telemetry,
             )
         else:
             results = run_units(units, jobs=args.jobs, cache=cache)
@@ -270,4 +296,37 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"[{len(results)} units in {elapsed:.1f}s, {served} from cache]",
         file=sys.stderr,
     )
+    if args.cache_stats:
+        print(render_cache_stats(cache, telemetry), file=sys.stderr)
     return 0
+
+
+def render_cache_stats(cache, telemetry: dict) -> str:
+    """The ``--cache-stats`` stderr line.
+
+    Serial runs report the run cache's own
+    :class:`~repro.parallel.cache.CacheStats`; service runs report the
+    coordinator's pre-lease probe counters plus how many units were
+    actually dispatched to workers (zero on a fully-warm sweep).
+    """
+    if telemetry:
+        stats = telemetry.get("probe_stats")
+        line = (
+            f"[cache-stats probe_hits={telemetry.get('probe_hits', 0)} "
+            f"dispatched={telemetry.get('dispatched', 0)} "
+            f"of {telemetry.get('units', 0)} units"
+        )
+        if stats is not None:
+            line += (
+                f" hits={stats.hits} misses={stats.misses} "
+                f"transient_errors={stats.transient_errors}"
+            )
+        return line + "]"
+    if cache is None:
+        return "[cache-stats disabled]"
+    stats = cache.stats
+    return (
+        f"[cache-stats hits={stats.hits} misses={stats.misses} "
+        f"stores={stats.stores} evictions={stats.evictions} "
+        f"transient_errors={stats.transient_errors}]"
+    )

@@ -206,15 +206,19 @@ def run_units(
     units = list(units)
     keys: list[str] = []
     results: dict[int, UnitResult] = {}
-    for position, unit in enumerate(units):
-        key = (
+    for unit in units:
+        keys.append(
             cache.key(unit.payload())
             if cache is not None
             else fingerprint(unit.payload())
         )
-        keys.append(key)
-        if cache is not None:
-            value = cache.get(key)
+    if cache is not None:
+        # One batched probe resolves every cached unit up front
+        # (repeated keys are probed once), so a warm sweep never reaches
+        # the pool at all.
+        cached_values = cache.get_many(keys)
+        for position, unit in enumerate(units):
+            value = cached_values.get(keys[position])
             if value is not None:
                 try:
                     results[position] = result_from_metrics(unit, value, True)

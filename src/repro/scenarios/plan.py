@@ -1,0 +1,165 @@
+"""Cache- and fleet-aware sweep planning.
+
+A compiled scenario is a list of independent work units; *how* that
+list is cut into leases is a pure wall-clock lever (results merge by
+position, and fleet rows are independent), so the service is free to
+plan.  This module turns a unit list into an execution plan in two
+steps:
+
+1. **Batched cache probe** (:func:`probe_cached`): one
+   :meth:`~repro.parallel.cache.ResultCache.get_many` call resolves
+   every already-cached position before any dispatch, so warm or
+   resumed sweeps never ship cached work to workers.
+2. **Fleet-affine lease carving** (:func:`carve_leases`): the
+   remaining positions are grouped by
+   :func:`~repro.parallel.fleet.fleet_key` - batch-kernel units that
+   share a lockstep fleet shape travel together, so each worker runs
+   few large vectorized fleet calls instead of many fragments - and
+   packed into leases sized by **estimated cost** (cycles + warmup per
+   simulation unit) rather than unit count, so a lease of heavy
+   100k-cycle units is shorter than a lease of analytic one-liners.
+
+Neither step can change bytes: the probe only substitutes values the
+worker would have fetched from the same shared store, and lease
+composition only changes which worker computes a position, never the
+position's deterministic result (property-tested in
+``tests/properties/test_service_merge.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.engine.base import EvaluationMethod
+from repro.scenarios.compiler import WorkUnit
+
+ANALYTIC_UNIT_COST = 1.0
+"""Nominal cost of a closed-form (non-simulation) unit."""
+
+MAX_LEASE_UNITS = 256
+"""Hard cap on positions per lease, matching ``default_lease_size``'s
+ceiling: one lost worker can never strand more than this many units."""
+
+
+def unit_cost(unit: WorkUnit) -> float:
+    """Estimated relative cost of evaluating one unit.
+
+    Simulation units cost their simulated cycle count (collection plus
+    warmup) - wall-clock per cycle is roughly constant within a sweep -
+    while closed-form analytic units cost a nominal constant.  The
+    estimate only shapes lease sizes; being wrong is a performance bug,
+    never a correctness bug.
+    """
+    if unit.method is EvaluationMethod.SIMULATION:
+        return float(unit.cycles + (unit.warmup or 0))
+    return ANALYTIC_UNIT_COST
+
+
+def probe_cached(
+    units: Sequence[WorkUnit], positions: Sequence[int], cache
+) -> dict[int, Any]:
+    """Resolve already-cached positions in one batched probe.
+
+    Returns ``{position: metrics_payload}`` for every position of
+    ``positions`` whose unit payload hits in ``cache``.  Payload
+    validation is the caller's job (a malformed entry must trigger a
+    recompute, not a crash).
+    """
+    keys = {
+        position: cache.key(units[position].payload())
+        for position in positions
+    }
+    found = cache.get_many(keys.values())
+    return {
+        position: found[key]
+        for position, key in keys.items()
+        if key in found
+    }
+
+
+def _affine_groups(
+    units: Sequence[WorkUnit], positions: Sequence[int]
+) -> list[list[int]]:
+    """Group positions by lockstep fleet key, first-appearance ordered.
+
+    Batch-kernel simulation positions sharing a fleet shape form one
+    group (they can run as a single vectorized call on the worker);
+    every other position is its own singleton group.  Grouping mirrors
+    :func:`repro.scenarios.execute._evaluation_tasks`, so a lease built
+    from whole groups turns into exactly one fleet call per group.
+    """
+    from repro.parallel.fleet import fleet_key
+    from repro.scenarios.execute import _batchable
+
+    fleets: dict[tuple, list[int]] = {}
+    order: list[list[int]] = []
+    for position in positions:
+        unit = units[position]
+        if _batchable(unit):
+            key = fleet_key(unit.case())
+            if key not in fleets:
+                fleets[key] = []
+                order.append(fleets[key])
+            fleets[key].append(position)
+        else:
+            order.append([position])
+    return order
+
+
+def carve_leases(
+    units: Sequence[WorkUnit],
+    positions: Sequence[int],
+    workers: int,
+    lease_size: int | None = None,
+    affine: bool = True,
+) -> list[list[int]]:
+    """Cut ``positions`` into lease position-lists.
+
+    With ``affine=True`` (the default) positions are first grouped by
+    fleet key so same-shape batch units stay together; ``affine=False``
+    keeps the legacy contiguous order (the benchmark's control arm).
+
+    An explicit ``lease_size`` packs by **unit count**, exactly like
+    the historical contiguous carving - the operator's knob for chaos
+    tests and retry granularity.  Otherwise leases are packed by
+    **estimated cost**: the target is ``total_cost / (workers * 4)``
+    (four waves per worker, amortizing stragglers), with every lease
+    capped at :data:`MAX_LEASE_UNITS` positions and oversized fleet
+    groups split at target boundaries.  Every input position appears in
+    exactly one lease.
+    """
+    positions = list(positions)
+    if not positions:
+        return []
+    workers = max(1, int(workers))
+    if affine:
+        groups = _affine_groups(units, positions)
+    else:
+        groups = [[position] for position in positions]
+    if lease_size is not None:
+        capacity = max(1, int(lease_size))
+        cost_target = None
+    else:
+        capacity = MAX_LEASE_UNITS
+        total = sum(unit_cost(units[position]) for position in positions)
+        cost_target = max(total / (workers * 4), 1.0)
+    leases: list[list[int]] = []
+    current: list[int] = []
+    current_cost = 0.0
+    for group in groups:
+        for position in group:
+            cost = unit_cost(units[position])
+            full = len(current) >= capacity or (
+                cost_target is not None
+                and current
+                and current_cost + cost > cost_target
+            )
+            if full:
+                leases.append(current)
+                current = []
+                current_cost = 0.0
+            current.append(position)
+            current_cost += cost
+    if current:
+        leases.append(current)
+    return leases

@@ -61,7 +61,7 @@ def _add_shared_scenario_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--backend",
-        choices=("numpy", "numba", "cupy"),
+        choices=("numpy", "numba", "numba-parallel", "cupy"),
         default="numpy",
         help="array substrate for the batch kernel (requires "
         "--kernel batch)",
@@ -98,8 +98,8 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
     )
     parser.add_argument(
         "--lease-size", type=int, default=None, metavar="N",
-        help="units per lease (default: ~total/(4*workers), "
-        "clamped to [1, 256])",
+        help="units per lease (default: the planner's cost-weighted "
+        "sizing, ~total cost/(4*workers), capped at 256 units)",
     )
     parser.add_argument(
         "--deadline", type=float, default=None, metavar="SECONDS",
@@ -107,6 +107,11 @@ def serve_main(argv: Sequence[str] | None = None) -> int:
         "failed and its range is re-leased (default 300)",
     )
     _add_shared_scenario_flags(parser)
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="report probe/dispatch telemetry on stderr after the run",
+    )
     parser.add_argument(
         "--chaos-kill-after",
         type=int,
@@ -142,6 +147,7 @@ def _serve(args):
     )
     shard = parse_shard(args.shard) if args.shard is not None else None
     started = time.time()
+    telemetry: dict = {}
     results = run_service(
         spec,
         workers=args.workers,
@@ -155,14 +161,20 @@ def _serve(args):
         cache_enabled=args.cache,
         cache_dir=args.cache_dir,
         chaos_kill_after=args.chaos_kill_after,
+        telemetry=telemetry,
     )
     elapsed = time.time() - started
     served = sum(1 for result in results if result.cached)
     print(
         f"[sweep-serve {spec.name}: {len(results)} units over "
-        f"{args.workers} workers in {elapsed:.1f}s, {served} from cache]",
+        f"{args.workers} workers in {elapsed:.1f}s, {served} from cache, "
+        f"{telemetry.get('dispatched', 0)} dispatched]",
         file=sys.stderr,
     )
+    if args.cache_stats:
+        from repro.scenarios.cli import render_cache_stats
+
+        print(render_cache_stats(None, telemetry), file=sys.stderr)
     return results
 
 

@@ -1,13 +1,19 @@
-"""The sweep coordinator: compile once, lease ranges, merge exactly.
+"""The sweep coordinator: compile once, plan, lease, merge exactly.
 
 The coordinator owns the canonical compiled unit list and drives any
 number of :class:`~repro.service.transports.WorkerTransport` endpoints
 through the lease protocol (:mod:`repro.service.protocol`):
 
-* work is leased as **contiguous position ranges** of the unit list,
-  carved from the low end of the outstanding set, so with healthy
-  workers every lease is one dense block (deterministic ordering means
-  no sort pass is needed at merge time - results land by position);
+* before any dispatch, a **pre-lease cache probe**
+  (:func:`repro.scenarios.plan.probe_cached`) resolves every
+  already-cached position against the shared store, so warm or resumed
+  sweeps never ship cached work to workers (a fully-warm sweep
+  dispatches zero units and skips the handshake entirely);
+* the remaining work is cut by the **sweep planner**
+  (:func:`repro.scenarios.plan.carve_leases`) into position-list
+  leases: fleet-affine grouping keeps same-shape batch units together
+  (one vectorized fleet call per group on the worker) and leases are
+  sized by estimated cost instead of unit count;
 * every lease carries a **deadline**; a lease whose results stop
   arriving in time marks its worker failed, and the unfinished
   positions are re-leased to healthy workers (per-position retry
@@ -31,7 +37,7 @@ import sys
 import time
 from typing import Any, Callable, Sequence
 
-from repro.core.errors import ExperimentError
+from repro.core.errors import ConfigurationError, ExperimentError
 from repro.scenarios.compiler import compile_scenario, shard_units
 from repro.scenarios.execute import UnitResult, result_from_metrics
 from repro.scenarios.spec import ScenarioSpec
@@ -44,13 +50,21 @@ DEFAULT_DEADLINE = 300.0
 DEFAULT_MAX_RETRIES = 3
 """Times one position may be re-leased before the sweep aborts."""
 
+PLAN_MODES = ("affine", "contiguous")
+"""``affine`` groups leases by lockstep fleet key (the planner
+default); ``contiguous`` keeps the historical dense-range carving (the
+benchmark's control arm)."""
+
 
 def default_lease_size(total_units: int, workers: int) -> int:
-    """A lease size balancing dispatch overhead against retry waste.
+    """A count-based lease size balancing dispatch overhead and retry waste.
 
     Four leases per worker keeps every worker busy while bounding the
     work lost to one crash at ~1/4 of a worker's share; clamped to
-    [1, 256] so giant sweeps still stream progress.
+    [1, 256] so giant sweeps still stream progress.  Retained as the
+    reference sizing rule; the planner's cost-weighted carving
+    (:func:`repro.scenarios.plan.carve_leases`) generalizes it and is
+    what the coordinator uses when no explicit ``lease_size`` is given.
     """
     return max(1, min((total_units + workers * 4 - 1) // (workers * 4), 256))
 
@@ -59,8 +73,7 @@ def default_lease_size(total_units: int, workers: int) -> int:
 class _Lease:
     lease_id: int
     worker: int
-    start: int
-    stop: int
+    positions: tuple[int, ...]
     issued: float
     remaining: set[int]
     active: bool = True
@@ -84,6 +97,7 @@ class Coordinator:
         backend: str = "numpy",
         shard: tuple[int, int] | None = None,
         lease_size: int | None = None,
+        plan_mode: str = "affine",
         deadline: float = DEFAULT_DEADLINE,
         max_retries: int = DEFAULT_MAX_RETRIES,
         cache_enabled: bool = True,
@@ -94,6 +108,11 @@ class Coordinator:
     ) -> None:
         if not transports:
             raise ExperimentError("the sweep service needs at least one worker")
+        if plan_mode not in PLAN_MODES:
+            raise ExperimentError(
+                f"unknown plan mode {plan_mode!r}; known modes: "
+                f"{', '.join(PLAN_MODES)}"
+            )
         units = compile_scenario(spec, kernel=kernel, backend=backend)
         if shard is not None:
             units = shard_units(units, shard[0], shard[1])
@@ -106,41 +125,52 @@ class Coordinator:
         self.cache_dir = cache_dir
         self.deadline = deadline
         self.max_retries = max_retries
-        self.lease_size = (
-            lease_size
-            if lease_size is not None
-            else default_lease_size(len(units), len(transports))
-        )
-        if self.lease_size < 1:
+        self.plan_mode = plan_mode
+        if lease_size is not None and lease_size < 1:
             raise ExperimentError(
-                f"lease size must be >= 1, got {self.lease_size}"
+                f"lease size must be >= 1, got {lease_size}"
             )
+        self.lease_size = lease_size
         self._clock = clock
         self._sleep = sleep
         self._poll_interval = poll_interval
         self._workers = [_Worker(transport) for transport in transports]
         self._leases: dict[int, _Lease] = {}
         self._next_lease_id = 0
-        self._todo: list[int] = list(range(len(units)))
+        self._queue: list[list[int]] = []
         self._metrics: dict[int, tuple[Any, bool]] = {}
         self._retries: dict[int, int] = {}
         self.leases_issued = 0
         self.leases_retried = 0
+        self.units_dispatched = 0
+        self.probe_hits = 0
+        self.probe_stats = None
 
     # ------------------------------------------------------------------
     def run(self) -> list[UnitResult]:
         """Execute every unit and return results in canonical order."""
-        hello = protocol.hello_message(
-            self.spec,
-            self.kernel,
-            self.backend,
-            shard=self.shard,
-            cache_dir=self.cache_dir,
-            cache_enabled=self.cache_enabled,
-        )
         self._started = self._clock()
-        for worker in self._workers:
-            worker.transport.send(hello)
+        self._probe_cache()
+        self._queue = self._plan_leases(
+            [
+                position
+                for position in range(len(self.units))
+                if position not in self._metrics
+            ]
+        )
+        if self._queue:
+            # A fully-warm sweep skips the handshake entirely: there is
+            # nothing to dispatch, so workers need not compile.
+            hello = protocol.hello_message(
+                self.spec,
+                self.kernel,
+                self.backend,
+                shard=self.shard,
+                cache_dir=self.cache_dir,
+                cache_enabled=self.cache_enabled,
+            )
+            for worker in self._workers:
+                worker.transport.send(hello)
         try:
             while len(self._metrics) < len(self.units):
                 progressed = self._drain_messages()
@@ -166,6 +196,51 @@ class Coordinator:
             result_from_metrics(self.units[position], metrics, cached)
             for position, (metrics, cached) in sorted(self._metrics.items())
         ]
+
+    # ------------------------------------------------------------------
+    def _probe_cache(self) -> None:
+        """Resolve already-cached positions before any dispatch.
+
+        One batched probe against the shared store fills
+        :attr:`_metrics` with every valid cached value, so those
+        positions are never leased.  A malformed entry is skipped (the
+        worker recomputes it); a broken cache location only disables
+        the probe, never the sweep.
+        """
+        if not self.cache_enabled:
+            return
+        from repro.parallel.cache import ResultCache
+        from repro.scenarios.plan import probe_cached
+
+        try:
+            cache = ResultCache(cache_dir=self.cache_dir)
+        except (ConfigurationError, OSError) as exc:
+            print(
+                f"[sweep] pre-lease cache probe disabled: {exc}",
+                file=sys.stderr,
+            )
+            return
+        self.probe_stats = cache.stats
+        found = probe_cached(self.units, range(len(self.units)), cache)
+        for position, value in sorted(found.items()):
+            try:
+                result_from_metrics(self.units[position], value, True)
+            except ExperimentError:
+                continue
+            self._metrics[position] = (value, True)
+            self.probe_hits += 1
+
+    def _plan_leases(self, positions: list[int]) -> list[list[int]]:
+        """Cut the unresolved positions into the lease queue."""
+        from repro.scenarios.plan import carve_leases
+
+        return carve_leases(
+            self.units,
+            positions,
+            workers=len(self._workers),
+            lease_size=self.lease_size,
+            affine=self.plan_mode == "affine",
+        )
 
     # ------------------------------------------------------------------
     def _drain_messages(self) -> bool:
@@ -252,7 +327,7 @@ class Coordinator:
                 worker = self._workers[lease.worker]
                 print(
                     f"[sweep] lease {lease.lease_id} "
-                    f"[{lease.start},{lease.stop}) on worker "
+                    f"({len(lease.positions)} position(s)) on worker "
                     f"{worker.transport.name} exceeded its "
                     f"{self.deadline:g}s deadline; retiring worker",
                     file=sys.stderr,
@@ -297,56 +372,51 @@ class Coordinator:
                     f"{self.max_retries} lease retries"
                 )
         self.leases_retried += 1
-        self._todo = sorted(set(self._todo).union(requeued))
+        self._queue.append(requeued)
 
     def _assign_leases(self) -> bool:
         progressed = False
         for worker_index, worker in enumerate(self._workers):
             if worker.state != "ready" or worker.lease_id is not None:
                 continue
-            block = self._carve_block()
-            if not block:
+            positions = self._next_lease_positions()
+            if not positions:
                 break
             lease = _Lease(
                 lease_id=self._next_lease_id,
                 worker=worker_index,
-                start=block[0],
-                stop=block[-1] + 1,
+                positions=tuple(positions),
                 issued=self._clock(),
-                remaining=set(block),
+                remaining=set(positions),
             )
             self._next_lease_id += 1
             self._leases[lease.lease_id] = lease
             worker.lease_id = lease.lease_id
             self.leases_issued += 1
+            self.units_dispatched += len(positions)
             worker.transport.send(
-                protocol.lease_message(lease.lease_id, lease.start, lease.stop)
+                protocol.lease_message(lease.lease_id, lease.positions)
             )
             progressed = True
         return progressed
 
-    def _carve_block(self) -> list[int]:
-        """The next contiguous run of outstanding positions to lease.
+    def _next_lease_positions(self) -> list[int]:
+        """The planner's next lease, minus positions already resolved.
 
         Positions that gained results while queued (idempotent
-        duplicates from retired stragglers) are skipped; the block ends
-        at the first gap so every lease is one dense ``[start, stop)``
-        range.
+        duplicates from retired stragglers) are skipped; an entry that
+        empties out entirely is dropped and the next one tried.
         """
-        while self._todo and self._todo[0] in self._metrics:
-            self._todo.pop(0)
-        if not self._todo:
-            return []
-        block = [self._todo[0]]
-        while (
-            len(block) < self.lease_size
-            and len(block) < len(self._todo)
-            and self._todo[len(block)] == block[-1] + 1
-            and self._todo[len(block)] not in self._metrics
-        ):
-            block.append(self._todo[len(block)])
-        del self._todo[: len(block)]
-        return block
+        while self._queue:
+            entry = self._queue.pop(0)
+            positions = [
+                position
+                for position in entry
+                if position not in self._metrics
+            ]
+            if positions:
+                return positions
+        return []
 
 
 def run_service(
@@ -356,10 +426,12 @@ def run_service(
     backend: str = "numpy",
     shard: tuple[int, int] | None = None,
     lease_size: int | None = None,
+    plan_mode: str = "affine",
     deadline: float = DEFAULT_DEADLINE,
     cache_enabled: bool = True,
     cache_dir: str | None = None,
     chaos_kill_after: int | None = None,
+    telemetry: dict | None = None,
 ) -> list[UnitResult]:
     """Run ``spec`` under the coordinator with local subprocess workers.
 
@@ -368,6 +440,10 @@ def run_service(
     is the fault-injection hook for tests and the CI smoke job: the
     first worker is spawned with ``--exit-after`` so it dies abruptly
     mid-lease, exercising the retry path on a real subprocess fleet.
+    ``telemetry``, when given, is filled in place with the run's
+    planning counters (units, dispatched, probe hits, the probe
+    cache's :class:`~repro.parallel.cache.CacheStats`, lease counts)
+    for CLI reporting.
     """
     from repro.parallel.cache import reset_code_version_tag
     from repro.service.transports import SubprocessTransport, sweep_work_argv
@@ -394,8 +470,19 @@ def run_service(
         backend=backend,
         shard=shard,
         lease_size=lease_size,
+        plan_mode=plan_mode,
         deadline=deadline,
         cache_enabled=cache_enabled,
         cache_dir=cache_dir,
     )
-    return coordinator.run()
+    results = coordinator.run()
+    if telemetry is not None:
+        telemetry.update(
+            units=len(coordinator.units),
+            dispatched=coordinator.units_dispatched,
+            probe_hits=coordinator.probe_hits,
+            probe_stats=coordinator.probe_stats,
+            leases_issued=coordinator.leases_issued,
+            leases_retried=coordinator.leases_retried,
+        )
+    return results

@@ -18,8 +18,12 @@ unchanged.  The conversation is deliberately tiny:
                          against the coordinator's own compile - a
                          mismatch means version skew) and the worker
                          pid.
-→  ``lease``             a contiguous position range ``[start, stop)``
-                         of the compiled unit list, with a lease id.
+→  ``lease``             an explicit list of positions into the
+                         compiled unit list, with a lease id.  The
+                         planner composes each list (fleet-affine
+                         grouping, cost-weighted sizing), so positions
+                         need not be contiguous; the worker evaluates
+                         them in the order given.
 ←  ``result``            one evaluated unit: lease id, position,
                          global unit index, the evaluator's JSON
                          metrics payload (exact float round-trip, so
@@ -44,9 +48,11 @@ from typing import Any, Mapping
 from repro.core.errors import ConfigurationError
 from repro.scenarios.spec import ScenarioSpec, spec_from_mapping
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 """Bumped on any incompatible message-shape change; ``hello`` carries
-it and workers reject mismatches, so mixed-version fleets fail fast."""
+it and workers reject mismatches, so mixed-version fleets fail fast.
+Version 2 replaced the contiguous ``[start, stop)`` range lease with an
+explicit position list, so planners can compose fleet-affine leases."""
 
 MESSAGE_TYPES = frozenset(
     {"hello", "ready", "lease", "result", "lease_done", "error", "shutdown"}
@@ -147,18 +153,23 @@ def ready_message(units: int, pid: int) -> dict[str, Any]:
     return {"type": "ready", "units": int(units), "pid": int(pid)}
 
 
-def lease_message(lease_id: int, start: int, stop: int) -> dict[str, Any]:
-    """Lease positions ``[start, stop)`` of the compiled unit list."""
-    if not 0 <= start < stop:
+def lease_message(lease_id: int, positions) -> dict[str, Any]:
+    """Lease an explicit list of positions into the compiled unit list."""
+    cleaned = [int(position) for position in positions]
+    if not cleaned:
+        raise ConfigurationError("a lease must name at least one position")
+    if any(position < 0 for position in cleaned):
         raise ConfigurationError(
-            f"lease range must satisfy 0 <= start < stop, got "
-            f"[{start}, {stop})"
+            f"lease positions must be non-negative, got {cleaned!r}"
+        )
+    if len(set(cleaned)) != len(cleaned):
+        raise ConfigurationError(
+            f"lease positions must be unique, got {cleaned!r}"
         )
     return {
         "type": "lease",
         "lease_id": int(lease_id),
-        "start": int(start),
-        "stop": int(stop),
+        "positions": cleaned,
     }
 
 

@@ -125,16 +125,16 @@ class WorkerSession:
         from repro.scenarios.execute import run_units
 
         lease_id = message["lease_id"]
-        start, stop = message["start"], message["stop"]
-        if not 0 <= start < stop <= len(self._units):
+        positions = list(message["positions"])
+        bad = [p for p in positions if not 0 <= p < len(self._units)]
+        if not positions or bad:
             raise ConfigurationError(
-                f"lease [{start}, {stop}) outside compiled unit list "
-                f"(0..{len(self._units)})"
+                f"lease positions {bad or positions!r} outside compiled "
+                f"unit list (0..{len(self._units)})"
             )
-        block = list(self._units[start:stop])
+        block = [self._units[position] for position in positions]
         results = run_units(block, jobs=1, cache=self._cache)
-        for offset, result in enumerate(results):
-            position = start + offset
+        for position, result in zip(positions, results):
             self._send(
                 protocol.result_message(
                     lease_id,

@@ -92,6 +92,32 @@ class TestSweepServe:
         assert list(store.glob("*.json")) == []
         assert list(store.glob("[0-9a-f][0-9a-f]/*.json"))
 
+    def test_cache_stats_reports_probe_and_dispatch(
+        self, spec_file, tmp_path
+    ):
+        """A warm ``sweep-serve --cache-stats`` run shows every unit
+        resolved by the pre-lease probe and nothing dispatched."""
+        store = tmp_path / "store"
+        cold = _run_cli(
+            "sweep-serve",
+            spec_file,
+            "--workers",
+            "2",
+            "--cache-stats",
+            cache_dir=store,
+        )
+        assert "[cache-stats probe_hits=0 dispatched=6" in cold.stderr
+        warm = _run_cli(
+            "sweep-serve",
+            spec_file,
+            "--workers",
+            "2",
+            "--cache-stats",
+            cache_dir=store,
+        )
+        assert warm.stdout == cold.stdout
+        assert "[cache-stats probe_hits=6 dispatched=0" in warm.stderr
+
 
 class TestScenarioWorkersFlag:
     def test_workers_flag_matches_serial_bytes(self, spec_file):

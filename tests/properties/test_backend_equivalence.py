@@ -33,7 +33,10 @@ from hypothesis import strategies as st
 
 np = pytest.importorskip("numpy")
 
-from repro.bus.backends import NumbaBackend  # noqa: E402
+from repro.bus.backends import (  # noqa: E402
+    NumbaBackend,
+    NumbaParallelBackend,
+)
 from repro.bus.batch import BatchBusKernel  # noqa: E402
 from repro.core.config import SystemConfig  # noqa: E402
 from repro.core.policy import Priority, TieBreak  # noqa: E402
@@ -57,6 +60,18 @@ BACKENDS = [
     pytest.param(
         lambda: NumbaBackend(jit=True),
         id="numba-jit",
+        marks=pytest.mark.skipif(
+            not _numba_importable(),
+            reason="numba not installed ([batch-jit] extra)",
+        ),
+    ),
+    pytest.param(
+        lambda: NumbaParallelBackend(jit=False),
+        id="numba-parallel-interpreted",
+    ),
+    pytest.param(
+        lambda: NumbaParallelBackend(jit=True),
+        id="numba-parallel-jit",
         marks=pytest.mark.skipif(
             not _numba_importable(),
             reason="numba not installed ([batch-jit] extra)",

@@ -1,15 +1,17 @@
 """Property tests: the sweep service merge is exactly invariant.
 
 Acceptance contract of the distributed sweep service: whatever the
-lease sizing, the worker count, the shard designator, or a worker
-killed mid-lease, the coordinator's merged output is byte-identical to
-the serial :func:`run_units` report.  Loopback transports make the
-schedule deterministic and cheap, so hypothesis can sweep crash
-timings that subprocess tests could never afford.
+lease sizing, the plan mode, the cache warmth, the batch backend, the
+worker count, the shard designator, or a worker killed mid-lease, the
+coordinator's merged output is byte-identical to the serial
+:func:`run_units` report.  Loopback transports make the schedule
+deterministic and cheap, so hypothesis can sweep crash timings that
+subprocess tests could never afford.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -118,6 +120,79 @@ class TestMergeInvariance:
                 )
             )
         assert reports == serial_reports
+
+
+def _batch_backends() -> list[str]:
+    """Batch backends runnable here: numpy always; the JIT family only
+    where numba is importable (the registry instances always JIT)."""
+    backends = ["numpy"]
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return backends
+    backends.append("numba-parallel")
+    return backends
+
+
+class TestPlanInvariance:
+    """Any plan the sweep planner can produce reproduces serial bytes:
+    probe outcome x grouping mode x lease composition x backend are
+    pure wall-clock levers."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        lease_size=st.one_of(
+            st.none(), st.integers(min_value=1, max_value=8)
+        ),
+        plan_mode=st.sampled_from(("affine", "contiguous")),
+    )
+    def test_invariant_to_plan_shape(self, workers, lease_size, plan_mode):
+        coordinator = Coordinator(
+            _SPEC,
+            _workers(workers, None),
+            lease_size=lease_size,
+            plan_mode=plan_mode,
+            cache_enabled=False,
+        )
+        assert render_report(coordinator.run()) == _SERIAL
+
+    def test_warm_probe_replays_the_same_bytes_with_zero_dispatch(
+        self, tmp_path
+    ):
+        store = tmp_path / "store"
+        reports = []
+        coordinators = []
+        for _ in range(2):
+            coordinator = Coordinator(
+                _SPEC,
+                _workers(2, None),
+                cache_enabled=True,
+                cache_dir=str(store),
+            )
+            reports.append(render_report(coordinator.run()))
+            coordinators.append(coordinator)
+        assert reports[0] == reports[1] == _SERIAL
+        assert coordinators[0].units_dispatched == len(_UNITS)
+        assert coordinators[1].units_dispatched == 0
+
+    @pytest.mark.parametrize("backend", _batch_backends())
+    def test_batch_backends_match_their_serial_bytes(self, backend):
+        serial = render_report(
+            run_units(
+                compile_scenario(_SPEC, kernel="batch", backend=backend),
+                jobs=1,
+                cache=None,
+            )
+        )
+        coordinator = Coordinator(
+            _SPEC,
+            _workers(2, None),
+            kernel="batch",
+            backend=backend,
+            cache_enabled=False,
+        )
+        assert render_report(coordinator.run()) == serial
 
 
 class TestRetryAccounting:

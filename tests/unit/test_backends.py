@@ -45,7 +45,7 @@ class TestRegistry:
         from repro.bus.backends import get_backend
 
         with pytest.raises(
-            ConfigurationError, match="numpy, numba, cupy"
+            ConfigurationError, match="numpy, numba, numba-parallel, cupy"
         ):
             get_backend("torch")
 
@@ -66,6 +66,7 @@ class TestRegistry:
         # entries are interchangeable: one shared namespace.
         assert backend_engine_token("numpy") == BATCH_ENGINE_TOKEN
         assert backend_engine_token("numba") == BATCH_ENGINE_TOKEN
+        assert backend_engine_token("numba-parallel") == BATCH_ENGINE_TOKEN
         # cupy is only statistically equivalent: its entries must never
         # be served to (or from) the bit-identical pair.
         assert backend_engine_token("cupy") == CUPY_ENGINE_TOKEN
@@ -77,6 +78,17 @@ class TestMissingDependencies:
         from repro.bus.backends import NumbaBackend
 
         backend = NumbaBackend()
+        _block_import(monkeypatch, "numba")
+        assert not backend.available()
+        with pytest.raises(
+            ConfigurationError, match=r"repro-single-bus\[batch-jit\]"
+        ):
+            backend.require()
+
+    def test_missing_numba_fails_the_parallel_backend_too(self, monkeypatch):
+        from repro.bus.backends import NumbaParallelBackend
+
+        backend = NumbaParallelBackend()
         _block_import(monkeypatch, "numba")
         assert not backend.available()
         with pytest.raises(
@@ -189,6 +201,13 @@ class TestScenarioCompiler:
         for numba_unit, numpy_unit in zip(numba_units, numpy_units):
             assert numba_unit.payload() == numpy_unit.payload()
             assert numba_unit.payload()["engine"] == "simulation-batch@1"
+        # numba-parallel is in the same bit-identical family: a
+        # threaded run is served from (and feeds) the same entries.
+        parallel_units = compile_scenario(
+            self._spec(), kernel="batch", backend="numba-parallel"
+        )
+        for parallel_unit, numpy_unit in zip(parallel_units, numpy_units):
+            assert parallel_unit.payload() == numpy_unit.payload()
 
     def test_cupy_units_live_in_their_own_namespace(self):
         from repro.scenarios.compiler import compile_scenario
@@ -202,7 +221,7 @@ class TestScenarioCompiler:
         from repro.scenarios.compiler import compile_scenario
 
         with pytest.raises(
-            ConfigurationError, match="numpy, numba, cupy"
+            ConfigurationError, match="numpy, numba, numba-parallel, cupy"
         ):
             compile_scenario(self._spec(), kernel="batch", backend="mlx")
 

@@ -86,6 +86,22 @@ class TestHitMiss:
         assert cache.clear() == 3
         assert len(cache) == 0
 
+    def test_get_many_returns_only_the_hits(self, cache):
+        keys = [cache.key({"x": i}) for i in range(4)]
+        cache.put(keys[1], {"value": 1})
+        cache.put(keys[3], {"value": 3})
+        found = cache.get_many(keys)
+        assert found == {keys[1]: {"value": 1}, keys[3]: {"value": 3}}
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+
+    def test_get_many_probes_duplicate_keys_once(self, cache):
+        key = cache.key({"x": 1})
+        cache.put(key, {"value": 7})
+        found = cache.get_many([key, key, key])
+        assert found == {key: {"value": 7}}
+        assert cache.stats.hits == 1
+
 
 class TestInvalidation:
     def test_different_config_misses(self, cache):

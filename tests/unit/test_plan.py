@@ -1,0 +1,151 @@
+"""Unit tests for the sweep planner: cost model, grouping, carving."""
+
+from __future__ import annotations
+
+from repro.parallel.cache import ResultCache
+from repro.scenarios.compiler import compile_scenario
+from repro.scenarios.execute import run_units
+from repro.scenarios.plan import (
+    MAX_LEASE_UNITS,
+    carve_leases,
+    probe_cached,
+    unit_cost,
+)
+from repro.engine.base import EvaluationMethod
+from repro.scenarios.spec import GridAxis, ReplicationPlan, ScenarioSpec
+
+
+def _spec(**overrides) -> ScenarioSpec:
+    kwargs = dict(
+        name="plan-unit-test",
+        base={"processors": 2, "memories": 2, "memory_cycle_ratio": 2},
+        grid=(GridAxis("request_probability", (0.5, 1.0)),),
+        cycles=80,
+        plan=ReplicationPlan(replications=3, base_seed=5),
+    )
+    kwargs.update(overrides)
+    return ScenarioSpec(**kwargs)
+
+
+class TestUnitCost:
+    def test_simulation_cost_is_cycles_plus_warmup(self):
+        units = compile_scenario(_spec(cycles=500, warmup=100))
+        assert unit_cost(units[0]) == 600.0
+
+    def test_analytic_cost_is_nominal(self):
+        units = compile_scenario(_spec(method=EvaluationMethod.BANDWIDTH))
+        assert unit_cost(units[0]) == 1.0
+        assert unit_cost(units[0]) < unit_cost(compile_scenario(_spec())[0])
+
+
+class TestCarveLeases:
+    def test_every_position_appears_exactly_once(self):
+        units = compile_scenario(_spec())
+        positions = list(range(len(units)))
+        leases = carve_leases(units, positions, workers=2)
+        flat = sorted(p for lease in leases for p in lease)
+        assert flat == positions
+        assert all(lease for lease in leases)
+
+    def test_empty_positions_make_no_leases(self):
+        units = compile_scenario(_spec())
+        assert carve_leases(units, [], workers=2) == []
+
+    def test_explicit_lease_size_packs_by_count(self):
+        units = compile_scenario(_spec())
+        leases = carve_leases(
+            units, range(len(units)), workers=1, lease_size=2, affine=False
+        )
+        assert [len(lease) for lease in leases[:-1]] == [2] * (len(leases) - 1)
+        assert all(len(lease) <= 2 for lease in leases)
+
+    def test_cost_weighted_sizing_targets_four_waves_per_worker(self):
+        # 6 equal-cost units over 1 worker: target cost = total/4, so
+        # leases hold at most ceil(6/4)=2 units each.
+        units = compile_scenario(_spec())
+        leases = carve_leases(units, range(len(units)), workers=1)
+        assert max(len(lease) for lease in leases) <= 2
+        assert len(leases) >= 3
+
+    def test_lease_size_never_exceeds_the_hard_cap(self):
+        units = compile_scenario(
+            _spec(
+                method=EvaluationMethod.BANDWIDTH,
+                grid=(
+                    GridAxis("request_probability", tuple(
+                        round(0.002 * i + 0.01, 6) for i in range(300)
+                    )),
+                ),
+                plan=ReplicationPlan(replications=1, base_seed=5),
+            )
+        )
+        assert len(units) == 300
+        # Analytic units are so cheap that cost targeting alone would
+        # put all 300 in one lease; the unit cap still applies.
+        leases = carve_leases(units, range(len(units)), workers=1)
+        assert max(len(lease) for lease in leases) <= MAX_LEASE_UNITS
+
+    def test_heavy_units_get_shorter_leases_than_light_units(self):
+        heavy = compile_scenario(_spec(cycles=100_000))
+        light = compile_scenario(_spec(cycles=80))
+        mixed = list(heavy[:3]) + list(light[:3])
+        leases = carve_leases(mixed, range(6), workers=1)
+        by_position = {
+            position: index
+            for index, lease in enumerate(leases)
+            for position in lease
+        }
+        # No lease mixes a heavy unit with more than its cost share:
+        # each heavy unit rides alone, the light tail can share.
+        heavy_leases = {by_position[p] for p in range(3)}
+        assert len(heavy_leases) == 3
+        assert all(len(leases[i]) == 1 for i in heavy_leases)
+
+    def test_affine_grouping_keeps_fleet_mates_adjacent(self):
+        # Two interleaved fleet shapes (buffered axis last, so
+        # positions alternate shapes); affine carving reunites them.
+        spec = _spec(
+            grid=(
+                GridAxis("request_probability", (0.5, 1.0)),
+                GridAxis("buffered", (False, True)),
+            ),
+            plan=ReplicationPlan(replications=2, base_seed=5),
+        )
+        units = compile_scenario(spec, kernel="batch")
+        leases = carve_leases(
+            units, range(len(units)), workers=1, lease_size=len(units)
+        )
+        from repro.parallel.fleet import fleet_key
+
+        ordered_keys = [
+            fleet_key(units[p].case()) for lease in leases for p in lease
+        ]
+        # Affine order visits each fleet key as one contiguous run.
+        seen = []
+        for key in ordered_keys:
+            if not seen or seen[-1] != key:
+                seen.append(key)
+        assert len(seen) == len(set(seen))
+
+    def test_contiguous_mode_preserves_input_order(self):
+        units = compile_scenario(_spec())
+        leases = carve_leases(
+            units, range(len(units)), workers=2, lease_size=2, affine=False
+        )
+        flat = [p for lease in leases for p in lease]
+        assert flat == list(range(len(units)))
+
+
+class TestProbeCached:
+    def test_probe_resolves_exactly_the_stored_positions(self, tmp_path):
+        units = compile_scenario(_spec())
+        cache = ResultCache(cache_dir=tmp_path / "store")
+        run_units(units[:3], jobs=1, cache=cache)
+        found = probe_cached(units, range(len(units)), cache)
+        assert sorted(found) == [0, 1, 2]
+
+    def test_probe_on_a_cold_store_finds_nothing(self, tmp_path):
+        units = compile_scenario(_spec())
+        cache = ResultCache(cache_dir=tmp_path / "store")
+        assert probe_cached(units, range(len(units)), cache) == {}
+        assert cache.stats.misses > 0

@@ -116,6 +116,39 @@ class TestCaching:
         assert warm.out == cold.out
         assert "8 from cache" in warm.err
 
+    def test_cache_stats_flag_reports_on_stderr(
+        self, tiny_toml, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["scenario", tiny_toml, "--cache-stats"]) == 0
+        cold = capsys.readouterr()
+        assert "[cache-stats " in cold.err
+        assert "misses=8" in cold.err
+        assert main(["scenario", tiny_toml, "--cache-stats"]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # stdout stays byte-identical
+        assert "hits=8" in warm.err
+
+    def test_cache_stats_with_disabled_cache_says_so(self, tiny_toml, capsys):
+        assert main(
+            ["scenario", tiny_toml, "--no-cache", "--cache-stats"]
+        ) == 0
+        assert "[cache-stats disabled]" in capsys.readouterr().err
+
+    def test_cache_stats_with_workers_reports_probe_and_dispatch(
+        self, tiny_toml, capsys, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main(["scenario", tiny_toml]) == 0
+        serial = capsys.readouterr()
+        assert main(
+            ["scenario", tiny_toml, "--workers", "2", "--cache-stats"]
+        ) == 0
+        warm = capsys.readouterr()
+        assert warm.out == serial.out
+        assert "probe_hits=8" in warm.err
+        assert "dispatched=0" in warm.err
+
 
 GOLDEN_TINY_FIRST_LINE = (
     "unit 000000 n=2 m=2 r=1 p=1 priority=processors unbuffered tie=random "

@@ -27,10 +27,11 @@ def tiny_spec(**overrides) -> ScenarioSpec:
 
 class TestProtocol:
     def test_encode_decode_round_trip(self):
-        message = protocol.lease_message(3, 0, 5)
+        message = protocol.lease_message(3, [0, 4, 2])
         line = protocol.encode_message(message)
         assert "\n" not in line
         assert protocol.decode_message(line) == message
+        assert message["positions"] == [0, 4, 2]
 
     def test_decode_rejects_non_json(self):
         with pytest.raises(ConfigurationError, match="undecodable"):
@@ -44,11 +45,13 @@ class TestProtocol:
         with pytest.raises(ConfigurationError, match="unknown protocol"):
             protocol.decode_message('{"type": "gossip"}')
 
-    def test_lease_message_validates_range(self):
-        with pytest.raises(ConfigurationError, match="start < stop"):
-            protocol.lease_message(0, 5, 5)
-        with pytest.raises(ConfigurationError, match="start < stop"):
-            protocol.lease_message(0, -1, 4)
+    def test_lease_message_validates_positions(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            protocol.lease_message(0, [])
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            protocol.lease_message(0, [-1, 4])
+        with pytest.raises(ConfigurationError, match="unique"):
+            protocol.lease_message(0, [3, 3])
 
     def test_spec_survives_the_wire_exactly(self):
         spec = tiny_spec(metrics=("latency",), warmup=25)
@@ -75,7 +78,7 @@ class TestWorkerSession:
     def test_lease_before_hello_is_rejected(self):
         session = WorkerSession(lambda message: None)
         with pytest.raises(ConfigurationError, match="before hello"):
-            session.handle(protocol.lease_message(0, 0, 1))
+            session.handle(protocol.lease_message(0, [0]))
 
     def test_protocol_version_mismatch_is_rejected(self):
         session = WorkerSession(lambda message: None)
@@ -94,7 +97,7 @@ class TestWorkerSession:
         )
         units = outbox[-1]["units"]
         with pytest.raises(ConfigurationError, match="outside"):
-            session.handle(protocol.lease_message(0, 0, units + 1))
+            session.handle(protocol.lease_message(0, [0, units]))
 
     def test_lease_streams_one_result_per_position_then_done(self):
         outbox = []
@@ -105,7 +108,7 @@ class TestWorkerSession:
             )
         )
         outbox.clear()
-        session.handle(protocol.lease_message(7, 1, 3))
+        session.handle(protocol.lease_message(7, [1, 2]))
         kinds = [message["type"] for message in outbox]
         assert kinds == ["result", "result", "lease_done"]
         assert [m["position"] for m in outbox[:2]] == [1, 2]
@@ -205,7 +208,7 @@ class TestCoordinator:
 
     def test_workers_share_the_result_store(self, tmp_path):
         """A second sweep over a warm shared store is served entirely
-        from cache - the fleet-dedup contract."""
+        from the coordinator's pre-lease probe - zero units dispatched."""
         store = tmp_path / "store"
         for expect_cached in (False, True):
             coordinator = Coordinator(
@@ -216,9 +219,38 @@ class TestCoordinator:
             )
             results = coordinator.run()
             assert all(r.cached == expect_cached for r in results)
+            if expect_cached:
+                assert coordinator.units_dispatched == 0
+                assert coordinator.leases_issued == 0
+                assert coordinator.probe_hits == len(coordinator.units)
+            else:
+                assert coordinator.units_dispatched == len(coordinator.units)
+                assert coordinator.probe_hits == 0
         # The store used the sharded concurrent layout throughout.
         assert list(store.glob("*.json")) == []
         assert list(store.glob("[0-9a-f][0-9a-f]/*.json"))
+
+    def test_unknown_plan_mode_is_rejected(self):
+        with pytest.raises(ExperimentError, match="plan mode"):
+            Coordinator(
+                tiny_spec(),
+                [LoopbackTransport("solo")],
+                plan_mode="psychic",
+            )
+
+    def test_contiguous_plan_mode_matches_affine_bytes(self):
+        from repro.scenarios.execute import render_report
+
+        reports = []
+        for plan_mode in ("affine", "contiguous"):
+            coordinator = Coordinator(
+                tiny_spec(),
+                [LoopbackTransport("solo")],
+                plan_mode=plan_mode,
+                cache_enabled=False,
+            )
+            reports.append(render_report(coordinator.run()))
+        assert reports[0] == reports[1]
 
     def test_default_lease_size_bounds(self):
         assert default_lease_size(1, 1) == 1
@@ -270,3 +302,16 @@ class TestServiceCli:
 
         with pytest.raises(SystemExit):
             scenario_main(["figure2", "--workers", "0"])
+
+    def test_scenario_rejects_lease_size_without_workers(self, capsys):
+        from repro.scenarios.cli import main as scenario_main
+
+        with pytest.raises(SystemExit):
+            scenario_main(["figure2", "--lease-size", "2"])
+        assert "requires --workers" in capsys.readouterr().err
+
+    def test_scenario_rejects_nonpositive_lease_size(self, capsys):
+        from repro.scenarios.cli import main as scenario_main
+
+        with pytest.raises(SystemExit):
+            scenario_main(["figure2", "--workers", "2", "--lease-size", "0"])
