@@ -12,10 +12,10 @@ Usage::
     python benchmarks/run_benchmarks.py --json out.json --quick
     python benchmarks/run_benchmarks.py --json out.json --compare BENCH_kernels.json
 
-Schema (``repro-bench-kernels@3``)::
+Schema (``repro-bench-kernels@4``)::
 
     {
-      "schema": "repro-bench-kernels@3",
+      "schema": "repro-bench-kernels@4",
       "python": "3.12.x ...",
       "parameters": {"cycles": ..., "repeat": ..., "warmup": ...,
                      "figure_cycles": ...},
@@ -67,6 +67,16 @@ the ``warm_cache_collapse`` speedup), and
 interleaved-shape batch grid through loopback workers under both
 planner modes (the ``affine_vs_contiguous`` speedup: fleet-affine
 leases keep batchable rows in one lockstep call).
+
+The ``packed_sweep_*`` entries (schema @4) time fleet packing itself:
+a figure2-shaped shape-fragmented grid - every (n, m) system crossed
+with several access ratios, 30 replications per point - executed as
+one shape-packed super-fleet call (``packed_sweep_packed``) versus one
+homogeneous fleet per shape (``packed_sweep_fragmented``); the
+``packed_vs_fragmented`` speedup is the packing contract's wall-clock
+claim.  When optional backends are importable the block grows
+``packed_sweep_packed_<backend>`` entries timing the identical packed
+super-fleet on that substrate.
 """
 
 from __future__ import annotations
@@ -82,7 +92,7 @@ from repro.core.config import SystemConfig
 from repro.core.policy import Priority
 from repro.workloads.spec import HotSpotWorkload
 
-SCHEMA = "repro-bench-kernels@3"
+SCHEMA = "repro-bench-kernels@4"
 
 
 def best_of(
@@ -348,6 +358,47 @@ def time_planned_sweep(
             cache_enabled=False,
         )
         return coordinator.run()
+
+    return run
+
+
+PACKED_GRID_SYSTEMS = ((4, 4), (8, 8), (16, 16))
+"""The figure2 (n, m) systems of the shape-fragmented packing grid."""
+
+PACKED_GRID_RATIOS = (2, 4, 8, 16, 24)
+"""Access ratios crossed with the systems: 15 distinct fleet shapes."""
+
+
+def time_packed_sweep(
+    pack: bool, replications: int, cycles: int, backend: str = "numpy"
+) -> Callable[[], object]:
+    """The figure2-shaped fragmented grid as one grouping or the other.
+
+    Every (n, m) system crossed with every access ratio, ``replications``
+    seeds per point: 15 distinct shapes that share the pack fields.
+    ``pack=True`` runs the whole grid as one padded super-fleet batch
+    call; ``pack=False`` runs one homogeneous lockstep fleet per shape.
+    Identical bytes either way (the packing contract) - the timing gap
+    is the per-call overhead packing exists to amortize.
+    """
+    from repro.parallel.fleet import run_fleet
+    from repro.parallel.workers import SimulationCase
+
+    cases = [
+        SimulationCase(
+            SystemConfig(n, m, ratio, priority=Priority.PROCESSORS),
+            cycles,
+            seed,
+            kernel="batch",
+            backend=backend,
+        )
+        for n, m in PACKED_GRID_SYSTEMS
+        for ratio in PACKED_GRID_RATIOS
+        for seed in range(replications)
+    ]
+
+    def run():
+        return run_fleet(cases, pack=pack)
 
     return run
 
@@ -762,6 +813,95 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
 
+    # Fleet-packing legs: the shape-fragmented grid as one packed
+    # super-fleet call versus one homogeneous fleet per shape.
+    packed_replications = 8 if args.quick else 30
+    packed_cycles = 400 if args.quick else 1_200
+    if numpy_available():
+        packed_seconds = {}
+        for leg, pack in (("packed", True), ("fragmented", False)):
+            timing = best_of(
+                2,
+                time_packed_sweep(pack, packed_replications, packed_cycles),
+                warmup=warmup,
+            )
+            packed_seconds[leg] = timing[0]
+            results.append(
+                _entry(
+                    f"packed_sweep_{leg}",
+                    timing,
+                    {
+                        "pack": pack,
+                        "replications": packed_replications,
+                        "cycles": packed_cycles,
+                        "kernel": "batch",
+                        "backend": "numpy",
+                        "repeat": 2,
+                    },
+                )
+            )
+            print(
+                f"packed_sweep_{leg}: {timing[0]:.3f}s", file=sys.stderr
+            )
+        speedups["packed_vs_fragmented"] = (
+            packed_seconds["fragmented"] / packed_seconds["packed"]
+        )
+        print(
+            "fleet packing: "
+            f"{speedups['packed_vs_fragmented']:.2f}x over per-shape "
+            "fleets on the fragmented grid",
+            file=sys.stderr,
+        )
+        from repro.bus.backends import get_backend
+
+        for backend_name in ("numba", "numba-parallel", "cupy"):
+            backend = get_backend(backend_name)
+            if not backend.available():
+                print(
+                    f"warning: {backend_name} unavailable - skipping "
+                    f"packed_sweep_packed_{backend_name} (install the "
+                    f"[{backend.extra}] extra)",
+                    file=sys.stderr,
+                )
+                continue
+            timing = best_of(
+                2,
+                time_packed_sweep(
+                    True,
+                    packed_replications,
+                    packed_cycles,
+                    backend=backend_name,
+                ),
+                warmup=max(warmup, 1),
+            )
+            results.append(
+                _entry(
+                    f"packed_sweep_packed_{backend_name}",
+                    timing,
+                    {
+                        "pack": True,
+                        "replications": packed_replications,
+                        "cycles": packed_cycles,
+                        "kernel": "batch",
+                        "backend": backend_name,
+                        "repeat": 2,
+                    },
+                )
+            )
+            key = f"packed_sweep_{backend_name}_vs_numpy"
+            speedups[key] = packed_seconds["packed"] / timing[0]
+            print(
+                f"packed_sweep_packed_{backend_name}: {timing[0]:.3f}s "
+                f"({speedups[key]:.2f}x over the numpy backend)",
+                file=sys.stderr,
+            )
+    else:
+        print(
+            "warning: numpy unavailable - skipping packed_sweep_* "
+            "(install the [batch] extra)",
+            file=sys.stderr,
+        )
+
     payload = {
         "schema": SCHEMA,
         "python": sys.version,
@@ -773,6 +913,8 @@ def main(argv=None) -> int:
             "fleet_rows": fleet_rows,
             "fleet_cycles": fleet_cycles,
             "sweep_cycles": sweep_cycles,
+            "packed_replications": packed_replications,
+            "packed_cycles": packed_cycles,
         },
         "results": results,
         "speedups": speedups,

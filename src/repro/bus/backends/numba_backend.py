@@ -54,17 +54,19 @@ _NEVER = 1 << 30
 def _unbuffered_loop(
     count,
     cycle0,
-    n,
-    m,
+    n_arr,
+    m_arr,
     fleet,
-    r,
-    pc,
+    r_arr,
+    pc_arr,
     proc_first,
     random_tie,
     track_ready,
     collect,
+    collect_serv,
     record,
     geometric,
+    geom_arr,
     requesting,
     target,
     issue,
@@ -76,6 +78,7 @@ def _unbuffered_loop(
     out_proc,
     out_ready,
     out_wait,
+    out_dur,
     completions,
     request_transfers,
     total_latency,
@@ -88,7 +91,7 @@ def _unbuffered_loop(
     hot_module,
     hot_rescale,
     log1p_neg_p,
-    log_access,
+    log_access_arr,
     chunk,
     has_targets,
     targets_buf,
@@ -104,6 +107,7 @@ def _unbuffered_loop(
     ev_row,
     ev_wait,
     ev_total,
+    ev_serv,
     ev_cap,
 ):
     done = 0
@@ -133,6 +137,11 @@ def _unbuffered_loop(
             break
 
         for f in range(fleet):
+            # Per-row shape bounds: a packed fleet pads every row to
+            # the group maximum, but padded lanes/modules stay inert
+            # because the loops never scan past the row's own extent.
+            n = n_arr[f]
+            m = m_arr[f]
             # 1. processor-cycle boundaries: waking processors issue.
             for i in range(n):
                 if wake[i, f] == cycle:
@@ -217,15 +226,17 @@ def _unbuffered_loop(
                 request_transfers[f] += 1
                 module_free[k, f] = False
                 svc_proc[k, f] = i
-                if geometric:
+                if geom_arr[f]:
                     u = access_buf[f, access_pos[f]]
                     access_pos[f] += 1
-                    dur = 1 + int(math.log1p(-u) / log_access)
+                    dur = 1 + int(math.log1p(-u) / log_access_arr[f])
                 else:
-                    dur = r
+                    dur = r_arr[f]
                 svc_finish[k, f] = cycle + dur
                 if collect:
                     out_wait[k, f] = cycle - issue[i, f]
+                    if collect_serv:
+                        out_dur[k, f] = dur
                 busy_accum[f] += dur
             if do_response:
                 k = win_k
@@ -240,6 +251,8 @@ def _unbuffered_loop(
                     ev_row[nev] = f
                     ev_wait[nev] = out_wait[k, f]
                     ev_total[nev] = total
+                    if collect_serv:
+                        ev_serv[nev] = out_dur[k, f]
                     nev += 1
                 if trace_rows[f]:
                     position = trace_pos[f, i]
@@ -261,7 +274,7 @@ def _unbuffered_loop(
                     u = think_buf[f, think_pos[f]]
                     think_pos[f] += 1
                     failures = int(math.log1p(-u) / log1p_neg_p[f, i])
-                    w = cycle + 1 + failures * pc
+                    w = cycle + 1 + failures * pc_arr[f]
                     if w > _NEVER:
                         w = _NEVER
                     wake[i, f] = w
@@ -275,19 +288,21 @@ def _unbuffered_loop(
 def _buffered_loop(
     count,
     cycle0,
-    n,
-    m,
+    n_arr,
+    m_arr,
     fleet,
-    r,
-    pc,
-    depth,
-    capacity,
+    r_arr,
+    pc_arr,
+    depth_arr,
+    capacity_arr,
     proc_first,
     random_tie,
     track_ready,
     collect,
+    collect_serv,
     record,
     geometric,
+    geom_arr,
     requesting,
     target,
     issue,
@@ -309,6 +324,9 @@ def _buffered_loop(
     svc_wait,
     stalled_wait,
     outq_wait,
+    svc_dur,
+    stalled_dur,
+    outq_dur,
     completions,
     request_transfers,
     total_latency,
@@ -321,7 +339,7 @@ def _buffered_loop(
     hot_module,
     hot_rescale,
     log1p_neg_p,
-    log_access,
+    log_access_arr,
     chunk,
     has_targets,
     targets_buf,
@@ -337,14 +355,12 @@ def _buffered_loop(
     ev_row,
     ev_wait,
     ev_total,
+    ev_serv,
     ev_cap,
 ):
     done = 0
     nev = 0
     cycle = cycle0
-    # A row can draw up to one access time per module (resolve or
-    # finish pulls) plus one direct service per cycle.
-    access_margin = m + 2
     while done < count:
         stop = False
         for f in range(fleet):
@@ -357,7 +373,9 @@ def _buffered_loop(
             if has_think and think_pos[f] + 1 > chunk:
                 stop = True
                 break
-            if geometric and access_pos[f] + access_margin > chunk:
+            # A row can draw up to one access time per module (resolve
+            # or finish pulls) plus one direct service per cycle.
+            if geometric and access_pos[f] + m_arr[f] + 2 > chunk:
                 stop = True
                 break
         if stop:
@@ -366,6 +384,14 @@ def _buffered_loop(
             break
 
         for f in range(fleet):
+            # Per-row shape bounds (see the unbuffered loop): the ring
+            # arrays are dimensioned to the pack maxima, but wraps use
+            # the row's own depth/capacity so indices replay the
+            # unpacked fleet's exactly.
+            n = n_arr[f]
+            m = m_arr[f]
+            depth = depth_arr[f]
+            capacity = capacity_arr[f]
             # 1. processor-cycle boundaries: waking processors issue.
             for i in range(n):
                 if wake[i, f] == cycle:
@@ -467,6 +493,8 @@ def _buffered_loop(
                             head_ready[k, f] = cycle + 1
                     if collect:
                         outq_wait[slot, k, f] = stalled_wait[k, f]
+                        if collect_serv:
+                            outq_dur[slot, k, f] = stalled_dur[k, f]
                     outq_len[k, f] = length + 1
                     stalled[k, f] = False
                     if inq_len[k, f] > 0:
@@ -474,15 +502,17 @@ def _buffered_loop(
                         lane = inq_ring[head, k, f]
                         svc_active[k, f] = True
                         svc_proc[k, f] = lane
-                        if geometric:
+                        if geom_arr[f]:
                             u = access_buf[f, access_pos[f]]
                             access_pos[f] += 1
-                            dur = 1 + int(math.log1p(-u) / log_access)
+                            dur = 1 + int(math.log1p(-u) / log_access_arr[f])
                         else:
-                            dur = r
+                            dur = r_arr[f]
                         svc_finish[k, f] = cycle + dur
                         if collect:
                             svc_wait[k, f] = cycle - issue[lane, f]
+                            if collect_serv:
+                                svc_dur[k, f] = dur
                         head += 1
                         if head >= depth:
                             head -= depth
@@ -503,21 +533,27 @@ def _buffered_loop(
                                 head_ready[k, f] = cycle + 1
                         if collect:
                             outq_wait[slot, k, f] = svc_wait[k, f]
+                            if collect_serv:
+                                outq_dur[slot, k, f] = svc_dur[k, f]
                         outq_len[k, f] = length + 1
                         if inq_len[k, f] > 0:
                             head = inq_head[k, f]
                             lane = inq_ring[head, k, f]
                             svc_active[k, f] = True
                             svc_proc[k, f] = lane
-                            if geometric:
+                            if geom_arr[f]:
                                 u = access_buf[f, access_pos[f]]
                                 access_pos[f] += 1
-                                dur = 1 + int(math.log1p(-u) / log_access)
+                                dur = 1 + int(
+                                    math.log1p(-u) / log_access_arr[f]
+                                )
                             else:
-                                dur = r
+                                dur = r_arr[f]
                             svc_finish[k, f] = cycle + dur
                             if collect:
                                 svc_wait[k, f] = cycle - issue[lane, f]
+                                if collect_serv:
+                                    svc_dur[k, f] = dur
                             head += 1
                             if head >= depth:
                                 head -= depth
@@ -528,6 +564,8 @@ def _buffered_loop(
                         stalled_proc[k, f] = svc_proc[k, f]
                         if collect:
                             stalled_wait[k, f] = svc_wait[k, f]
+                            if collect_serv:
+                                stalled_dur[k, f] = svc_dur[k, f]
 
             # 4. the granted transfer completes at the end of the cycle.
             if do_request:
@@ -540,15 +578,17 @@ def _buffered_loop(
                 if not (svc_active[k, f] or stalled[k, f]):
                     svc_active[k, f] = True
                     svc_proc[k, f] = i
-                    if geometric:
+                    if geom_arr[f]:
                         u = access_buf[f, access_pos[f]]
                         access_pos[f] += 1
-                        dur = 1 + int(math.log1p(-u) / log_access)
+                        dur = 1 + int(math.log1p(-u) / log_access_arr[f])
                     else:
-                        dur = r
+                        dur = r_arr[f]
                     svc_finish[k, f] = cycle + dur
                     if collect:
                         svc_wait[k, f] = cycle - issue[i, f]
+                        if collect_serv:
+                            svc_dur[k, f] = dur
                 else:
                     slot = inq_head[k, f] + inq_len[k, f]
                     if slot >= depth:
@@ -578,6 +618,8 @@ def _buffered_loop(
                     ev_row[nev] = f
                     ev_wait[nev] = outq_wait[head, k, f]
                     ev_total[nev] = total
+                    if collect_serv:
+                        ev_serv[nev] = outq_dur[head, k, f]
                     nev += 1
                 if trace_rows[f]:
                     position = trace_pos[f, i]
@@ -599,7 +641,7 @@ def _buffered_loop(
                     u = think_buf[f, think_pos[f]]
                     think_pos[f] += 1
                     failures = int(math.log1p(-u) / log1p_neg_p[f, i])
-                    w = cycle + 1 + failures * pc
+                    w = cycle + 1 + failures * pc_arr[f]
                     if w > _NEVER:
                         w = _NEVER
                     wake[i, f] = w
@@ -687,6 +729,7 @@ class NumbaBackend(BatchBackend):
         fleet = kernel._fleet
         m = kernel._m
         collect = kernel._collect_latency
+        collect_serv = kernel._collect_service
         record = kernel._sketch_total is not None
         geometric = kernel._geometric
         random_tie = kernel._random_tie
@@ -738,7 +781,7 @@ class NumbaBackend(BatchBackend):
             kernel._hot_module,
             kernel._hot_rescale,
             kernel._log1p_neg_p,
-            kernel._log1p_neg_access,
+            kernel._log_access_rows,
             chunk,
             kernel._targets_lanes is not None,
             targets_buf,
@@ -773,19 +816,21 @@ class NumbaBackend(BatchBackend):
             dummy_ring = np.zeros((1, 1, 1), dtype=np.int32)
             dummy_mf = np.zeros((1, 1), dtype=np.int32)
             prefix = (
-                kernel._n,
-                m,
+                kernel._n_rows,
+                kernel._m_rows,
                 fleet,
-                kernel._r,
-                kernel._pc,
-                depth,
-                capacity,
+                kernel._r_rows,
+                kernel._pc_rows,
+                kernel._depth_rows,
+                kernel._capacity_rows,
                 kernel._proc_first,
                 random_tie,
                 track_ready,
                 collect,
+                collect_serv,
                 record,
                 geometric,
+                kernel._geom_rows,
                 *proc_args,
                 kernel._svc_finish,
                 kernel._svc_proc,
@@ -812,23 +857,34 @@ class NumbaBackend(BatchBackend):
                 kernel._outq_wait_ring.reshape(capacity, m, fleet)
                 if collect
                 else dummy_ring,
+                kernel._svc_dur_flat.reshape(m, fleet)
+                if collect_serv
+                else dummy_mf,
+                kernel._stalled_dur_flat.reshape(m, fleet)
+                if collect_serv
+                else dummy_mf,
+                kernel._outq_dur_ring.reshape(capacity, m, fleet)
+                if collect_serv
+                else dummy_ring,
                 *counter_args,
                 *workload_args,
             )
         else:
             dummy_mf = np.zeros((1, 1), dtype=np.int32)
             prefix = (
-                kernel._n,
-                m,
+                kernel._n_rows,
+                kernel._m_rows,
                 fleet,
-                kernel._r,
-                kernel._pc,
+                kernel._r_rows,
+                kernel._pc_rows,
                 kernel._proc_first,
                 random_tie,
                 track_ready,
                 collect,
+                collect_serv,
                 record,
                 geometric,
+                kernel._geom_rows,
                 *proc_args,
                 kernel._svc_finish,
                 kernel._svc_proc,
@@ -838,6 +894,9 @@ class NumbaBackend(BatchBackend):
                 kernel._out_ready,
                 kernel._out_wait_flat.reshape(m, fleet)
                 if collect
+                else dummy_mf,
+                kernel._out_dur_flat.reshape(m, fleet)
+                if collect_serv
                 else dummy_mf,
                 *counter_args,
                 *workload_args,
@@ -858,12 +917,12 @@ class NumbaBackend(BatchBackend):
             events = getattr(kernel, "_nb_events", None)
             if events is None or len(events[0]) < ev_cap:
                 events = tuple(
-                    np.empty(ev_cap, dtype=np.int64) for _ in range(4)
+                    np.empty(ev_cap, dtype=np.int64) for _ in range(5)
                 )
                 kernel._nb_events = events
         else:
             ev_cap = 1
-            events = tuple(np.empty(1, dtype=np.int64) for _ in range(4))
+            events = tuple(np.empty(1, dtype=np.int64) for _ in range(5))
         static = prefix + (*events, ev_cap)
 
         done = 0
@@ -896,9 +955,10 @@ class NumbaBackend(BatchBackend):
         sketch contents stay bit-identical.
         """
         np = kernel._np
-        ev_cycle, ev_row, ev_wait, ev_total = events
+        ev_cycle, ev_row, ev_wait, ev_total, ev_serv = events
         sketch_total = kernel._sketch_total
         sketch_wait = kernel._sketch_wait
+        sketch_service = kernel._sketch_service
         boundaries = np.flatnonzero(np.diff(ev_cycle[:nev])) + 1
         starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
         ends = np.concatenate((boundaries, np.array([nev], dtype=np.int64)))
@@ -906,3 +966,5 @@ class NumbaBackend(BatchBackend):
             rows = ev_row[start:end]
             sketch_total.add(rows, ev_total[start:end])
             sketch_wait.add(rows, ev_wait[start:end])
+            if sketch_service is not None:
+                sketch_service.add(rows, ev_serv[start:end])

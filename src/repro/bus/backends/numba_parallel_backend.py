@@ -53,26 +53,28 @@ _NEVER = 1 << 30
 # ----------------------------------------------------------------------
 # Row-parallel scalar loops.  The per-row bodies are verbatim copies of
 # the serial loops' bodies (see numba_backend.py) with the loop nest
-# interchanged; the last five arguments replace the serial event tail
-# (ev_cycle, ev_row, ev_wait, ev_total, ev_cap) with per-row-sliced
-# buffers (ev_cycle, ev_wait, ev_total, ev_stride, row_nev).  The
-# driver guarantees the segment fits every stream and event slice, so
-# there are no in-loop stop checks.
+# interchanged; the last six arguments replace the serial event tail
+# (ev_cycle, ev_row, ev_wait, ev_total, ev_serv, ev_cap) with
+# per-row-sliced buffers (ev_cycle, ev_wait, ev_total, ev_serv,
+# ev_stride, row_nev).  The driver guarantees the segment fits every
+# stream and event slice, so there are no in-loop stop checks.
 # ----------------------------------------------------------------------
 def _unbuffered_loop_rows(
     count,
     cycle0,
-    n,
-    m,
+    n_arr,
+    m_arr,
     fleet,
-    r,
-    pc,
+    r_arr,
+    pc_arr,
     proc_first,
     random_tie,
     track_ready,
     collect,
+    collect_serv,
     record,
     geometric,
+    geom_arr,
     requesting,
     target,
     issue,
@@ -84,6 +86,7 @@ def _unbuffered_loop_rows(
     out_proc,
     out_ready,
     out_wait,
+    out_dur,
     completions,
     request_transfers,
     total_latency,
@@ -96,7 +99,7 @@ def _unbuffered_loop_rows(
     hot_module,
     hot_rescale,
     log1p_neg_p,
-    log_access,
+    log_access_arr,
     chunk,
     has_targets,
     targets_buf,
@@ -111,10 +114,15 @@ def _unbuffered_loop_rows(
     ev_cycle,
     ev_wait,
     ev_total,
+    ev_serv,
     ev_stride,
     row_nev,
 ):
     for f in prange(fleet):
+        # Per-row shape bounds: packed fleets pad to the group maxima,
+        # but each row only ever scans its own extent.
+        n = n_arr[f]
+        m = m_arr[f]
         nev = 0
         base = f * ev_stride
         cycle = cycle0
@@ -203,15 +211,17 @@ def _unbuffered_loop_rows(
                 request_transfers[f] += 1
                 module_free[k, f] = False
                 svc_proc[k, f] = i
-                if geometric:
+                if geom_arr[f]:
                     u = access_buf[f, access_pos[f]]
                     access_pos[f] += 1
-                    dur = 1 + int(math.log1p(-u) / log_access)
+                    dur = 1 + int(math.log1p(-u) / log_access_arr[f])
                 else:
-                    dur = r
+                    dur = r_arr[f]
                 svc_finish[k, f] = cycle + dur
                 if collect:
                     out_wait[k, f] = cycle - issue[i, f]
+                    if collect_serv:
+                        out_dur[k, f] = dur
                 busy_accum[f] += dur
             if do_response:
                 k = win_k
@@ -225,6 +235,8 @@ def _unbuffered_loop_rows(
                     ev_cycle[base + nev] = cycle
                     ev_wait[base + nev] = out_wait[k, f]
                     ev_total[base + nev] = total
+                    if collect_serv:
+                        ev_serv[base + nev] = out_dur[k, f]
                     nev += 1
                 if trace_rows[f]:
                     position = trace_pos[f, i]
@@ -246,7 +258,7 @@ def _unbuffered_loop_rows(
                     u = think_buf[f, think_pos[f]]
                     think_pos[f] += 1
                     failures = int(math.log1p(-u) / log1p_neg_p[f, i])
-                    w = cycle + 1 + failures * pc
+                    w = cycle + 1 + failures * pc_arr[f]
                     if w > _NEVER:
                         w = _NEVER
                     wake[i, f] = w
@@ -259,19 +271,21 @@ def _unbuffered_loop_rows(
 def _buffered_loop_rows(
     count,
     cycle0,
-    n,
-    m,
+    n_arr,
+    m_arr,
     fleet,
-    r,
-    pc,
-    depth,
-    capacity,
+    r_arr,
+    pc_arr,
+    depth_arr,
+    capacity_arr,
     proc_first,
     random_tie,
     track_ready,
     collect,
+    collect_serv,
     record,
     geometric,
+    geom_arr,
     requesting,
     target,
     issue,
@@ -293,6 +307,9 @@ def _buffered_loop_rows(
     svc_wait,
     stalled_wait,
     outq_wait,
+    svc_dur,
+    stalled_dur,
+    outq_dur,
     completions,
     request_transfers,
     total_latency,
@@ -305,7 +322,7 @@ def _buffered_loop_rows(
     hot_module,
     hot_rescale,
     log1p_neg_p,
-    log_access,
+    log_access_arr,
     chunk,
     has_targets,
     targets_buf,
@@ -320,10 +337,18 @@ def _buffered_loop_rows(
     ev_cycle,
     ev_wait,
     ev_total,
+    ev_serv,
     ev_stride,
     row_nev,
 ):
     for f in prange(fleet):
+        # Per-row shape bounds (see the unbuffered loop); ring wraps
+        # use the row's own depth/capacity while the ring arrays are
+        # dimensioned to the pack maxima.
+        n = n_arr[f]
+        m = m_arr[f]
+        depth = depth_arr[f]
+        capacity = capacity_arr[f]
         nev = 0
         base = f * ev_stride
         cycle = cycle0
@@ -429,6 +454,8 @@ def _buffered_loop_rows(
                             head_ready[k, f] = cycle + 1
                     if collect:
                         outq_wait[slot, k, f] = stalled_wait[k, f]
+                        if collect_serv:
+                            outq_dur[slot, k, f] = stalled_dur[k, f]
                     outq_len[k, f] = length + 1
                     stalled[k, f] = False
                     if inq_len[k, f] > 0:
@@ -436,15 +463,17 @@ def _buffered_loop_rows(
                         lane = inq_ring[head, k, f]
                         svc_active[k, f] = True
                         svc_proc[k, f] = lane
-                        if geometric:
+                        if geom_arr[f]:
                             u = access_buf[f, access_pos[f]]
                             access_pos[f] += 1
-                            dur = 1 + int(math.log1p(-u) / log_access)
+                            dur = 1 + int(math.log1p(-u) / log_access_arr[f])
                         else:
-                            dur = r
+                            dur = r_arr[f]
                         svc_finish[k, f] = cycle + dur
                         if collect:
                             svc_wait[k, f] = cycle - issue[lane, f]
+                            if collect_serv:
+                                svc_dur[k, f] = dur
                         head += 1
                         if head >= depth:
                             head -= depth
@@ -465,21 +494,27 @@ def _buffered_loop_rows(
                                 head_ready[k, f] = cycle + 1
                         if collect:
                             outq_wait[slot, k, f] = svc_wait[k, f]
+                            if collect_serv:
+                                outq_dur[slot, k, f] = svc_dur[k, f]
                         outq_len[k, f] = length + 1
                         if inq_len[k, f] > 0:
                             head = inq_head[k, f]
                             lane = inq_ring[head, k, f]
                             svc_active[k, f] = True
                             svc_proc[k, f] = lane
-                            if geometric:
+                            if geom_arr[f]:
                                 u = access_buf[f, access_pos[f]]
                                 access_pos[f] += 1
-                                dur = 1 + int(math.log1p(-u) / log_access)
+                                dur = 1 + int(
+                                    math.log1p(-u) / log_access_arr[f]
+                                )
                             else:
-                                dur = r
+                                dur = r_arr[f]
                             svc_finish[k, f] = cycle + dur
                             if collect:
                                 svc_wait[k, f] = cycle - issue[lane, f]
+                                if collect_serv:
+                                    svc_dur[k, f] = dur
                             head += 1
                             if head >= depth:
                                 head -= depth
@@ -490,6 +525,8 @@ def _buffered_loop_rows(
                         stalled_proc[k, f] = svc_proc[k, f]
                         if collect:
                             stalled_wait[k, f] = svc_wait[k, f]
+                            if collect_serv:
+                                stalled_dur[k, f] = svc_dur[k, f]
 
             # 4. the granted transfer completes at the end of the cycle.
             if do_request:
@@ -502,15 +539,17 @@ def _buffered_loop_rows(
                 if not (svc_active[k, f] or stalled[k, f]):
                     svc_active[k, f] = True
                     svc_proc[k, f] = i
-                    if geometric:
+                    if geom_arr[f]:
                         u = access_buf[f, access_pos[f]]
                         access_pos[f] += 1
-                        dur = 1 + int(math.log1p(-u) / log_access)
+                        dur = 1 + int(math.log1p(-u) / log_access_arr[f])
                     else:
-                        dur = r
+                        dur = r_arr[f]
                     svc_finish[k, f] = cycle + dur
                     if collect:
                         svc_wait[k, f] = cycle - issue[i, f]
+                        if collect_serv:
+                            svc_dur[k, f] = dur
                 else:
                     slot = inq_head[k, f] + inq_len[k, f]
                     if slot >= depth:
@@ -539,6 +578,8 @@ def _buffered_loop_rows(
                     ev_cycle[base + nev] = cycle
                     ev_wait[base + nev] = outq_wait[head, k, f]
                     ev_total[base + nev] = total
+                    if collect_serv:
+                        ev_serv[base + nev] = outq_dur[head, k, f]
                     nev += 1
                 if trace_rows[f]:
                     position = trace_pos[f, i]
@@ -560,7 +601,7 @@ def _buffered_loop_rows(
                     u = think_buf[f, think_pos[f]]
                     think_pos[f] += 1
                     failures = int(math.log1p(-u) / log1p_neg_p[f, i])
-                    w = cycle + 1 + failures * pc
+                    w = cycle + 1 + failures * pc_arr[f]
                     if w > _NEVER:
                         w = _NEVER
                     wake[i, f] = w
@@ -631,13 +672,13 @@ class NumbaParallelBackend(NumbaBackend):
             if events is None or len(events[0]) != fleet * ev_stride:
                 events = tuple(
                     np.empty(fleet * ev_stride, dtype=np.int64)
-                    for _ in range(3)
+                    for _ in range(4)
                 )
                 kernel._nbp_events = events
         else:
             ev_stride = 1
-            events = tuple(np.empty(1, dtype=np.int64) for _ in range(3))
-        ev_cycle, ev_wait, ev_total = events
+            events = tuple(np.empty(1, dtype=np.int64) for _ in range(4))
+        ev_cycle, ev_wait, ev_total, ev_serv = events
 
         done = 0
         while done < count:
@@ -666,6 +707,7 @@ class NumbaParallelBackend(NumbaBackend):
                 ev_cycle,
                 ev_wait,
                 ev_total,
+                ev_serv,
                 ev_stride,
                 row_nev,
             )
@@ -673,12 +715,18 @@ class NumbaParallelBackend(NumbaBackend):
             done += seg
             if record:
                 self._replay_row_events(
-                    kernel, ev_cycle, ev_wait, ev_total, ev_stride, row_nev
+                    kernel,
+                    ev_cycle,
+                    ev_wait,
+                    ev_total,
+                    ev_serv,
+                    ev_stride,
+                    row_nev,
                 )
 
     @staticmethod
     def _replay_row_events(
-        kernel, ev_cycle, ev_wait, ev_total, ev_stride, row_nev
+        kernel, ev_cycle, ev_wait, ev_total, ev_serv, ev_stride, row_nev
     ):
         """Feed the per-row event slices into the host-side sketches.
 
@@ -710,11 +758,21 @@ class NumbaParallelBackend(NumbaBackend):
         totals = np.concatenate(
             [ev_total[f * ev_stride : f * ev_stride + c] for f, c in pieces]
         )
+        sketch_service = kernel._sketch_service
+        if sketch_service is not None:
+            servs = np.concatenate(
+                [
+                    ev_serv[f * ev_stride : f * ev_stride + c]
+                    for f, c in pieces
+                ]
+            )
         order = np.argsort(cycles, kind="stable")
         cycles = cycles[order]
         rows = rows[order]
         waits = waits[order]
         totals = totals[order]
+        if sketch_service is not None:
+            servs = servs[order]
         boundaries = np.flatnonzero(np.diff(cycles)) + 1
         starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries))
         ends = np.concatenate(
@@ -725,3 +783,5 @@ class NumbaParallelBackend(NumbaBackend):
         for start, end in zip(starts, ends):
             sketch_total.add(rows[start:end], totals[start:end])
             sketch_wait.add(rows[start:end], waits[start:end])
+            if sketch_service is not None:
+                sketch_service.add(rows[start:end], servs[start:end])

@@ -47,15 +47,26 @@ geometric access times (geometric draws come from the per-row
 equivalent to the exact kernels' coin-flip loop, which is already the
 batch contract).  Latency distributions are collected at fleet scale
 through the vectorized per-row quantile sketch
-(:class:`repro.metrics.FleetQuantileSketch`); like every batch number
-they are statistically - not bit - equivalent to the exact kernels'
-streaming summaries.  Custom
-:class:`~repro.workloads.generators.TargetSampler` objects, cycle-level
-trace sinks, and the geometric-plus-latency combination (the sketch's
-service population assumes the constant ``r``) stay on the
-reference/fast machines; :func:`check_batch_features` is the single
-authority that rejects them with a message naming the unsupported
-feature.
+(:class:`repro.metrics.FleetQuantileSketch`), including under
+geometric access times (per-access service draws feed a third service
+sketch); like every batch number they are statistically - not bit -
+equivalent to the exact kernels' streaming summaries.  Custom
+:class:`~repro.workloads.generators.TargetSampler` objects and
+cycle-level trace sinks stay on the reference/fast machines;
+:func:`check_batch_features` is the single authority that rejects them
+with a message naming the unsupported feature.
+
+**Fleet packing.**  Shape numbers - ``n``, ``m``, ``r`` and buffer
+depth - are per-row state, so rows of *different* machine shapes pack
+into one padded lockstep program (only :data:`PACK_FIELDS` must
+match).  Every row is padded to the fleet maxima ``(max_n, max_m)``;
+padded lanes are inert - never requesting, wake pinned at the never
+sentinel, targets pinned to a valid module - and, crucially, **never
+consume a random draw**, so each row's per-row Philox draw sequence is
+bit-identical to the same row in an unpacked (homogeneous) fleet.
+Packed results therefore share the :data:`BATCH_ENGINE_TOKEN`
+namespace with no token bump (hypothesis-proven in
+``tests/properties/test_fleet_packing.py``).
 
 **Backends.**  The lockstep program runs on a pluggable array substrate
 (:mod:`repro.bus.backends`): ``numpy`` (default), ``numba`` (the same
@@ -114,11 +125,29 @@ SHAPE_FIELDS = (
     "buffered",
     "buffer_depth",
 )
-"""The :class:`SystemConfig` fields every row of one fleet must share.
+"""The :class:`SystemConfig` fields of one homogeneous lockstep shape.
 
-Everything else - seed, request probabilities, workload parameters -
-may vary per row; rows are fully independent simulations that merely
-share the lockstep loop."""
+Since fleet packing landed, only :data:`PACK_FIELDS` must actually be
+shared by the rows of one kernel - ``processors``, ``memories``,
+``memory_cycle_ratio`` and ``buffer_depth`` are per-row state (padded
+lanes are inert and never consume a draw).  The full shape tuple
+remains the *sub-fleet* identity used by invariance tests and by
+``group_fleets``' unpacked grouping."""
+
+PACK_FIELDS = (
+    "priority",
+    "tie_break",
+    "buffered",
+)
+"""The :class:`SystemConfig` fields every row of one kernel must share.
+
+Priority and tie-break select the arbitration branch and ``buffered``
+selects the loop body, so they stay whole-kernel properties.  Shape
+numbers (``n``, ``m``, ``r``, buffer depth) are per-row arrays: rows of
+different shapes *pack* into one padded lockstep program.  Everything
+else - seed, request probabilities, workload parameters - varies per
+row; rows are fully independent simulations that merely share the
+lockstep loop."""
 
 _NEVER = 1 << 30
 """Wake/resolve sentinel: a cycle index no supported run ever reaches.
@@ -198,13 +227,6 @@ def check_batch_features(
     """
     check_batch_metrics(metrics)
     get_backend(backend).check_features(metrics=metrics)
-    if geometric_access_times and "latency" in metrics:
-        raise ConfigurationError(
-            "kernel='batch' cannot combine geometric access times with "
-            "latency collection (the sketch's service population "
-            "assumes the constant access time); use kernel='fast' for "
-            "geometric latency distributions"
-        )
     if targets is not None:
         # Reuses the planner's type dispatch without building a plan.
         if not isinstance(
@@ -284,6 +306,34 @@ class _PhiloxLanes:
             self._refill(np.ones(len(self._gens), dtype=bool))
         values = self._buf[:, pos[0] : pos[0] + count].copy()
         pos += count
+        return values
+
+    def take_counts(self, counts):
+        """``counts[f]`` sequential draws for row ``f`` -> (fleet, max).
+
+        The per-row generalization of :meth:`take_block` for packed
+        fleets: row ``f`` consumes exactly ``counts[f]`` draws, so its
+        stream position is identical to an unpacked fleet's.  Column
+        ``j`` of the result is row ``f``'s ``j``-th draw and is only
+        meaningful for ``j < counts[f]`` (padding columns hold
+        arbitrary buffered values that are never consumed).  Requires
+        lockstep pointers like :meth:`take_block` (the
+        initial-condition draw).
+        """
+        np = self._np
+        pos = self._pos
+        counts = np.asarray(counts, dtype=np.int64)
+        if (pos + counts > self._chunk).any():
+            self._refill(np.ones(len(self._gens), dtype=bool))
+        max_count = int(counts.max())
+        columns = pos[:, None] + np.arange(max_count)
+        # Clamp padding columns into range; the values they alias are
+        # not consumed (pos only advances by counts) and callers mask
+        # them out.
+        values = np.take_along_axis(
+            self._buf, np.minimum(columns, self._chunk - 1), axis=1
+        ).copy()
+        pos += counts
         return values
 
     def take_rows(self, rows):
@@ -378,7 +428,10 @@ class BatchBusKernel:
     ----------
     configs:
         One :class:`SystemConfig` per fleet row.  All rows must share
-        the :data:`SHAPE_FIELDS`; request probabilities may differ.
+        the :data:`PACK_FIELDS` (priority, tie-break, buffering mode);
+        shape numbers (``n``, ``m``, ``r``, buffer depth), request
+        probabilities and workloads may differ per row - smaller rows
+        are padded to the fleet maxima with inert lanes.
     seeds:
         One master seed per row; each row derives its own Philox
         streams (``targets`` / ``think`` / ``arbitration``) from it via
@@ -398,12 +451,12 @@ class BatchBusKernel:
         Collection draws no randomness, so counters stay bit-identical
         either way.
     geometric_access_times:
-        When true (and ``r > 1``), every service duration is an
-        inverse-CDF geometric draw with mean ``r`` from the row's
-        ``"access-times"`` Philox stream instead of the constant ``r``.
-        Applies to the whole fleet (it is a shape-level property like
-        buffering, not a per-row one).  Incompatible with
-        ``collect_latency`` - rejected loudly.
+        When true, every service duration on a row with ``r > 1`` is
+        an inverse-CDF geometric draw with mean ``r`` from that row's
+        ``"access-times"`` Philox stream instead of the constant ``r``
+        (rows with ``r = 1`` keep the degenerate constant path and
+        draw nothing).  Combines with ``collect_latency``: geometric
+        rows' per-access durations feed a dedicated service sketch.
     backend:
         The array substrate to execute on: a registered name from
         :data:`repro.bus.backends.KNOWN_BACKENDS` or a
@@ -430,13 +483,6 @@ class BatchBusKernel:
         self._backend.check_features(
             metrics=("latency",) if collect_latency else ()
         )
-        if collect_latency and geometric_access_times:
-            raise ConfigurationError(
-                "kernel='batch' cannot combine geometric access times "
-                "with latency collection (the sketch's service "
-                "population assumes the constant access time); use "
-                "kernel='fast' for geometric latency distributions"
-            )
         np = self._backend.require()
         self._np = np
         configs = list(configs)
@@ -458,12 +504,12 @@ class BatchBusKernel:
                 "targets and request_probabilities must list one entry "
                 "per fleet row (or be None)"
             )
-        shape = fleet_shape(configs[0])
+        pack = tuple(getattr(configs[0], field) for field in PACK_FIELDS)
         for config in configs[1:]:
-            if fleet_shape(config) != shape:
+            if tuple(getattr(config, field) for field in PACK_FIELDS) != pack:
                 raise ConfigurationError(
-                    "all fleet rows must share the lockstep shape "
-                    f"{SHAPE_FIELDS}; {config.describe()} differs from "
+                    "all fleet rows must share the pack fields "
+                    f"{PACK_FIELDS}; {config.describe()} differs from "
                     f"{configs[0].describe()}"
                 )
         self.configs = tuple(configs)
@@ -471,32 +517,77 @@ class BatchBusKernel:
 
         base = configs[0]
         fleet = len(configs)
-        n = base.processors
-        m = base.memories
+        # Per-row shape numbers: rows of different (n, m, r, depth)
+        # pack into one padded lockstep program.  The scalar n/m keep
+        # the *array* dimensions (the group maxima); lanes beyond a
+        # row's own bound are inert padding.
+        n_rows = np.array(
+            [config.processors for config in configs], dtype=np.int64
+        )
+        m_rows = np.array(
+            [config.memories for config in configs], dtype=np.int64
+        )
+        r_rows = np.array(
+            [config.memory_cycle_ratio for config in configs],
+            dtype=np.int64,
+        )
+        pc_rows = np.array(
+            [config.processor_cycle for config in configs], dtype=np.int64
+        )
+        n = int(n_rows.max())
+        m = int(m_rows.max())
         self._fleet = fleet
         self._n = n
         self._m = m
-        self._r = base.memory_cycle_ratio
-        self._pc = base.processor_cycle
+        self._n_rows = n_rows
+        self._m_rows = m_rows
+        self._r_rows = r_rows
+        self._pc_rows = pc_rows
         self._buffered = base.buffered
-        self._depth = base.buffer_depth if base.buffered else 0
+        depth_rows = np.array(
+            [
+                config.buffer_depth if config.buffered else 0
+                for config in configs
+            ],
+            dtype=np.int64,
+        )
+        self._depth_rows = depth_rows
+        self._capacity_rows = np.maximum(depth_rows, 1)
+        self._depth = int(depth_rows.max()) if base.buffered else 0
         self._capacity = self._depth if self._depth > 0 else 1
         self._proc_first = base.priority is Priority.PROCESSORS
         self._random_tie = base.tie_break is TieBreak.RANDOM
+        # Lane-validity masks: lane i of row f is real iff i < n_f (and
+        # module k iff k < m_f).  Padded lanes never request, never
+        # wake, and never consume a draw - the padding invariant the
+        # packed == unpacked bit-identity proof rests on.
+        self._lane_valid = np.arange(n)[:, None] < n_rows[None, :]
+        self._mod_valid = np.arange(m)[:, None] < m_rows[None, :]
         # r = 1 makes the geometric service distribution degenerate at
-        # one cycle - identical to the constant path, so it draws no
-        # stream (matching the exact kernels' r = 1 short-circuit).
-        self._geometric = bool(geometric_access_times) and self._r > 1
-        self._log1p_neg_access = (
-            float(np.log1p(-1.0 / self._r)) if self._geometric else 0.0
+        # one cycle - identical to the constant path, so such rows draw
+        # no stream (matching the exact kernels' r = 1 short-circuit).
+        geom_rows = (
+            (r_rows > 1)
+            if geometric_access_times
+            else np.zeros(fleet, dtype=bool)
+        )
+        self._geom_rows = geom_rows
+        self._geometric = bool(geom_rows.any())
+        safe_r = np.where(geom_rows, r_rows, 2)
+        self._log_access_rows = np.where(
+            geom_rows, np.log1p(-1.0 / safe_r), 0.0
         )
 
-        # --- per-row request probabilities (fleet x n).
-        p_rows = [
-            _resolve_request_probabilities(config, probs)
-            for config, probs in zip(configs, request_probabilities)
-        ]
-        self._p = np.array(p_rows, dtype=np.float64)
+        # --- per-row request probabilities (fleet x n), padded lanes
+        # at p = 1 (they never issue, so the value is never consulted,
+        # but 1.0 keeps the all-p1 fast-path detection per-row exact).
+        self._p = np.ones((fleet, n), dtype=np.float64)
+        for f, (config, probs) in enumerate(
+            zip(configs, request_probabilities)
+        ):
+            self._p[f, : config.processors] = (
+                _resolve_request_probabilities(config, probs)
+            )
         self._all_p1 = bool((self._p == 1.0).all())
         with np.errstate(divide="ignore"):
             # log(1 - p) is -inf at p = 1, which the inverse-CDF think
@@ -527,20 +618,21 @@ class BatchBusKernel:
             length_max = 1
             for plan, config in zip(plans, configs):
                 if plan[0] is not None:
-                    if len(plan[0]) < n:
+                    row_n = config.processors
+                    if len(plan[0]) < row_n:
                         raise ConfigurationError(
                             f"trace workload records {len(plan[0])} "
-                            f"processors but the system has {n}"
+                            f"processors but the system has {row_n}"
                         )
                     length_max = max(
-                        length_max, max(len(t) for t in plan[0][:n])
+                        length_max, max(len(t) for t in plan[0][:row_n])
                     )
             pad = np.zeros((fleet, n, length_max), dtype=np.int32)
             lengths = np.ones((fleet, n), dtype=np.int64)
             for f, plan in enumerate(plans):
                 if plan[0] is None:
                     continue
-                for i in range(n):
+                for i in range(configs[f].processors):
                     trace = plan[0][i]
                     lengths[f, i] = len(trace)
                     pad[f, i, : len(trace)] = trace
@@ -593,7 +685,10 @@ class BatchBusKernel:
         # is in flight, so module-side copies of the issue cycle are
         # unnecessary: the response path reads it back through the
         # owning processor's lane.
-        self._requesting = np.ones((n, fleet), dtype=bool)
+        # Padded lanes start (and stay) inert: not requesting, wake at
+        # the never sentinel, target pinned to module 0 (a valid index,
+        # so dense gathers through target_gidx stay in bounds).
+        self._requesting = self._lane_valid.copy()
         self._target = np.zeros((n, fleet), dtype=np.int32)
         self._issue = np.zeros((n, fleet), dtype=np.int32)
         self._wake = np.full((n, fleet), _NEVER, dtype=np.int32)
@@ -608,8 +703,14 @@ class BatchBusKernel:
 
         # --- module state (m x fleet; queues as flat circular buffers).
         self._collect_latency = bool(collect_latency)
+        # Geometric service durations are drawn per access, so latency
+        # collection must carry each request's actual duration through
+        # the rings into a third sketch; constant-r rows keep the
+        # exact synthesized service summary.
+        self._collect_service = self._collect_latency and self._geometric
         self._sketch_wait = None
         self._sketch_total = None
+        self._sketch_service = None
         flat_modules = m * fleet
         self._svc_finish = np.full((m, fleet), _NEVER, dtype=np.int32)
         self._svc_proc = np.zeros((m, fleet), dtype=np.int32)
@@ -658,6 +759,14 @@ class BatchBusKernel:
                 self._outq_wait_ring = np.zeros(
                     (capacity, flat_modules), dtype=np.int32
                 )
+            if self._collect_service:
+                self._svc_dur_flat = np.zeros(flat_modules, dtype=np.int32)
+                self._stalled_dur_flat = np.zeros(
+                    flat_modules, dtype=np.int32
+                )
+                self._outq_dur_ring = np.zeros(
+                    (capacity, flat_modules), dtype=np.int32
+                )
         else:
             # Unbuffered: a module is a single request slot, so one
             # "fully idle" mask serves the whole acceptance rule and is
@@ -668,6 +777,8 @@ class BatchBusKernel:
             self._out_ready = np.full((m, fleet), _NEVER, dtype=np.int32)
             if self._collect_latency:
                 self._out_wait_flat = np.zeros(flat_modules, dtype=np.int32)
+            if self._collect_service:
+                self._out_dur_flat = np.zeros(flat_modules, dtype=np.int32)
 
         # --- counters (per row).  Response transfers and completions
         # are one and the same event in this machine, so only one
@@ -715,25 +826,33 @@ class BatchBusKernel:
         self._rank_n = np.empty((n, fleet), dtype=np.float32)
         self._rank_m = np.empty((m, fleet), dtype=np.float32)
 
-        # Initial condition: every processor issues at cycle 0, its
-        # target drawn in lane order (the reference initial condition).
+        # Initial condition: every real processor issues at cycle 0,
+        # its target drawn in lane order (the reference initial
+        # condition); padded lanes are pinned to module 0.
         self._target[:] = self._initial_targets().T
+        self._target[~self._lane_valid] = 0
         self._target_gidx[:] = (
             self._target.astype(np.int64) * fleet + np.arange(fleet)
         )
 
     # ------------------------------------------------------------------
     def _initial_targets(self):
-        """Every lane's first target, drawn in lane order per row."""
+        """Every real lane's first target, drawn in lane order per row.
+
+        Row ``f`` consumes exactly ``n_f`` draws (its own lane count),
+        so its targets stream position matches an unpacked fleet's;
+        padding columns carry garbage the caller masks out.
+        """
         np = self._np
         if self._any_random:
-            u = self._targets_lanes.take_block(self._n)
+            u = self._targets_lanes.take_counts(self._n_rows)
             fraction = self._hot_fraction[:, None]
+            m_col = self._m_rows[:, None]
             module = np.minimum(
-                ((u - fraction) * self._hot_rescale[:, None] * self._m).astype(
+                ((u - fraction) * self._hot_rescale[:, None] * m_col).astype(
                     np.int32
                 ),
-                self._m - 1,
+                (m_col - 1).astype(np.int32),
             )
             new_target = np.where(
                 u < fraction, self._hot_module[:, None], module
@@ -775,11 +894,12 @@ class BatchBusKernel:
             else:
                 u = self._targets_lanes.take_rows(rows)
             fraction = self._hot_fraction[rows]
+            m_r = self._m_rows[rows]
             module = np.minimum(
-                ((u - fraction) * self._hot_rescale[rows] * self._m).astype(
+                ((u - fraction) * self._hot_rescale[rows] * m_r).astype(
                     np.int32
                 ),
-                self._m - 1,
+                (m_r - 1).astype(np.int32),
             )
             drawn = np.where(u < fraction, self._hot_module[rows], module)
         else:
@@ -924,12 +1044,16 @@ class BatchBusKernel:
 
         return arbitrate
 
-    def _complete_responses(self, grant_rows, procs, flat_lane, cycle, wait=None):
+    def _complete_responses(
+        self, grant_rows, procs, flat_lane, cycle, wait=None, service=None
+    ):
         """Shared response-grant tail: counters, next target, wake.
 
         ``wait`` carries the per-grant arbitration-plus-queueing delays
-        (latency collection only); the total latency is derived from the
-        frozen issue stamps here either way.
+        (latency collection only) and ``service`` the drawn service
+        durations (geometric latency collection only); the total
+        latency is derived from the frozen issue stamps here either
+        way.
         """
         np = self._np
         self.completions[grant_rows] += 1
@@ -941,6 +1065,8 @@ class BatchBusKernel:
             # response per row per cycle), as the sketch requires.
             self._sketch_total.add(grant_rows, total)
             self._sketch_wait.add(grant_rows, wait)
+            if self._sketch_service is not None:
+                self._sketch_service.add(grant_rows, service)
         drawn = self._draw_target_rows(grant_rows, procs)
         self._target_flat[flat_lane] = drawn
         self._target_gidx_flat[flat_lane] = (
@@ -958,7 +1084,7 @@ class BatchBusKernel:
             np.log1p(-u_think) / self._log1p_neg_p_flat[flat_lane]
         ).astype(np.int64)
         self._wake_flat[flat_lane] = np.minimum(
-            cycle + 1 + failures * self._pc, _NEVER
+            cycle + 1 + failures * self._pc_rows[grant_rows], _NEVER
         )
 
     def _advance_unbuffered(self, count: int) -> None:
@@ -966,16 +1092,19 @@ class BatchBusKernel:
         np = self._np
         nonzero = np.nonzero
         fleet = self._fleet
-        r = self._r
+        r_rows = self._r_rows
         all_p1 = self._all_p1
         track_ready = not self._random_tie
         collect = self._collect_latency
+        collect_service = self._collect_service
         geometric = self._geometric
-        log_access = self._log1p_neg_access
+        geom_rows = self._geom_rows
+        log_access_rows = self._log_access_rows
         access_take_rows = (
             self._access_lanes.take_rows if geometric else None
         )
         out_wait_flat = self._out_wait_flat if collect else None
+        out_dur_flat = self._out_dur_flat if collect_service else None
         arbitrate = self._make_arbiter()
 
         requesting = self._requesting
@@ -1051,17 +1180,23 @@ class BatchBusKernel:
                 if geometric:
                     # Inverse-CDF geometric service: one uniform per
                     # grant from the per-row access-times stream.
-                    u_access = access_take_rows(grant_rows)
-                    duration = (
-                        np.log1p(-u_access) / log_access
-                    ).astype(np.int64) + 1
-                    svc_finish_flat[flat_mod] = cycle + duration
+                    # Constant-r rows of a packed fleet draw nothing.
+                    duration = r_rows[grant_rows].copy()
+                    geo = geom_rows[grant_rows]
+                    if geo.any():
+                        geo_rows = grant_rows[geo]
+                        u_access = access_take_rows(geo_rows)
+                        duration[geo] = (
+                            np.log1p(-u_access) / log_access_rows[geo_rows]
+                        ).astype(np.int64) + 1
                 else:
-                    duration = r
-                    svc_finish_flat[flat_mod] = cycle + r
+                    duration = r_rows[grant_rows]
+                svc_finish_flat[flat_mod] = cycle + duration
                 if collect:
                     # Service starts next cycle: wait = start - issue - 1.
                     out_wait_flat[flat_mod] = cycle - issue_flat[flat_lane]
+                    if collect_service:
+                        out_dur_flat[flat_mod] = duration
                 # Charge the service up front; _memory_busy subtracts
                 # the unworked tail of in-flight services.
                 busy_accum[grant_rows] += duration
@@ -1072,9 +1207,12 @@ class BatchBusKernel:
                 out_full_flat[flat_mod] = False
                 module_free_flat[flat_mod] = True
                 wait = out_wait_flat[flat_mod] if collect else None
+                service = (
+                    out_dur_flat[flat_mod] if collect_service else None
+                )
                 flat_lane = procs * fleet + grant_rows
                 self._complete_responses(
-                    grant_rows, procs, flat_lane, cycle, wait
+                    grant_rows, procs, flat_lane, cycle, wait, service
                 )
                 if all_p1:
                     pending = flat_lane
@@ -1097,14 +1235,17 @@ class BatchBusKernel:
         nonzero = np.nonzero
         fleet = self._fleet
         flat_modules = self._m * fleet
-        r = self._r
-        depth = self._depth
-        capacity = self._capacity
+        r_rows = self._r_rows
+        depth_rows = self._depth_rows
+        depth_cols = depth_rows[None, :]
+        capacity_rows = self._capacity_rows
         all_p1 = self._all_p1
         track_ready = not self._random_tie
         collect = self._collect_latency
+        collect_service = self._collect_service
         geometric = self._geometric
-        log_access = self._log1p_neg_access
+        geom_rows = self._geom_rows
+        log_access_rows = self._log_access_rows
         if geometric:
             access_take_rows = self._access_lanes.take_rows
             access_take_multi = self._access_lanes.take_rows_multi
@@ -1142,6 +1283,10 @@ class BatchBusKernel:
             svc_wait_flat = self._svc_wait_flat
             stalled_wait_flat = self._stalled_wait_flat
             outq_wait_flat = self._outq_wait_ring.reshape(-1)
+        if collect_service:
+            svc_dur_flat = self._svc_dur_flat
+            stalled_dur_flat = self._stalled_dur_flat
+            outq_dur_flat = self._outq_dur_ring.reshape(-1)
 
         def pull_input(flat):
             """Start serving the input-queue head of each flat module."""
@@ -1149,29 +1294,37 @@ class BatchBusKernel:
             lanes = inq_ring_flat[head * flat_modules + flat]
             svc_active_flat[flat] = True
             svc_proc_flat[flat] = lanes
+            rows = flat % fleet
             if geometric:
                 # A row may pull several modules this cycle; the multi
                 # take consumes its draws in ascending-module order.
-                u_access = access_take_multi(flat % fleet)
-                svc_finish_flat[flat] = (
-                    cycle
-                    + (np.log1p(-u_access) / log_access).astype(np.int64)
-                    + 1
-                )
+                # Constant-r rows of a packed fleet draw nothing.
+                duration = r_rows[rows].copy()
+                geo = geom_rows[rows]
+                if geo.any():
+                    u_access = access_take_multi(rows[geo])
+                    duration[geo] = (
+                        np.log1p(-u_access) / log_access_rows[rows[geo]]
+                    ).astype(np.int64) + 1
             else:
-                svc_finish_flat[flat] = cycle + r
+                duration = r_rows[rows]
+            svc_finish_flat[flat] = cycle + duration
             if collect:
                 svc_wait_flat[flat] = cycle - issue_flat[
-                    lanes * fleet + flat % fleet
+                    lanes * fleet + rows
                 ]
+                if collect_service:
+                    svc_dur_flat[flat] = duration
             head += 1
-            inq_head[flat] = where(head >= depth, head - depth, head)
+            d = depth_rows[rows]
+            inq_head[flat] = where(head >= d, head - d, head)
             inq_len_flat[flat] -= 1
 
-        def push_output(flat, length, procs, waits):
+        def push_output(flat, length, procs, waits, durs):
             """Append responses to the output rings of ``flat``."""
+            cap = capacity_rows[flat % fleet]
             slot = outq_head[flat] + length
-            slot = where(slot >= capacity, slot - capacity, slot)
+            slot = where(slot >= cap, slot - cap, slot)
             ring_index = slot * flat_modules + flat
             outq_ring_flat[ring_index] = procs
             if track_ready:
@@ -1181,6 +1334,8 @@ class BatchBusKernel:
                     head_ready_flat[newly_headed] = cycle + 1
             if collect:
                 outq_wait_flat[ring_index] = waits
+                if collect_service:
+                    outq_dur_flat[ring_index] = durs
             outq_len_flat[flat] = length + 1
 
         pending = self._pending_flat
@@ -1205,7 +1360,7 @@ class BatchBusKernel:
             busy_accum += svc_active.sum(axis=0)
 
             # 2. arbitration on the pre-tick state.
-            busy = (svc_active | stalled) & (inq_len >= depth)
+            busy = (svc_active | stalled) & (inq_len >= depth_cols)
             ready = outq_len > 0
             eligible = requesting & ~busy.reshape(-1)[target_gidx]
             (
@@ -1231,6 +1386,7 @@ class BatchBusKernel:
                     outq_len_flat[resolving],
                     stalled_proc_flat[resolving],
                     stalled_wait_flat[resolving] if collect else None,
+                    stalled_dur_flat[resolving] if collect_service else None,
                 )
                 stalled_flat[resolving] = False
                 pulled = resolving[inq_len_flat[resolving] > 0]
@@ -1240,7 +1396,7 @@ class BatchBusKernel:
             if flat.size:
                 svc_active_flat[flat] = False
                 length = outq_len_flat[flat]
-                space = length < capacity
+                space = length < capacity_rows[flat % fleet]
                 free = flat[space]
                 if free.size:
                     push_output(
@@ -1248,6 +1404,7 @@ class BatchBusKernel:
                         length[space],
                         svc_proc_flat[free],
                         svc_wait_flat[free] if collect else None,
+                        svc_dur_flat[free] if collect_service else None,
                     )
                     pulled = free[inq_len_flat[free] > 0]
                     if pulled.size:
@@ -1258,6 +1415,8 @@ class BatchBusKernel:
                     stalled_proc_flat[full] = svc_proc_flat[full]
                     if collect:
                         stalled_wait_flat[full] = svc_wait_flat[full]
+                        if collect_service:
+                            stalled_dur_flat[full] = svc_dur_flat[full]
 
             # 4. the granted transfer completes at the end of the cycle.
             if any_request:
@@ -1274,26 +1433,32 @@ class BatchBusKernel:
                 if idle_flat.size:
                     svc_active_flat[idle_flat] = True
                     svc_proc_flat[idle_flat] = lanes[idle]
+                    idle_rows = grant_rows[idle]
                     if geometric:
-                        u_access = access_take_rows(grant_rows[idle])
-                        svc_finish_flat[idle_flat] = (
-                            cycle
-                            + (np.log1p(-u_access) / log_access).astype(
-                                np.int64
-                            )
-                            + 1
-                        )
+                        duration = r_rows[idle_rows].copy()
+                        geo = geom_rows[idle_rows]
+                        if geo.any():
+                            geo_rows = idle_rows[geo]
+                            u_access = access_take_rows(geo_rows)
+                            duration[geo] = (
+                                np.log1p(-u_access)
+                                / log_access_rows[geo_rows]
+                            ).astype(np.int64) + 1
                     else:
-                        svc_finish_flat[idle_flat] = cycle + r
+                        duration = r_rows[idle_rows]
+                    svc_finish_flat[idle_flat] = cycle + duration
                     if collect:
                         svc_wait_flat[idle_flat] = cycle - issue_flat[
                             flat_lane[idle]
                         ]
+                        if collect_service:
+                            svc_dur_flat[idle_flat] = duration
                 queued = ~idle
                 queue_mod = flat_mod[queued]
                 if queue_mod.size:
+                    d = depth_rows[grant_rows[queued]]
                     slot = inq_head[queue_mod] + inq_len_flat[queue_mod]
-                    slot = where(slot >= depth, slot - depth, slot)
+                    slot = where(slot >= d, slot - d, slot)
                     inq_ring_flat[slot * flat_modules + queue_mod] = lanes[
                         queued
                     ]
@@ -1307,7 +1472,8 @@ class BatchBusKernel:
                 new_length = outq_len_flat[flat_mod] - 1
                 outq_len_flat[flat_mod] = new_length
                 head += 1
-                head = where(head >= capacity, head - capacity, head)
+                cap = capacity_rows[grant_rows]
+                head = where(head >= cap, head - cap, head)
                 outq_head[flat_mod] = head
                 if track_ready:
                     head_ready_flat[flat_mod] = where(
@@ -1316,9 +1482,12 @@ class BatchBusKernel:
                         _NEVER,
                     )
                 wait = outq_wait_flat[ring_index] if collect else None
+                service = (
+                    outq_dur_flat[ring_index] if collect_service else None
+                )
                 flat_lane = procs * fleet + grant_rows
                 self._complete_responses(
-                    grant_rows, procs, flat_lane, cycle, wait
+                    grant_rows, procs, flat_lane, cycle, wait, service
                 )
                 if all_p1:
                     pending = flat_lane
@@ -1362,13 +1531,15 @@ class BatchBusKernel:
 
             self._sketch_wait = FleetQuantileSketch(self._fleet)
             self._sketch_total = FleetQuantileSketch(self._fleet)
+            if self._collect_service:
+                self._sketch_service = FleetQuantileSketch(self._fleet)
         start_cycle = self.cycle
         start_completions = self.completions.copy()
         start_requests = self.request_transfers.copy()
         start_latency = self.total_latency.copy()
         start_memory_busy = self._memory_busy()
 
-        pc = self._pc
+        pc_rows = self._pc_rows
         batch_ebws: list[list[float]] = [[] for _ in range(self._fleet)]
         if batches > 1:
             batch_length = cycles // batches
@@ -1381,7 +1552,7 @@ class BatchBusKernel:
                     for f in range(self._fleet):
                         batch_ebws[f].append(
                             int(self.completions[f] - previous[f])
-                            * pc
+                            * int(pc_rows[f])
                             / length
                         )
                 previous = self.completions.copy()
@@ -1417,11 +1588,12 @@ class BatchBusKernel:
     def _latency_reports(self):
         """One :class:`LatencyReport` per row from the fleet sketches.
 
-        Wait and total populations come from the vectorized sketches;
-        the service population is synthesised exactly: batch access
-        times are always the constant ``r`` (geometric access times are
-        rejected up front), so every completed request's service summary
-        is the degenerate distribution at ``r``.
+        Wait and total populations come from the vectorized sketches.
+        A constant-``r`` row's service population is synthesised
+        exactly (the degenerate distribution at its own ``r``); a
+        geometric row's per-access service draws flow through a third
+        sketch, so its summary carries the same sketch error bound as
+        the wait and total populations.
         """
         from fractions import Fraction
 
@@ -1430,10 +1602,17 @@ class BatchBusKernel:
         assert self._sketch_wait is not None
         wait_rows = self._sketch_wait.summaries()
         total_rows = self._sketch_total.summaries()
-        value = Fraction(self._r)
+        service_rows = (
+            self._sketch_service.summaries()
+            if self._sketch_service is not None
+            else None
+        )
         reports = []
-        for wait, total in zip(wait_rows, total_rows):
-            if total.count:
+        for f, (wait, total) in enumerate(zip(wait_rows, total_rows)):
+            if service_rows is not None and self._geom_rows[f]:
+                service = service_rows[f]
+            elif total.count:
+                value = Fraction(int(self._r_rows[f]))
                 service = LatencySummary(
                     count=total.count,
                     total=value * total.count,

@@ -12,6 +12,7 @@ Usage::
     python -m repro.experiments scenario figure2 --workers 4
     python -m repro.experiments sweep-serve figure2 --workers 4
     python -m repro.experiments sweep-work     # one stdio protocol worker
+    python -m repro.experiments cache sweep    # sweep orphaned tmp files
 
 Each experiment prints the measured grid next to the paper's published
 values (when the paper printed any) in the layout of the original
@@ -136,6 +137,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.service.cli import work_main
 
         return work_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the tables and figures of the ISCA 1985 "
@@ -213,6 +216,59 @@ def main(argv: Sequence[str] | None = None) -> int:
             collected, args.markdown, title="Paper-vs-measured report"
         )
         print(f"markdown report written to {path}")
+    return 0
+
+
+def cache_main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``repro-experiments cache ...`` maintenance.
+
+    ``cache sweep`` removes the ``*.tmp`` staging files abandoned by
+    writers killed mid-store and reports the store's entry count and
+    on-disk size - the maintenance that used to require a destructive
+    :meth:`~repro.parallel.cache.ResultCache.clear`.  Entries are never
+    touched.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments cache",
+        description="Inspect and maintain the shared result cache "
+        "without deleting any entries.",
+    )
+    parser.add_argument(
+        "action",
+        choices=("sweep",),
+        help="'sweep' unlinks orphaned *.tmp staging files (abandoned "
+        "by killed writers) and prints store statistics; cached "
+        "entries are left untouched",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="cache directory (default $REPRO_CACHE_DIR or "
+        "~/.cache/repro-single-bus)",
+    )
+    args = parser.parse_args(argv)
+    from repro.core.errors import ConfigurationError
+    from repro.parallel.cache import ResultCache
+
+    try:
+        cache = ResultCache(cache_dir=args.cache_dir)
+    except (ConfigurationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    swept = cache.sweep_orphans()
+    entries = 0
+    size = 0
+    for path in cache._entry_paths():
+        try:
+            size += path.stat().st_size
+            entries += 1
+        except OSError:  # racing deleters: the entry just vanished
+            pass
+    print(
+        f"[cache {cache.cache_dir}: swept {swept} orphaned tmp "
+        f"file{'s' if swept != 1 else ''}, {entries} "
+        f"entr{'ies' if entries != 1 else 'y'} kept, {size} bytes]"
+    )
     return 0
 
 

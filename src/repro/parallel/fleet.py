@@ -50,8 +50,31 @@ def fleet_key(case: SimulationCase) -> tuple:
     )
 
 
+def pack_key(case: SimulationCase) -> tuple:
+    """The super-fleet grouping key: pack fields plus the window.
+
+    The packed layer above :func:`fleet_key`: shape numbers (``n``,
+    ``m``, ``r``, buffer depth) are per-row kernel state now, so only
+    the :data:`~repro.bus.batch.PACK_FIELDS` - arbitration branch and
+    buffering mode - plus the measurement window and backend must
+    match for rows to share one padded lockstep program.  Cases with
+    equal :func:`fleet_key` always have equal ``pack_key``, so packing
+    strictly coarsens the fleet grouping.
+    """
+    from repro.bus.batch import PACK_FIELDS
+
+    return tuple(
+        getattr(case.config, field) for field in PACK_FIELDS
+    ) + (
+        case.cycles,
+        case.warmup,
+        case.collect_latency,
+        case.backend,
+    )
+
+
 def group_fleets(cases: Sequence[SimulationCase]) -> list[list[int]]:
-    """Partition case positions into lockstep fleets.
+    """Partition case positions into homogeneous lockstep fleets.
 
     Groups are keyed on :func:`fleet_key` and ordered by each key's
     first appearance, so the grouping is a deterministic function of the
@@ -63,7 +86,26 @@ def group_fleets(cases: Sequence[SimulationCase]) -> list[list[int]]:
     return list(groups.values())
 
 
-def run_fleet(cases: Sequence[SimulationCase]) -> list[SimulationResult]:
+def pack_fleets(cases: Sequence[SimulationCase]) -> list[list[int]]:
+    """Partition case positions into shape-packed super-fleets.
+
+    Like :func:`group_fleets` but keyed on :func:`pack_key`, so a
+    fragmented sweep - many shapes, few replications each - lands in
+    one padded batch call per arbitration/window/backend combination
+    instead of one tiny fleet per shape.  By the packing contract each
+    row's bytes are independent of the grouping (proven in
+    ``tests/properties/test_fleet_packing.py``), so this is purely a
+    wall-clock lever.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for position, case in enumerate(cases):
+        groups.setdefault(pack_key(case), []).append(position)
+    return list(groups.values())
+
+
+def run_fleet(
+    cases: Sequence[SimulationCase], pack: bool = True
+) -> list[SimulationResult]:
     """Execute simulation cases through lockstep batch fleets.
 
     The batch counterpart of
@@ -74,12 +116,19 @@ def run_fleet(cases: Sequence[SimulationCase]) -> list[SimulationResult]:
     cases run through per-row quantile sketches and come back with
     sketch-based :class:`~repro.metrics.LatencyReport` values attached;
     raises :class:`ConfigurationError` when numpy is unavailable.
+
+    ``pack=True`` (the default) groups by :func:`pack_key`, running
+    shape-heterogeneous cases as padded super-fleets; ``pack=False``
+    keeps the homogeneous :func:`fleet_key` grouping.  The two produce
+    identical bytes - packing only changes how many kernel calls are
+    made.
     """
     from repro.bus.batch import BatchBusKernel
 
     cases = list(cases)
     results: dict[int, SimulationResult] = {}
-    for positions in group_fleets(cases):
+    grouping = pack_fleets(cases) if pack else group_fleets(cases)
+    for positions in grouping:
         configs = []
         seeds = []
         targets = []

@@ -164,6 +164,16 @@ def main(argv: Sequence[str] | None = None) -> int:
         "fails loudly naming its extra",
     )
     parser.add_argument(
+        "--pack",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="pack shape-heterogeneous batch-kernel units into padded "
+        "super-fleets, one vectorized call per arbitration/window/"
+        "backend combination (default on; bytes are identical either "
+        "way, packing only changes wall clock); --no-pack restores "
+        "one fleet per shape for A/B timing",
+    )
+    parser.add_argument(
         "--chart",
         action="store_true",
         help="after the unit lines, draw the p50/p90/p99 total-latency "
@@ -208,6 +218,10 @@ def main(argv: Sequence[str] | None = None) -> int:
             parser.error("--lease-size requires --workers")
         if args.lease_size < 1:
             parser.error("--lease-size must be a positive integer")
+    if not args.pack and args.workers is not None:
+        # The sweep service's planner already groups leases by pack
+        # key; an unpacked service run would misreport what executed.
+        parser.error("--no-pack requires the serial path (no --workers)")
     if args.fast and args.kernel == "batch":
         # fast and batch produce deliberately different bytes, so a
         # silent precedence pick would hand back the wrong tier.
@@ -275,7 +289,9 @@ def main(argv: Sequence[str] | None = None) -> int:
                 telemetry=telemetry,
             )
         else:
-            results = run_units(units, jobs=args.jobs, cache=cache)
+            results = run_units(
+                units, jobs=args.jobs, cache=cache, pack=args.pack
+            )
     except ReproError as exc:
         # Covers simulation and model failures too - any library error
         # surfaces as the CLI's curated one-line diagnostic.

@@ -12,12 +12,13 @@ steps:
    resumed sweeps never ship cached work to workers.
 2. **Fleet-affine lease carving** (:func:`carve_leases`): the
    remaining positions are grouped by
-   :func:`~repro.parallel.fleet.fleet_key` - batch-kernel units that
-   share a lockstep fleet shape travel together, so each worker runs
-   few large vectorized fleet calls instead of many fragments - and
-   packed into leases sized by **estimated cost** (cycles + warmup per
-   simulation unit) rather than unit count, so a lease of heavy
-   100k-cycle units is shorter than a lease of analytic one-liners.
+   :func:`~repro.parallel.fleet.pack_key` - batch-kernel units that
+   can share one shape-packed super-fleet travel together, so a whole
+   fragmented sweep can land in one lease and run as one padded batch
+   call - and packed into leases sized by **estimated cost** (cycles +
+   warmup per simulation unit, an explicit floor for analytic units)
+   rather than unit count, so a lease of heavy 100k-cycle units is
+   shorter than a lease of analytic one-liners.
 
 Neither step can change bytes: the probe only substitutes values the
 worker would have fetched from the same shared store, and lease
@@ -34,7 +35,13 @@ from repro.engine.base import EvaluationMethod
 from repro.scenarios.compiler import WorkUnit
 
 ANALYTIC_UNIT_COST = 1.0
-"""Nominal cost of a closed-form (non-simulation) unit."""
+"""Explicit floor cost of any unit.
+
+Closed-form (non-simulation) units cost exactly this much, and no unit
+ever costs less: an all-analytic or mixed ``simulation``+``mva`` sweep
+therefore always produces strictly positive lease costs, so cost-target
+carving degrades to even count-based splitting instead of degenerating
+to one giant lease."""
 
 MAX_LEASE_UNITS = 256
 """Hard cap on positions per lease, matching ``default_lease_size``'s
@@ -46,12 +53,15 @@ def unit_cost(unit: WorkUnit) -> float:
 
     Simulation units cost their simulated cycle count (collection plus
     warmup) - wall-clock per cycle is roughly constant within a sweep -
-    while closed-form analytic units cost a nominal constant.  The
-    estimate only shapes lease sizes; being wrong is a performance bug,
-    never a correctness bug.
+    while closed-form analytic units cost a nominal constant.  Every
+    unit costs at least :data:`ANALYTIC_UNIT_COST`, so no unit mix can
+    yield a zero or degenerate total.  The estimate only shapes lease
+    sizes; being wrong is a performance bug, never a correctness bug.
     """
     if unit.method is EvaluationMethod.SIMULATION:
-        return float(unit.cycles + (unit.warmup or 0))
+        return max(
+            float(unit.cycles + (unit.warmup or 0)), ANALYTIC_UNIT_COST
+        )
     return ANALYTIC_UNIT_COST
 
 
@@ -80,15 +90,17 @@ def probe_cached(
 def _affine_groups(
     units: Sequence[WorkUnit], positions: Sequence[int]
 ) -> list[list[int]]:
-    """Group positions by lockstep fleet key, first-appearance ordered.
+    """Group positions by super-fleet pack key, first-appearance ordered.
 
-    Batch-kernel simulation positions sharing a fleet shape form one
-    group (they can run as a single vectorized call on the worker);
-    every other position is its own singleton group.  Grouping mirrors
-    :func:`repro.scenarios.execute._evaluation_tasks`, so a lease built
-    from whole groups turns into exactly one fleet call per group.
+    Batch-kernel simulation positions that can share one shape-packed
+    super-fleet form one group (they run as a single padded vectorized
+    call on the worker, regardless of per-row shape); every other
+    position is its own singleton group.  Grouping mirrors
+    :func:`repro.scenarios.execute._evaluation_tasks`' packed mode, so
+    a lease built from whole groups turns into exactly one batch call
+    per group.
     """
-    from repro.parallel.fleet import fleet_key
+    from repro.parallel.fleet import pack_key
     from repro.scenarios.execute import _batchable
 
     fleets: dict[tuple, list[int]] = {}
@@ -96,7 +108,7 @@ def _affine_groups(
     for position in positions:
         unit = units[position]
         if _batchable(unit):
-            key = fleet_key(unit.case())
+            key = pack_key(unit.case())
             if key not in fleets:
                 fleets[key] = []
                 order.append(fleets[key])
@@ -116,8 +128,9 @@ def carve_leases(
     """Cut ``positions`` into lease position-lists.
 
     With ``affine=True`` (the default) positions are first grouped by
-    fleet key so same-shape batch units stay together; ``affine=False``
-    keeps the legacy contiguous order (the benchmark's control arm).
+    pack key so batch units that can share one super-fleet stay
+    together; ``affine=False`` keeps the legacy contiguous order (the
+    benchmark's control arm).
 
     An explicit ``lease_size`` packs by **unit count**, exactly like
     the historical contiguous carving - the operator's knob for chaos

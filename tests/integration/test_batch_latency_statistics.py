@@ -118,6 +118,63 @@ def test_batch_latency_statistics_match_fast_within_bounds(config):
         )
 
 
+GEOMETRIC_LATENCY_FLEET = [
+    SystemConfig(4, 4, 4),
+    SystemConfig(8, 8, 8, buffered=True),
+    SystemConfig(
+        8, 16, 8, request_probability=0.5, priority=Priority.MEMORIES
+    ),
+    SystemConfig(4, 8, 6, tie_break=TieBreak.FCFS),
+]
+"""Geometric-access latency fleet: the combination the batch kernel
+used to reject outright."""
+
+
+@pytest.mark.parametrize(
+    "config", GEOMETRIC_LATENCY_FLEET, ids=lambda c: c.describe()
+)
+def test_batch_geometric_latency_statistics_match_fast(config):
+    """Geometric access times with latency collection: the per-access
+    service spans fed into the fleet sketch must reproduce the fast
+    kernel's wait/service/total statistics, not just populate a
+    report."""
+    from repro.bus import simulate
+
+    fast = [
+        simulate(
+            config, cycles=CYCLES, seed=seed, kernel="fast",
+            collect_latency=True, geometric_access_times=True,
+        )
+        for seed in range(REPLICATIONS)
+    ]
+    batch = [
+        simulate(
+            config, cycles=CYCLES, seed=seed, kernel="batch",
+            collect_latency=True, geometric_access_times=True,
+        )
+        for seed in range(REPLICATIONS)
+    ]
+    assert all(r.latency is not None for r in fast + batch)
+    # Geometric service spans really vary (the sketch saw the draws,
+    # not the constant r).
+    assert any(
+        r.latency.service.p99_value > r.latency.service.p50_value
+        for r in batch
+    )
+    for component, field in STATISTICS:
+        fast_samples = _samples(fast, component, field)
+        batch_samples = _samples(batch, component, field)
+        fast_mean = statistics.fmean(fast_samples)
+        batch_mean = statistics.fmean(batch_samples)
+        bound = _welch_bound(fast_samples, batch_samples)
+        bound += 1e-9 * max(abs(fast_mean), 1.0)
+        assert abs(fast_mean - batch_mean) <= bound, (
+            f"geometric {component}.{field} diverges: fast "
+            f"{fast_mean:.4f} vs batch {batch_mean:.4f} "
+            f"(bound {bound:.4f})"
+        )
+
+
 def test_batch_latency_counts_are_internally_consistent():
     config = SystemConfig(4, 8, 4, buffered=True, buffer_depth=2)
     results = run_fleet(

@@ -211,6 +211,99 @@ class TestCrashInjection:
         assert cache.sweep_orphans() == 1
 
 
+class TestGetManyFailureEdges:
+    """The planner's bulk probe inherits ``get``'s per-key semantics:
+    a proven-corrupt entry is evicted and counted a miss, a transient
+    I/O failure is counted a miss *without* eviction (the entry another
+    process just paid for stays on disk for the next reader)."""
+
+    def test_corrupt_entry_mid_probe_is_a_miss_with_one_eviction(
+        self, tmp_path
+    ):
+        cache = ResultCache(cache_dir=tmp_path, version_tag="stress")
+        keys = [cache.key({"slot": slot}) for slot in range(4)]
+        for slot, key in enumerate(keys):
+            cache.put(key, {"slot": slot})
+        cache.path_for(keys[2]).write_text("{torn", encoding="utf-8")
+        probe = ResultCache(cache_dir=tmp_path, version_tag="stress")
+        found = probe.get_many(keys)
+        assert set(found) == {keys[0], keys[1], keys[3]}
+        assert probe.stats.hits == 3
+        assert probe.stats.misses == 1
+        assert probe.stats.evictions == 1
+        assert probe.stats.transient_errors == 0
+        # Proven corruption is destroyed, so the recompute stores clean.
+        assert not probe.path_for(keys[2]).exists()
+
+    def test_transient_oserror_mid_probe_is_a_miss_not_an_eviction(
+        self, tmp_path, monkeypatch
+    ):
+        import pathlib
+
+        cache = ResultCache(cache_dir=tmp_path, version_tag="stress")
+        keys = [cache.key({"slot": slot}) for slot in range(3)]
+        for slot, key in enumerate(keys):
+            cache.put(key, {"slot": slot})
+        target = cache.path_for(keys[1])
+        real_read_text = pathlib.Path.read_text
+        fired = []
+
+        def flaky_read_text(self, *args, **kwargs):
+            if self == target and not fired:
+                fired.append(True)
+                raise PermissionError("transient probe failure")
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "read_text", flaky_read_text)
+        probe = ResultCache(cache_dir=tmp_path, version_tag="stress")
+        found = probe.get_many(keys)
+        assert keys[1] not in found
+        assert set(found) == {keys[0], keys[2]}
+        assert probe.stats.hits == 2
+        assert probe.stats.misses == 1
+        assert probe.stats.transient_errors == 1
+        assert probe.stats.evictions == 0
+        # The entry was left alone; the next probe serves it intact.
+        assert target.exists()
+        assert probe.get(keys[1]) == {"slot": 1}
+
+    def test_get_many_under_write_hammer_never_evicts(self, tmp_path):
+        """Bulk probes racing real writer processes: a mid-replace read
+        may miss but must never destroy or misreport an entry."""
+        cache_dir = tmp_path / "shared"
+        workers = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    textwrap.dedent(_HAMMER_SOURCE),
+                    str(cache_dir),
+                    str(worker_id),
+                    "120",
+                    "7",
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for worker_id in range(3)
+        ]
+        probe = ResultCache(cache_dir=cache_dir, version_tag="stress")
+        slot_keys = [probe.key({"slot": slot}) for slot in range(7)]
+        while any(worker.poll() is None for worker in workers):
+            found = probe.get_many(slot_keys)
+            for key, value in found.items():
+                slot = value["slot"]
+                assert key == slot_keys[slot]
+                assert value == {"slot": slot, "payload": [slot * 0.5, "x" * 64]}
+        for worker in workers:
+            stdout, stderr = worker.communicate(timeout=120)
+            assert worker.returncode == 0, f"worker failed: {stdout}{stderr}"
+        assert probe.stats.evictions == 0
+        final = probe.get_many(slot_keys)
+        assert set(final) == set(slot_keys)
+
+
 class TestLegacyLayout:
     def test_flat_entries_survive_concurrent_era(self, tmp_path):
         """A cache directory populated by the pre-sharding release

@@ -149,7 +149,7 @@ def fleet_specs(draw):
         buffer_depth=draw(st.sampled_from([1, 2, 3])) if buffered else 1,
     )
     geometric = draw(st.booleans())
-    collect_latency = False if geometric else draw(st.booleans())
+    collect_latency = draw(st.booleans())
     rows = []
     for _ in range(draw(st.integers(min_value=1, max_value=5))):
         seed = draw(st.integers(min_value=0, max_value=2**31))

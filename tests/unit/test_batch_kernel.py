@@ -51,10 +51,9 @@ def test_check_batch_features_names_each_unsupported_feature():
 
     check_batch_features(metrics=("latency",))
     check_batch_features(geometric_access_times=True)
-    with pytest.raises(ConfigurationError, match="geometric"):
-        check_batch_features(
-            metrics=("latency",), geometric_access_times=True
-        )
+    # geometric + latency is supported now: per-access service spans
+    # feed the service sketch.
+    check_batch_features(metrics=("latency",), geometric_access_times=True)
 
     class CustomSampler:
         def sample(self, processor):  # pragma: no cover - never called
@@ -101,7 +100,7 @@ def test_compile_scenario_rejects_unknown_kernel():
         compile_scenario(spec, kernel="bacth")
 
 
-def test_simulate_batch_collects_latency_and_geometric_but_not_both():
+def test_simulate_batch_collects_latency_and_geometric_combined():
     pytest.importorskip("numpy")
     from repro.bus import simulate
 
@@ -113,14 +112,19 @@ def test_simulate_batch_collects_latency_and_geometric_but_not_both():
         config, cycles=400, kernel="batch", geometric_access_times=True
     )
     assert geo.completions > 0
-    with pytest.raises(ConfigurationError, match="geometric"):
-        simulate(
-            config,
-            cycles=100,
-            kernel="batch",
-            geometric_access_times=True,
-            collect_latency=True,
-        )
+    both = simulate(
+        config,
+        cycles=400,
+        kernel="batch",
+        geometric_access_times=True,
+        collect_latency=True,
+    )
+    assert both.latency is not None
+    assert both.latency.total.count == both.completions
+    # Geometric service times are at least 1 cycle and unbounded above,
+    # so the sampled service summary must stay within the total span.
+    assert both.latency.service.max_value >= 1
+    assert both.latency.service.max_value <= both.latency.total.max_value
 
 
 def test_batch_geometric_matches_exact_kernels_on_degenerate_r1():
@@ -147,12 +151,34 @@ class TestFleetValidation:
     def setup_method(self):
         pytest.importorskip("numpy")
 
-    def test_mismatched_shapes_are_rejected(self):
+    def test_mismatched_shapes_are_packed_not_rejected(self):
+        """Shape heterogeneity packs into one padded program now; only
+        the pack fields (priority, tie_break, buffered) must match."""
         from repro.bus.batch import BatchBusKernel
 
-        with pytest.raises(ConfigurationError, match="lockstep shape"):
+        results = BatchBusKernel(
+            [SystemConfig(2, 2, 2), SystemConfig(2, 3, 2)], [0, 1]
+        ).run(400)
+        assert all(result.completions > 0 for result in results)
+
+    def test_mismatched_pack_fields_are_rejected(self):
+        from repro.bus.batch import BatchBusKernel
+
+        with pytest.raises(ConfigurationError, match="pack fields"):
             BatchBusKernel(
-                [SystemConfig(2, 2, 2), SystemConfig(2, 3, 2)], [0, 1]
+                [
+                    SystemConfig(2, 2, 2),
+                    SystemConfig(2, 2, 2, priority=Priority.MEMORIES),
+                ],
+                [0, 1],
+            )
+        with pytest.raises(ConfigurationError, match="pack fields"):
+            BatchBusKernel(
+                [
+                    SystemConfig(2, 2, 2),
+                    SystemConfig(2, 2, 2, buffered=True, buffer_depth=2),
+                ],
+                [0, 1],
             )
 
     def test_request_probability_may_differ_per_row(self):

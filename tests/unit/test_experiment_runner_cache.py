@@ -141,3 +141,36 @@ class TestMainFlags:
         captured = capsys.readouterr()
         assert "[table1:" in captured.err
         assert "[table1:" not in captured.out
+
+
+class TestCacheSubcommand:
+    def test_sweep_removes_orphans_keeps_entries(self, capsys, tmp_path):
+        store = ResultCache(cache_dir=tmp_path)
+        path = store.put("deadbeef", {"v": 1})
+        (path.parent / ".stale.json.123.ab.tmp").write_text("junk")
+        (tmp_path / ".flat.json.99.cd.tmp").write_text("junk")
+        assert main(["cache", "sweep", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "swept 2 orphaned tmp files" in out
+        assert "1 entry kept" in out
+        # The entry itself was never touched.
+        assert ResultCache(cache_dir=tmp_path).get("deadbeef") == {"v": 1}
+        assert not list(tmp_path.rglob("*.tmp"))
+
+    def test_sweep_reports_size_and_empty_store(self, capsys, tmp_path):
+        assert main(["cache", "sweep", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "swept 0 orphaned tmp files" in out
+        assert "0 entries kept, 0 bytes" in out
+
+    def test_sweep_rejects_unknown_action(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["cache", "clear", "--cache-dir", str(tmp_path)])
+
+    def test_sweep_bad_cache_dir_is_a_clean_error(self, capsys, tmp_path):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        assert (
+            main(["cache", "sweep", "--cache-dir", str(blocker / "sub")]) == 2
+        )
+        assert "error:" in capsys.readouterr().err

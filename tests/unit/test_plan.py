@@ -6,6 +6,7 @@ from repro.parallel.cache import ResultCache
 from repro.scenarios.compiler import compile_scenario
 from repro.scenarios.execute import run_units
 from repro.scenarios.plan import (
+    ANALYTIC_UNIT_COST,
     MAX_LEASE_UNITS,
     carve_leases,
     probe_cached,
@@ -36,6 +37,14 @@ class TestUnitCost:
         units = compile_scenario(_spec(method=EvaluationMethod.BANDWIDTH))
         assert unit_cost(units[0]) == 1.0
         assert unit_cost(units[0]) < unit_cost(compile_scenario(_spec())[0])
+
+    def test_every_cost_floors_at_the_analytic_constant(self):
+        # The floor is explicit: no unit mix can produce a zero-cost
+        # lease, whatever degenerate cycle counts a spec sneaks in.
+        mva = compile_scenario(_spec(method=EvaluationMethod.MVA))
+        simulation = compile_scenario(_spec(cycles=1, warmup=0))
+        for unit in list(mva) + list(simulation):
+            assert unit_cost(unit) >= ANALYTIC_UNIT_COST
 
 
 class TestCarveLeases:
@@ -126,6 +135,51 @@ class TestCarveLeases:
             if not seen or seen[-1] != key:
                 seen.append(key)
         assert len(seen) == len(set(seen))
+
+    def test_mixed_simulation_and_mva_units_carve_cleanly(self):
+        # A mixed sweep: heavy simulation units next to floor-cost mva
+        # units.  Carving must keep every position exactly once, never
+        # emit an empty lease, and the cost floor must keep the mva
+        # tail from collapsing into the simulation leases' cost shadow.
+        simulation = compile_scenario(_spec(cycles=50_000))
+        mva = compile_scenario(_spec(method=EvaluationMethod.MVA))
+        mixed = list(simulation[:3]) + list(mva)
+        leases = carve_leases(mixed, range(len(mixed)), workers=1)
+        flat = sorted(p for lease in leases for p in lease)
+        assert flat == list(range(len(mixed)))
+        assert all(lease for lease in leases)
+        by_position = {
+            position: index
+            for index, lease in enumerate(leases)
+            for position in lease
+        }
+        # Each heavy simulation unit fills its own lease; the analytic
+        # units share leases rather than riding one-per-lease.
+        heavy_leases = {by_position[p] for p in range(3)}
+        assert all(len(leases[i]) == 1 for i in heavy_leases)
+        analytic_leases = {
+            by_position[p] for p in range(3, len(mixed))
+        }
+        assert analytic_leases.isdisjoint(heavy_leases)
+        assert len(analytic_leases) < len(mixed) - 3
+
+    def test_mixed_batch_and_mva_affine_groups_are_stable(self):
+        # Batch simulation units pack into one super-fleet group while
+        # analytic units stay singletons; the carving is deterministic.
+        simulation = compile_scenario(
+            _spec(
+                grid=(GridAxis("memory_cycle_ratio", (1, 2, 3)),),
+                plan=ReplicationPlan(replications=2, base_seed=5),
+            ),
+            kernel="batch",
+        )
+        mva = compile_scenario(_spec(method=EvaluationMethod.MVA))
+        mixed = list(simulation) + list(mva)
+        first = carve_leases(mixed, range(len(mixed)), workers=2)
+        second = carve_leases(mixed, range(len(mixed)), workers=2)
+        assert first == second
+        flat = sorted(p for lease in first for p in lease)
+        assert flat == list(range(len(mixed)))
 
     def test_contiguous_mode_preserves_input_order(self):
         units = compile_scenario(_spec())

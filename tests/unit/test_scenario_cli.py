@@ -274,6 +274,23 @@ class TestBatchKernelCli:
             shard_outputs.append(capsys.readouterr().out)
         assert merge_reports(shard_outputs) + "\n" == unsharded
 
+    def test_pack_and_no_pack_are_byte_identical(self, tiny_toml, capsys):
+        """Packing coarsens fleet grouping only; the unit lines - the
+        scenario's whole byte surface - must not move."""
+        pytest.importorskip("numpy")
+        assert main(["scenario", tiny_toml, "--kernel", "batch",
+                     "--no-cache"]) == 0
+        packed = capsys.readouterr().out
+        assert main(["scenario", tiny_toml, "--kernel", "batch",
+                     "--no-cache", "--no-pack"]) == 0
+        unpacked = capsys.readouterr().out
+        assert packed == unpacked
+
+    def test_no_pack_conflicts_with_workers(self, tiny_toml, capsys):
+        with pytest.raises(SystemExit):
+            main(["scenario", tiny_toml, "--no-pack", "--workers", "2"])
+        assert "serial path" in capsys.readouterr().err
+
     def test_batch_kernel_renders_latency_percentiles(
         self, tiny_toml, capsys
     ):
